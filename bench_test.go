@@ -1,0 +1,129 @@
+package repro
+
+// One benchmark per figure of the paper's evaluation section. Each
+// benchmark regenerates the corresponding figure's data series at a
+// reduced sweep scale (testing.B iterations of a full paper-scale sweep
+// would take hours; cmd/figures -scale full produces the big version).
+// Benchmarking the generators keeps an eye on simulator throughput,
+// which bounds how far the sweeps can be pushed.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOptions is a small but non-trivial sweep: big enough that the
+// algorithms leave the compulsory-miss regime, small enough for
+// benchmarking.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		OrdersSmall: []int{32, 64},
+		OrdersLarge: []int{32, 64},
+		Ratios:      []float64{0.1, 0.5, 0.9},
+		Fig12Order:  48,
+	}
+}
+
+func benchFigure(b *testing.B, gen func(experiments.Options) ([]experiments.Figure, error)) {
+	b.Helper()
+	opt := benchOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := gen(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) == 0 {
+			b.Fatal("no figures produced")
+		}
+	}
+}
+
+func single(gen func(experiments.Options) (experiments.Figure, error)) func(experiments.Options) ([]experiments.Figure, error) {
+	return func(opt experiments.Options) ([]experiments.Figure, error) {
+		f, err := gen(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Figure{f}, nil
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (LRU vs formula, MS of Shared
+// Opt., CS=977).
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, single(experiments.Figure4)) }
+
+// BenchmarkFigure5 regenerates Figure 5 (LRU vs formula, MD of
+// Distributed Opt., CD=21).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, single(experiments.Figure5)) }
+
+// BenchmarkFigure6 regenerates Figure 6 (LRU vs formula, Tdata of
+// Tradeoff).
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, single(experiments.Figure6)) }
+
+// BenchmarkFigure7 regenerates Figure 7(a–c) (shared misses across
+// algorithms for the three cache configurations).
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, experiments.Figure7) }
+
+// BenchmarkFigure8 regenerates Figure 8(a–c) (distributed misses across
+// algorithms for CD ∈ {21, 16, 6}).
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, experiments.Figure8) }
+
+// BenchmarkFigure9 regenerates Figure 9(a–d) (Tdata, CS=977).
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, experiments.Figure9) }
+
+// BenchmarkFigure10 regenerates Figure 10(a–d) (Tdata, CS=245).
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, experiments.Figure10) }
+
+// BenchmarkFigure11 regenerates Figure 11(a–d) (Tdata, CS=157).
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, experiments.Figure11) }
+
+// BenchmarkFigure12 regenerates Figure 12(a–f) (Tdata vs bandwidth
+// ratio r for all six cache configurations).
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, experiments.Figure12) }
+
+// BenchmarkRealExecution measures the goroutine-per-core executor on the
+// paper's quad-core parameters (one iteration multiplies 16×16 blocks of
+// 32×32 float64 coefficients).
+func BenchmarkRealExecution(b *testing.B) {
+	for _, name := range []string{"Shared Opt.", "Distributed Opt.", "Tradeoff", "Outer Product"} {
+		b.Run(name, func(b *testing.B) {
+			mach := QuadCore(32, false)
+			tr, err := NewTriple(16, 16, 16, 32, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := Multiply(name, tr, mach); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput isolates the cache simulator cost per
+// elementary block product (3 accesses plus staging) for the LRU-50 and
+// IDEAL settings.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, setting := range []RunSetting{SettingIdeal, SettingLRU50} {
+		b.Run(string(setting), func(b *testing.B) {
+			sim, err := NewSimulator(QuadCore(32, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := Square(32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunByName("Tradeoff", w, setting); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(w.Products()*float64(b.N)/b.Elapsed().Seconds(), "products/s")
+		})
+	}
+}

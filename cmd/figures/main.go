@@ -1,0 +1,139 @@
+// Command figures regenerates every figure of the paper's evaluation
+// section. For each (sub-)figure it writes a CSV file with the data
+// series and prints an ASCII rendering to stdout.
+//
+// Examples:
+//
+//	figures                        # all figures at laptop scale, CSVs into ./results
+//	figures -scale tiny            # quick smoke run
+//	figures -scale full            # paper-scale sweeps (hours)
+//	figures -only fig7 -out /tmp/r # only Figure 7's sub-figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "default", "sweep scale: tiny, default or full")
+		out   = flag.String("out", "results", "output directory for CSV files")
+		only  = flag.String("only", "", "restrict to figures whose id starts with this prefix (e.g. fig7, fig12)")
+		plot  = flag.Bool("plot", true, "print ASCII charts to stdout")
+	)
+	flag.Parse()
+
+	if err := run(*scale, *out, *only, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, out, only string, plot bool) error {
+	var opt experiments.Options
+	switch scale {
+	case "tiny":
+		opt = experiments.Tiny()
+	case "default":
+		opt = experiments.Default()
+	case "full":
+		opt = experiments.Full()
+	default:
+		return fmt.Errorf("unknown scale %q (want tiny, default or full)", scale)
+	}
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	type generator struct {
+		name string
+		gen  func(experiments.Options) ([]experiments.Figure, error)
+	}
+	gens := []generator{
+		{"fig4", liftSingle(experiments.Figure4)},
+		{"fig5", liftSingle(experiments.Figure5)},
+		{"fig6", liftSingle(experiments.Figure6)},
+		{"fig7", experiments.Figure7},
+		{"fig8", experiments.Figure8},
+		{"fig9", experiments.Figure9},
+		{"fig10", experiments.Figure10},
+		{"fig11", experiments.Figure11},
+		{"fig12", experiments.Figure12},
+		{"abl", experiments.Ablations},
+		{"scale", experiments.ScalingStudy},
+	}
+
+	total := 0
+	for _, g := range gens {
+		if only != "" && !strings.HasPrefix(g.name, prefixRoot(only)) && !strings.HasPrefix(only, g.name) {
+			continue
+		}
+		start := time.Now()
+		figs, err := g.gen(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.name, err)
+		}
+		for _, fig := range figs {
+			if only != "" && !strings.HasPrefix(fig.ID, only) {
+				continue
+			}
+			path := filepath.Join(out, fig.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = report.WriteCSV(f, fig.XLabel, fig.Series)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			if plot {
+				fmt.Println(report.Chart(fig.Title, fig.Series, 72, 18))
+				if fig.Notes != "" {
+					fmt.Println("note:", fig.Notes)
+				}
+				fmt.Println()
+			}
+			fmt.Printf("wrote %s\n", path)
+			total++
+		}
+		fmt.Printf("%s done in %v\n\n", g.name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("%d figure files written to %s\n", total, out)
+	return nil
+}
+
+// liftSingle adapts a single-figure generator to the multi-figure shape.
+func liftSingle(g func(experiments.Options) (experiments.Figure, error)) func(experiments.Options) ([]experiments.Figure, error) {
+	return func(opt experiments.Options) ([]experiments.Figure, error) {
+		f, err := g(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Figure{f}, nil
+	}
+}
+
+// prefixRoot maps a figure-id prefix like "fig12b" to its generator name
+// ("fig12").
+func prefixRoot(only string) string {
+	root := only
+	for i := len(root) - 1; i >= 3; i-- {
+		if root[i] >= '0' && root[i] <= '9' {
+			return root[:i+1]
+		}
+		root = root[:i]
+	}
+	return root
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPrefixRoot(t *testing.T) {
+	cases := map[string]string{
+		"fig7":   "fig7",
+		"fig7a":  "fig7",
+		"fig12":  "fig12",
+		"fig12b": "fig12",
+		"fig4":   "fig4",
+		"abl":    "abl",
+	}
+	for in, want := range cases {
+		if got := prefixRoot(in); got != want {
+			t.Errorf("prefixRoot(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunTinySingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("tiny", dir, "fig4", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV written")
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run("huge", t.TempDir(), "", false); err == nil {
+		t.Fatal("unknown scale must fail")
+	}
+}

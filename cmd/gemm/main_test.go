@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run("", 4, 8, 2, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("Tradeoff", 4, 8, 2, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", 4, 8, 2, false, 1); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+}

@@ -1,0 +1,144 @@
+// Command mmreuse records one algorithm's per-core access streams and
+// prints the exact LRU miss-vs-capacity curve via stack-distance
+// analysis — Figure 8 for every CD at once, from one run. Traces can be
+// saved to disk and re-analysed later without re-simulating.
+//
+// Examples:
+//
+//	mmreuse -order 24                                  # curves for the Maximum Reuse variants
+//	mmreuse -algo "Distributed Opt." -order 48 -caps 3,6,12,21,42
+//	mmreuse -algo "Tradeoff" -order 32 -dump t.trace   # record once …
+//	mmreuse -load t.trace -caps 4,8,16                 # … re-analyse offline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/reuse"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "", "algorithm name (default: the three Maximum Reuse variants)")
+		order    = flag.Int("order", 24, "square matrix order in blocks")
+		q        = flag.Int("q", 32, "block size selecting the paper configuration")
+		caps     = flag.String("caps", "3,4,6,8,12,16,21,32,64", "comma-separated CD capacities to price")
+		dump     = flag.String("dump", "", "write the recorded trace to this file")
+		load     = flag.String("load", "", "analyse a previously dumped trace instead of simulating")
+	)
+	flag.Parse()
+
+	if err := run(*algoName, *order, *q, *caps, *dump, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "mmreuse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName string, order, q int, capsArg, dump, load string) error {
+	capacities, err := parseCaps(capsArg)
+	if err != nil {
+		return err
+	}
+
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec, name, err := reuse.Load(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace of %q, %d cores\n\n", name, len(rec.Cores))
+		printCurve(name, rec.Analyze(), capacities)
+		return nil
+	}
+
+	cfg, err := machine.FindConfig(q)
+	if err != nil {
+		return err
+	}
+	mach := cfg.Machine(machine.PaperCores, false)
+	w := algo.Square(order)
+
+	names := []string{"Shared Opt.", "Distributed Opt.", "Tradeoff"}
+	if algoName != "" {
+		names = []string{algoName}
+	}
+	fmt.Printf("machine %s, workload %d×%d×%d blocks, LRU-50 parameters\n\n", mach, w.M, w.N, w.Z)
+	for _, name := range names {
+		a, err := algo.ByName(name)
+		if err != nil {
+			return err
+		}
+		rec := reuse.NewRecorder(mach.P)
+		wp := w
+		wp.Probe = rec.Probe()
+		if _, err := a.Run(mach, mach.Halve(), wp, algo.LRU); err != nil {
+			return err
+		}
+		printCurve(name, rec.Analyze(), capacities)
+		if dump != "" && len(names) == 1 {
+			f, err := os.Create(dump)
+			if err != nil {
+				return err
+			}
+			err = rec.Save(f, name)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s\n", dump)
+		}
+	}
+	return nil
+}
+
+func printCurve(name string, hists []*reuse.Histogram, capacities []int) {
+	tbl := report.NewTable("CD (blocks)", "MD = max_c misses", "busiest core hit rate")
+	for _, c := range capacities {
+		var md uint64
+		var total uint64
+		for _, h := range hists {
+			if v := h.MissesFor(c); v > md {
+				md = v
+				total = h.Total()
+			}
+		}
+		rate := 0.0
+		if total > 0 {
+			rate = 1 - float64(md)/float64(total)
+		}
+		tbl.AddRow(strconv.Itoa(c), strconv.FormatUint(md, 10), fmt.Sprintf("%.1f%%", 100*rate))
+	}
+	fmt.Printf("%s\n%s\n", name, tbl.String())
+}
+
+func parseCaps(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad capacity %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no capacities given")
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseCaps(t *testing.T) {
+	got, err := parseCaps("3, 6,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 6, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseCaps = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "a,b", "0", "-3", ",,"} {
+		if _, err := parseCaps(bad); err == nil {
+			t.Fatalf("parseCaps(%q) must fail", bad)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if err := run("Tradeoff", 6, 32, "3,7", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", 6, 32, "3", "", ""); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if err := run("", 6, 128, "3", "", ""); err == nil {
+		t.Fatal("unknown q must fail")
+	}
+	if err := run("", 6, 32, "x", "", ""); err == nil {
+		t.Fatal("bad caps must fail")
+	}
+	if err := run("", 0, 32, "3", "", "/nonexistent/trace"); err == nil {
+		t.Fatal("missing trace file must fail")
+	}
+}
+
+func TestRunDumpLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/t.trace"
+	if err := run("Tradeoff", 6, 32, "3,7", trace, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, 0, "3,7", "", trace); err != nil {
+		t.Fatal(err)
+	}
+}

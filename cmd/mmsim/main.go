@@ -1,0 +1,125 @@
+// Command mmsim simulates one matrix-product algorithm (or all of them)
+// on a configurable multicore cache hierarchy and prints the achieved
+// miss counts next to the paper's closed-form predictions and lower
+// bounds.
+//
+// Examples:
+//
+//	mmsim -order 64                         # all algorithms, paper quad-core, q=32
+//	mmsim -algo "Tradeoff" -order 96 -setting LRU-50
+//	mmsim -m 48 -n 32 -z 64 -q 64 -pessimistic
+//	mmsim -p 8 -cs 2000 -cd 40 -order 64    # custom machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		algoName    = flag.String("algo", "", "algorithm name (default: all); one of: Shared Opt., Distributed Opt., Tradeoff, Outer Product, Shared Equal, Distributed Equal")
+		order       = flag.Int("order", 64, "square matrix order in blocks (overridden by -m/-n/-z)")
+		mDim        = flag.Int("m", 0, "block rows of C")
+		nDim        = flag.Int("n", 0, "block columns of C")
+		zDim        = flag.Int("z", 0, "inner block dimension")
+		q           = flag.Int("q", 32, "block size in coefficients; 32, 64 and 80 select the paper's cache configurations")
+		pessimistic = flag.Bool("pessimistic", false, "use the half-cache (instead of two-thirds) distributed capacity")
+		cores       = flag.Int("p", machine.PaperCores, "number of cores")
+		cs          = flag.Int("cs", 0, "override shared cache capacity (blocks)")
+		cd          = flag.Int("cd", 0, "override distributed cache capacity (blocks)")
+		sigmaS      = flag.Float64("sigmas", machine.DefaultSigmaS, "shared cache bandwidth")
+		sigmaD      = flag.Float64("sigmad", machine.DefaultSigmaD, "distributed cache bandwidth")
+		setting     = flag.String("setting", "", "run a single setting: IDEAL, LRU, LRU-2x or LRU-50 (default: IDEAL and LRU-50)")
+	)
+	flag.Parse()
+
+	if err := run(*algoName, *order, *mDim, *nDim, *zDim, *q, *pessimistic,
+		*cores, *cs, *cd, *sigmaS, *sigmaD, *setting); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName string, order, mDim, nDim, zDim, q int, pessimistic bool,
+	cores, cs, cd int, sigmaS, sigmaD float64, setting string) error {
+
+	mach, err := buildMachine(q, pessimistic, cores, cs, cd, sigmaS, sigmaD)
+	if err != nil {
+		return err
+	}
+	w := algo.Square(order)
+	if mDim > 0 || nDim > 0 || zDim > 0 {
+		w = algo.Workload{M: mDim, N: nDim, Z: zDim}
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+
+	algs := algo.All()
+	if algoName != "" {
+		a, err := algo.ByName(algoName)
+		if err != nil {
+			return err
+		}
+		algs = []algo.Algorithm{a}
+	}
+	sets := []core.RunSetting{core.SettingIdeal, core.SettingLRU50}
+	if setting != "" {
+		sets = []core.RunSetting{core.RunSetting(setting)}
+	}
+
+	sim, err := core.New(mach)
+	if err != nil {
+		return err
+	}
+	cmp, err := sim.Compare(w, algs, sets)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cmp.Table())
+
+	// Closed-form predictions for the declared capacities.
+	fmt.Println()
+	tbl := report.NewTable("algorithm", "setting", "formula MS", "formula MD")
+	for _, set := range sets {
+		for _, a := range algs {
+			if ms, md, ok := sim.Predict(a, w, set); ok {
+				tbl.AddRow(a.Name(), string(set), fmt.Sprintf("%.0f", ms), fmt.Sprintf("%.0f", md))
+			}
+		}
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+	fmt.Println(bounds.NewReport(mach, w.M, w.N, w.Z))
+	return nil
+}
+
+func buildMachine(q int, pessimistic bool, cores, cs, cd int, sigmaS, sigmaD float64) (machine.Machine, error) {
+	var mach machine.Machine
+	if cfg, err := machine.FindConfig(q); err == nil {
+		mach = cfg.Machine(cores, pessimistic)
+	} else {
+		mach = machine.Machine{P: cores, Q: q}
+	}
+	if cs > 0 {
+		mach.CS = cs
+	}
+	if cd > 0 {
+		mach.CD = cd
+	}
+	mach.P = cores
+	mach.SigmaS = sigmaS
+	mach.SigmaD = sigmaD
+	if err := mach.Validate(); err != nil {
+		return machine.Machine{}, err
+	}
+	return mach, nil
+}

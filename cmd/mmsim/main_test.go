@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestBuildMachine(t *testing.T) {
+	m, err := buildMachine(32, false, 4, 0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CS != 977 || m.CD != 21 {
+		t.Fatalf("paper config not applied: %v", m)
+	}
+	m, err = buildMachine(32, true, 4, 0, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CD != 16 {
+		t.Fatalf("pessimistic CD = %d, want 16", m.CD)
+	}
+	// Overrides win over the paper config.
+	m, err = buildMachine(32, false, 2, 500, 10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CS != 500 || m.CD != 10 || m.P != 2 || m.SigmaS != 2 {
+		t.Fatalf("overrides not applied: %v", m)
+	}
+	// Unknown q without overrides yields an invalid machine.
+	if _, err := buildMachine(48, false, 4, 0, 0, 1, 4); err == nil {
+		t.Fatal("unknown q without cs/cd overrides must fail validation")
+	}
+	// Invalid combinations are rejected.
+	if _, err := buildMachine(32, false, 4, 10, 21, 1, 4); err == nil {
+		t.Fatal("CS < p·CD must fail")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if err := run("", 8, 0, 0, 0, 32, false, 4, 0, 0, 1, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("Tradeoff", 0, 4, 6, 5, 32, false, 4, 0, 0, 1, 4, "IDEAL"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", 8, 0, 0, 0, 32, false, 4, 0, 0, 1, 4, ""); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if err := run("", -1, 0, 0, 0, 32, false, 4, 0, 0, 1, 4, ""); err == nil {
+		t.Fatal("bad workload must fail")
+	}
+	if err := run("", 8, 0, 0, 0, 32, false, 4, 0, 0, 1, 4, "BOGUS"); err == nil {
+		t.Fatal("unknown setting must fail")
+	}
+}

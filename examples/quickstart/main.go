@@ -1,0 +1,60 @@
+// Quickstart: simulate all six algorithms of the paper on the
+// "realistic quad-core" (q=32: CS=977, CD=21 blocks) and compare their
+// cache misses and data-access time against the lower bounds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The paper's quad-core with 32×32 blocks: shared cache of 977
+	// blocks, four distributed caches of 21 blocks each.
+	mach := repro.QuadCore(32, false)
+	sim, err := repro.NewSimulator(mach)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 64×64×64-block product (64·32 = 2048 coefficients per side).
+	w := repro.Square(64)
+	fmt.Printf("simulating C = A×B with %d×%d×%d blocks on %s\n\n", w.M, w.N, w.Z, mach)
+
+	cmp, err := sim.Compare(w, repro.Algorithms(),
+		[]repro.RunSetting{repro.SettingIdeal, repro.SettingLRU50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cmp.Table())
+
+	fmt.Println("\nwinners under LRU-50 (the realistic setting):")
+	printWinner(cmp, "fewest shared misses      ", metricMS)
+	printWinner(cmp, "fewest distributed misses ", metricMD)
+	printWinner(cmp, "lowest data access time   ", metricTdata)
+}
+
+func metricMS(r repro.Result) float64    { return float64(r.MS) }
+func metricMD(r repro.Result) float64    { return float64(r.MD) }
+func metricTdata(r repro.Result) float64 { return r.Tdata }
+
+func printWinner(cmp repro.Comparison, label string, metric func(repro.Result) float64) {
+	bestIdx := -1
+	for i, row := range cmp.Rows {
+		if row.Setting != repro.SettingLRU50 {
+			continue
+		}
+		if bestIdx < 0 || metric(row.Result) < metric(cmp.Rows[bestIdx].Result) {
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		r := cmp.Rows[bestIdx]
+		fmt.Printf("  %s → %-18s (MS=%d, MD=%d, Tdata=%.0f)\n",
+			label, r.Algorithm, r.Result.MS, r.Result.MD, r.Result.Tdata)
+	}
+}

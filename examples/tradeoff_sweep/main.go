@@ -1,0 +1,71 @@
+// Tradeoff sweep: reproduce the Figure 12 experiment interactively —
+// how the optimal algorithm changes with the ratio between shared and
+// distributed cache bandwidths, and how the Tradeoff algorithm tracks
+// the better specialist on both sides of the crossover.
+//
+//	go run ./examples/tradeoff_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	base := repro.QuadCore(32, false)
+	w := repro.Square(48)
+	fmt.Printf("Tdata of the three Maximum Reuse variants, %d×%d×%d blocks, %s\n",
+		w.M, w.N, w.Z, base)
+	fmt.Println("r = sigmaS/(sigmaS+sigmaD): r→0 means fast private caches, r→1 fast shared cache")
+	fmt.Println()
+	fmt.Printf("%6s  %14s  %14s  %14s  %s\n", "r", "Shared Opt.", "Distributed Opt.", "Tradeoff", "winner")
+
+	// The specialists' miss counts do not depend on the bandwidths;
+	// simulate them once and re-price per ratio.
+	shared, err := runIdeal("Shared Opt.", base, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := runIdeal("Distributed Opt.", base, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range []float64{0.05, 0.15, 0.25, 0.35, 0.5, 0.65, 0.75, 0.85, 0.95} {
+		mach, err := base.WithBandwidthRatio(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The tradeoff re-tunes (α, β) for each bandwidth ratio.
+		tr, err := runIdeal("Tradeoff", mach, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := mach.Tdata(shared.MS, shared.MD)
+		td := mach.Tdata(dist.MS, dist.MD)
+		tt := mach.Tdata(tr.MS, tr.MD)
+
+		winner := "Tradeoff"
+		if ts < tt && ts <= td {
+			winner = "Shared Opt."
+		} else if td < tt && td < ts {
+			winner = "Distributed Opt."
+		}
+		fmt.Printf("%6.2f  %14.0f  %14.0f  %14.0f  %s\n", r, ts, td, tt, winner)
+	}
+
+	fmt.Println()
+	fmt.Println("Expected shape (paper §4.3.3): the specialists cross over as distributed")
+	fmt.Println("misses become predominant; Tradeoff matches Shared Opt. near r=0 and")
+	fmt.Println("Distributed Opt. near r=1, and never loses to both at once.")
+}
+
+func runIdeal(name string, mach repro.Machine, w repro.Workload) (repro.Result, error) {
+	sim, err := repro.NewSimulator(mach)
+	if err != nil {
+		return repro.Result{}, err
+	}
+	return sim.RunByName(name, w, repro.SettingIdeal)
+}

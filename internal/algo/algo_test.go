@@ -1,0 +1,527 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// quadMachine is the paper's "realistic quad-core" with q=32 block
+// capacities: CS=977, CD=21.
+func quadMachine() machine.Machine {
+	return machine.Machine{P: 4, CS: 977, CD: 21, SigmaS: 1, SigmaD: 4, Q: 32}
+}
+
+// smallMachine is a compact configuration for fast exhaustive tests.
+// λ = 12 (1+12+144=157), µ = 2 (1+2+4=7 ≤ 7), grid 2×2.
+func smallMachine() machine.Machine {
+	return machine.Machine{P: 4, CS: 157, CD: 7, SigmaS: 1, SigmaD: 4, Q: 32}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := (Workload{M: 1, N: 1, Z: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []Workload{{M: 0, N: 1, Z: 1}, {M: 1, N: -1, Z: 1}, {M: 1, N: 1, Z: 0}} {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("workload %+v must be invalid", w)
+		}
+	}
+	if Square(3) != (Workload{M: 3, N: 3, Z: 3}) {
+		t.Fatal("Square broken")
+	}
+	if (Workload{M: 2, N: 3, Z: 4}).Products() != 24 {
+		t.Fatal("Products broken")
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	if Ideal.String() != "IDEAL" || LRU.String() != "LRU" {
+		t.Fatal("setting names wrong")
+	}
+	if Setting(9).String() == "" {
+		t.Fatal("unknown setting must stringify")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("expected 6 algorithms, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate algorithm name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		got, err := ByName(a.Name())
+		if err != nil || got.Name() != a.Name() {
+			t.Fatalf("ByName(%q) failed: %v", a.Name(), err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName must reject unknown names")
+	}
+}
+
+// --- Formula exactness under IDEAL ------------------------------------
+//
+// These are the strongest reproduction checks in the repository: running
+// each Maximum Reuse variant under the omniscient policy must yield
+// *exactly* the closed-form MS and MD of §3 when the matrix dimensions
+// honour the algorithms' divisibility assumptions.
+
+func TestSharedOptIdealMatchesFormulaExactly(t *testing.T) {
+	m := smallMachine()
+	lambda := SharedOpt{}.Params(m)
+	if lambda != 12 {
+		t.Fatalf("λ_eff = %d, want 12", lambda)
+	}
+	for _, f := range []int{1, 2} {
+		w := Workload{M: f * lambda, N: f * lambda, Z: 5}
+		res, err := RunIdeal(SharedOpt{}, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMS, wantMD, ok := SharedOpt{}.Predict(m, w)
+		if !ok {
+			t.Fatal("Predict not available")
+		}
+		if float64(res.MS) != wantMS {
+			t.Fatalf("f=%d: MS = %d, formula %v", f, res.MS, wantMS)
+		}
+		if float64(res.MD) != wantMD {
+			t.Fatalf("f=%d: MD = %d, formula %v", f, res.MD, wantMD)
+		}
+	}
+}
+
+func TestSharedOptIdealQuadConfig(t *testing.T) {
+	m := quadMachine()
+	lambda := SharedOpt{}.Params(m) // λ=30: 1+30+900 ≤ 977
+	if lambda != 30 {
+		t.Fatalf("λ = %d, want 30", lambda)
+	}
+	w := Workload{M: lambda, N: lambda, Z: 3}
+	res, err := RunIdeal(SharedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMS := float64(w.M*w.N) + 2*w.Products()/float64(lambda)
+	// λ=30 does not divide by p=4: the busiest core updates ⌈30/4⌉=8
+	// columns per row, so MD = (mnz/λ)·(1+2·8).
+	wantMD := w.Products() / float64(lambda) * 17
+	if float64(res.MS) != wantMS || float64(res.MD) != wantMD {
+		t.Fatalf("MS=%d MD=%d, want %v/%v", res.MS, res.MD, wantMS, wantMD)
+	}
+	if gotMS, gotMD, ok := (SharedOpt{}).Predict(m, w); !ok || gotMS != wantMS || gotMD != wantMD {
+		t.Fatalf("Predict = %v/%v, want %v/%v", gotMS, gotMD, wantMS, wantMD)
+	}
+}
+
+func TestDistributedOptIdealMatchesFormulaExactly(t *testing.T) {
+	m := smallMachine() // µ=2, grid 2×2 → super-tile 4×4
+	mu, gr, gc := DistributedOpt{}.Params(m)
+	if mu != 2 || gr != 2 || gc != 2 {
+		t.Fatalf("params µ=%d grid=%dx%d", mu, gr, gc)
+	}
+	for _, f := range []int{1, 3} {
+		w := Workload{M: f * gr * mu, N: f * gc * mu, Z: 6}
+		res, err := RunIdeal(DistributedOpt{}, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMS, wantMD, _ := DistributedOpt{}.Predict(m, w)
+		if float64(res.MS) != wantMS {
+			t.Fatalf("f=%d: MS = %d, formula %v", f, res.MS, wantMS)
+		}
+		if float64(res.MD) != wantMD {
+			t.Fatalf("f=%d: MD = %d, formula %v", f, res.MD, wantMD)
+		}
+	}
+}
+
+func TestDistributedOptIdealQuadConfig(t *testing.T) {
+	m := quadMachine() // µ=4 (1+4+16=21), grid 2×2 → tile 8×8
+	mu, gr, gc := DistributedOpt{}.Params(m)
+	if mu != 4 {
+		t.Fatalf("µ = %d, want 4", mu)
+	}
+	w := Workload{M: 2 * gr * mu, N: gc * mu, Z: 5}
+	res, err := RunIdeal(DistributedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMS, wantMD, _ := DistributedOpt{}.Predict(m, w)
+	if float64(res.MS) != wantMS || float64(res.MD) != wantMD {
+		t.Fatalf("MS=%d MD=%d, want %v/%v", res.MS, res.MD, wantMS, wantMD)
+	}
+}
+
+func TestTradeoffIdealMatchesFormulaExactly(t *testing.T) {
+	m := smallMachine()
+	tp := Tradeoff{}.Params(m)
+	if tp.Alpha < 1 || tp.Beta < 1 {
+		t.Fatalf("infeasible params %+v", tp)
+	}
+	w := Workload{M: 2 * tp.Alpha, N: tp.Alpha, Z: 2 * tp.Beta}
+	res, err := RunIdeal(Tradeoff{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMS, wantMD, _ := Tradeoff{}.Predict(m, w)
+	if float64(res.MS) != wantMS {
+		t.Fatalf("MS = %d, formula %v (params %+v)", res.MS, wantMS, tp)
+	}
+	if float64(res.MD) != wantMD {
+		t.Fatalf("MD = %d, formula %v (params %+v)", res.MD, wantMD, tp)
+	}
+}
+
+func TestTradeoffIdealSpecialCaseSingleSubBlock(t *testing.T) {
+	// Force α = √p·µ by making the distributed caches relatively slow:
+	// the tradeoff collapses onto the distributed-optimised shape and
+	// MD = mn/p + 2mnz/(pµ) exactly (the §3.3 remark).
+	m := smallMachine()
+	m.SigmaS = 1e6
+	m.SigmaD = 1
+	tp := Tradeoff{}.Params(m)
+	gr, gc := m.Grid()
+	if tp.Alpha != gr*tp.Mu || tp.Alpha != gc*tp.Mu {
+		t.Fatalf("expected special case α=√p·µ, got %+v", tp)
+	}
+	w := Workload{M: 2 * tp.Alpha, N: 2 * tp.Alpha, Z: 3 * tp.Beta}
+	res, err := RunIdeal(Tradeoff{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := float64(m.P)
+	wantMD := float64(w.M*w.N)/p + 2*w.Products()/(p*float64(tp.Mu))
+	if float64(res.MD) != wantMD {
+		t.Fatalf("special-case MD = %d, formula %v", res.MD, wantMD)
+	}
+	wantMS, _, _ := Tradeoff{}.Predict(m, w)
+	if float64(res.MS) != wantMS {
+		t.Fatalf("special-case MS = %d, formula %v", res.MS, wantMS)
+	}
+}
+
+func TestSharedEqualIdealMatchesFormula(t *testing.T) {
+	m := smallMachine() // e = √(157/3) = 7
+	e := SharedEqual{}.Params(m)
+	if e != 7 {
+		t.Fatalf("e = %d, want 7", e)
+	}
+	w := Workload{M: 2 * e, N: e, Z: e}
+	res, err := RunIdeal(SharedEqual{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMS, _, _ := SharedEqual{}.Predict(m, w)
+	if float64(res.MS) != wantMS {
+		t.Fatalf("MS = %d, formula %v", res.MS, wantMS)
+	}
+}
+
+func TestDistributedEqualIdealMatchesFormula(t *testing.T) {
+	m := quadMachine() // d = √(21/3) = 2
+	d := DistributedEqual{}.Params(m)
+	if d != 2 {
+		t.Fatalf("d = %d, want 2", d)
+	}
+	gr, gc := m.Grid()
+	w := Workload{M: 2 * gr * d, N: gc * d, Z: 2 * d}
+	res, err := RunIdeal(DistributedEqual{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantMD, _ := DistributedEqual{}.Predict(m, w)
+	if float64(res.MD) != wantMD {
+		t.Fatalf("MD = %d, formula %v", res.MD, wantMD)
+	}
+}
+
+// --- Cross-algorithm ordering (the paper's headline comparisons) -------
+
+func TestSharedOptBeatsSharedEqualOnMS(t *testing.T) {
+	m := quadMachine()
+	w := Square(56)
+	a, err := RunIdeal(SharedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIdeal(SharedEqual{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MS >= b.MS {
+		t.Fatalf("Shared Opt MS=%d not better than Shared Equal MS=%d", a.MS, b.MS)
+	}
+}
+
+func TestDistributedOptBeatsDistributedEqualOnMD(t *testing.T) {
+	m := quadMachine()
+	w := Square(48)
+	a, err := RunIdeal(DistributedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIdeal(DistributedEqual{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MD >= b.MD {
+		t.Fatalf("Distributed Opt MD=%d not better than Distributed Equal MD=%d", a.MD, b.MD)
+	}
+}
+
+func TestMaximumReuseBeatsOuterProduct(t *testing.T) {
+	m := quadMachine()
+	w := Square(56)
+	outer, err := OuterProduct{}.Run(m, m, w, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunLRU50(SharedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.MS >= outer.MS {
+		t.Fatalf("Shared Opt LRU-50 MS=%d not better than Outer Product MS=%d", shared.MS, outer.MS)
+	}
+}
+
+// --- Tdata ordering: each optimiser wins its own objective --------------
+
+func TestEachOptimiserWinsItsObjective(t *testing.T) {
+	m := quadMachine()
+	w := Square(56)
+	so, err := RunIdeal(SharedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do, err := RunIdeal(DistributedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.MS > do.MS {
+		t.Fatalf("Shared Opt MS=%d worse than Distributed Opt MS=%d", so.MS, do.MS)
+	}
+	if do.MD > so.MD {
+		t.Fatalf("Distributed Opt MD=%d worse than Shared Opt MD=%d", do.MD, so.MD)
+	}
+	// The tradeoff never loses on Tdata against both specialists at once.
+	tr, err := RunIdeal(Tradeoff{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tdata > so.Tdata && tr.Tdata > do.Tdata {
+		t.Fatalf("Tradeoff Tdata=%g worse than both specialists (%g, %g)",
+			tr.Tdata, so.Tdata, do.Tdata)
+	}
+}
+
+// --- LRU behaviour -----------------------------------------------------
+
+func TestLRUDoubleCapacityCompetitiveness(t *testing.T) {
+	// Frigo et al.: an ideal-cache algorithm with N misses incurs at most
+	// 2N misses on an LRU cache of twice the size. Verified here for all
+	// three Maximum Reuse variants (the paper's Figures 4–6).
+	m := smallMachine()
+	w := Square(24)
+	for _, alg := range []Algorithm{SharedOpt{}, DistributedOpt{}, Tradeoff{}} {
+		ms, md, ok := alg.Predict(m, w)
+		if !ok {
+			t.Fatalf("%s: no prediction", alg.Name())
+		}
+		res, err := RunLRU2x(alg, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.MS) > 2*ms {
+			t.Errorf("%s: LRU(2CS) MS=%d exceeds 2×formula=%v", alg.Name(), res.MS, 2*ms)
+		}
+		if float64(res.MD) > 2*md {
+			t.Errorf("%s: LRU(2CD) MD=%d exceeds 2×formula=%v", alg.Name(), res.MD, 2*md)
+		}
+	}
+}
+
+func TestLRU50CloseToFormula(t *testing.T) {
+	// Under LRU-50 the algorithm plans for half the cache; the real cache
+	// being twice that, misses should stay within 2× the (half-size)
+	// formula.
+	m := quadMachine()
+	w := Square(56)
+	for _, alg := range []Algorithm{SharedOpt{}, DistributedOpt{}, Tradeoff{}} {
+		ms, md, ok := alg.Predict(m.Halve(), w)
+		if !ok {
+			t.Fatalf("%s: no prediction", alg.Name())
+		}
+		res, err := RunLRU50(alg, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.MS) > 2*ms {
+			t.Errorf("%s: LRU-50 MS=%d exceeds 2×formula=%v", alg.Name(), res.MS, 2*ms)
+		}
+		if float64(res.MD) > 2*md {
+			t.Errorf("%s: LRU-50 MD=%d exceeds 2×formula=%v", alg.Name(), res.MD, 2*md)
+		}
+	}
+}
+
+func TestLRUPlainWorseOrEqualIdeal(t *testing.T) {
+	m := smallMachine()
+	w := Square(24)
+	for _, alg := range []Algorithm{SharedOpt{}, DistributedOpt{}, Tradeoff{}} {
+		ideal, err := RunIdeal(alg, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lru, err := RunLRU(alg, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lru.MS < ideal.MS {
+			t.Errorf("%s: LRU MS=%d beats IDEAL MS=%d", alg.Name(), lru.MS, ideal.MS)
+		}
+	}
+}
+
+// --- Generic invariants over all algorithms ----------------------------
+
+func TestAllAlgorithmsComputeAllProducts(t *testing.T) {
+	// Every algorithm must perform exactly m·n·z elementary block FMAs,
+	// spread over the cores.
+	m := smallMachine()
+	for _, w := range []Workload{Square(8), {M: 9, N: 7, Z: 5}, {M: 13, N: 4, Z: 6}, {M: 1, N: 1, Z: 1}} {
+		for _, alg := range All() {
+			for _, s := range []Setting{Ideal, LRU} {
+				res, err := alg.Run(m, m, w, s)
+				if err != nil {
+					t.Fatalf("%s %v %v: %v", alg.Name(), w, s, err)
+				}
+				var total uint64
+				for _, u := range res.Updates {
+					total += u
+				}
+				if total != uint64(w.M*w.N*w.Z) {
+					t.Fatalf("%s %v %v: %d updates, want %d",
+						alg.Name(), w, s, total, w.M*w.N*w.Z)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadBalanceOnDivisibleWorkloads(t *testing.T) {
+	// On workloads honouring the divisibility assumptions every core must
+	// perform exactly mnz/p updates (the paper's equal-distribution
+	// hypothesis behind the MD bound).
+	m := smallMachine()
+	w := Square(24)
+	for _, alg := range All() {
+		res, err := alg.Run(m, m, w, LRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(w.M*w.N*w.Z) / uint64(m.P)
+		if _, isEqual := alg.(SharedEqual); isEqual {
+			// Toledo's equal split uses e=⌊√(CS/3)⌋ rows per tile, which
+			// need not divide by p; with e=7 and p=4 the trailing core
+			// gets one row of each 7-row tile. Require each core within
+			// a factor two of the mean.
+			for c, u := range res.Updates {
+				if float64(u) < 0.5*float64(want) || float64(u) > 2*float64(want) {
+					t.Fatalf("%s: core %d did %d updates, want ≈%d", alg.Name(), c, u, want)
+				}
+			}
+			continue
+		}
+		for c, u := range res.Updates {
+			if u != want {
+				t.Fatalf("%s: core %d did %d updates, want %d", alg.Name(), c, u, want)
+			}
+		}
+	}
+}
+
+func TestResultRatios(t *testing.T) {
+	m := smallMachine()
+	w := Square(12)
+	res, err := RunIdeal(SharedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.CCRS(), float64(res.MS)/w.Products(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CCRS = %v, want %v", got, want)
+	}
+	if got, want := res.CCRD(), float64(res.MD)/(w.Products()/4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CCRD = %v, want %v", got, want)
+	}
+	if res.Tdata != m.Tdata(res.MS, res.MD) {
+		t.Fatal("Tdata inconsistent with machine model")
+	}
+}
+
+func TestWriteBacksCoverC(t *testing.T) {
+	// Every block of C is written, so at least mn blocks return to
+	// memory under IDEAL staging (A and B stay clean).
+	m := smallMachine()
+	w := Square(12)
+	for _, alg := range []Algorithm{SharedOpt{}, DistributedOpt{}, Tradeoff{}} {
+		res, err := RunIdeal(alg, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WriteBack != uint64(w.M*w.N) {
+			t.Fatalf("%s: %d write-backs, want exactly mn=%d", alg.Name(), res.WriteBack, w.M*w.N)
+		}
+	}
+}
+
+func TestRaggedWorkloadsRunCleanly(t *testing.T) {
+	// Dimensions violating every divisibility assumption must still
+	// simulate without IDEAL-mode staging errors.
+	m := quadMachine()
+	for _, w := range []Workload{{M: 31, N: 17, Z: 7}, {M: 5, N: 61, Z: 11}, {M: 1, N: 97, Z: 3}} {
+		for _, alg := range All() {
+			if _, err := alg.Run(m, m, w, Ideal); err != nil {
+				t.Fatalf("%s %v IDEAL: %v", alg.Name(), w, err)
+			}
+			if _, err := alg.Run(m, m, w, LRU); err != nil {
+				t.Fatalf("%s %v LRU: %v", alg.Name(), w, err)
+			}
+		}
+	}
+}
+
+func TestInvalidWorkloadRejected(t *testing.T) {
+	m := smallMachine()
+	for _, alg := range All() {
+		if _, err := alg.Run(m, m, Workload{}, LRU); err == nil {
+			t.Fatalf("%s accepted empty workload", alg.Name())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := quadMachine()
+	w := Workload{M: 19, N: 23, Z: 9}
+	for _, alg := range All() {
+		r1, err := alg.Run(m, m, w, LRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := alg.Run(m, m, w, LRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.MS != r2.MS || r1.MD != r2.MD || r1.WriteBack != r2.WriteBack {
+			t.Fatalf("%s not deterministic: %+v vs %+v", alg.Name(), r1, r2)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// DistributedOpt is Algorithm 2: the adaptation of the Maximum Reuse
+// Algorithm that minimises the number of distributed-cache misses MD.
+// Each core owns a µ×µ block of C (µ the largest integer with
+// 1 + µ + µ² ≤ CD) that it computes entirely before writing it back; the
+// p blocks form a (√p·µ)×(√p·µ) super-tile of C staged in the shared
+// cache and distributed 2-D cyclically over the √p×√p core grid. For
+// every k, a row fragment of B (√p·µ blocks) and √p elements of a column
+// of A at a time transit through the shared cache.
+//
+// Closed forms (§3.2): MS = mn + 2mnz/(µ√p), MD = mn/p + 2mnz/(pµ).
+type DistributedOpt struct{}
+
+// Name returns the figure label used in the paper.
+func (DistributedOpt) Name() string { return "Distributed Opt." }
+
+// Params returns µ and the core grid for a declared machine.
+func (DistributedOpt) Params(declared machine.Machine) (mu, gridRows, gridCols int) {
+	gr, gc := declared.Grid()
+	return declared.Mu(), gr, gc
+}
+
+// Predict returns the paper's closed forms, generalised to a gr×gc grid
+// (for square grids gr = gc = √p and the forms reduce to the paper's).
+func (a DistributedOpt) Predict(declared machine.Machine, w Workload) (ms, md float64, ok bool) {
+	mu, gr, gc := a.Params(declared)
+	if mu < 1 {
+		return 0, 0, false
+	}
+	mnz := w.Products()
+	mn := float64(w.M) * float64(w.N)
+	p := float64(declared.P)
+	ms = mn + mnz*(1/(float64(gr)*float64(mu))+1/(float64(gc)*float64(mu)))
+	md = mn/p + 2*mnz/(p*float64(mu))
+	return ms, md, true
+}
+
+// Run simulates Algorithm 2.
+func (a DistributedOpt) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	mu, gr, gc := a.Params(declared)
+	if mu < 1 {
+		return Result{}, fmt.Errorf("algo: %s needs CD ≥ 3 declared blocks, got %d", a.Name(), declared.CD)
+	}
+	e, err := NewExec(actual, s, w.Probe)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tileI := gr * mu // super-tile height in blocks
+	tileJ := gc * mu // super-tile width in blocks
+
+	for i0 := 0; i0 < w.M; i0 += tileI {
+		ilen := min(tileI, w.M-i0)
+		for j0 := 0; j0 < w.N; j0 += tileJ {
+			jlen := min(tileJ, w.N-j0)
+
+			// Load a new (√p·µ)×(√p·µ) block of C in the shared cache.
+			for bi := 0; bi < ilen; bi++ {
+				for bj := 0; bj < jlen; bj++ {
+					e.StageShared(lineC(i0+bi, j0+bj))
+				}
+			}
+
+			// Each core stages its private µ×µ sub-block of C.
+			e.Parallel(func(c int, ops *CoreOps) {
+				rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+				for bi := rlo; bi < rhi; bi++ {
+					for bj := clo; bj < chi; bj++ {
+						ops.Stage(lineC(i0+bi, j0+bj))
+					}
+				}
+			})
+
+			for k := 0; k < w.Z; k++ {
+				// Load a row B[k; j0..j0+√p·µ] of B in the shared cache,
+				// and each core its µ-wide fragment.
+				for bj := 0; bj < jlen; bj++ {
+					e.StageShared(lineB(k, j0+bj))
+				}
+				e.Parallel(func(c int, ops *CoreOps) {
+					_, _, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+					for bj := clo; bj < chi; bj++ {
+						ops.Stage(lineB(k, j0+bj))
+					}
+				})
+
+				// √p elements of the k-th column of A transit through the
+				// shared cache at a time (one per core-grid row); the
+				// cores of one grid row share the same element.
+				for ii := 0; ii < mu; ii++ {
+					for r := 0; r < gr; r++ {
+						if row := r*mu + ii; row < ilen {
+							e.StageShared(lineA(i0+row, k))
+						}
+					}
+					e.Parallel(func(c int, ops *CoreOps) {
+						rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+						row := rlo + ii
+						if row >= rhi || clo >= chi {
+							return
+						}
+						al := lineA(i0+row, k)
+						ops.Stage(al)
+						for bj := clo; bj < chi; bj++ {
+							ops.Read(al)
+							ops.Read(lineB(k, j0+bj))
+							ops.Write(lineC(i0+row, j0+bj))
+						}
+						ops.Unstage(al)
+					})
+					for r := 0; r < gr; r++ {
+						if row := r*mu + ii; row < ilen {
+							e.UnstageShared(lineA(i0+row, k))
+						}
+					}
+				}
+
+				e.Parallel(func(c int, ops *CoreOps) {
+					_, _, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+					for bj := clo; bj < chi; bj++ {
+						ops.Unstage(lineB(k, j0+bj))
+					}
+				})
+				for bj := 0; bj < jlen; bj++ {
+					e.UnstageShared(lineB(k, j0+bj))
+				}
+			}
+
+			// Cores write their finished sub-blocks back to the shared
+			// cache, then the super-tile returns to main memory.
+			e.Parallel(func(c int, ops *CoreOps) {
+				rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+				for bi := rlo; bi < rhi; bi++ {
+					for bj := clo; bj < chi; bj++ {
+						ops.Unstage(lineC(i0+bi, j0+bj))
+					}
+				}
+			})
+			for bi := 0; bi < ilen; bi++ {
+				for bj := 0; bj < jlen; bj++ {
+					e.UnstageShared(lineC(i0+bi, j0+bj))
+				}
+			}
+		}
+	}
+	return e.Finish(a.Name(), actual, declared, w)
+}
+
+// coreRegion returns core c's sub-block bounds [rlo,rhi)×[clo,chi) inside
+// the current super-tile, clamped to the tile's actual (possibly ragged)
+// extent. Core c sits at grid position (c mod gr, c div gr), matching the
+// paper's offseti/offsetj definitions.
+func (DistributedOpt) coreRegion(c, gr, gc, mu, ilen, jlen int) (rlo, rhi, clo, chi int) {
+	offI := c % gr
+	offJ := c / gr
+	rlo = min(offI*mu, ilen)
+	rhi = min(rlo+mu, ilen)
+	clo = min(offJ*mu, jlen)
+	chi = min(clo+mu, jlen)
+	return rlo, rhi, clo, chi
+}

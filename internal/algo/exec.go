@@ -1,0 +1,394 @@
+// Package algo implements the six matrix-product algorithms evaluated in
+// the paper on top of the cache simulator:
+//
+//   - SharedOpt — Algorithm 1, the Multicore Maximum Reuse Algorithm
+//     tuned to minimise shared-cache misses MS (parameter λ);
+//   - DistributedOpt — Algorithm 2, tuned to minimise distributed-cache
+//     misses MD (parameter µ, 2-D cyclic layout);
+//   - Tradeoff — Algorithm 3, tuned to minimise Tdata (parameters α, β);
+//   - OuterProduct — the ScaLAPACK-style outer-product baseline;
+//   - SharedEqual / DistributedEqual — the Toledo-style equal-thirds
+//     baselines at either cache level.
+//
+// Every algorithm is written once as a loop nest over abstract cache
+// operations (Exec); the same body runs under the omniscient IDEAL policy
+// (explicit staging, validated residency) and under the classical LRU
+// policy (staging operations vanish, compute accesses drive the caches).
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// Line aliases the simulator's cache-line identifier (one q×q block).
+type Line = cache.Line
+
+// Probe observes the access streams of one run. Either callback may be
+// nil. CoreAccess fires for every distributed-level access (stages,
+// reads and writes issued by a core, in simulation order); SharedAccess
+// fires for every shared-level staging access. Probes see the streams
+// under every setting, including IDEAL.
+type Probe struct {
+	CoreAccess   func(core int, l Line, write bool)
+	SharedAccess func(l Line)
+}
+
+// Workload is the block-dimension triple of one product C = A×B: A is
+// M×Z, B is Z×N and C is M×N, all in q×q blocks. An optional Probe
+// receives the run's access streams (nil for plain simulation).
+type Workload struct {
+	M, N, Z int
+	Probe   *Probe
+}
+
+// Validate rejects non-positive dimensions.
+func (w Workload) Validate() error {
+	if w.M <= 0 || w.N <= 0 || w.Z <= 0 {
+		return fmt.Errorf("algo: workload dimensions must be positive, got %+v", w)
+	}
+	return nil
+}
+
+// Products returns the total number of elementary block products m·n·z.
+func (w Workload) Products() float64 {
+	return float64(w.M) * float64(w.N) * float64(w.Z)
+}
+
+// Square returns the square workload of order n blocks.
+func Square(n int) Workload { return Workload{M: n, N: n, Z: n} }
+
+// Setting selects the cache data replacement policy for a run.
+type Setting uint8
+
+const (
+	// Ideal is the omniscient policy of the theoretical model: the
+	// algorithm explicitly stages data at both cache levels.
+	Ideal Setting = iota
+	// LRU is the classical least-recently-used policy: the algorithm's
+	// compute accesses drive the hierarchy, staging is implicit. The p
+	// per-core access streams of a parallel region are interleaved
+	// round-robin, one operation per core per round.
+	LRU
+	// LRUSeq is LRU with the per-core streams of each parallel region
+	// replayed sequentially (all of core 0, then core 1, …). Real
+	// simultaneous cores sit between the two interleavings; the paper
+	// does not specify its simulator's choice, and the gap between LRU
+	// and LRUSeq measures how sensitive an algorithm's LRU behaviour is
+	// to access-stream timing (large for tightly-fitted footprints, as
+	// in Figure 4's LRU(CS) curve).
+	LRUSeq
+)
+
+// String names the setting as in the paper's figures.
+func (s Setting) String() string {
+	switch s {
+	case Ideal:
+		return "IDEAL"
+	case LRU:
+		return "LRU"
+	case LRUSeq:
+		return "LRU-seq"
+	default:
+		return fmt.Sprintf("Setting(%d)", uint8(s))
+	}
+}
+
+// Result gathers the metrics of one simulated run.
+type Result struct {
+	Algorithm string
+	Setting   Setting
+	Actual    machine.Machine // hierarchy that was simulated
+	Declared  machine.Machine // machine communicated to the algorithm
+	Workload  Workload
+
+	MS        uint64   // shared-cache misses
+	MDPerCore []uint64 // distributed misses per core
+	MD        uint64   // max over cores (the paper's MD)
+	WriteBack uint64   // blocks written back to memory
+	Updates   []uint64 // elementary block FMAs per core (load balance)
+	Tdata     float64  // MS/σS + MD/σD with the actual bandwidths
+}
+
+// CCRS returns the achieved shared communication-to-computation ratio.
+func (r Result) CCRS() float64 { return float64(r.MS) / r.Workload.Products() }
+
+// CCRD returns the achieved distributed CCR of the busiest core,
+// MD / (mnz/p).
+func (r Result) CCRD() float64 {
+	return float64(r.MD) / (r.Workload.Products() / float64(r.Actual.P))
+}
+
+// Algorithm is one simulated matrix-product strategy.
+type Algorithm interface {
+	// Name returns the display name used in the paper's figures.
+	Name() string
+	// Run simulates the algorithm on a hierarchy with actual's
+	// capacities, deriving its parameters from declared (which differs
+	// from actual under the LRU-50 and LRU(2CS) settings).
+	Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error)
+	// Predict returns the paper's closed-form MS and MD for this
+	// algorithm (§3), or ok=false if no closed form is stated.
+	Predict(declared machine.Machine, w Workload) (ms, md float64, ok bool)
+}
+
+// opKind enumerates the per-core operations recorded inside a parallel
+// region.
+type opKind uint8
+
+const (
+	opStage opKind = iota
+	opUnstage
+	opRead
+	opWrite
+)
+
+// CoreOps records the operation stream of one core inside a parallel
+// region; the Exec replays the p streams round-robin to emulate
+// concurrent cores deterministically.
+type CoreOps struct {
+	ops []coreOp
+}
+
+type coreOp struct {
+	kind opKind
+	line Line
+}
+
+// Stage loads line l into this core's distributed cache (explicit under
+// IDEAL, implicit/no-op under LRU).
+func (o *CoreOps) Stage(l Line) { o.ops = append(o.ops, coreOp{opStage, l}) }
+
+// Unstage evicts line l from this core's distributed cache, merging a
+// dirty copy into the shared cache (no-op under LRU).
+func (o *CoreOps) Unstage(l Line) { o.ops = append(o.ops, coreOp{opUnstage, l}) }
+
+// Read records a compute read of l by this core.
+func (o *CoreOps) Read(l Line) { o.ops = append(o.ops, coreOp{opRead, l}) }
+
+// Write records a compute write of l by this core.
+func (o *CoreOps) Write(l Line) { o.ops = append(o.ops, coreOp{opWrite, l}) }
+
+// Exec adapts one algorithm body to a concrete hierarchy and policy. All
+// cache errors are sticky: after the first failure every operation
+// becomes a no-op and Err reports the cause (IDEAL-mode errors always
+// indicate a bug in an algorithm's staging discipline).
+type Exec struct {
+	p       int
+	setting Setting
+	ideal   *cache.IdealHierarchy
+	lru     *cache.LRUHierarchy
+	buffers []*CoreOps
+	pos     []int
+	updates []uint64
+	probe   *Probe
+	err     error
+}
+
+// NewExec builds an executor over a fresh hierarchy with the machine's
+// capacities under the given setting. probe may be nil.
+func NewExec(m machine.Machine, s Setting, probe *Probe) (*Exec, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Exec{p: m.P, setting: s, updates: make([]uint64, m.P), pos: make([]int, m.P), probe: probe}
+	e.buffers = make([]*CoreOps, m.P)
+	for i := range e.buffers {
+		e.buffers[i] = &CoreOps{}
+	}
+	var err error
+	switch s {
+	case Ideal:
+		e.ideal, err = cache.NewIdealHierarchy(m.P, m.CS, m.CD)
+	case LRU, LRUSeq:
+		e.lru, err = cache.NewLRUHierarchy(m.P, m.CS, m.CD)
+	default:
+		err = fmt.Errorf("algo: unknown setting %v", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Cores returns the number of simulated cores.
+func (e *Exec) Cores() int { return e.p }
+
+// Err returns the first error encountered, if any.
+func (e *Exec) Err() error { return e.err }
+
+func (e *Exec) fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// StageShared loads l from memory into the shared cache. Under IDEAL
+// this is an explicit, capacity-checked load (one MS miss). Under the
+// LRU settings the pseudocode's load is an ordinary access made at the
+// shared level — §4.1: "read and write operations … propagated
+// throughout the hierarchy" — which installs or refreshes the line and
+// lets the LRU policy pick victims.
+func (e *Exec) StageShared(l Line) {
+	if e.err != nil {
+		return
+	}
+	if e.probe != nil && e.probe.SharedAccess != nil {
+		e.probe.SharedAccess(l)
+	}
+	if e.setting == Ideal {
+		e.fail(e.ideal.LoadShared(l))
+		return
+	}
+	e.lru.SharedRead(l)
+}
+
+// UnstageShared evicts l from the shared cache (IDEAL only).
+func (e *Exec) UnstageShared(l Line) {
+	if e.err != nil || e.setting != Ideal {
+		return
+	}
+	e.fail(e.ideal.EvictShared(l))
+}
+
+// Parallel runs body for every core, then replays the recorded per-core
+// operation streams round-robin, one operation per core per round, to
+// emulate the paper's "foreach core c = 1..p in parallel" regions
+// deterministically.
+func (e *Exec) Parallel(body func(core int, ops *CoreOps)) {
+	if e.err != nil {
+		return
+	}
+	for c := 0; c < e.p; c++ {
+		e.buffers[c].ops = e.buffers[c].ops[:0]
+		body(c, e.buffers[c])
+	}
+	if e.setting == LRUSeq {
+		for c := 0; c < e.p; c++ {
+			for _, op := range e.buffers[c].ops {
+				e.apply(c, op)
+			}
+		}
+		return
+	}
+	pos := e.pos
+	for c := range pos {
+		pos[c] = 0
+	}
+	for done := false; !done; {
+		done = true
+		for c := 0; c < e.p; c++ {
+			buf := e.buffers[c]
+			if pos[c] >= len(buf.ops) {
+				continue
+			}
+			e.apply(c, buf.ops[pos[c]])
+			pos[c]++
+			if pos[c] < len(buf.ops) {
+				done = false
+			}
+		}
+	}
+}
+
+func (e *Exec) apply(c int, op coreOp) {
+	if e.err != nil {
+		return
+	}
+	if e.probe != nil && e.probe.CoreAccess != nil && op.kind != opUnstage {
+		e.probe.CoreAccess(c, op.line, op.kind == opWrite)
+	}
+	switch e.setting {
+	case Ideal:
+		switch op.kind {
+		case opStage:
+			e.fail(e.ideal.LoadDistributed(c, op.line))
+		case opUnstage:
+			e.fail(e.ideal.EvictDistributed(c, op.line))
+		case opRead:
+			e.fail(e.ideal.Reference(c, op.line))
+		case opWrite:
+			e.updates[c]++
+			e.fail(e.ideal.WriteDistributed(c, op.line))
+		}
+	case LRU, LRUSeq:
+		switch op.kind {
+		case opStage:
+			// A pseudocode "Load … in the distributed cache of core c"
+			// is an ordinary read by that core under LRU.
+			e.lru.Read(c, op.line)
+		case opUnstage:
+			// Unloading is the omniscient policy's privilege; the LRU
+			// policy picks its own victims.
+		case opRead:
+			e.lru.Read(c, op.line)
+		case opWrite:
+			e.updates[c]++
+			e.lru.Write(c, op.line)
+		}
+	}
+}
+
+// metrics returns the hierarchy's miss counters.
+func (e *Exec) metrics() cache.Metrics {
+	if e.setting == Ideal {
+		return e.ideal
+	}
+	return e.lru
+}
+
+// Finish flushes the hierarchy and assembles the Result.
+func (e *Exec) Finish(name string, actual, declared machine.Machine, w Workload) (Result, error) {
+	if e.err != nil {
+		return Result{}, e.err
+	}
+	var wb uint64
+	if e.setting == Ideal {
+		e.ideal.Flush()
+		wb = e.ideal.MemoryWriteBacks()
+	} else {
+		e.lru.Flush()
+		wb = e.lru.MemoryWriteBacks()
+	}
+	m := e.metrics()
+	res := Result{
+		Algorithm: name,
+		Setting:   e.setting,
+		Actual:    actual,
+		Declared:  declared,
+		Workload:  w,
+		MS:        m.MS(),
+		MDPerCore: make([]uint64, e.p),
+		MD:        m.MDMax(),
+		WriteBack: wb,
+		Updates:   append([]uint64(nil), e.updates...),
+	}
+	for c := 0; c < e.p; c++ {
+		res.MDPerCore[c] = m.MD(c)
+	}
+	res.Tdata = actual.Tdata(res.MS, res.MD)
+	return res, nil
+}
+
+// split partitions length items into parts nearly equal chunks and
+// returns the half-open range [lo, hi) of chunk idx. Earlier chunks get
+// the larger shares, matching the paper's λ/p row split when p divides λ
+// and degrading gracefully otherwise.
+func split(length, parts, idx int) (lo, hi int) {
+	base := length / parts
+	rem := length % parts
+	lo = idx*base + min(idx, rem)
+	hi = lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// lineA, lineB and lineC name blocks of the three operands.
+func lineA(i, k int) Line { return Line{Matrix: matrix.MatA, Row: i, Col: k} }
+func lineB(k, j int) Line { return Line{Matrix: matrix.MatB, Row: k, Col: j} }
+func lineC(i, j int) Line { return Line{Matrix: matrix.MatC, Row: i, Col: j} }

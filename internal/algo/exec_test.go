@@ -1,0 +1,228 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func execMachine() machine.Machine {
+	return machine.Machine{P: 2, CS: 16, CD: 4, SigmaS: 1, SigmaD: 2, Q: 8}
+}
+
+func TestNewExecValidatesMachine(t *testing.T) {
+	if _, err := NewExec(machine.Machine{}, LRU, nil); err == nil {
+		t.Fatal("invalid machine must be rejected")
+	}
+	if _, err := NewExec(execMachine(), Setting(42), nil); err == nil {
+		t.Fatal("unknown setting must be rejected")
+	}
+}
+
+func TestExecIdealStagingDiscipline(t *testing.T) {
+	e, err := NewExec(execMachine(), Ideal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Referencing unstaged data must produce a sticky error.
+	e.Parallel(func(c int, ops *CoreOps) {
+		if c == 0 {
+			ops.Read(lineA(0, 0))
+		}
+	})
+	if e.Err() == nil {
+		t.Fatal("reference to unstaged line must error")
+	}
+	if !strings.Contains(e.Err().Error(), "non-resident") {
+		t.Fatalf("unexpected error: %v", e.Err())
+	}
+	// After the first error, further operations are inert and Finish
+	// reports the original cause.
+	e.StageShared(lineA(1, 1))
+	if _, err := e.Finish("x", execMachine(), execMachine(), Square(1)); err == nil {
+		t.Fatal("Finish must surface the sticky error")
+	}
+}
+
+func TestExecIdealInclusionDiscipline(t *testing.T) {
+	e, err := NewExec(execMachine(), Ideal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading into a distributed cache without the shared copy violates
+	// inclusion.
+	e.Parallel(func(c int, ops *CoreOps) {
+		if c == 1 {
+			ops.Stage(lineB(0, 0))
+		}
+	})
+	if e.Err() == nil {
+		t.Fatal("distributed stage without shared residency must error")
+	}
+}
+
+func TestExecIdealCapacityDiscipline(t *testing.T) {
+	m := execMachine()
+	e, err := NewExec(m, Ideal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= m.CS; i++ {
+		e.StageShared(lineC(i, 0))
+	}
+	if e.Err() == nil {
+		t.Fatal("overfilling the shared cache must error")
+	}
+}
+
+func TestExecParallelRoundRobinInterleaving(t *testing.T) {
+	// Record the observed access order through a probe and verify the
+	// round-robin schedule: with two cores issuing (a0, a1) and (b0, b1),
+	// the replay order must be a0 b0 a1 b1.
+	var order []Line
+	probe := &Probe{CoreAccess: func(_ int, l Line, _ bool) {
+		order = append(order, l)
+	}}
+	e, err := NewExec(execMachine(), LRU, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel(func(c int, ops *CoreOps) {
+		ops.Read(lineA(c, 0))
+		ops.Read(lineA(c, 1))
+	})
+	want := []Line{lineA(0, 0), lineA(1, 0), lineA(0, 1), lineA(1, 1)}
+	if len(order) != len(want) {
+		t.Fatalf("observed %d accesses, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestExecParallelSequentialInterleaving(t *testing.T) {
+	var order []Line
+	probe := &Probe{CoreAccess: func(_ int, l Line, _ bool) {
+		order = append(order, l)
+	}}
+	e, err := NewExec(execMachine(), LRUSeq, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel(func(c int, ops *CoreOps) {
+		ops.Read(lineA(c, 0))
+		ops.Read(lineA(c, 1))
+	})
+	want := []Line{lineA(0, 0), lineA(0, 1), lineA(1, 0), lineA(1, 1)}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sequential order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestExecParallelUnevenStreams(t *testing.T) {
+	// Core 0 issues three ops, core 1 one: replay must drain both fully.
+	var count int
+	probe := &Probe{CoreAccess: func(int, Line, bool) { count++ }}
+	e, err := NewExec(execMachine(), LRU, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel(func(c int, ops *CoreOps) {
+		n := 3
+		if c == 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			ops.Read(lineB(c, i))
+		}
+	})
+	if count != 4 {
+		t.Fatalf("replayed %d ops, want 4", count)
+	}
+}
+
+func TestExecProbeSeesSharedStaging(t *testing.T) {
+	var shared []Line
+	probe := &Probe{SharedAccess: func(l Line) { shared = append(shared, l) }}
+	e, err := NewExec(execMachine(), LRU, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StageShared(lineC(3, 4))
+	if len(shared) != 1 || shared[0] != lineC(3, 4) {
+		t.Fatalf("shared probe saw %v", shared)
+	}
+}
+
+func TestExecProbeUnstageInvisible(t *testing.T) {
+	// Unstage operations are not accesses and must not reach the probe.
+	var count int
+	probe := &Probe{CoreAccess: func(int, Line, bool) { count++ }}
+	e, err := NewExec(execMachine(), LRU, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel(func(c int, ops *CoreOps) {
+		ops.Stage(lineA(c, 0))
+		ops.Unstage(lineA(c, 0))
+	})
+	if count != 2 { // one Stage per core, no Unstage
+		t.Fatalf("probe saw %d ops, want 2", count)
+	}
+}
+
+func TestExecLRUStageActsAsRead(t *testing.T) {
+	// Under LRU a distributed Stage is an ordinary read: it must count a
+	// cold miss exactly like Read would.
+	e, err := NewExec(execMachine(), LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel(func(c int, ops *CoreOps) {
+		if c == 0 {
+			ops.Stage(lineA(0, 0))
+			ops.Read(lineA(0, 0)) // now a hit
+		}
+	})
+	res, err := e.Finish("x", execMachine(), execMachine(), Square(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MDPerCore[0] != 1 {
+		t.Fatalf("core 0 misses = %d, want 1 (stage miss, read hit)", res.MDPerCore[0])
+	}
+}
+
+func TestExecUpdatesCounting(t *testing.T) {
+	e, err := NewExec(execMachine(), LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel(func(c int, ops *CoreOps) {
+		for i := 0; i < c+1; i++ {
+			ops.Write(lineC(c, i))
+		}
+	})
+	res, err := e.Finish("x", execMachine(), execMachine(), Square(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates[0] != 1 || res.Updates[1] != 2 {
+		t.Fatalf("updates %v, want [1 2]", res.Updates)
+	}
+}
+
+func TestExecCores(t *testing.T) {
+	e, err := NewExec(execMachine(), Ideal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Cores() != 2 {
+		t.Fatalf("Cores = %d", e.Cores())
+	}
+}

@@ -1,0 +1,99 @@
+package algo
+
+import (
+	"repro/internal/machine"
+)
+
+// CacheOblivious is the divide-and-conquer matrix product of the
+// cache-oblivious literature the paper builds on (Frigo et al. [5] for
+// one level, Blelloch et al. [3] for multicores): it receives *no* cache
+// parameters — the recursion halves the largest dimension until single
+// blocks remain, which gives Θ(mnz/√C) misses on every level of any
+// hierarchy automatically.
+//
+// It is not part of the paper's evaluated set (hence Extended(), not
+// All()); it answers the natural follow-up question the paper's §5
+// raises: how much of the cache-aware algorithms' advantage survives if
+// the algorithm is *unaware* of CS and CD? Like Outer Product it only
+// runs under LRU — there is no staging schedule to hand to an
+// omniscient policy.
+//
+// The p cores split C statically on the core grid (each runs the
+// sequential recursion on its own sub-problem), so writes stay disjoint.
+type CacheOblivious struct{}
+
+// Name returns the display name.
+func (CacheOblivious) Name() string { return "Cache Oblivious" }
+
+// Predict reports no closed form (the oblivious bound hides a constant
+// that depends on the recursion's interaction with LRU).
+func (CacheOblivious) Predict(machine.Machine, Workload) (float64, float64, bool) {
+	return 0, 0, false
+}
+
+// Run simulates the algorithm. As with OuterProduct, both settings run
+// the demand-driven LRU simulation.
+func (a CacheOblivious) Run(actual, declared machine.Machine, w Workload, _ Setting) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	e, err := NewExec(actual, LRU, w.Probe)
+	if err != nil {
+		return Result{}, err
+	}
+	gr, gc := actual.Grid()
+
+	// One parallel region for the whole run would buffer mnz/p operations
+	// per core; instead the recursion is emitted in slabs of bounded
+	// size: the top-level k dimension is cut into chunks processed one
+	// parallel region at a time. The k cut does not change the recursion
+	// below it (k would be halved first anyway whenever it is largest).
+	const slabProducts = 1 << 14
+	slabZ := max(1, slabProducts/max(1, (w.M/max(1, gr))*(w.N/max(1, gc))))
+	for k0 := 0; k0 < w.Z; k0 += slabZ {
+		klen := min(slabZ, w.Z-k0)
+		e.Parallel(func(c int, ops *CoreOps) {
+			rlo, rhi := split(w.M, gr, c%gr)
+			clo, chi := split(w.N, gc, c/gr)
+			a.recurse(ops, rlo, rhi-rlo, clo, chi-clo, k0, klen)
+		})
+	}
+	return e.Finish(a.Name(), actual, declared, w)
+}
+
+// recurse emits the access stream of the sequential cache-oblivious
+// recursion on C[i0:i0+il) × B-cols[j0:j0+jl) with inner range
+// [k0, k0+kl).
+func (a CacheOblivious) recurse(ops *CoreOps, i0, il, j0, jl, k0, kl int) {
+	if il <= 0 || jl <= 0 || kl <= 0 {
+		return
+	}
+	if il == 1 && jl == 1 && kl == 1 {
+		ops.Read(lineA(i0, k0))
+		ops.Read(lineB(k0, j0))
+		ops.Write(lineC(i0, j0))
+		return
+	}
+	// Halve the largest dimension; k halves run sequentially (they
+	// accumulate into the same C), i/j halves are independent.
+	switch {
+	case il >= jl && il >= kl:
+		h := il / 2
+		a.recurse(ops, i0, h, j0, jl, k0, kl)
+		a.recurse(ops, i0+h, il-h, j0, jl, k0, kl)
+	case jl >= kl:
+		h := jl / 2
+		a.recurse(ops, i0, il, j0, h, k0, kl)
+		a.recurse(ops, i0, il, j0+h, jl-h, k0, kl)
+	default:
+		h := kl / 2
+		a.recurse(ops, i0, il, j0, jl, k0, h)
+		a.recurse(ops, i0, il, j0, jl, k0+h, kl-h)
+	}
+}
+
+// Extended returns the paper's six algorithms plus the cache-oblivious
+// comparator.
+func Extended() []Algorithm {
+	return append(All(), CacheOblivious{})
+}

@@ -1,0 +1,96 @@
+package algo
+
+import (
+	"testing"
+)
+
+func TestExtendedRegistry(t *testing.T) {
+	ext := Extended()
+	if len(ext) != 7 {
+		t.Fatalf("Extended has %d algorithms, want 7", len(ext))
+	}
+	a, err := ByName("Cache Oblivious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "Cache Oblivious" {
+		t.Fatalf("ByName returned %q", a.Name())
+	}
+}
+
+func TestCacheObliviousComputesAllProducts(t *testing.T) {
+	m := smallMachine()
+	for _, w := range []Workload{Square(8), {M: 9, N: 5, Z: 7}, {M: 1, N: 1, Z: 1}, {M: 17, N: 3, Z: 2}} {
+		res, err := CacheOblivious{}.Run(m, m, w, LRU)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		var total uint64
+		for _, u := range res.Updates {
+			total += u
+		}
+		if total != uint64(w.M*w.N*w.Z) {
+			t.Fatalf("%v: %d updates, want %d", w, total, w.M*w.N*w.Z)
+		}
+	}
+}
+
+func TestCacheObliviousDeterministic(t *testing.T) {
+	m := quadMachine()
+	w := Workload{M: 13, N: 11, Z: 9}
+	r1, err := CacheOblivious{}.Run(m, m, w, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CacheOblivious{}.Run(m, m, w, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MS != r2.MS || r1.MD != r2.MD {
+		t.Fatal("not deterministic")
+	}
+}
+
+// The point of cache-obliviousness: without knowing CS or CD it must
+// land within a constant factor of the cache-aware specialists on both
+// miss counts — and far ahead of the oblivious-but-naive Outer Product.
+func TestCacheObliviousCompetitiveWithAware(t *testing.T) {
+	m := quadMachine()
+	w := Square(64)
+	obl, err := CacheOblivious{}.Run(m, m, w, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := RunLRU50(SharedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do, err := RunLRU50(DistributedOpt{}, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := OuterProduct{}.Run(m, m, w, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(obl.MS) > 4*float64(so.MS) {
+		t.Errorf("oblivious MS=%d more than 4x Shared Opt. LRU-50 (%d)", obl.MS, so.MS)
+	}
+	if float64(obl.MD) > 4*float64(do.MD) {
+		t.Errorf("oblivious MD=%d more than 4x Distributed Opt. LRU-50 (%d)", obl.MD, do.MD)
+	}
+	if obl.MS >= outer.MS {
+		t.Errorf("oblivious MS=%d not below Outer Product (%d)", obl.MS, outer.MS)
+	}
+	// But the aware specialists keep their edge on their own objective.
+	if so.MS > obl.MS {
+		t.Errorf("Shared Opt. (%d) lost its own objective to oblivious (%d)", so.MS, obl.MS)
+	}
+}
+
+func TestCacheObliviousInvalidWorkload(t *testing.T) {
+	m := smallMachine()
+	if _, err := (CacheOblivious{}).Run(m, m, Workload{}, LRU); err == nil {
+		t.Fatal("empty workload must fail")
+	}
+}

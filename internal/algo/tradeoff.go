@@ -1,0 +1,209 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Tradeoff is Algorithm 3: the adaptation of the Maximum Reuse Algorithm
+// that minimises the overall data access time Tdata = MS/σS + MD/σD. An
+// α×α block of C is staged in the shared cache together with a β-deep
+// panel of A (α×β) and of B (β×α), with α²+2αβ ≤ CS; α is chosen from the
+// closed-form optimum αnum, clamped to [√p·µ, αmax] (§3.3). The C block
+// is split into µ×µ sub-blocks distributed 2-D cyclically over the core
+// grid; each sub-block accumulates β contributions per pass through the
+// distributed cache.
+//
+// Closed forms (§3.3): MS = mn + 2mnz/α and, in the general case α>√p·µ,
+// MD = mnz/(pβ) + 2mnz/(pµ); for α=√p·µ each core keeps its single
+// sub-block resident for the whole tile and MD = mn/p + 2mnz/(pµ).
+type Tradeoff struct{}
+
+// Name returns the figure label used in the paper.
+func (Tradeoff) Name() string { return "Tradeoff" }
+
+// Params returns (α, β, µ) for a declared machine.
+func (Tradeoff) Params(declared machine.Machine) machine.TradeoffParams {
+	return declared.Tradeoff()
+}
+
+// Predict returns the paper's closed forms, with the special case
+// α = grid·µ handled as in the §3.3 remark.
+func (a Tradeoff) Predict(declared machine.Machine, w Workload) (ms, md float64, ok bool) {
+	tp := a.Params(declared)
+	if tp.Alpha < 1 || tp.Beta < 1 || tp.Mu < 1 {
+		return 0, 0, false
+	}
+	gr, gc := declared.Grid()
+	mnz := w.Products()
+	mn := float64(w.M) * float64(w.N)
+	p := float64(declared.P)
+	ms = mn + 2*mnz/float64(tp.Alpha)
+	if tp.Alpha == gr*tp.Mu && tp.Alpha == gc*tp.Mu {
+		md = mn/p + 2*mnz/(p*float64(tp.Mu))
+	} else {
+		md = mnz/(p*float64(tp.Beta)) + 2*mnz/(p*float64(tp.Mu))
+	}
+	return ms, md, true
+}
+
+// Run simulates Algorithm 3.
+func (a Tradeoff) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	tp := a.Params(declared)
+	if tp.Alpha < 1 || tp.Mu < 1 {
+		return Result{}, fmt.Errorf("algo: %s has no feasible parameters for %v", a.Name(), declared)
+	}
+	gr, gc := declared.Grid()
+	// Each core owns exactly one sub-block per tile when the tile is one
+	// cyclic round of the grid; then sub-blocks stay resident across the
+	// whole k loop (the paper's remark).
+	single := tp.Alpha == gr*tp.Mu && tp.Alpha == gc*tp.Mu
+
+	e, err := NewExec(actual, s, w.Probe)
+	if err != nil {
+		return Result{}, err
+	}
+	alpha, beta, mu := tp.Alpha, tp.Beta, tp.Mu
+
+	for i0 := 0; i0 < w.M; i0 += alpha {
+		ilen := min(alpha, w.M-i0)
+		for j0 := 0; j0 < w.N; j0 += alpha {
+			jlen := min(alpha, w.N-j0)
+
+			// Load a new α×α block of C in the shared cache.
+			for bi := 0; bi < ilen; bi++ {
+				for bj := 0; bj < jlen; bj++ {
+					e.StageShared(lineC(i0+bi, j0+bj))
+				}
+			}
+			if single {
+				e.Parallel(func(c int, ops *CoreOps) {
+					a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
+						for bi := rlo; bi < rhi; bi++ {
+							for bj := clo; bj < chi; bj++ {
+								ops.Stage(lineC(i0+bi, j0+bj))
+							}
+						}
+					})
+				})
+			}
+
+			for kb := 0; kb < w.Z; kb += beta {
+				blen := min(beta, w.Z-kb)
+
+				// Load a β×α block-row of B and an α×β block-column of A
+				// in the shared cache.
+				for k := kb; k < kb+blen; k++ {
+					for bj := 0; bj < jlen; bj++ {
+						e.StageShared(lineB(k, j0+bj))
+					}
+				}
+				for bi := 0; bi < ilen; bi++ {
+					for k := kb; k < kb+blen; k++ {
+						e.StageShared(lineA(i0+bi, k))
+					}
+				}
+
+				e.Parallel(func(c int, ops *CoreOps) {
+					a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
+						if rlo >= rhi || clo >= chi {
+							return
+						}
+						if !single {
+							for bi := rlo; bi < rhi; bi++ {
+								for bj := clo; bj < chi; bj++ {
+									ops.Stage(lineC(i0+bi, j0+bj))
+								}
+							}
+						}
+						for k := kb; k < kb+blen; k++ {
+							for bj := clo; bj < chi; bj++ {
+								ops.Stage(lineB(k, j0+bj))
+							}
+							for bi := rlo; bi < rhi; bi++ {
+								al := lineA(i0+bi, k)
+								ops.Stage(al)
+								for bj := clo; bj < chi; bj++ {
+									ops.Read(al)
+									ops.Read(lineB(k, j0+bj))
+									ops.Write(lineC(i0+bi, j0+bj))
+								}
+								ops.Unstage(al)
+							}
+							for bj := clo; bj < chi; bj++ {
+								ops.Unstage(lineB(k, j0+bj))
+							}
+						}
+						if !single {
+							// Update the µ×µ block of C in the shared cache.
+							for bi := rlo; bi < rhi; bi++ {
+								for bj := clo; bj < chi; bj++ {
+									ops.Unstage(lineC(i0+bi, j0+bj))
+								}
+							}
+						}
+					})
+				})
+
+				for bi := 0; bi < ilen; bi++ {
+					for k := kb; k < kb+blen; k++ {
+						e.UnstageShared(lineA(i0+bi, k))
+					}
+				}
+				for k := kb; k < kb+blen; k++ {
+					for bj := 0; bj < jlen; bj++ {
+						e.UnstageShared(lineB(k, j0+bj))
+					}
+				}
+			}
+
+			if single {
+				e.Parallel(func(c int, ops *CoreOps) {
+					a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
+						for bi := rlo; bi < rhi; bi++ {
+							for bj := clo; bj < chi; bj++ {
+								ops.Unstage(lineC(i0+bi, j0+bj))
+							}
+						}
+					})
+				})
+			}
+			// Write back the block of C to the main memory.
+			for bi := 0; bi < ilen; bi++ {
+				for bj := 0; bj < jlen; bj++ {
+					e.UnstageShared(lineC(i0+bi, j0+bj))
+				}
+			}
+		}
+	}
+	return e.Finish(a.Name(), actual, declared, w)
+}
+
+// eachSubBlock enumerates core c's µ×µ sub-blocks of the current α×α
+// tile under the 2-D cyclic distribution: core (r, q) of the gr×gc grid
+// owns the sub-blocks whose (row, col) sub-block index is ≡ (r, q)
+// cyclically. Bounds are clamped to the tile's ragged extent.
+func (Tradeoff) eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen int, f func(rlo, rhi, clo, chi int)) {
+	offI := c % gr
+	offJ := c / gr
+	nSub := alpha / mu // sub-blocks per tile edge (α is a multiple of µ)
+	for si := offI; si < nSub; si += gr {
+		rlo := si * mu
+		if rlo >= ilen {
+			break
+		}
+		rhi := min(rlo+mu, ilen)
+		for sj := offJ; sj < nSub; sj += gc {
+			clo := sj * mu
+			if clo >= jlen {
+				break
+			}
+			chi := min(clo+mu, jlen)
+			f(rlo, rhi, clo, chi)
+		}
+	}
+}

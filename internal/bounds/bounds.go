@@ -1,0 +1,110 @@
+// Package bounds implements the communication lower bounds of the
+// paper's §2.3, which extend the Irony–Toledo–Tiskin analysis (based on
+// the Loomis–Whitney inequality) to the two-level multicore hierarchy.
+//
+// For any conventional matrix multiplication running above a cache of Z
+// blocks, the communication-to-computation ratio (in blocks) satisfies
+//
+//	CCR ≥ √(27 / (8·Z)),
+//
+// which instantiated at each level of the hierarchy yields bounds on the
+// shared misses MS, the distributed misses MD and the data access time
+// Tdata for algorithms that balance work and misses across cores.
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// CCR returns the lower bound √(27/(8Z)) on the communication-to-
+// computation ratio for a computing system using a cache of z blocks.
+func CCR(z int) float64 {
+	if z <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(27 / (8 * float64(z)))
+}
+
+// SharedCCR bounds the shared-cache ratio CCRS = MS/(mnz) from below:
+// everything above the shared cache is one computing system with cache
+// size CS.
+func SharedCCR(m machine.Machine) float64 { return CCR(m.CS) }
+
+// DistributedCCR bounds the per-core distributed ratio CCRD from below,
+// applying the same result to a single core with cache size CD.
+func DistributedCCR(m machine.Machine) float64 { return CCR(m.CD) }
+
+// MS returns the lower bound on shared-cache misses for an m×n×z block
+// product: MS ≥ mnz·√(27/(8·CS)).
+func MS(mach machine.Machine, m, n, z int) float64 {
+	return float64(m) * float64(n) * float64(z) * SharedCCR(mach)
+}
+
+// MD returns the lower bound on the maximum distributed-cache miss count
+// for algorithms that spread computation and misses equally over the p
+// cores: MD ≥ (mnz/p)·√(27/(8·CD)).
+func MD(mach machine.Machine, m, n, z int) float64 {
+	return float64(m) * float64(n) * float64(z) / float64(mach.P) * DistributedCCR(mach)
+}
+
+// Tdata returns the lower bound on the overall data access time,
+//
+//	Tdata ≥ mnz·( √(27/(8CS))/σS + √(27/(8CD))/(p·σD) ).
+func Tdata(mach machine.Machine, m, n, z int) float64 {
+	mnz := float64(m) * float64(n) * float64(z)
+	return mnz * (SharedCCR(mach)/mach.SigmaS +
+		DistributedCCR(mach)/(float64(mach.P)*mach.SigmaD))
+}
+
+// KMax returns the Loomis–Whitney bound on the number of block
+// multiplications achievable with the stated operand footprints: a
+// processor accessing NA blocks of A, NB of B while contributing to NC
+// blocks of C performs at most √(NA·NB·NC) elementary block products.
+func KMax(na, nb, nc float64) float64 {
+	if na < 0 || nb < 0 || nc < 0 {
+		return 0
+	}
+	return math.Sqrt(na * nb * nc)
+}
+
+// OptimalSplit returns the per-matrix cache shares (η, ν, ξ) and the
+// factor k that maximise k ≤ √(ηνξ) subject to η+ν+ξ ≤ 2 — the interior
+// optimum of §2.3.1: η = ν = ξ = 2/3, k = √(8/27).
+func OptimalSplit() (eta, nu, xi, k float64) {
+	eta, nu, xi = 2.0/3.0, 2.0/3.0, 2.0/3.0
+	return eta, nu, xi, math.Sqrt(8.0 / 27.0)
+}
+
+// Report bundles all bounds for one (machine, workload) pair for display.
+type Report struct {
+	Machine machine.Machine
+	M, N, Z int
+	CCRS    float64
+	CCRD    float64
+	MS      float64
+	MD      float64
+	Tdata   float64
+}
+
+// NewReport evaluates every bound of §2.3 for the given workload.
+func NewReport(mach machine.Machine, m, n, z int) Report {
+	return Report{
+		Machine: mach,
+		M:       m, N: n, Z: z,
+		CCRS:  SharedCCR(mach),
+		CCRD:  DistributedCCR(mach),
+		MS:    MS(mach, m, n, z),
+		MD:    MD(mach, m, n, z),
+		Tdata: Tdata(mach, m, n, z),
+	}
+}
+
+// String renders the report as a small table.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"bounds for %d×%d×%d blocks on [%s]:\n  CCR_S ≥ %.6f\n  CCR_D ≥ %.6f\n  MS ≥ %.0f\n  MD ≥ %.0f\n  Tdata ≥ %.0f",
+		r.M, r.N, r.Z, r.Machine, r.CCRS, r.CCRD, r.MS, r.MD, r.Tdata)
+}

@@ -1,0 +1,127 @@
+package bounds
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func quad() machine.Machine {
+	return machine.Machine{P: 4, CS: 977, CD: 21, SigmaS: 1, SigmaD: 4, Q: 32}
+}
+
+func TestCCRFormula(t *testing.T) {
+	if got, want := CCR(27), math.Sqrt(27.0/(8*27)); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("CCR(27) = %g, want %g", got, want)
+	}
+	if !math.IsInf(CCR(0), 1) || !math.IsInf(CCR(-3), 1) {
+		t.Fatal("CCR of non-positive cache must be +Inf")
+	}
+}
+
+// Property: CCR decreases as cache grows (bigger caches allow more reuse).
+func TestCCRMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		za, zb := int(a%10000)+1, int(b%10000)+1
+		if za > zb {
+			za, zb = zb, za
+		}
+		return CCR(za) >= CCR(zb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedDistributedCCR(t *testing.T) {
+	m := quad()
+	if got, want := SharedCCR(m), CCR(977); got != want {
+		t.Fatalf("SharedCCR = %g, want %g", got, want)
+	}
+	if got, want := DistributedCCR(m), CCR(21); got != want {
+		t.Fatalf("DistributedCCR = %g, want %g", got, want)
+	}
+	// The shared cache is bigger, so its CCR bound is smaller.
+	if SharedCCR(m) >= DistributedCCR(m) {
+		t.Fatal("shared CCR bound should be below distributed CCR bound")
+	}
+}
+
+func TestMSMDScaling(t *testing.T) {
+	m := quad()
+	// MS is linear in each of the three dimensions.
+	base := MS(m, 100, 100, 100)
+	if got := MS(m, 200, 100, 100); math.Abs(got-2*base) > 1e-6 {
+		t.Fatalf("MS not linear in m: %g vs %g", got, 2*base)
+	}
+	// MD divides the work over p cores.
+	if got, want := MD(m, 100, 100, 100), base/4*CCR(21)/CCR(977); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("MD = %g, want %g", got, want)
+	}
+}
+
+func TestTdataCombinesBothLevels(t *testing.T) {
+	m := quad()
+	got := Tdata(m, 384, 384, 384)
+	want := MS(m, 384, 384, 384)/m.SigmaS + MD(m, 384, 384, 384)/m.SigmaD
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Tdata = %g, want %g", got, want)
+	}
+}
+
+func TestKMax(t *testing.T) {
+	if got := KMax(4, 9, 16); got != 24 {
+		t.Fatalf("KMax = %g, want 24", got)
+	}
+	if KMax(-1, 1, 1) != 0 {
+		t.Fatal("negative footprint must give 0")
+	}
+}
+
+func TestOptimalSplit(t *testing.T) {
+	eta, nu, xi, k := OptimalSplit()
+	if eta+nu+xi > 2+1e-12 {
+		t.Fatal("optimal split violates η+ν+ξ ≤ 2")
+	}
+	if math.Abs(k-math.Sqrt(eta*nu*xi)) > 1e-12 {
+		t.Fatalf("k=%g is not √(ηνξ)=%g", k, math.Sqrt(eta*nu*xi))
+	}
+	// Maximality: perturbing the split within the budget cannot beat k.
+	for _, d := range []float64{0.05, 0.1, 0.2} {
+		alt := math.Sqrt((eta + d) * (nu - d) * xi)
+		if alt > k+1e-12 {
+			t.Fatalf("perturbed split beats optimum: %g > %g", alt, k)
+		}
+	}
+}
+
+// Property: the CCR lower bound is consistent with KMax — a system that
+// loads exactly Z blocks split optimally cannot beat k·Z^1.5 products.
+func TestCCRConsistentWithKMax(t *testing.T) {
+	f := func(zRaw uint16) bool {
+		z := float64(zRaw%1000) + 8
+		// Optimal split of 2Z blocks (Z old + Z read).
+		kmax := KMax(2*z/3, 2*z/3, 2*z/3)
+		ccr := z / kmax
+		return math.Abs(ccr-CCR(int(z))) < 1e-9*ccr+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := NewReport(quad(), 100, 100, 100)
+	if r.MS <= 0 || r.MD <= 0 || r.Tdata <= 0 {
+		t.Fatalf("degenerate report %+v", r)
+	}
+	s := r.String()
+	for _, frag := range []string{"CCR_S", "CCR_D", "MS", "MD", "Tdata"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("report text missing %q:\n%s", frag, s)
+		}
+	}
+}

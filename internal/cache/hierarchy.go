@@ -1,0 +1,315 @@
+package cache
+
+import "fmt"
+
+// Metrics is the read-only view of a hierarchy's miss counters shared by
+// both policies. MS and MD follow the paper's notation: MS is the number
+// of shared-cache misses, MD(c) the miss count of core c's distributed
+// cache, and MDMax = max_c MD(c) the quantity the paper calls MD.
+type Metrics interface {
+	Cores() int
+	MS() uint64
+	MD(core int) uint64
+	MDMax() uint64
+	MDSum() uint64
+	MemoryWriteBacks() uint64
+}
+
+// maxMD and sumMD implement the shared metric arithmetic.
+func maxMD(m Metrics) uint64 {
+	var best uint64
+	for c := 0; c < m.Cores(); c++ {
+		if v := m.MD(c); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sumMD(m Metrics) uint64 {
+	var s uint64
+	for c := 0; c < m.Cores(); c++ {
+		s += m.MD(c)
+	}
+	return s
+}
+
+// LRUHierarchy is the two-level inclusive hierarchy under the classical
+// LRU policy: "read and write operations are made at the distributed
+// cache level (top of hierarchy); if a miss occurs, operations are
+// propagated throughout the hierarchy until a cache hit happens."
+type LRUHierarchy struct {
+	shared *LRU
+	dist   []*LRU
+	memWB  uint64
+}
+
+// NewLRUHierarchy builds a hierarchy with p distributed caches of
+// distCap lines each below one shared cache of sharedCap lines. The
+// inclusion constraint CS ≥ p·CD is enforced.
+func NewLRUHierarchy(p, sharedCap, distCap int) (*LRUHierarchy, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("cache: need at least one core, got %d", p)
+	}
+	if sharedCap < p*distCap {
+		return nil, fmt.Errorf("cache: inclusion requires CS ≥ p·CD, got CS=%d < %d·%d",
+			sharedCap, p, distCap)
+	}
+	h := &LRUHierarchy{shared: NewLRU(sharedCap), dist: make([]*LRU, p)}
+	for i := range h.dist {
+		h.dist[i] = NewLRU(distCap)
+	}
+	return h, nil
+}
+
+// Cores returns the number of distributed caches.
+func (h *LRUHierarchy) Cores() int { return len(h.dist) }
+
+// Read records a read of line l by core. Misses propagate down the
+// hierarchy and fills propagate back up, maintaining inclusion.
+func (h *LRUHierarchy) Read(core int, l Line) { h.access(core, l, false) }
+
+// Write records a write of line l by core. The cache model is
+// write-allocate/write-back: a write miss loads the line like a read
+// miss, then dirties it in the core's distributed cache.
+func (h *LRUHierarchy) Write(core int, l Line) { h.access(core, l, true) }
+
+func (h *LRUHierarchy) access(core int, l Line, write bool) {
+	d := h.dist[core]
+	if d.Touch(l) {
+		if write {
+			d.MarkDirty(l)
+		}
+		return
+	}
+	// Distributed miss (counted by Touch). Seek the line in the shared
+	// cache; a miss there (counted by Touch) loads it from memory.
+	if !h.shared.Touch(l) {
+		if ev, evicted := h.shared.Insert(l); evicted {
+			h.backInvalidate(ev)
+		}
+	}
+	// Fill the distributed cache; a line it evicts is still resident in
+	// the shared cache by inclusion, so a dirty eviction merges there.
+	if ev, evicted := d.Insert(l); evicted && ev.Dirty {
+		if !h.shared.MarkDirty(ev.Line) {
+			// Inclusion guarantees residency; reaching here means the
+			// hierarchy invariant was broken.
+			panic(fmt.Sprintf("cache: inclusion violated, %v dirty in core %d but absent from shared cache",
+				ev.Line, core))
+		}
+	}
+	if write {
+		d.MarkDirty(l)
+	}
+}
+
+// SharedRead records an access to l at the shared-cache level without
+// involving any distributed cache. It models a pseudocode "Load … in the
+// shared cache" operation executed under the LRU policy: a prefetch-like
+// read that installs the line in the shared cache (or refreshes its
+// recency), counted as a shared miss if absent.
+func (h *LRUHierarchy) SharedRead(l Line) {
+	if !h.shared.Touch(l) {
+		if ev, evicted := h.shared.Insert(l); evicted {
+			h.backInvalidate(ev)
+		}
+	}
+}
+
+// backInvalidate removes a line evicted from the shared cache from every
+// distributed cache (inclusive hierarchy) and counts the memory
+// write-back if any copy was dirty.
+func (h *LRUHierarchy) backInvalidate(ev Evicted) {
+	dirty := ev.Dirty
+	for _, d := range h.dist {
+		if wd, present := d.Invalidate(ev.Line); present && wd {
+			dirty = true
+		}
+	}
+	if dirty {
+		h.memWB++
+	}
+}
+
+// Flush drains every cache, pushing dirty lines to memory, and returns
+// the number of memory write-backs it caused. Used at end of simulation
+// so that write-back accounting is complete.
+func (h *LRUHierarchy) Flush() uint64 {
+	var n uint64
+	dirtyShared := make(map[Line]bool)
+	for _, ev := range h.shared.Flush() {
+		dirtyShared[ev.Line] = true
+	}
+	for _, d := range h.dist {
+		for _, ev := range d.Flush() {
+			dirtyShared[ev.Line] = true
+		}
+	}
+	n = uint64(len(dirtyShared))
+	h.memWB += n
+	return n
+}
+
+// Shared exposes the shared cache (for tests and instrumentation).
+func (h *LRUHierarchy) Shared() *LRU { return h.shared }
+
+// Distributed exposes core c's private cache.
+func (h *LRUHierarchy) Distributed(core int) *LRU { return h.dist[core] }
+
+// MS returns the shared-cache miss count.
+func (h *LRUHierarchy) MS() uint64 { return h.shared.Stats().Misses }
+
+// MD returns the miss count of core c's distributed cache.
+func (h *LRUHierarchy) MD(core int) uint64 { return h.dist[core].Stats().Misses }
+
+// MDMax returns max_c MD(c), the paper's MD.
+func (h *LRUHierarchy) MDMax() uint64 { return maxMD(h) }
+
+// MDSum returns the total distributed misses across cores.
+func (h *LRUHierarchy) MDSum() uint64 { return sumMD(h) }
+
+// MemoryWriteBacks returns the number of dirty lines written to memory.
+func (h *LRUHierarchy) MemoryWriteBacks() uint64 { return h.memWB }
+
+// CheckInclusion verifies that every line resident in a distributed cache
+// is also resident in the shared cache. Intended for tests and
+// property-based checks.
+func (h *LRUHierarchy) CheckInclusion() error {
+	for c, d := range h.dist {
+		for _, l := range d.Resident() {
+			if !h.shared.Contains(l) {
+				return fmt.Errorf("cache: line %v in core %d but not in shared cache", l, c)
+			}
+		}
+	}
+	return nil
+}
+
+// IdealHierarchy is the hierarchy under the omniscient IDEAL policy. The
+// managing algorithm issues explicit loads and evictions at both levels;
+// "I/O operations are not propagated throughout the hierarchy in case of
+// a cache miss: it is the user responsibility to guarantee that a given
+// data is present in every caches below the target cache."
+type IdealHierarchy struct {
+	shared *Ideal
+	dist   []*Ideal
+	memWB  uint64
+}
+
+// NewIdealHierarchy builds an explicitly managed hierarchy.
+func NewIdealHierarchy(p, sharedCap, distCap int) (*IdealHierarchy, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("cache: need at least one core, got %d", p)
+	}
+	if sharedCap < p*distCap {
+		return nil, fmt.Errorf("cache: inclusion requires CS ≥ p·CD, got CS=%d < %d·%d",
+			sharedCap, p, distCap)
+	}
+	h := &IdealHierarchy{shared: NewIdeal(sharedCap), dist: make([]*Ideal, p)}
+	for i := range h.dist {
+		h.dist[i] = NewIdeal(distCap)
+	}
+	return h, nil
+}
+
+// Cores returns the number of distributed caches.
+func (h *IdealHierarchy) Cores() int { return len(h.dist) }
+
+// LoadShared brings l from memory into the shared cache (one MS miss).
+func (h *IdealHierarchy) LoadShared(l Line) error { return h.shared.Load(l) }
+
+// EvictShared drops l from the shared cache. Inclusion forbids evicting
+// a line still held by a distributed cache.
+func (h *IdealHierarchy) EvictShared(l Line) error {
+	for c, d := range h.dist {
+		if d.Contains(l) {
+			return fmt.Errorf("cache: evicting %v from shared cache while resident in core %d", l, c)
+		}
+	}
+	dirty, err := h.shared.Evict(l)
+	if err != nil {
+		return err
+	}
+	if dirty {
+		h.memWB++
+	}
+	return nil
+}
+
+// LoadDistributed brings l from the shared cache into core's private
+// cache (one MD(core) miss). The line must already be shared-resident.
+func (h *IdealHierarchy) LoadDistributed(core int, l Line) error {
+	if !h.shared.Contains(l) {
+		return fmt.Errorf("cache: core %d loading %v not resident in shared cache", core, l)
+	}
+	return h.dist[core].Load(l)
+}
+
+// EvictDistributed drops l from core's private cache, merging a dirty
+// copy into the shared cache.
+func (h *IdealHierarchy) EvictDistributed(core int, l Line) error {
+	dirty, err := h.dist[core].Evict(l)
+	if err != nil {
+		return err
+	}
+	if dirty {
+		return h.shared.MarkDirty(l)
+	}
+	return nil
+}
+
+// Reference records a compute use of l by core (a distributed hit).
+func (h *IdealHierarchy) Reference(core int, l Line) error {
+	return h.dist[core].Reference(l)
+}
+
+// WriteDistributed records a write by core: a reference plus dirtying.
+func (h *IdealHierarchy) WriteDistributed(core int, l Line) error {
+	if err := h.dist[core].Reference(l); err != nil {
+		return err
+	}
+	return h.dist[core].MarkDirty(l)
+}
+
+// WriteShared marks a shared-resident line dirty without involving a
+// distributed cache (used when an algorithm updates a block at the
+// shared level, e.g. "Update block Cc in the shared cache").
+func (h *IdealHierarchy) WriteShared(l Line) error { return h.shared.MarkDirty(l) }
+
+// Flush drains every cache to memory and returns the write-back count.
+func (h *IdealHierarchy) Flush() uint64 {
+	dirty := make(map[Line]bool)
+	for _, d := range h.dist {
+		for _, ev := range d.Flush() {
+			dirty[ev.Line] = true
+		}
+	}
+	for _, ev := range h.shared.Flush() {
+		dirty[ev.Line] = true
+	}
+	n := uint64(len(dirty))
+	h.memWB += n
+	return n
+}
+
+// Shared exposes the shared cache.
+func (h *IdealHierarchy) Shared() *Ideal { return h.shared }
+
+// Distributed exposes core c's private cache.
+func (h *IdealHierarchy) Distributed(core int) *Ideal { return h.dist[core] }
+
+// MS returns the shared-cache miss (explicit load) count.
+func (h *IdealHierarchy) MS() uint64 { return h.shared.Stats().Misses }
+
+// MD returns core c's distributed miss (explicit load) count.
+func (h *IdealHierarchy) MD(core int) uint64 { return h.dist[core].Stats().Misses }
+
+// MDMax returns max_c MD(c), the paper's MD.
+func (h *IdealHierarchy) MDMax() uint64 { return maxMD(h) }
+
+// MDSum returns the total distributed misses across cores.
+func (h *IdealHierarchy) MDSum() uint64 { return sumMD(h) }
+
+// MemoryWriteBacks returns the number of dirty lines written to memory.
+func (h *IdealHierarchy) MemoryWriteBacks() uint64 { return h.memWB }

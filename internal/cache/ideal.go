@@ -1,0 +1,119 @@
+package cache
+
+import "fmt"
+
+// Ideal is an explicitly managed, fully-associative cache: the IDEAL mode
+// of the paper's simulator, in which "the user manually decides which
+// data needs to be loaded/unloaded in a given cache". There is no
+// replacement policy — loading into a full cache is an error, which keeps
+// the algorithm implementations honest about their declared footprints
+// (1+λ+λ² ≤ CS and friends).
+type Ideal struct {
+	capacity int
+	resident map[uint64]bool // packed line → dirty flag
+	stats    Stats
+}
+
+// NewIdeal returns an empty ideal cache holding at most capacity lines.
+func NewIdeal(capacity int) *Ideal {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: Ideal capacity %d must be positive", capacity))
+	}
+	return &Ideal{capacity: capacity, resident: make(map[uint64]bool, capacity)}
+}
+
+// Capacity returns the maximum number of lines the cache can hold.
+func (c *Ideal) Capacity() int { return c.capacity }
+
+// Len returns the number of lines currently resident.
+func (c *Ideal) Len() int { return len(c.resident) }
+
+// Stats returns a copy of the event counters. For an ideal cache each
+// successful Load counts as one miss (one transfer from the level below)
+// and each Reference as one hit.
+func (c *Ideal) Stats() Stats { return c.stats }
+
+// Contains reports residency.
+func (c *Ideal) Contains(l Line) bool {
+	_, ok := c.resident[packLine(l)]
+	return ok
+}
+
+// Load makes l resident, counting one transfer from the level below. It
+// is an error to load into a full cache or to re-load a resident line —
+// both indicate a bug in the managing algorithm.
+func (c *Ideal) Load(l Line) error {
+	key := packLine(l)
+	if _, ok := c.resident[key]; ok {
+		return fmt.Errorf("cache: ideal load of resident line %v", l)
+	}
+	if len(c.resident) >= c.capacity {
+		return fmt.Errorf("cache: ideal cache full (capacity %d) loading %v", c.capacity, l)
+	}
+	c.resident[key] = false
+	c.stats.Misses++
+	return nil
+}
+
+// Reference records a use of a resident line (a hit). It is an error to
+// reference a non-resident line: under the ideal policy the algorithm
+// must have loaded everything it touches.
+func (c *Ideal) Reference(l Line) error {
+	if _, ok := c.resident[packLine(l)]; !ok {
+		return fmt.Errorf("cache: ideal reference to non-resident line %v", l)
+	}
+	c.stats.Hits++
+	return nil
+}
+
+// MarkDirty flags a resident line as modified.
+func (c *Ideal) MarkDirty(l Line) error {
+	key := packLine(l)
+	if _, ok := c.resident[key]; !ok {
+		return fmt.Errorf("cache: ideal dirty mark on non-resident line %v", l)
+	}
+	c.resident[key] = true
+	return nil
+}
+
+// IsDirty reports whether l is resident and dirty.
+func (c *Ideal) IsDirty(l Line) bool { return c.resident[packLine(l)] }
+
+// Evict removes l, reporting whether it was dirty. Evicting a
+// non-resident line is an error.
+func (c *Ideal) Evict(l Line) (dirty bool, err error) {
+	key := packLine(l)
+	d, ok := c.resident[key]
+	if !ok {
+		return false, fmt.Errorf("cache: ideal evict of non-resident line %v", l)
+	}
+	delete(c.resident, key)
+	c.stats.Evictions++
+	if d {
+		c.stats.WriteBacks++
+	}
+	return d, nil
+}
+
+// Flush evicts every resident line, returning the dirty ones.
+func (c *Ideal) Flush() []Evicted {
+	var dirty []Evicted
+	for k, d := range c.resident {
+		c.stats.Evictions++
+		if d {
+			c.stats.WriteBacks++
+			dirty = append(dirty, Evicted{Line: unpackLine(k), Dirty: true})
+		}
+	}
+	c.resident = make(map[uint64]bool, c.capacity)
+	return dirty
+}
+
+// Resident returns the resident lines in unspecified order (for tests).
+func (c *Ideal) Resident() []Line {
+	out := make([]Line, 0, len(c.resident))
+	for k := range c.resident {
+		out = append(out, unpackLine(k))
+	}
+	return out
+}

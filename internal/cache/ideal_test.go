@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestIdealLoadReferenceEvict(t *testing.T) {
+	c := NewIdeal(2)
+	a := ln(matrix.MatA, 0, 0)
+	if err := c.Reference(a); err == nil {
+		t.Fatal("reference to non-resident line must fail")
+	}
+	if err := c.Load(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(a); err == nil {
+		t.Fatal("double load must fail")
+	}
+	if err := c.Reference(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evict(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evict(a); err == nil {
+		t.Fatal("double evict must fail")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Evictions != 1 {
+		t.Fatalf("stats %v", st)
+	}
+}
+
+func TestIdealCapacityEnforced(t *testing.T) {
+	c := NewIdeal(2)
+	if err := c.Load(ln(matrix.MatA, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(ln(matrix.MatA, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(ln(matrix.MatA, 0, 2)); err == nil {
+		t.Fatal("load into full ideal cache must fail")
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestIdealDirtyAccounting(t *testing.T) {
+	c := NewIdeal(1)
+	a := ln(matrix.MatC, 1, 1)
+	if err := c.MarkDirty(a); err == nil {
+		t.Fatal("dirty mark on absent line must fail")
+	}
+	if err := c.Load(a); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsDirty(a) {
+		t.Fatal("fresh line must be clean")
+	}
+	if err := c.MarkDirty(a); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := c.Evict(a)
+	if err != nil || !dirty {
+		t.Fatalf("evict dirty=%v err=%v", dirty, err)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestIdealFlush(t *testing.T) {
+	c := NewIdeal(3)
+	for i := 0; i < 3; i++ {
+		l := ln(matrix.MatC, i, 0)
+		if err := c.Load(l); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if err := c.MarkDirty(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dirty := c.Flush()
+	if len(dirty) != 1 {
+		t.Fatalf("flush dirty count %d, want 1", len(dirty))
+	}
+	if c.Len() != 0 {
+		t.Fatal("not empty after flush")
+	}
+	if len(c.Resident()) != 0 {
+		t.Fatal("Resident non-empty after flush")
+	}
+}
+
+func TestIdealPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive capacity")
+		}
+	}()
+	NewIdeal(-1)
+}

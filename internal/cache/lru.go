@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Line is the unit of caching: one q×q matrix block.
+type Line = matrix.BlockCoord
+
+// Block coordinates are non-negative and bounded by the matrix sizes, so
+// a Line packs losslessly into one uint64 (4 bits of matrix id, 30 bits
+// each of row and column). Hashing a uint64 is several times cheaper
+// than hashing the 24-byte struct, and the simulator spends most of its
+// time in these map operations.
+const (
+	packShiftRow = 30
+	packShiftMat = 60
+	packMask30   = (1 << 30) - 1
+)
+
+func packLine(l Line) uint64 {
+	return uint64(l.Matrix)<<packShiftMat | uint64(l.Row)<<packShiftRow | uint64(l.Col)
+}
+
+func unpackLine(k uint64) Line {
+	return Line{
+		Matrix: matrix.MatrixID(k >> packShiftMat),
+		Row:    int(k >> packShiftRow & packMask30),
+		Col:    int(k & packMask30),
+	}
+}
+
+// node is an entry in the intrusive recency list of an LRU cache.
+// Hand-rolled (rather than container/list) to avoid interface boxing on
+// the simulator's hottest path.
+type node struct {
+	line       Line
+	dirty      bool
+	prev, next *node
+}
+
+// LRU is a fully-associative cache with least-recently-used replacement,
+// the "classical LRU policy" of the paper's §4.1. The zero value is not
+// usable; construct with NewLRU.
+type LRU struct {
+	capacity int
+	table    map[uint64]*node
+	// sentinel.next is the most recently used node, sentinel.prev the
+	// least recently used one.
+	sentinel node
+	// free chains recycled nodes through their next pointers, so steady
+	// state eviction/insertion allocates nothing.
+	free  *node
+	stats Stats
+}
+
+// NewLRU returns an empty LRU cache holding at most capacity lines.
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: LRU capacity %d must be positive", capacity))
+	}
+	c := &LRU{
+		capacity: capacity,
+		table:    make(map[uint64]*node, capacity),
+	}
+	c.sentinel.prev = &c.sentinel
+	c.sentinel.next = &c.sentinel
+	return c
+}
+
+// Capacity returns the maximum number of lines the cache can hold.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len returns the number of lines currently resident.
+func (c *LRU) Len() int { return len(c.table) }
+
+// Stats returns a copy of the event counters.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// Contains reports residency without affecting recency or counters.
+func (c *LRU) Contains(l Line) bool {
+	_, ok := c.table[packLine(l)]
+	return ok
+}
+
+// Touch records an access to l. If resident, it becomes most recently
+// used and Touch reports a hit; otherwise Touch reports a miss and leaves
+// the cache unchanged (the caller decides whether to Insert).
+func (c *LRU) Touch(l Line) bool {
+	n, ok := c.table[packLine(l)]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.moveToFront(n)
+	return true
+}
+
+// Evicted describes a line removed from a cache, and whether it was dirty
+// (needing a write-back to the level below).
+type Evicted struct {
+	Line  Line
+	Dirty bool
+}
+
+// Insert makes l resident and most recently used. If the cache is full,
+// the least recently used line is evicted and returned. Inserting an
+// already-resident line only refreshes its recency.
+func (c *LRU) Insert(l Line) (ev Evicted, evicted bool) {
+	key := packLine(l)
+	if n, ok := c.table[key]; ok {
+		c.moveToFront(n)
+		return Evicted{}, false
+	}
+	if len(c.table) >= c.capacity {
+		lru := c.sentinel.prev
+		c.unlink(lru)
+		delete(c.table, packLine(lru.line))
+		c.stats.Evictions++
+		if lru.dirty {
+			c.stats.WriteBacks++
+		}
+		ev, evicted = Evicted{Line: lru.line, Dirty: lru.dirty}, true
+		c.recycle(lru)
+	}
+	n := c.newNode(l)
+	c.table[key] = n
+	c.pushFront(n)
+	return ev, evicted
+}
+
+// newNode takes a node from the free list or allocates one.
+func (c *LRU) newNode(l Line) *node {
+	if n := c.free; n != nil {
+		c.free = n.next
+		n.line = l
+		n.dirty = false
+		n.prev, n.next = nil, nil
+		return n
+	}
+	return &node{line: l}
+}
+
+func (c *LRU) recycle(n *node) {
+	n.next = c.free
+	n.prev = nil
+	c.free = n
+}
+
+// MarkDirty flags l as modified; a later eviction will report a
+// write-back. Marking a non-resident line is a no-op and returns false.
+func (c *LRU) MarkDirty(l Line) bool {
+	n, ok := c.table[packLine(l)]
+	if ok {
+		n.dirty = true
+	}
+	return ok
+}
+
+// IsDirty reports whether l is resident and dirty.
+func (c *LRU) IsDirty(l Line) bool {
+	n, ok := c.table[packLine(l)]
+	return ok && n.dirty
+}
+
+// Invalidate removes l without counting an eviction (used for
+// back-invalidation when an inclusive parent level drops the line). It
+// returns the line's dirty state so the caller can merge it upward.
+func (c *LRU) Invalidate(l Line) (wasDirty, wasPresent bool) {
+	key := packLine(l)
+	n, ok := c.table[key]
+	if !ok {
+		return false, false
+	}
+	c.unlink(n)
+	delete(c.table, key)
+	c.stats.Invalids++
+	dirty := n.dirty
+	c.recycle(n)
+	return dirty, true
+}
+
+// Flush removes every line, returning the dirty ones in eviction
+// (LRU-first) order.
+func (c *LRU) Flush() []Evicted {
+	var dirty []Evicted
+	for n := c.sentinel.prev; n != &c.sentinel; n = n.prev {
+		if n.dirty {
+			dirty = append(dirty, Evicted{Line: n.line, Dirty: true})
+		}
+	}
+	c.table = make(map[uint64]*node, c.capacity)
+	c.sentinel.prev = &c.sentinel
+	c.sentinel.next = &c.sentinel
+	c.free = nil
+	return dirty
+}
+
+// Resident returns all resident lines in most-recently-used-first order.
+// Intended for tests and debugging.
+func (c *LRU) Resident() []Line {
+	out := make([]Line, 0, len(c.table))
+	for n := c.sentinel.next; n != &c.sentinel; n = n.next {
+		out = append(out, n.line)
+	}
+	return out
+}
+
+func (c *LRU) pushFront(n *node) {
+	n.prev = &c.sentinel
+	n.next = c.sentinel.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+func (c *LRU) unlink(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU) moveToFront(n *node) {
+	if c.sentinel.next == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func ln(m matrix.MatrixID, i, j int) Line { return Line{Matrix: m, Row: i, Col: j} }
+
+func TestLRUBasicHitMiss(t *testing.T) {
+	c := NewLRU(2)
+	a := ln(matrix.MatA, 0, 0)
+	if c.Touch(a) {
+		t.Fatal("empty cache must miss")
+	}
+	c.Insert(a)
+	if !c.Touch(a) {
+		t.Fatal("inserted line must hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(2)
+	a, b, d := ln(matrix.MatA, 0, 0), ln(matrix.MatB, 0, 0), ln(matrix.MatC, 0, 0)
+	c.Insert(a)
+	c.Insert(b)
+	c.Touch(a) // a becomes MRU; b is LRU
+	ev, evicted := c.Insert(d)
+	if !evicted || ev.Line != b {
+		t.Fatalf("evicted %v (%v), want %v", ev.Line, evicted, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestLRUInsertExistingRefreshes(t *testing.T) {
+	c := NewLRU(2)
+	a, b, d := ln(matrix.MatA, 0, 0), ln(matrix.MatB, 0, 0), ln(matrix.MatC, 0, 0)
+	c.Insert(a)
+	c.Insert(b)
+	if _, evicted := c.Insert(a); evicted {
+		t.Fatal("re-insert must not evict")
+	}
+	// a was refreshed, so b should now be the victim.
+	ev, _ := c.Insert(d)
+	if ev.Line != b {
+		t.Fatalf("victim %v, want %v", ev.Line, b)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUDirtyWriteBack(t *testing.T) {
+	c := NewLRU(1)
+	a, b := ln(matrix.MatA, 0, 0), ln(matrix.MatB, 0, 0)
+	c.Insert(a)
+	if !c.MarkDirty(a) {
+		t.Fatal("MarkDirty on resident line failed")
+	}
+	if !c.IsDirty(a) {
+		t.Fatal("IsDirty false after MarkDirty")
+	}
+	ev, evicted := c.Insert(b)
+	if !evicted || !ev.Dirty {
+		t.Fatal("dirty line eviction must report dirty")
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().WriteBacks)
+	}
+	if c.MarkDirty(a) {
+		t.Fatal("MarkDirty on absent line must return false")
+	}
+}
+
+func TestLRUInvalidate(t *testing.T) {
+	c := NewLRU(2)
+	a := ln(matrix.MatA, 1, 2)
+	c.Insert(a)
+	c.MarkDirty(a)
+	dirty, present := c.Invalidate(a)
+	if !present || !dirty {
+		t.Fatal("invalidate must report presence and dirtiness")
+	}
+	if c.Contains(a) || c.Len() != 0 {
+		t.Fatal("line still resident after invalidate")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("invalidation must not count as eviction")
+	}
+	if _, present := c.Invalidate(a); present {
+		t.Fatal("double invalidate reported presence")
+	}
+}
+
+func TestLRUFlush(t *testing.T) {
+	c := NewLRU(4)
+	for i := 0; i < 4; i++ {
+		l := ln(matrix.MatC, i, 0)
+		c.Insert(l)
+		if i%2 == 0 {
+			c.MarkDirty(l)
+		}
+	}
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("flush returned %d dirty lines, want 2", len(dirty))
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after flush")
+	}
+	// Cache must be reusable after Flush.
+	c.Insert(ln(matrix.MatA, 0, 0))
+	if c.Len() != 1 {
+		t.Fatal("cache unusable after flush")
+	}
+}
+
+func TestLRUResidentOrder(t *testing.T) {
+	c := NewLRU(3)
+	a, b, d := ln(matrix.MatA, 0, 0), ln(matrix.MatB, 0, 0), ln(matrix.MatC, 0, 0)
+	c.Insert(a)
+	c.Insert(b)
+	c.Insert(d)
+	c.Touch(a)
+	got := c.Resident()
+	want := []Line{a, d, b}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("residency order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRUPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewLRU(0)
+}
+
+// Property: after any access sequence, Len() never exceeds capacity and
+// the set of resident lines equals the most recent distinct insertions.
+func TestLRUCapacityProperty(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%7) + 1
+		c := NewLRU(capacity)
+		for _, op := range ops {
+			l := ln(matrix.MatrixID(op%3), int(op/3%5), int(op/15%5))
+			if op%2 == 0 {
+				if !c.Touch(l) {
+					c.Insert(l)
+				}
+			} else {
+				c.Insert(l)
+				c.MarkDirty(l)
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a line that was just inserted is resident until at least
+// capacity-1 further distinct insertions occur.
+func TestLRURecencyProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		const capacity = 4
+		c := NewLRU(capacity)
+		target := ln(matrix.MatA, 99, 99)
+		c.Insert(target)
+		distinct := map[Line]bool{}
+		for _, s := range seq {
+			l := ln(matrix.MatB, int(s%3), int(s/3%3))
+			c.Insert(l)
+			distinct[l] = true
+			if len(distinct) < capacity && !c.Contains(target) {
+				return false // evicted too early
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAddAndRates(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1}
+	s.Add(Stats{Hits: 1, Misses: 1, Evictions: 2, WriteBacks: 1, Invalids: 4})
+	if s.Hits != 4 || s.Misses != 2 || s.Evictions != 2 || s.WriteBacks != 1 || s.Invalids != 4 {
+		t.Fatalf("Add result %+v", s)
+	}
+	if s.Accesses() != 6 {
+		t.Fatalf("Accesses = %d", s.Accesses())
+	}
+	if got := s.HitRate(); got != 4.0/6.0 {
+		t.Fatalf("HitRate = %v", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty HitRate should be 0")
+	}
+	if len(s.String()) == 0 {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+)
+
+func testMachine() machine.Machine {
+	return machine.Machine{P: 4, CS: 157, CD: 7, SigmaS: 1, SigmaD: 4, Q: 32}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(machine.Machine{}); err == nil {
+		t.Fatal("invalid machine must be rejected")
+	}
+	s, err := New(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine().P != 4 {
+		t.Fatal("machine not retained")
+	}
+}
+
+func TestRunAllSettings(t *testing.T) {
+	s, _ := New(testMachine())
+	w := algo.Square(12)
+	for _, set := range Settings() {
+		res, err := s.Run(algo.SharedOpt{}, w, set)
+		if err != nil {
+			t.Fatalf("%s: %v", set, err)
+		}
+		if res.MS == 0 {
+			t.Fatalf("%s: zero MS", set)
+		}
+	}
+	if _, err := s.Run(algo.SharedOpt{}, w, RunSetting("bogus")); err == nil {
+		t.Fatal("unknown setting must error")
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	s, _ := New(testMachine())
+	if _, err := s.RunByName("Tradeoff", algo.Square(8), SettingIdeal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunByName("nope", algo.Square(8), SettingIdeal); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestPredictUsesDeclaredCapacities(t *testing.T) {
+	s, _ := New(testMachine())
+	w := algo.Square(24)
+	msFull, _, ok := s.Predict(algo.SharedOpt{}, w, SettingIdeal)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	msHalf, _, ok := s.Predict(algo.SharedOpt{}, w, SettingLRU50)
+	if !ok {
+		t.Fatal("no LRU-50 prediction")
+	}
+	// Half the declared cache → smaller λ → more predicted misses.
+	if msHalf <= msFull {
+		t.Fatalf("LRU-50 prediction %v not above full prediction %v", msHalf, msFull)
+	}
+}
+
+func TestBoundsMatchPackage(t *testing.T) {
+	s, _ := New(testMachine())
+	b := s.Bounds(algo.Square(10))
+	if b.MS <= 0 || b.MD <= 0 || b.Tdata <= 0 {
+		t.Fatalf("degenerate bounds %+v", b)
+	}
+}
+
+func TestCompareOrderingAndRatios(t *testing.T) {
+	s, _ := New(testMachine())
+	w := algo.Square(12)
+	cmp, err := s.Compare(w, algo.All(), []RunSetting{SettingIdeal, SettingLRU50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(cmp.Rows))
+	}
+	// Rows grouped by setting, ascending Tdata within a group.
+	for i := 1; i < len(cmp.Rows); i++ {
+		a, b := cmp.Rows[i-1], cmp.Rows[i]
+		if a.Setting == b.Setting && a.Result.Tdata > b.Result.Tdata {
+			t.Fatalf("rows not sorted by Tdata: %v then %v", a.Result.Tdata, b.Result.Tdata)
+		}
+	}
+	// Achieved misses can never beat the lower bound.
+	for _, r := range cmp.Rows {
+		if r.MSvsBound < 1 {
+			t.Fatalf("%s/%s: MS below the lower bound (ratio %v)", r.Algorithm, r.Setting, r.MSvsBound)
+		}
+	}
+}
+
+func TestCompareTableRendering(t *testing.T) {
+	s, _ := New(testMachine())
+	cmp, err := s.Compare(algo.Square(8), []algo.Algorithm{algo.SharedOpt{}, algo.Tradeoff{}},
+		[]RunSetting{SettingIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cmp.Table()
+	for _, frag := range []string{"Shared Opt.", "Tradeoff", "lower bounds", "Tdata"} {
+		if !strings.Contains(tbl, frag) {
+			t.Fatalf("table missing %q:\n%s", frag, tbl)
+		}
+	}
+}
+
+func TestBestSelectors(t *testing.T) {
+	s, _ := New(testMachine())
+	cmp, err := s.Compare(algo.Square(12), algo.All(), []RunSetting{SettingIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestMS, ok := cmp.Best(SettingIdeal, MetricMS)
+	if !ok {
+		t.Fatal("no best row")
+	}
+	// Shared Opt. must win the MS objective on its home turf.
+	if bestMS.Algorithm != (algo.SharedOpt{}).Name() {
+		t.Fatalf("best MS algorithm = %s, want Shared Opt.", bestMS.Algorithm)
+	}
+	bestMD, _ := cmp.Best(SettingIdeal, MetricMD)
+	if bestMD.Algorithm != (algo.DistributedOpt{}).Name() && bestMD.Algorithm != (algo.Tradeoff{}).Name() {
+		t.Fatalf("best MD algorithm = %s, want Distributed Opt. (or the tradeoff in its special case)", bestMD.Algorithm)
+	}
+	if _, ok := cmp.Best(SettingLRU, MetricTdata); ok {
+		t.Fatal("Best must report absence for settings that were not run")
+	}
+}

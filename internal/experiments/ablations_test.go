@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationTightFitShowsCliff(t *testing.T) {
+	fig, err := AblationTightFit(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru := byName(t, fig, "Shared Opt. LRU (actual capacity)")
+	formula := byName(t, fig, "Formula")
+	if len(lru.Points) < 4 {
+		t.Fatalf("too few slack samples: %d", len(lru.Points))
+	}
+	// Zero slack must thrash (well above the formula); generous slack
+	// must sit at (or extremely near) the formula.
+	first := lru.Points[0]
+	last := lru.Points[len(lru.Points)-1]
+	f := formula.Points[0].Y
+	if first.X != 0 {
+		t.Fatalf("first sample at slack %v, want 0", first.X)
+	}
+	if first.Y < 2*f {
+		t.Errorf("zero slack: MS=%.0f not clearly above formula %.0f", first.Y, f)
+	}
+	if last.Y > 1.05*f {
+		t.Errorf("slack %v: MS=%.0f has not returned to the formula %.0f", last.X, last.Y, f)
+	}
+	// Monotone trend: the generous-slack point is never worse than the
+	// zero-slack point.
+	if last.Y >= first.Y {
+		t.Errorf("no cliff: slack %v (%.0f) not below slack 0 (%.0f)", last.X, last.Y, first.Y)
+	}
+}
+
+func TestAblationInterleaveRuns(t *testing.T) {
+	fig, err := AblationInterleave(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("%d series, want 6 (3 algorithms x 2 interleavings)", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("empty series %q", s.Name)
+		}
+	}
+}
+
+func TestAblationMissCurvesShapes(t *testing.T) {
+	fig, err := AblationMissCurves(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y > s.Points[i-1].Y {
+				t.Fatalf("%s: MD curve not monotone at CD=%v", s.Name, s.Points[i].X)
+			}
+		}
+	}
+	// At generous capacity, Distributed Opt. must be at or below
+	// Distributed Equal (its whole point).
+	do := byName(t, fig, "Distributed Opt.")
+	de := byName(t, fig, "Distributed Equal")
+	lastIdx := len(do.Points) - 1
+	if do.Points[lastIdx].Y > de.Points[lastIdx].Y {
+		t.Errorf("Distributed Opt. (%v) above Distributed Equal (%v) at large CD",
+			do.Points[lastIdx].Y, de.Points[lastIdx].Y)
+	}
+}
+
+func TestAblationBlockSizeCollapse(t *testing.T) {
+	fig, err := AblationBlockSize(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := byName(t, fig, "Distributed Opt. LRU-50")
+	de := byName(t, fig, "Distributed Equal LRU-50")
+	if len(do.Points) != 3 {
+		t.Fatalf("expected 3 block sizes, got %d", len(do.Points))
+	}
+	// At q=32 Distributed Opt. clearly wins; by q=80 the normalised gap
+	// must have shrunk (µ collapse).
+	gap32 := de.Points[0].Y / do.Points[0].Y
+	gap80 := de.Points[2].Y / do.Points[2].Y
+	if gap32 <= 1 {
+		t.Errorf("q=32: Distributed Opt. not ahead (gap %.2f)", gap32)
+	}
+	if gap80 >= gap32 {
+		t.Errorf("advantage did not shrink with q: gap32=%.2f gap80=%.2f", gap32, gap80)
+	}
+}
+
+func TestAblationsAll(t *testing.T) {
+	figs, err := Ablations(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 {
+		t.Fatalf("%d ablation figures, want 5", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate id %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}

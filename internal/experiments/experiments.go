@@ -1,0 +1,223 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// section (§4, Figures 4–12). Each generator returns the figure's data
+// series; cmd/figures renders them as CSV files and ASCII charts, and
+// bench_test.go exposes one benchmark per figure.
+//
+// Scale note: the paper sweeps matrix orders up to 1100 blocks. The
+// default options use smaller sweeps so that the complete set of figures
+// regenerates in minutes on a laptop; Full options restore a scale close
+// to the paper's. The comparative *shape* of the curves — who wins, by
+// what factor, where the crossovers sit — is preserved at both scales.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Options scales the experiment sweeps.
+type Options struct {
+	// OrdersSmall is the order sweep of Figures 4–6 (paper: 50–600).
+	OrdersSmall []int
+	// OrdersLarge is the order sweep of Figures 7–11 (paper: up to 1100).
+	OrdersLarge []int
+	// Ratios is the bandwidth-ratio sweep of Figure 12 (paper: 0–1; the
+	// endpoints are singular in the model, so they are sampled just
+	// inside).
+	Ratios []float64
+	// Fig12Order is the square matrix order of Figure 12 (paper: 384).
+	Fig12Order int
+}
+
+// Default returns laptop-scale options (complete regeneration in
+// minutes).
+func Default() Options {
+	return Options{
+		OrdersSmall: []int{16, 32, 48, 64, 96},
+		OrdersLarge: []int{16, 32, 48, 64, 96, 128},
+		Ratios:      []float64{0.05, 0.15, 0.25, 0.35, 0.5, 0.65, 0.75, 0.85, 0.95},
+		Fig12Order:  96,
+	}
+}
+
+// Full returns paper-scale options (hours of simulation).
+func Full() Options {
+	return Options{
+		OrdersSmall: []int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600},
+		OrdersLarge: []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100},
+		Ratios:      []float64{0.02, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.98},
+		Fig12Order:  384,
+	}
+}
+
+// Tiny returns test-scale options (sub-second figures).
+func Tiny() Options {
+	return Options{
+		OrdersSmall: []int{8, 16, 24},
+		OrdersLarge: []int{8, 16, 24, 36},
+		Ratios:      []float64{0.1, 0.5, 0.9},
+		Fig12Order:  24,
+	}
+}
+
+// Figure is one reproduced figure (or sub-figure) of the paper.
+type Figure struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	XLabel string
+	YLabel string
+	Notes  string
+	Series []report.Series
+}
+
+// metric selects the plotted quantity from a run result.
+type metric func(algo.Result) float64
+
+func metricMS(r algo.Result) float64    { return float64(r.MS) }
+func metricMD(r algo.Result) float64    { return float64(r.MD) }
+func metricTdata(r algo.Result) float64 { return r.Tdata }
+
+// sweep runs one algorithm under one setting over all orders and
+// collects metric values.
+func sweep(sim *core.Simulator, a algo.Algorithm, set core.RunSetting,
+	orders []int, f metric, name string) (report.Series, error) {
+	s := report.Series{Name: name}
+	for _, n := range orders {
+		res, err := sim.Run(a, algo.Square(n), set)
+		if err != nil {
+			return report.Series{}, fmt.Errorf("experiments: %s (%s) at order %d: %w",
+				a.Name(), set, n, err)
+		}
+		s.Add(float64(n), f(res))
+	}
+	return s, nil
+}
+
+// formulaSeries evaluates a closed-form prediction over the orders.
+func formulaSeries(name string, orders []int, f func(n int) float64) report.Series {
+	s := report.Series{Name: name}
+	for _, n := range orders {
+		s.Add(float64(n), f(n))
+	}
+	return s
+}
+
+// q32Machine returns the paper's default configuration (q=32, CS=977,
+// CD=21, quad-core) with the default bandwidths.
+func q32Machine() machine.Machine {
+	cfg, _ := machine.FindConfig(32)
+	return cfg.Machine(machine.PaperCores, false)
+}
+
+// Figure4 reproduces "Impact of LRU policy on the number of shared cache
+// misses MS of Shared Opt. with CS = 977": the LRU(CS) and LRU(2CS)
+// curves against the closed-form formula and twice the formula.
+func Figure4(opt Options) (Figure, error) {
+	m := q32Machine()
+	sim, err := core.New(m)
+	if err != nil {
+		return Figure{}, err
+	}
+	a := algo.SharedOpt{}
+
+	lruCS, err := sweep(sim, a, core.SettingLRU, opt.OrdersSmall, metricMS, "Shared Opt. LRU (CS)")
+	if err != nil {
+		return Figure{}, err
+	}
+	lru2CS, err := sweep(sim, a, core.SettingLRU2x, opt.OrdersSmall, metricMS, "Shared Opt. LRU (2CS)")
+	if err != nil {
+		return Figure{}, err
+	}
+	formula := formulaSeries("Formula (CS)", opt.OrdersSmall, func(n int) float64 {
+		ms, _, _ := a.Predict(m, algo.Square(n))
+		return ms
+	})
+	twice := formulaSeries("2 x Formula (CS)", opt.OrdersSmall, func(n int) float64 {
+		ms, _, _ := a.Predict(m, algo.Square(n))
+		return 2 * ms
+	})
+	return Figure{
+		ID:     "fig4",
+		Title:  "Figure 4: LRU vs formula, shared misses of Shared Opt. (CS=977)",
+		XLabel: "matrix order (blocks)",
+		YLabel: "shared cache misses MS",
+		Notes:  "LRU(CS) exceeds the formula; LRU(2CS) stays below 2x the formula (Frigo et al. competitiveness).",
+		Series: []report.Series{lruCS, lru2CS, formula, twice},
+	}, nil
+}
+
+// Figure5 is the counterpart of Figure 4 for the distributed misses of
+// Distributed Opt. with CD = 21.
+func Figure5(opt Options) (Figure, error) {
+	m := q32Machine()
+	sim, err := core.New(m)
+	if err != nil {
+		return Figure{}, err
+	}
+	a := algo.DistributedOpt{}
+
+	lruCS, err := sweep(sim, a, core.SettingLRU, opt.OrdersSmall, metricMD, "Distributed Opt. LRU (CD)")
+	if err != nil {
+		return Figure{}, err
+	}
+	lru2CS, err := sweep(sim, a, core.SettingLRU2x, opt.OrdersSmall, metricMD, "Distributed Opt. LRU (2CD)")
+	if err != nil {
+		return Figure{}, err
+	}
+	formula := formulaSeries("Formula (CD)", opt.OrdersSmall, func(n int) float64 {
+		_, md, _ := a.Predict(m, algo.Square(n))
+		return md
+	})
+	twice := formulaSeries("2 x Formula (CD)", opt.OrdersSmall, func(n int) float64 {
+		_, md, _ := a.Predict(m, algo.Square(n))
+		return 2 * md
+	})
+	return Figure{
+		ID:     "fig5",
+		Title:  "Figure 5: LRU vs formula, distributed misses of Distributed Opt. (CD=21)",
+		XLabel: "matrix order (blocks)",
+		YLabel: "distributed cache misses MD",
+		Notes:  "Same competitiveness check as Figure 4, at the distributed level.",
+		Series: []report.Series{lruCS, lru2CS, formula, twice},
+	}, nil
+}
+
+// Figure6 is the counterpart of Figures 4–5 for the Tdata of Tradeoff
+// with CS = 977 and CD = 21.
+func Figure6(opt Options) (Figure, error) {
+	m := q32Machine()
+	sim, err := core.New(m)
+	if err != nil {
+		return Figure{}, err
+	}
+	a := algo.Tradeoff{}
+
+	lruCS, err := sweep(sim, a, core.SettingLRU, opt.OrdersSmall, metricTdata, "Tradeoff LRU (CS)")
+	if err != nil {
+		return Figure{}, err
+	}
+	lru2CS, err := sweep(sim, a, core.SettingLRU2x, opt.OrdersSmall, metricTdata, "Tradeoff LRU (2CS)")
+	if err != nil {
+		return Figure{}, err
+	}
+	tdataFormula := func(n int) float64 {
+		ms, md, _ := a.Predict(m, algo.Square(n))
+		return m.Tdata(uint64(ms), uint64(md))
+	}
+	formula := formulaSeries("Formula (CS)", opt.OrdersSmall, tdataFormula)
+	twice := formulaSeries("2 x Formula (CS)", opt.OrdersSmall, func(n int) float64 {
+		return 2 * tdataFormula(n)
+	})
+	return Figure{
+		ID:     "fig6",
+		Title:  "Figure 6: LRU vs formula, Tdata of Tradeoff (CS=977, CD=21)",
+		XLabel: "matrix order (blocks)",
+		YLabel: "Tdata",
+		Notes:  "Competitiveness of LRU for the combined data-access-time objective.",
+		Series: []report.Series{lruCS, lru2CS, formula, twice},
+	}, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// last returns the y value of the series at its largest x.
+func last(s report.Series) float64 {
+	best := s.Points[0]
+	for _, p := range s.Points {
+		if p.X > best.X {
+			best = p
+		}
+	}
+	return best.Y
+}
+
+func byName(t *testing.T, f Figure, name string) report.Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q (have %v)", f.ID, name, seriesNames(f))
+	return report.Series{}
+}
+
+func seriesNames(f Figure) []string {
+	names := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func TestFigure4Shape(t *testing.T) {
+	fig, err := Figure4(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("figure 4 has %d series, want 4", len(fig.Series))
+	}
+	lru := byName(t, fig, "Shared Opt. LRU (CS)")
+	lru2 := byName(t, fig, "Shared Opt. LRU (2CS)")
+	formula := byName(t, fig, "Formula (CS)")
+	twice := byName(t, fig, "2 x Formula (CS)")
+	for i := range formula.Points {
+		f, tw := formula.Points[i].Y, twice.Points[i].Y
+		if tw != 2*f {
+			t.Fatalf("2x series is not twice the formula at %v", formula.Points[i].X)
+		}
+		// The paper's headline: LRU with the plain capacity misses more
+		// than the formula, LRU with doubled capacity stays below 2x.
+		if lru.Points[i].Y < f {
+			t.Fatalf("LRU(CS) below formula at order %v: %v < %v", lru.Points[i].X, lru.Points[i].Y, f)
+		}
+		if lru2.Points[i].Y > tw {
+			t.Fatalf("LRU(2CS) above 2x formula at order %v: %v > %v", lru2.Points[i].X, lru2.Points[i].Y, tw)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	fig, err := Figure5(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru2 := byName(t, fig, "Distributed Opt. LRU (2CD)")
+	twice := byName(t, fig, "2 x Formula (CD)")
+	for i := range lru2.Points {
+		if lru2.Points[i].Y > twice.Points[i].Y {
+			t.Fatalf("LRU(2CD) above 2x formula at order %v", lru2.Points[i].X)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	fig, err := Figure6(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru2 := byName(t, fig, "Tradeoff LRU (2CS)")
+	twice := byName(t, fig, "2 x Formula (CS)")
+	for i := range lru2.Points {
+		if lru2.Points[i].Y > twice.Points[i].Y {
+			t.Fatalf("Tradeoff LRU(2CS) above 2x formula at order %v", lru2.Points[i].X)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	figs, err := Figure7(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("figure 7 has %d sub-figures, want 3", len(figs))
+	}
+	for _, fig := range figs {
+		so := byName(t, fig, "Shared Opt. LRU-50")
+		ideal := byName(t, fig, "Shared Opt. IDEAL")
+		outer := byName(t, fig, "Outer Product")
+		lb := byName(t, fig, "Lower Bound")
+		// At the largest order: Shared Opt. beats Outer Product, the
+		// IDEAL run sits at or below LRU-50, and nothing beats the bound.
+		if last(so) >= last(outer) {
+			t.Errorf("%s: Shared Opt. (%.0f) not below Outer Product (%.0f)", fig.ID, last(so), last(outer))
+		}
+		if last(ideal) > last(so) {
+			t.Errorf("%s: IDEAL (%.0f) above LRU-50 (%.0f)", fig.ID, last(ideal), last(so))
+		}
+		if last(ideal) < last(lb) {
+			t.Errorf("%s: IDEAL (%.0f) beats the lower bound (%.0f)", fig.ID, last(ideal), last(lb))
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	figs, err := Figure8(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("figure 8 has %d sub-figures, want 3", len(figs))
+	}
+	// Sub-figures a and b (q=32, µ≥3): Distributed Opt. beats Outer
+	// Product on distributed misses.
+	for _, fig := range figs[:2] {
+		do := byName(t, fig, "Distributed Opt. LRU-50")
+		outer := byName(t, fig, "Outer Product")
+		lb := byName(t, fig, "Lower Bound")
+		ideal := byName(t, fig, "Distributed Opt. IDEAL")
+		if last(do) >= last(outer) {
+			t.Errorf("%s: Distributed Opt. (%.0f) not below Outer Product (%.0f)", fig.ID, last(do), last(outer))
+		}
+		if last(ideal) < last(lb) {
+			t.Errorf("%s: IDEAL run beats the lower bound", fig.ID)
+		}
+	}
+	// Sub-figure c (q=64, µ small): the advantage disappears — the paper
+	// reports Distributed Opt. no longer outperforms the baselines.
+	figC := figs[2]
+	do := byName(t, figC, "Distributed Opt. LRU-50")
+	de := byName(t, figC, "Distributed Equal LRU-50")
+	if last(do) < 0.8*last(de) {
+		t.Errorf("fig8c: Distributed Opt. (%.0f) still clearly beats Distributed Equal (%.0f); expected the q=64 collapse",
+			last(do), last(de))
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	figs, err := Figure9(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figure 9 has %d sub-figures, want 4", len(figs))
+	}
+	for _, fig := range figs {
+		if !strings.Contains(fig.Title, "Tdata") {
+			t.Fatalf("unexpected title %q", fig.Title)
+		}
+		if len(fig.Series) != 7 {
+			t.Fatalf("%s: %d series, want 7 (6 algorithms + bound)", fig.ID, len(fig.Series))
+		}
+	}
+	// IDEAL sub-figure with CD=21: Tradeoff must be the best (or tied
+	// with Shared Opt., the paper notes they are very close).
+	for _, fig := range figs {
+		if !strings.HasSuffix(fig.ID, "-ideal") || !strings.Contains(fig.ID, "cd21") {
+			continue
+		}
+		tr := byName(t, fig, "Tradeoff IDEAL")
+		for _, s := range fig.Series {
+			if s.Name == "Lower Bound" || s.Name == tr.Name {
+				continue
+			}
+			if last(s) < 0.999*last(tr) && s.Name != "Shared Opt. IDEAL" {
+				t.Errorf("%s: %s (%.0f) beats Tradeoff (%.0f)", fig.ID, s.Name, last(s), last(tr))
+			}
+		}
+	}
+}
+
+func TestFigures10And11Run(t *testing.T) {
+	for num, gen := range map[int]func(Options) ([]Figure, error){10: Figure10, 11: Figure11} {
+		figs, err := gen(Tiny())
+		if err != nil {
+			t.Fatalf("figure %d: %v", num, err)
+		}
+		if len(figs) != 4 {
+			t.Fatalf("figure %d has %d sub-figures, want 4", num, len(figs))
+		}
+		for _, fig := range figs {
+			for _, s := range fig.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("figure %d %s: empty series %q", num, fig.ID, s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	figs, err := Figure12(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("figure 12 has %d sub-figures, want 6", len(figs))
+	}
+	fig := figs[0] // CS=977, CD=21 — the paper's q=32 optimistic case
+	tr := byName(t, fig, "Tradeoff IDEAL")
+	so := byName(t, fig, "Shared Opt. IDEAL")
+	do := byName(t, fig, "Distributed Opt. IDEAL")
+	lb := byName(t, fig, "Lower Bound")
+	for i, p := range tr.Points {
+		// Tradeoff never loses to both specialists at once, and no one
+		// beats the lower bound.
+		if p.Y > so.Points[i].Y && p.Y > do.Points[i].Y {
+			t.Errorf("r=%v: Tradeoff (%.0f) worse than both specialists (%.0f, %.0f)",
+				p.X, p.Y, so.Points[i].Y, do.Points[i].Y)
+		}
+		if p.Y < lb.Points[i].Y {
+			t.Errorf("r=%v: Tradeoff beats the lower bound", p.X)
+		}
+	}
+	// At small r (σS ≪ σD) the tradeoff should track Shared Opt.; at
+	// large r it should track Distributed Opt. (the paper's endpoints).
+	first, lastIdx := 0, len(tr.Points)-1
+	if tr.Points[first].Y > 1.05*so.Points[first].Y {
+		t.Errorf("at r→0 Tradeoff (%.0f) does not track Shared Opt. (%.0f)",
+			tr.Points[first].Y, so.Points[first].Y)
+	}
+	if tr.Points[lastIdx].Y > 1.05*do.Points[lastIdx].Y {
+		t.Errorf("at r→1 Tradeoff (%.0f) does not track Distributed Opt. (%.0f)",
+			tr.Points[lastIdx].Y, do.Points[lastIdx].Y)
+	}
+}
+
+func TestAllTinyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	figs, err := All(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 (fig4-6) + 3 (fig7) + 3 (fig8) + 4+4+4 (fig9-11) + 6 (fig12)
+	if len(figs) != 27 {
+		t.Fatalf("All returned %d figures, want 27", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		if ids[f.ID] {
+			t.Fatalf("duplicate figure id %q", f.ID)
+		}
+		ids[f.ID] = true
+		if f.Title == "" || f.XLabel == "" || f.YLabel == "" {
+			t.Fatalf("figure %s missing labels", f.ID)
+		}
+	}
+}
+
+func TestOptionPresets(t *testing.T) {
+	for name, opt := range map[string]Options{"default": Default(), "full": Full(), "tiny": Tiny()} {
+		if len(opt.OrdersSmall) == 0 || len(opt.OrdersLarge) == 0 || len(opt.Ratios) == 0 || opt.Fig12Order < 1 {
+			t.Fatalf("%s preset degenerate: %+v", name, opt)
+		}
+		for _, r := range opt.Ratios {
+			if r <= 0 || r >= 1 {
+				t.Fatalf("%s preset has singular ratio %v", name, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Figure12 reproduces the bandwidth-ratio sweep: Tdata of the five
+// cache-aware algorithms (IDEAL setting) and the lower bound as a
+// function of r = σS/(σS+σD), for a fixed square matrix (paper: m=384)
+// and all six cache configurations.
+//
+// Only Tdata depends on the bandwidths for the fixed-parameter
+// algorithms, so each of them is simulated once per configuration and
+// re-priced for every r. The Tradeoff algorithm re-tunes (α, β) with the
+// bandwidths; runs are cached per distinct parameter set, so the sweep
+// costs a handful of simulations rather than one per sample.
+func Figure12(opt Options) ([]Figure, error) {
+	n := opt.Fig12Order
+	w := algo.Square(n)
+	fixed := []algo.Algorithm{
+		algo.SharedOpt{},
+		algo.DistributedOpt{},
+		algo.SharedEqual{},
+		algo.DistributedEqual{},
+	}
+
+	var figs []Figure
+	sub := 0
+	for _, cfg := range machine.PaperConfigs() {
+		for _, pess := range []bool{false, true} {
+			base := cfg.Machine(machine.PaperCores, pess)
+
+			// One IDEAL run per bandwidth-independent algorithm.
+			type misses struct{ ms, md uint64 }
+			fixedRuns := make(map[string]misses, len(fixed))
+			for _, a := range fixed {
+				res, err := algo.RunIdeal(a, base, w)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: figure 12 %s on %v: %w", a.Name(), base, err)
+				}
+				fixedRuns[a.Name()] = misses{res.MS, res.MD}
+			}
+
+			series := make([]report.Series, 0, len(fixed)+2)
+			for _, a := range fixed {
+				series = append(series, report.Series{Name: a.Name() + " IDEAL"})
+			}
+			tradeoff := report.Series{Name: "Tradeoff IDEAL"}
+			bound := report.Series{Name: "Lower Bound"}
+
+			tradeoffCache := make(map[machine.TradeoffParams]misses)
+			for _, r := range opt.Ratios {
+				m, err := base.WithBandwidthRatio(r)
+				if err != nil {
+					return nil, err
+				}
+				for i, a := range fixed {
+					runs := fixedRuns[a.Name()]
+					series[i].Add(r, m.Tdata(runs.ms, runs.md))
+				}
+				// The tradeoff re-tunes with the bandwidths; identical
+				// parameters reuse the cached simulation.
+				tp := m.Tradeoff()
+				runs, ok := tradeoffCache[tp]
+				if !ok {
+					res, err := algo.RunIdeal(algo.Tradeoff{}, m, w)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: figure 12 tradeoff at r=%g: %w", r, err)
+					}
+					runs = misses{res.MS, res.MD}
+					tradeoffCache[tp] = runs
+				}
+				tradeoff.Add(r, m.Tdata(runs.ms, runs.md))
+				bound.Add(r, bounds.Tdata(m, n, n, n))
+			}
+			series = append(series, tradeoff, bound)
+
+			figs = append(figs, Figure{
+				ID: fmt.Sprintf("fig12%c", 'a'+sub),
+				Title: fmt.Sprintf("Figure 12(%c): Tdata vs bandwidth ratio r, CS=%d, CD=%d (m=%d)",
+					'a'+sub, base.CS, base.CD, n),
+				XLabel: "r = sigmaS/(sigmaS+sigmaD)",
+				YLabel: "Tdata",
+				Notes:  "Tradeoff tracks the better specialist across the whole ratio range; the specialists cross over.",
+				Series: series,
+			})
+			sub++
+		}
+	}
+	return figs, nil
+}
+
+// All regenerates every figure of the paper in order.
+func All(opt Options) ([]Figure, error) {
+	var figs []Figure
+	f4, err := Figure4(opt)
+	if err != nil {
+		return nil, err
+	}
+	f5, err := Figure5(opt)
+	if err != nil {
+		return nil, err
+	}
+	f6, err := Figure6(opt)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, f4, f5, f6)
+	for _, gen := range []func(Options) ([]Figure, error){Figure7, Figure8, Figure9, Figure10, Figure11, Figure12} {
+		fs, err := gen(opt)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, fs...)
+	}
+	return figs, nil
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Figure7 reproduces the shared-cache miss comparison: Shared Opt. under
+// LRU-50 and IDEAL against Outer Product, Shared Equal (LRU-50) and the
+// lower bound, for the three (CS, q) configurations of §4.1.
+func Figure7(opt Options) ([]Figure, error) {
+	var figs []Figure
+	for i, cfg := range machine.PaperConfigs() {
+		m := cfg.Machine(machine.PaperCores, false)
+		sim, err := core.New(m)
+		if err != nil {
+			return nil, err
+		}
+		var series []report.Series
+		s, err := sweep(sim, algo.SharedOpt{}, core.SettingLRU50, opt.OrdersLarge, metricMS, "Shared Opt. LRU-50")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		s, err = sweep(sim, algo.SharedOpt{}, core.SettingIdeal, opt.OrdersLarge, metricMS, "Shared Opt. IDEAL")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		s, err = sweep(sim, algo.OuterProduct{}, core.SettingLRU, opt.OrdersLarge, metricMS, "Outer Product")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		s, err = sweep(sim, algo.SharedEqual{}, core.SettingLRU50, opt.OrdersLarge, metricMS, "Shared Equal LRU-50")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		series = append(series, formulaSeries("Lower Bound", opt.OrdersLarge, func(n int) float64 {
+			return bounds.MS(m, n, n, n)
+		}))
+		figs = append(figs, Figure{
+			ID:     fmt.Sprintf("fig7%c", 'a'+i),
+			Title:  fmt.Sprintf("Figure 7(%c): shared cache misses MS, CS=%d, q=%d", 'a'+i, cfg.CS, cfg.Q),
+			XLabel: "matrix order (blocks)",
+			YLabel: "shared cache misses MS",
+			Notes:  "Shared Opt. well below Outer Product and Shared Equal; IDEAL between LRU-50 and the bound.",
+			Series: series,
+		})
+	}
+	return figs, nil
+}
+
+// Figure8 reproduces the distributed-cache miss comparison: Distributed
+// Opt. under LRU-50 and IDEAL against Outer Product, Distributed Equal
+// (LRU-50) and the lower bound, for CD ∈ {21, 16, 6}.
+func Figure8(opt Options) ([]Figure, error) {
+	cases := []struct {
+		q           int
+		pessimistic bool
+		label       string
+	}{
+		{32, false, "CD=21: q=32, data occupy two thirds of distributed cache"},
+		{32, true, "CD=16: q=32, data occupy one half of distributed cache"},
+		{64, false, "CD=6: q=64"},
+	}
+	var figs []Figure
+	for i, tc := range cases {
+		cfg, err := machine.FindConfig(tc.q)
+		if err != nil {
+			return nil, err
+		}
+		m := cfg.Machine(machine.PaperCores, tc.pessimistic)
+		sim, err := core.New(m)
+		if err != nil {
+			return nil, err
+		}
+		var series []report.Series
+		s, err := sweep(sim, algo.DistributedOpt{}, core.SettingLRU50, opt.OrdersLarge, metricMD, "Distributed Opt. LRU-50")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		s, err = sweep(sim, algo.DistributedOpt{}, core.SettingIdeal, opt.OrdersLarge, metricMD, "Distributed Opt. IDEAL")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		s, err = sweep(sim, algo.OuterProduct{}, core.SettingLRU, opt.OrdersLarge, metricMD, "Outer Product")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		s, err = sweep(sim, algo.DistributedEqual{}, core.SettingLRU50, opt.OrdersLarge, metricMD, "Distributed Equal LRU-50")
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+		series = append(series, formulaSeries("Lower Bound", opt.OrdersLarge, func(n int) float64 {
+			return bounds.MD(m, n, n, n)
+		}))
+		figs = append(figs, Figure{
+			ID:     fmt.Sprintf("fig8%c", 'a'+i),
+			Title:  fmt.Sprintf("Figure 8(%c): distributed cache misses MD, %s", 'a'+i, tc.label),
+			XLabel: "matrix order (blocks)",
+			YLabel: "distributed cache misses MD",
+			Notes:  "Distributed Opt. wins at q=32; at q=64 (µ=1) its advantage disappears, as in the paper.",
+			Series: series,
+		})
+	}
+	return figs, nil
+}
+
+// tdataFigure builds one of the Figures 9–11: Tdata of all six
+// algorithms, in the LRU-50 and IDEAL settings, for one (CS, CD) pair.
+func tdataFigure(id, title string, m machine.Machine, orders []int) ([]Figure, error) {
+	sim, err := core.New(m)
+	if err != nil {
+		return nil, err
+	}
+	lruAlgos := []struct {
+		a   algo.Algorithm
+		set core.RunSetting
+	}{
+		{algo.SharedOpt{}, core.SettingLRU50},
+		{algo.DistributedOpt{}, core.SettingLRU50},
+		{algo.Tradeoff{}, core.SettingLRU50},
+		{algo.OuterProduct{}, core.SettingLRU},
+		{algo.SharedEqual{}, core.SettingLRU50},
+		{algo.DistributedEqual{}, core.SettingLRU50},
+	}
+	var lruSeries []report.Series
+	for _, la := range lruAlgos {
+		label := la.a.Name() + " LRU-50"
+		if la.a.Name() == (algo.OuterProduct{}).Name() {
+			label = la.a.Name()
+		}
+		s, err := sweep(sim, la.a, la.set, orders, metricTdata, label)
+		if err != nil {
+			return nil, err
+		}
+		lruSeries = append(lruSeries, s)
+	}
+	lb := formulaSeries("Lower Bound", orders, func(n int) float64 {
+		return bounds.Tdata(m, n, n, n)
+	})
+	lruSeries = append(lruSeries, lb)
+
+	var idealSeries []report.Series
+	for _, a := range algo.All() {
+		label := a.Name() + " IDEAL"
+		if a.Name() == (algo.OuterProduct{}).Name() {
+			label = a.Name()
+		}
+		s, err := sweep(sim, a, core.SettingIdeal, orders, metricTdata, label)
+		if err != nil {
+			return nil, err
+		}
+		idealSeries = append(idealSeries, s)
+	}
+	idealSeries = append(idealSeries, lb)
+
+	return []Figure{
+		{
+			ID:     id + "-lru50",
+			Title:  title + " — LRU-50 setting",
+			XLabel: "matrix order (blocks)",
+			YLabel: "Tdata",
+			Series: lruSeries,
+		},
+		{
+			ID:     id + "-ideal",
+			Title:  title + " — IDEAL setting",
+			XLabel: "matrix order (blocks)",
+			YLabel: "Tdata",
+			Series: idealSeries,
+		},
+	}, nil
+}
+
+// tdataFigureSet builds the four sub-figures (two settings × two CD
+// assumptions) of one of Figures 9–11.
+func tdataFigureSet(figNum int, q int, orders []int) ([]Figure, error) {
+	cfg, err := machine.FindConfig(q)
+	if err != nil {
+		return nil, err
+	}
+	var figs []Figure
+	for _, pess := range []bool{false, true} {
+		m := cfg.Machine(machine.PaperCores, pess)
+		id := fmt.Sprintf("fig%d-cd%d", figNum, m.CD)
+		title := fmt.Sprintf("Figure %d: overall data time Tdata, CS=%d, CD=%d", figNum, m.CS, m.CD)
+		sub, err := tdataFigure(id, title, m, orders)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, sub...)
+	}
+	return figs, nil
+}
+
+// Figure9 reproduces the Tdata comparison for CS=977 (q=32, CD ∈ {21,16}).
+func Figure9(opt Options) ([]Figure, error) { return tdataFigureSet(9, 32, opt.OrdersLarge) }
+
+// Figure10 reproduces the Tdata comparison for CS=245 (q=64, CD ∈ {6,4}).
+func Figure10(opt Options) ([]Figure, error) { return tdataFigureSet(10, 64, opt.OrdersLarge) }
+
+// Figure11 reproduces the Tdata comparison for CS=157 (q=80, CD ∈ {4,3}).
+func Figure11(opt Options) ([]Figure, error) { return tdataFigureSet(11, 80, opt.OrdersLarge) }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// ScalingStudy sweeps the core count and checks the model's scaling
+// predictions, a first step toward the paper's "clusters of multicores"
+// future work: for the Maximum Reuse variants, MS is independent of p
+// (the shared cache sees the same traffic however it is divided) while
+// MD scales as 1/p (per-core work shrinks); the distributed-cache total
+// p·MD stays constant.
+//
+// The per-core distributed capacity is held fixed and the shared cache
+// grows with p·CD as the inclusion constraint requires — the same
+// convention a CMP family would follow when adding cores.
+func ScalingStudy(opt Options) ([]Figure, error) {
+	// Round the order up to a multiple of the largest super-tile
+	// (grid 4×4 with µ=4 → 16 blocks) so the work splits evenly at every
+	// core count; ragged edges would otherwise leave some cores idle on
+	// boundary tiles and break the clean 1/p comparison.
+	order := (opt.OrdersLarge[len(opt.OrdersLarge)-1] + 15) / 16 * 16
+	w := algo.Square(order)
+	cores := []int{1, 2, 4, 8, 16}
+
+	var figs []Figure
+	for _, spec := range []struct {
+		a      algo.Algorithm
+		metric metric
+		ylabel string
+	}{
+		{algo.DistributedOpt{}, metricMD, "distributed cache misses MD"},
+		{algo.SharedOpt{}, metricMS, "shared cache misses MS"},
+	} {
+		measured := report.Series{Name: spec.a.Name() + " (IDEAL)"}
+		ideal1 := report.Series{Name: "perfect 1/p scaling"}
+		var base float64
+		for _, p := range cores {
+			m := machine.Machine{
+				P:      p,
+				CD:     21,
+				CS:     max(977, p*21),
+				SigmaS: machine.DefaultSigmaS,
+				SigmaD: machine.DefaultSigmaD,
+				Q:      32,
+			}
+			res, err := algo.RunIdeal(spec.a, m, w)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scaling %s p=%d: %w", spec.a.Name(), p, err)
+			}
+			v := spec.metric(res)
+			measured.Add(float64(p), v)
+			if p == cores[0] {
+				base = v
+			}
+			ideal1.Add(float64(p), base/float64(p))
+		}
+		series := []report.Series{measured}
+		if spec.metric(algo.Result{MD: 1}) == 1 { // MD study gets the 1/p reference
+			series = append(series, ideal1)
+		}
+		figs = append(figs, Figure{
+			ID:     fmt.Sprintf("scale-%s", shortName(spec.a.Name())),
+			Title:  fmt.Sprintf("Core scaling: %s, order %d blocks, CD=21 per core", spec.a.Name(), order),
+			XLabel: "cores p",
+			YLabel: spec.ylabel,
+			Notes:  "MD scales as 1/p for the distributed optimiser; MS of the shared optimiser is p-independent.",
+			Series: series,
+		})
+	}
+	return figs, nil
+}
+
+func shortName(name string) string {
+	switch name {
+	case "Shared Opt.":
+		return "sharedopt"
+	case "Distributed Opt.":
+		return "distopt"
+	default:
+		return "alg"
+	}
+}

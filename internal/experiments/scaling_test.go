@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalingStudy(t *testing.T) {
+	figs, err := ScalingStudy(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d scaling figures, want 2", len(figs))
+	}
+
+	// Distributed Opt.: MD must track 1/p closely (equal work split plus
+	// a p-independent per-core stream shape).
+	md := byName(t, figs[0], "Distributed Opt. (IDEAL)")
+	ref := byName(t, figs[0], "perfect 1/p scaling")
+	for i := range md.Points {
+		got, want := md.Points[i].Y, ref.Points[i].Y
+		if math.Abs(got-want) > 0.25*want {
+			t.Errorf("p=%v: MD=%v deviates from 1/p reference %v by >25%%", md.Points[i].X, got, want)
+		}
+	}
+
+	// Shared Opt.: MS must be exactly p-independent — same λ, same
+	// shared traffic, whatever the core count.
+	ms := byName(t, figs[1], "Shared Opt. (IDEAL)")
+	for i := 1; i < len(ms.Points); i++ {
+		if ms.Points[i].Y != ms.Points[0].Y {
+			t.Errorf("MS changed with p: %v at p=%v vs %v at p=%v",
+				ms.Points[i].Y, ms.Points[i].X, ms.Points[0].Y, ms.Points[0].X)
+		}
+	}
+}

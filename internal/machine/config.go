@@ -1,0 +1,82 @@
+package machine
+
+import "fmt"
+
+// The paper's evaluation simulates "a realistic quad-core processor with
+// 8MB of shared cache and four distributed caches of size 256KB dedicated
+// to both data and instruction", with either two-thirds (default) or one
+// half (pessimistic) of each distributed cache available for data. This
+// file encodes the resulting block capacities exactly as §4.1 lists them.
+
+// Config is one of the paper's cache configurations.
+type Config struct {
+	Name          string
+	Q             int // block edge in coefficients
+	CS            int // shared capacity in blocks
+	CDOptimistic  int // distributed capacity, data = 2/3 of cache
+	CDPessimistic int // distributed capacity, data = 1/2 of cache
+}
+
+// PaperConfigs returns the three (q, CS, CD) configurations of §4.1:
+//
+//	q=32: CS=977, CD=21 (or 16) — q=64: CS=245, CD=6 (or 4) — q=80: CS=157, CD=4 (or 3).
+func PaperConfigs() []Config {
+	return []Config{
+		{Name: "q32", Q: 32, CS: 977, CDOptimistic: 21, CDPessimistic: 16},
+		{Name: "q64", Q: 64, CS: 245, CDOptimistic: 6, CDPessimistic: 4},
+		{Name: "q80", Q: 80, CS: 157, CDOptimistic: 4, CDPessimistic: 3},
+	}
+}
+
+// PaperCores is the core count of the simulated quad-core processor.
+const PaperCores = 4
+
+// DefaultSigmaS and DefaultSigmaD are the bandwidths used for the Tdata
+// experiments of Figures 9–11. The paper leaves the absolute values
+// unspecified; we model distributed (private, closer to the core) caches
+// as four times faster than the shared cache, the regime the paper calls
+// realistic ("whenever distributed caches are significantly faster than
+// the shared cache"). Only the ratio influences algorithm ranking.
+const (
+	DefaultSigmaS = 1.0
+	DefaultSigmaD = 4.0
+)
+
+// Machine materialises a Config into a Machine with p cores and the
+// default bandwidths. pessimistic selects the half-cache CD.
+func (c Config) Machine(p int, pessimistic bool) Machine {
+	cd := c.CDOptimistic
+	if pessimistic {
+		cd = c.CDPessimistic
+	}
+	return Machine{
+		P:      p,
+		CS:     c.CS,
+		CD:     cd,
+		SigmaS: DefaultSigmaS,
+		SigmaD: DefaultSigmaD,
+		Q:      c.Q,
+	}
+}
+
+// BlocksFromBytes converts a raw cache size in bytes into a capacity in
+// q×q blocks of float64 coefficients, keeping fraction of the cache for
+// data. It documents how the paper's §4.1 constants derive from the
+// 8MB/256KB quad-core.
+func BlocksFromBytes(cacheBytes int, q int, fraction float64) int {
+	if cacheBytes <= 0 || q <= 0 || fraction <= 0 {
+		return 0
+	}
+	blockBytes := q * q * 8
+	return int(fraction * float64(cacheBytes) / float64(blockBytes))
+}
+
+// FindConfig returns the paper configuration with the given block size.
+func FindConfig(q int) (Config, error) {
+	for _, c := range PaperConfigs() {
+		if c.Q == q {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("machine: no paper configuration for q=%d (have 32, 64, 80)", q)
+}

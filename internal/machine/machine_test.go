@@ -1,0 +1,290 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func quad(p int) Machine {
+	return Machine{P: p, CS: 977, CD: 21, SigmaS: 1, SigmaD: 4, Q: 32}
+}
+
+func TestValidate(t *testing.T) {
+	if err := quad(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Machine{
+		{P: 0, CS: 100, CD: 10, SigmaS: 1, SigmaD: 1},
+		{P: 4, CS: 100, CD: 2, SigmaS: 1, SigmaD: 1},   // CD < 3
+		{P: 4, CS: 10, CD: 3, SigmaS: 1, SigmaD: 1},    // inclusion
+		{P: 4, CS: 100, CD: 3, SigmaS: 0, SigmaD: 1},   // σS
+		{P: 4, CS: 100, CD: 3, SigmaS: 1, SigmaD: -10}, // σD
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d (%v): expected validation error", i, m)
+		}
+	}
+}
+
+func TestLambdaMuPaperValues(t *testing.T) {
+	// λ is the largest integer with 1+λ+λ² ≤ CS.
+	cases := []struct{ cs, want int }{
+		{977, 30}, // 1+30+900 = 931 ≤ 977; 1+31+961 = 993 > 977
+		{245, 15}, // 1+15+225 = 241 ≤ 245; 1+16+256 > 245
+		{157, 12}, // 1+12+144 = 157 ≤ 157
+		{21, 4},   // 1+4+16 = 21 ≤ 21
+		{16, 3},   // 1+3+9 = 13 ≤ 16; 1+4+16 = 21 > 16
+		{6, 1},    // 1+1+1 = 3 ≤ 6; 1+2+4 = 7 > 6
+		{4, 1},
+		{3, 1},
+		{2, 0},
+		{0, 0},
+	}
+	for _, tc := range cases {
+		m := Machine{CS: tc.cs, CD: tc.cs}
+		if got := m.Lambda(); got != tc.want {
+			t.Errorf("Lambda(CS=%d) = %d, want %d", tc.cs, got, tc.want)
+		}
+		if got := m.Mu(); got != tc.want {
+			t.Errorf("Mu(CD=%d) = %d, want %d", tc.cs, got, tc.want)
+		}
+	}
+}
+
+// Property: λ always satisfies its defining inequality and maximality.
+func TestLambdaDefiningProperty(t *testing.T) {
+	f := func(csRaw uint16) bool {
+		cs := int(csRaw%5000) + 3
+		l := Machine{CS: cs}.Lambda()
+		if 1+l+l*l > cs {
+			return false
+		}
+		next := l + 1
+		return 1+next+next*next > cs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cases := []struct{ p, r, c int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {8, 2, 4}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4}, {7, 1, 7},
+	}
+	for _, tc := range cases {
+		m := Machine{P: tc.p}
+		r, c := m.Grid()
+		if r != tc.r || c != tc.c {
+			t.Errorf("Grid(%d) = %dx%d, want %dx%d", tc.p, r, c, tc.r, tc.c)
+		}
+		if r*c != tc.p {
+			t.Errorf("Grid(%d) does not cover all cores", tc.p)
+		}
+	}
+}
+
+func TestHalveScale(t *testing.T) {
+	m := quad(4)
+	h := m.Halve()
+	if h.CS != 488 || h.CD != 10 {
+		t.Fatalf("Halve: CS=%d CD=%d", h.CS, h.CD)
+	}
+	s := m.Scale(2)
+	if s.CS != 1954 || s.CD != 42 {
+		t.Fatalf("Scale: CS=%d CD=%d", s.CS, s.CD)
+	}
+	// Originals untouched.
+	if m.CS != 977 || m.CD != 21 {
+		t.Fatal("Halve/Scale mutated receiver")
+	}
+}
+
+func TestAlphaMax(t *testing.T) {
+	m := quad(4)
+	am := m.AlphaMax()
+	// α² + 2α ≤ CS must hold at αmax and fail just above.
+	if am*am+2*am > float64(m.CS)+1e-9 {
+		t.Fatalf("αmax=%g violates capacity", am)
+	}
+	above := am + 1e-6
+	if above*above+2*above <= float64(m.CS) {
+		t.Fatalf("αmax=%g not maximal", am)
+	}
+}
+
+func TestAlphaNumLimitAtRhoOne(t *testing.T) {
+	// ρ = p·σD/σS = 1 → αnum = √(CS/3).
+	m := Machine{P: 1, CS: 300, CD: 10, SigmaS: 1, SigmaD: 1}
+	got := m.AlphaNum()
+	want := math.Sqrt(100)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("AlphaNum at ρ=1: got %g, want %g", got, want)
+	}
+}
+
+func TestAlphaNumContinuity(t *testing.T) {
+	// The formula must be continuous across ρ=1.
+	base := Machine{P: 1, CS: 300, CD: 10, SigmaS: 1}
+	var prev float64
+	for i, sd := range []float64{0.99, 0.999, 1.0, 1.001, 1.01} {
+		m := base
+		m.SigmaD = sd
+		v := m.AlphaNum()
+		if i > 0 && math.Abs(v-prev) > 1.0 {
+			t.Fatalf("AlphaNum discontinuous near ρ=1: %g → %g", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestAlphaNumExtremes(t *testing.T) {
+	// σD ≫ σS: αnum → √CS (shared-optimised regime).
+	fast := Machine{P: 4, CS: 977, CD: 21, SigmaS: 1, SigmaD: 1e6}
+	if got, want := fast.AlphaNum(), math.Sqrt(977); math.Abs(got-want) > 1 {
+		t.Fatalf("fast σD: αnum=%g, want ≈ %g", got, want)
+	}
+	// σS ≫ σD: αnum → small (distributed-optimised regime).
+	slow := Machine{P: 4, CS: 977, CD: 21, SigmaS: 1e6, SigmaD: 1}
+	if got := slow.AlphaNum(); got > 1 {
+		t.Fatalf("slow σD: αnum=%g, want < 1", got)
+	}
+}
+
+func TestTradeoffFeasibility(t *testing.T) {
+	for _, cfg := range PaperConfigs() {
+		for _, pess := range []bool{false, true} {
+			m := cfg.Machine(PaperCores, pess)
+			tp := m.Tradeoff()
+			if tp.Alpha < 1 || tp.Beta < 1 || tp.Mu < 1 {
+				t.Fatalf("%s pess=%v: non-positive params %+v", cfg.Name, pess, tp)
+			}
+			if tp.Alpha*tp.Alpha+2*tp.Alpha*tp.Beta > m.CS {
+				t.Fatalf("%s pess=%v: α²+2αβ = %d exceeds CS=%d",
+					cfg.Name, pess, tp.Alpha*tp.Alpha+2*tp.Alpha*tp.Beta, m.CS)
+			}
+			gr, gc := m.Grid()
+			if tp.Alpha%(gr*tp.Mu) != 0 || tp.Alpha%(gc*tp.Mu) != 0 {
+				t.Fatalf("%s pess=%v: α=%d not divisible by grid·µ (%d,%d)·%d",
+					cfg.Name, pess, tp.Alpha, gr, gc, tp.Mu)
+			}
+		}
+	}
+}
+
+func TestTradeoffExtremeBandwidths(t *testing.T) {
+	m := quad(4)
+	m.SigmaD = 1e9 // distributed much faster → shared-optimised shape (α near αmax)
+	tp := m.Tradeoff()
+	if float64(tp.Alpha) < 0.7*m.AlphaMax() {
+		t.Fatalf("σD≫σS: α=%d too small vs αmax=%g", tp.Alpha, m.AlphaMax())
+	}
+	// β reclaims exactly the capacity the divisibility rounding of α
+	// freed: β = ⌊(CS−α²)/(2α)⌋ (≥1).
+	if want := max((m.CS-tp.Alpha*tp.Alpha)/(2*tp.Alpha), 1); tp.Beta != want {
+		t.Fatalf("σD≫σS: β=%d, want %d", tp.Beta, want)
+	}
+
+	m.SigmaD = 1e-9 // distributed much slower → α shrinks to √p·µ
+	tp = m.Tradeoff()
+	gr, _ := m.Grid()
+	if tp.Alpha != gr*tp.Mu {
+		t.Fatalf("σD≪σS: α=%d, want √p·µ=%d", tp.Alpha, gr*tp.Mu)
+	}
+}
+
+func TestTdata(t *testing.T) {
+	m := quad(4)
+	got := m.Tdata(100, 40)
+	want := 100.0/1.0 + 40.0/4.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Tdata = %g, want %g", got, want)
+	}
+}
+
+func TestBandwidthRatioRoundTrip(t *testing.T) {
+	m := quad(4)
+	for _, r := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		mr, err := m.WithBandwidthRatio(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mr.BandwidthRatio()-r) > 1e-12 {
+			t.Fatalf("ratio round-trip: got %g, want %g", mr.BandwidthRatio(), r)
+		}
+		if math.Abs(mr.SigmaS+mr.SigmaD-2) > 1e-12 {
+			t.Fatalf("normalisation broken: σS+σD = %g", mr.SigmaS+mr.SigmaD)
+		}
+	}
+	for _, r := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := m.WithBandwidthRatio(r); err == nil {
+			t.Fatalf("ratio %g must be rejected", r)
+		}
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	cfgs := PaperConfigs()
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	want := map[int][3]int{ // q → CS, CDopt, CDpess
+		32: {977, 21, 16},
+		64: {245, 6, 4},
+		80: {157, 4, 3},
+	}
+	for _, c := range cfgs {
+		w, ok := want[c.Q]
+		if !ok {
+			t.Fatalf("unexpected q=%d", c.Q)
+		}
+		if c.CS != w[0] || c.CDOptimistic != w[1] || c.CDPessimistic != w[2] {
+			t.Fatalf("config %s = %+v, want %v", c.Name, c, w)
+		}
+		for _, pess := range []bool{false, true} {
+			m := c.Machine(PaperCores, pess)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s pess=%v: %v", c.Name, pess, err)
+			}
+		}
+	}
+}
+
+func TestFindConfig(t *testing.T) {
+	c, err := FindConfig(64)
+	if err != nil || c.CS != 245 {
+		t.Fatalf("FindConfig(64) = %+v, %v", c, err)
+	}
+	if _, err := FindConfig(128); err == nil {
+		t.Fatal("expected error for unknown q")
+	}
+}
+
+func TestBlocksFromBytesMatchesPaperScale(t *testing.T) {
+	// 8 MB shared cache with q=32 float64 blocks → within rounding of
+	// the paper's CS=977 (the paper used decimal megabytes).
+	got := BlocksFromBytes(8_000_000, 32, 1.0)
+	if got < 950 || got > 1050 {
+		t.Fatalf("shared capacity %d blocks, want ≈977", got)
+	}
+	// 256 KB distributed cache, two thirds for data, q=32 → ≈21 blocks.
+	gotD := BlocksFromBytes(256*1024, 32, 2.0/3.0)
+	if gotD != 21 {
+		t.Fatalf("distributed capacity %d blocks, want 21", gotD)
+	}
+	// Pessimistic half split → 16 blocks.
+	if got := BlocksFromBytes(256*1024, 32, 0.5); got != 16 {
+		t.Fatalf("pessimistic distributed capacity %d, want 16", got)
+	}
+	if BlocksFromBytes(0, 32, 1) != 0 || BlocksFromBytes(100, 0, 1) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestStringContainsFields(t *testing.T) {
+	s := quad(4).String()
+	if len(s) == 0 {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,160 @@
+package matrix
+
+import "fmt"
+
+// MatrixID identifies which of the three operand matrices a block belongs
+// to. The cache simulator keys its lines on (MatrixID, block row, block
+// column), exactly matching the paper's block-granularity model.
+type MatrixID uint8
+
+// Operand matrices of the product C = A×B.
+const (
+	MatA MatrixID = iota
+	MatB
+	MatC
+	numMatrices
+)
+
+// String returns "A", "B" or "C".
+func (id MatrixID) String() string {
+	switch id {
+	case MatA:
+		return "A"
+	case MatB:
+		return "B"
+	case MatC:
+		return "C"
+	default:
+		return fmt.Sprintf("MatrixID(%d)", uint8(id))
+	}
+}
+
+// BlockCoord addresses one q×q block inside one operand matrix. It is the
+// cache-line identifier of the whole simulation stack.
+type BlockCoord struct {
+	Matrix MatrixID
+	Row    int // block row index
+	Col    int // block column index
+}
+
+// String renders a coordinate as e.g. "C[3,7]".
+func (b BlockCoord) String() string {
+	return fmt.Sprintf("%s[%d,%d]", b.Matrix, b.Row, b.Col)
+}
+
+// Blocked partitions a Dense matrix into q×q tiles. Ragged right/bottom
+// edges are allowed: edge tiles are smaller than q. Block coordinates run
+// over ceil(rows/q) × ceil(cols/q).
+type Blocked struct {
+	ID    MatrixID
+	Q     int
+	dense *Dense
+	brows int
+	bcols int
+}
+
+// NewBlocked wraps m as a blocked matrix with tile size q.
+func NewBlocked(id MatrixID, m *Dense, q int) (*Blocked, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("matrix: block size q=%d must be positive", q)
+	}
+	return &Blocked{
+		ID:    id,
+		Q:     q,
+		dense: m,
+		brows: ceilDiv(m.Rows(), q),
+		bcols: ceilDiv(m.Cols(), q),
+	}, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// BlockRows returns the number of block rows.
+func (b *Blocked) BlockRows() int { return b.brows }
+
+// BlockCols returns the number of block columns.
+func (b *Blocked) BlockCols() int { return b.bcols }
+
+// Dense returns the underlying dense matrix.
+func (b *Blocked) Dense() *Dense { return b.dense }
+
+// Block returns a view of tile (bi, bj). Edge tiles may be smaller than
+// q×q.
+func (b *Blocked) Block(bi, bj int) *Dense {
+	if bi < 0 || bi >= b.brows || bj < 0 || bj >= b.bcols {
+		panic(fmt.Sprintf("matrix: block (%d,%d) out of range %dx%d", bi, bj, b.brows, b.bcols))
+	}
+	i := bi * b.Q
+	j := bj * b.Q
+	r := min(b.Q, b.dense.Rows()-i)
+	c := min(b.Q, b.dense.Cols()-j)
+	return b.dense.View(i, j, r, c)
+}
+
+// Coord returns the BlockCoord of tile (bi, bj) of this matrix.
+func (b *Blocked) Coord(bi, bj int) BlockCoord {
+	return BlockCoord{Matrix: b.ID, Row: bi, Col: bj}
+}
+
+// Blocks returns the total number of tiles.
+func (b *Blocked) Blocks() int { return b.brows * b.bcols }
+
+// Triple bundles the three blocked operands of one product C = A×B with a
+// common tile size. It is the workload description handed both to the
+// trace-generating algorithms and to the real executor.
+type Triple struct {
+	A, B, C *Blocked
+}
+
+// NewTriple allocates dense operands for an (m×z)·(z×n) product where
+// m, n, z are expressed in *blocks* of size q (the unit used throughout
+// the paper's evaluation), fills A and B deterministically from seed and
+// zeroes C.
+func NewTriple(mBlocks, nBlocks, zBlocks, q int, seed uint64) (*Triple, error) {
+	if mBlocks <= 0 || nBlocks <= 0 || zBlocks <= 0 {
+		return nil, fmt.Errorf("matrix: block dimensions must be positive, got m=%d n=%d z=%d",
+			mBlocks, nBlocks, zBlocks)
+	}
+	a := Random(mBlocks*q, zBlocks*q, seed)
+	bm := Random(zBlocks*q, nBlocks*q, seed+1)
+	c := New(mBlocks*q, nBlocks*q)
+	ab, err := NewBlocked(MatA, a, q)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := NewBlocked(MatB, bm, q)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := NewBlocked(MatC, c, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Triple{A: ab, B: bb, C: cb}, nil
+}
+
+// Dims returns the block dimensions (m, n, z) of the product.
+func (t *Triple) Dims() (m, n, z int) {
+	return t.C.BlockRows(), t.C.BlockCols(), t.A.BlockCols()
+}
+
+// Validate checks that the three operands are conformable: A is m×z, B is
+// z×n and C is m×n in blocks, all with the same tile size.
+func (t *Triple) Validate() error {
+	if t.A.Q != t.B.Q || t.A.Q != t.C.Q {
+		return fmt.Errorf("matrix: mismatched tile sizes %d/%d/%d", t.A.Q, t.B.Q, t.C.Q)
+	}
+	if t.A.BlockRows() != t.C.BlockRows() {
+		return fmt.Errorf("matrix: A has %d block rows, C has %d: %w",
+			t.A.BlockRows(), t.C.BlockRows(), ErrShape)
+	}
+	if t.B.BlockCols() != t.C.BlockCols() {
+		return fmt.Errorf("matrix: B has %d block cols, C has %d: %w",
+			t.B.BlockCols(), t.C.BlockCols(), ErrShape)
+	}
+	if t.A.BlockCols() != t.B.BlockRows() {
+		return fmt.Errorf("matrix: A has %d block cols, B has %d block rows: %w",
+			t.A.BlockCols(), t.B.BlockRows(), ErrShape)
+	}
+	return nil
+}

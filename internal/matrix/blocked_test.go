@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockedDims(t *testing.T) {
+	m := New(10, 7)
+	b, err := NewBlocked(MatA, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BlockRows() != 3 || b.BlockCols() != 2 {
+		t.Fatalf("got %dx%d blocks, want 3x2", b.BlockRows(), b.BlockCols())
+	}
+	if b.Blocks() != 6 {
+		t.Fatalf("Blocks() = %d, want 6", b.Blocks())
+	}
+}
+
+func TestBlockedBadQ(t *testing.T) {
+	if _, err := NewBlocked(MatA, New(2, 2), 0); err == nil {
+		t.Fatal("expected error for q=0")
+	}
+}
+
+func TestBlockViewAndEdges(t *testing.T) {
+	m := New(10, 7)
+	m.FillFunc(func(i, j int) float64 { return float64(100*i + j) })
+	b, _ := NewBlocked(MatC, m, 4)
+
+	full := b.Block(0, 0)
+	if full.Rows() != 4 || full.Cols() != 4 {
+		t.Fatalf("interior block %dx%d, want 4x4", full.Rows(), full.Cols())
+	}
+	if full.At(1, 1) != 101 {
+		t.Fatalf("block content mismatch: %v", full.At(1, 1))
+	}
+
+	edge := b.Block(2, 1) // rows 8..9, cols 4..6
+	if edge.Rows() != 2 || edge.Cols() != 3 {
+		t.Fatalf("edge block %dx%d, want 2x3", edge.Rows(), edge.Cols())
+	}
+	if edge.At(1, 2) != 906 {
+		t.Fatalf("edge block content: %v, want 906", edge.At(1, 2))
+	}
+
+	edge.Set(0, 0, -1)
+	if m.At(8, 4) != -1 {
+		t.Fatal("block view does not share storage")
+	}
+}
+
+func TestBlockPanics(t *testing.T) {
+	b, _ := NewBlocked(MatA, New(4, 4), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range block")
+		}
+	}()
+	b.Block(2, 0)
+}
+
+func TestBlockCoordString(t *testing.T) {
+	c := BlockCoord{Matrix: MatC, Row: 3, Col: 7}
+	if c.String() != "C[3,7]" {
+		t.Fatalf("String() = %q", c.String())
+	}
+	if MatA.String() != "A" || MatB.String() != "B" {
+		t.Fatal("matrix id strings wrong")
+	}
+	if !strings.Contains(MatrixID(9).String(), "9") {
+		t.Fatal("unknown id should include numeric value")
+	}
+}
+
+func TestCoord(t *testing.T) {
+	b, _ := NewBlocked(MatB, New(4, 4), 2)
+	got := b.Coord(1, 0)
+	if got != (BlockCoord{Matrix: MatB, Row: 1, Col: 0}) {
+		t.Fatalf("Coord = %v", got)
+	}
+}
+
+func TestNewTripleAndValidate(t *testing.T) {
+	tr, err := NewTriple(3, 4, 5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, n, z := tr.Dims()
+	if m != 3 || n != 4 || z != 5 {
+		t.Fatalf("Dims = %d,%d,%d", m, n, z)
+	}
+	if tr.A.Dense().Rows() != 6 || tr.A.Dense().Cols() != 10 {
+		t.Fatalf("A dense dims %dx%d", tr.A.Dense().Rows(), tr.A.Dense().Cols())
+	}
+	// C must start zeroed.
+	if tr.C.Dense().FrobeniusNorm() != 0 {
+		t.Fatal("C not zeroed")
+	}
+}
+
+func TestNewTripleRejectsBadDims(t *testing.T) {
+	if _, err := NewTriple(0, 1, 1, 2, 1); err == nil {
+		t.Fatal("expected error for zero block dim")
+	}
+}
+
+func TestValidateCatchesMismatches(t *testing.T) {
+	mk := func(id MatrixID, r, c, q int) *Blocked {
+		b, err := NewBlocked(id, New(r, c), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		tr   Triple
+	}{
+		{"tile size", Triple{A: mk(MatA, 4, 4, 2), B: mk(MatB, 4, 4, 4), C: mk(MatC, 4, 4, 2)}},
+		{"A rows", Triple{A: mk(MatA, 6, 4, 2), B: mk(MatB, 4, 4, 2), C: mk(MatC, 4, 4, 2)}},
+		{"B cols", Triple{A: mk(MatA, 4, 4, 2), B: mk(MatB, 4, 6, 2), C: mk(MatC, 4, 4, 2)}},
+		{"inner", Triple{A: mk(MatA, 4, 6, 2), B: mk(MatB, 4, 4, 2), C: mk(MatC, 4, 4, 2)}},
+	}
+	for _, tc := range cases {
+		if err := tc.tr.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestBlockedMulViaBlocksMatchesReference(t *testing.T) {
+	// Multiply using explicit per-block MulAdd over a Triple and compare
+	// against the dense reference; exercises block views end to end.
+	tr, err := NewTriple(3, 2, 4, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, z := tr.Dims()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < z; k++ {
+				if err := MulAdd(tr.C.Block(i, j), tr.A.Block(i, k), tr.B.Block(k, j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	want := New(tr.C.Dense().Rows(), tr.C.Dense().Cols())
+	if err := MulNaive(want, tr.A.Dense(), tr.B.Dense()); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.C.Dense().EqualTol(want, 1e-12) {
+		t.Fatalf("block multiply mismatch (maxdiff %g)", tr.C.Dense().MaxAbsDiff(want))
+	}
+}

@@ -1,0 +1,226 @@
+// Package report renders experiment output: data series as CSV, ASCII
+// line charts for terminal inspection, and aligned text tables. It has
+// no knowledge of the paper — internal/experiments produces the data,
+// this package displays it.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points, one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// YAt returns the y value at the given x, or false if absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// WriteCSV emits the series in a wide format: one row per distinct x,
+// one column per series (empty cell when a series has no sample at that
+// x). Series names are header columns after xlabel.
+func WriteCSV(w io.Writer, xlabel string, series []Series) error {
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xlabel)
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for _, x := range xs {
+		row[0] = formatNum(x)
+		for i, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row[i+1] = formatNum(y)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Chart renders the series as an ASCII line chart of the given width and
+// height (characters). Each series is drawn with its own glyph; a legend
+// follows the plot.
+func Chart(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var xmin, xmax, ymax float64
+	xmin = math.Inf(1)
+	xmax = math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int((p.X - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int(p.Y/ymax*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s┌%s┐\n", formatAxis(ymax), strings.Repeat("─", width))
+	for r, line := range grid {
+		label := strings.Repeat(" ", 12)
+		if r == height-1 {
+			label = fmt.Sprintf("%-12s", "0")
+		}
+		fmt.Fprintf(&b, "%s│%s│\n", label, line)
+	}
+	fmt.Fprintf(&b, "%12s└%s┘\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%12s %-10s%*s\n", "", formatAxis(xmin), width-10, formatAxis(xmax))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func formatAxis(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return formatNum(v)
+	}
+}
+
+// Table builds fixed-width text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("─", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

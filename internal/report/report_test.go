@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndYAt(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Fatal("YAt must miss for absent x")
+	}
+}
+
+func TestWriteCSVWideFormat(t *testing.T) {
+	a := Series{Name: "alg-a", Points: []Point{{1, 10}, {2, 20}}}
+	b := Series{Name: "alg-b", Points: []Point{{2, 200}, {3, 300}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, "order", []Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if lines[0] != "order,alg-a,alg-b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if lines[1] != "1,10," {
+		t.Fatalf("row 1 = %q (missing cell must be empty)", lines[1])
+	}
+	if lines[2] != "2,20,200" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	if lines[3] != "3,,300" {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}
+
+func TestWriteCSVFloats(t *testing.T) {
+	s := Series{Name: "r", Points: []Point{{0.25, 1.5}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, "x", []Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.25,1.5") {
+		t.Fatalf("float formatting broken: %q", buf.String())
+	}
+}
+
+func TestChartContainsSeriesAndLegend(t *testing.T) {
+	a := Series{Name: "first", Points: []Point{{0, 0}, {10, 100}}}
+	b := Series{Name: "second", Points: []Point{{0, 50}, {10, 25}}}
+	out := Chart("my title", []Series{a, b}, 40, 10)
+	for _, frag := range []string{"my title", "first", "second", "*", "o"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("chart missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart rendering: %q", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point (xmin == xmax) and all-zero ys must not panic or
+	// divide by zero.
+	s := Series{Name: "pt", Points: []Point{{5, 0}}}
+	out := Chart("deg", []Series{s}, 20, 5)
+	if !strings.Contains(out, "pt") {
+		t.Fatal("degenerate chart broken")
+	}
+	// Minimum sizes clamp.
+	_ = Chart("tiny", []Series{s}, 1, 1)
+}
+
+func TestChartAxisFormatting(t *testing.T) {
+	big := Series{Name: "big", Points: []Point{{0, 2.5e9}, {1000, 1e6}}}
+	out := Chart("axes", []Series{big}, 30, 6)
+	if !strings.Contains(out, "G") {
+		t.Fatalf("giga axis label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.0k") {
+		t.Fatalf("kilo axis label missing:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	tb.AddRow("short") // padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// All rows equal width after alignment.
+	w := len(lines[2])
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("row wider than alignment: %q", l)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package reuse
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/matrix"
+)
+
+// Serialized trace format: a versioned gob envelope holding the per-core
+// streams of one recorded run. Traces recorded once (expensive) can be
+// re-analysed offline for any capacity without re-simulating.
+
+// traceFile is the on-disk envelope.
+type traceFile struct {
+	Version   int
+	Algorithm string
+	Cores     [][]matrix.BlockCoord
+	Shared    []matrix.BlockCoord
+}
+
+// traceVersion guards format evolution.
+const traceVersion = 1
+
+// Save writes the recorder's streams to w in gob format.
+func (r *Recorder) Save(w io.Writer, algorithm string) error {
+	tf := traceFile{
+		Version:   traceVersion,
+		Algorithm: algorithm,
+		Cores:     make([][]matrix.BlockCoord, len(r.Cores)),
+		Shared:    r.Shared.Accesses(),
+	}
+	for c := range r.Cores {
+		tf.Cores[c] = r.Cores[c].Accesses()
+	}
+	return gob.NewEncoder(w).Encode(tf)
+}
+
+// Load reads a recorder back from a trace written by Save, returning the
+// algorithm name it was recorded from.
+func Load(rd io.Reader) (*Recorder, string, error) {
+	var tf traceFile
+	if err := gob.NewDecoder(rd).Decode(&tf); err != nil {
+		return nil, "", fmt.Errorf("reuse: decoding trace: %w", err)
+	}
+	if tf.Version != traceVersion {
+		return nil, "", fmt.Errorf("reuse: trace version %d, want %d", tf.Version, traceVersion)
+	}
+	rec := NewRecorder(len(tf.Cores))
+	for c := range tf.Cores {
+		rec.Cores[c] = Stream{accesses: tf.Cores[c]}
+	}
+	rec.Shared = Stream{accesses: tf.Shared}
+	return rec, tf.Algorithm, nil
+}
+
+// Analyze builds the per-core reuse analysis of a recorder's streams
+// (used after Load; Record does this inline).
+func (r *Recorder) Analyze() []*Histogram {
+	out := make([]*Histogram, len(r.Cores))
+	for c := range r.Cores {
+		out[c] = NewHistogram(&r.Cores[c])
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package reuse
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+)
+
+// Recorder captures the access streams of one simulated run: one stream
+// per core (what its distributed cache sees) and one for the shared-
+// level staging accesses.
+type Recorder struct {
+	Cores  []Stream
+	Shared Stream
+}
+
+// NewRecorder prepares a recorder for p cores.
+func NewRecorder(p int) *Recorder {
+	return &Recorder{Cores: make([]Stream, p)}
+}
+
+// Probe returns the algo.Probe that feeds this recorder.
+func (r *Recorder) Probe() *algo.Probe {
+	return &algo.Probe{
+		CoreAccess: func(core int, l Line, _ bool) {
+			r.Cores[core].Append(l)
+		},
+		SharedAccess: func(l Line) {
+			r.Shared.Append(l)
+		},
+	}
+}
+
+// Analysis is the per-core reuse profile of one recorded run.
+type Analysis struct {
+	Machine   machine.Machine
+	Algorithm string
+	PerCore   []*Histogram
+}
+
+// Record runs algorithm a on machine m under the given setting with a
+// recorder attached and returns the reuse analysis of the per-core
+// streams. The returned result is the ordinary simulation result.
+func Record(a algo.Algorithm, m machine.Machine, w algo.Workload, s algo.Setting) (*Analysis, algo.Result, error) {
+	return RecordDeclared(a, m, m, w, s)
+}
+
+// RecordDeclared is Record with distinct actual and declared machines
+// (e.g. declared = actual.Halve() for the paper's LRU-50 setting). The
+// recorded streams depend only on the declared parameters, since they
+// shape the loop nests.
+func RecordDeclared(a algo.Algorithm, actual, declared machine.Machine, w algo.Workload, s algo.Setting) (*Analysis, algo.Result, error) {
+	rec := NewRecorder(actual.P)
+	w.Probe = rec.Probe()
+	res, err := a.Run(actual, declared, w, s)
+	if err != nil {
+		return nil, algo.Result{}, err
+	}
+	an := &Analysis{Machine: actual, Algorithm: a.Name(), PerCore: make([]*Histogram, actual.P)}
+	for c := range rec.Cores {
+		an.PerCore[c] = NewHistogram(&rec.Cores[c])
+	}
+	return an, res, nil
+}
+
+// MDFor predicts the paper's MD (maximum per-core distributed misses)
+// for a distributed cache of the given capacity, from the recorded
+// streams alone. For top-level (distributed) caches the streams are
+// capacity-independent, so one recording prices every CD — up to
+// back-invalidation effects of the inclusive hierarchy, which can only
+// add misses (see VerifyAgainst).
+func (an *Analysis) MDFor(capacity int) uint64 {
+	var best uint64
+	for _, h := range an.PerCore {
+		if v := h.MissesFor(capacity); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MDCurve evaluates MDFor over a capacity range.
+func (an *Analysis) MDCurve(capacities []int) []uint64 {
+	out := make([]uint64, len(capacities))
+	for i, c := range capacities {
+		out[i] = an.MDFor(c)
+	}
+	return out
+}
+
+// WorkingSet returns the largest per-core working set: the distributed
+// capacity beyond which only compulsory misses remain on every core.
+func (an *Analysis) WorkingSet() int {
+	ws := 0
+	for _, h := range an.PerCore {
+		if v := h.WorkingSet(); v > ws {
+			ws = v
+		}
+	}
+	return ws
+}
+
+// VerifyWorkload re-simulates algorithm a on workload w with distributed
+// capacity cd (same declared parameters as the recording) and compares
+// the simulated MD with the stack-analysis prediction.
+func (an *Analysis) VerifyWorkload(a algo.Algorithm, w algo.Workload, cd int, s algo.Setting) error {
+	m := an.Machine
+	m.CD = cd
+	if m.CS < m.P*m.CD {
+		m.CS = m.P * m.CD
+	}
+	res, err := a.Run(m, an.Machine, w, s)
+	if err != nil {
+		return err
+	}
+	want := an.MDFor(cd)
+	if res.MD < want {
+		return fmt.Errorf("reuse: simulated MD=%d below stack-analysis prediction %d for CD=%d (bug)",
+			res.MD, want, cd)
+	}
+	if res.MD > want {
+		return fmt.Errorf("reuse: simulated MD=%d above prediction %d for CD=%d (back-invalidation interference)",
+			res.MD, want, cd)
+	}
+	return nil
+}

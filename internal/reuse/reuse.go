@@ -1,0 +1,201 @@
+// Package reuse implements LRU stack-distance (reuse-distance) analysis
+// of block access streams — the classical Mattson et al. one-pass
+// technique: from a single recording of an algorithm's access stream it
+// derives the exact LRU miss count for *every* cache capacity at once.
+//
+// This extends the paper's evaluation: instead of re-simulating one
+// (CS, CD) point at a time, a recorded run yields the full miss-vs-
+// capacity curve, exposing exactly where an algorithm's working set
+// stops fitting (the cliffs behind Figure 8's q=64 collapse).
+//
+// The stack distance of an access is the number of *distinct* other
+// blocks touched since the previous access to the same block. A fully
+// associative LRU cache of capacity C hits the access iff the distance
+// is strictly below C; first accesses (infinite distance) always miss.
+package reuse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+)
+
+// Line aliases the simulator's block identifier.
+type Line = cache.Line
+
+// Stream is a recorded sequence of block accesses.
+type Stream struct {
+	accesses []Line
+}
+
+// Append records one access.
+func (s *Stream) Append(l Line) { s.accesses = append(s.accesses, l) }
+
+// Len returns the number of recorded accesses.
+func (s *Stream) Len() int { return len(s.accesses) }
+
+// Accesses exposes the recorded sequence (read-only by convention).
+func (s *Stream) Accesses() []Line { return s.accesses }
+
+// fenwick is a binary indexed tree over access positions, used to count
+// marked positions (most-recent accesses of distinct blocks) in a range.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions [0, i].
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Infinite marks the stack distance of a first (cold) access.
+const Infinite = -1
+
+// Distances computes the stack distance of every access in the stream
+// using the Fenwick-tree formulation of Mattson's algorithm, in
+// O(n log n) time and O(n) space. Cold accesses get Infinite.
+func Distances(s *Stream) []int {
+	n := s.Len()
+	out := make([]int, n)
+	ft := newFenwick(n)
+	last := make(map[Line]int, 256)
+	for t, l := range s.accesses {
+		if prev, ok := last[l]; ok {
+			// Distinct blocks accessed strictly between prev and t are
+			// exactly the marked (most-recent) positions in (prev, t).
+			out[t] = ft.prefix(t-1) - ft.prefix(prev)
+			ft.add(prev, -1)
+		} else {
+			out[t] = Infinite
+		}
+		ft.add(t, 1)
+		last[l] = t
+	}
+	return out
+}
+
+// Histogram is the distribution of stack distances of one stream.
+type Histogram struct {
+	// counts[d] is the number of accesses with stack distance d.
+	counts map[int]uint64
+	// cold is the number of first accesses (compulsory misses).
+	cold uint64
+	// total is the number of accesses.
+	total uint64
+	// sorted distinct distances, built lazily for the miss curve.
+	sorted []int
+	// cumulative[i] = number of accesses with distance ≥ sorted[i].
+	cumulative []uint64
+}
+
+// NewHistogram builds the distance histogram of a stream.
+func NewHistogram(s *Stream) *Histogram {
+	h := &Histogram{counts: make(map[int]uint64)}
+	for _, d := range Distances(s) {
+		h.total++
+		if d == Infinite {
+			h.cold++
+			continue
+		}
+		h.counts[d]++
+	}
+	h.build()
+	return h
+}
+
+func (h *Histogram) build() {
+	h.sorted = make([]int, 0, len(h.counts))
+	for d := range h.counts {
+		h.sorted = append(h.sorted, d)
+	}
+	sort.Ints(h.sorted)
+	h.cumulative = make([]uint64, len(h.sorted)+1)
+	// cumulative[i] = Σ counts[sorted[j]] for j ≥ i.
+	for i := len(h.sorted) - 1; i >= 0; i-- {
+		h.cumulative[i] = h.cumulative[i+1] + h.counts[h.sorted[i]]
+	}
+}
+
+// Total returns the number of accesses.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Cold returns the number of compulsory (first-access) misses.
+func (h *Histogram) Cold() uint64 { return h.cold }
+
+// Count returns the number of accesses with the exact distance d.
+func (h *Histogram) Count(d int) uint64 {
+	if d == Infinite {
+		return h.cold
+	}
+	return h.counts[d]
+}
+
+// MissesFor returns the exact number of misses the stream incurs on a
+// fully associative LRU cache of the given capacity: all cold accesses
+// plus every access whose stack distance is ≥ capacity.
+func (h *Histogram) MissesFor(capacity int) uint64 {
+	if capacity <= 0 {
+		return h.total
+	}
+	// First index with sorted[i] ≥ capacity.
+	i := sort.SearchInts(h.sorted, capacity)
+	return h.cold + h.cumulative[i]
+}
+
+// MissCurve evaluates MissesFor over the given capacities.
+func (h *Histogram) MissCurve(capacities []int) []uint64 {
+	out := make([]uint64, len(capacities))
+	for i, c := range capacities {
+		out[i] = h.MissesFor(c)
+	}
+	return out
+}
+
+// MinCapacityFor returns the smallest capacity whose miss count does not
+// exceed budget, or ok=false if even an infinite cache misses more than
+// that (budget < cold misses).
+func (h *Histogram) MinCapacityFor(budget uint64) (capacity int, ok bool) {
+	if h.cold > budget {
+		return 0, false
+	}
+	if h.MissesFor(1) <= budget {
+		return 1, true
+	}
+	// Miss count is non-increasing in capacity and constant between
+	// distance breakpoints; binary search the smallest breakpoint whose
+	// capacity (distance+1) meets the budget. i = len-1 always succeeds
+	// because cold ≤ budget.
+	idx := sort.Search(len(h.sorted), func(i int) bool {
+		return h.cold+h.cumulative[i+1] <= budget
+	})
+	return h.sorted[idx] + 1, true
+}
+
+// WorkingSet returns the smallest LRU capacity at which the stream
+// incurs only compulsory misses (one above the largest finite stack
+// distance; 0 for streams with no reuse at all).
+func (h *Histogram) WorkingSet() int {
+	if len(h.sorted) == 0 {
+		return 0
+	}
+	return h.sorted[len(h.sorted)-1] + 1
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("reuse: %d accesses, %d cold, %d distinct distances, working set ≈ %d blocks",
+		h.total, h.cold, len(h.sorted), h.WorkingSet())
+}

@@ -1,0 +1,123 @@
+// Package repro is the public facade of the reproduction of
+//
+//	Jacquelin, Marchal, Robert — "Complexity analysis and performance
+//	evaluation of matrix product on multicore architectures"
+//	(LIP RRLIP2009-09 / ICPP 2009).
+//
+// It re-exports the stable surface of the internal packages so that a
+// downstream user needs a single import:
+//
+//	sim, _ := repro.NewSimulator(repro.QuadCore(32, false))
+//	res, _ := sim.RunByName("Tradeoff", repro.Square(96), repro.SettingLRU50)
+//	fmt.Println(res.MS, res.MD, res.Tdata)
+//
+// The three layers underneath are:
+//
+//   - the cache simulator and machine model (capacities in q×q blocks,
+//     IDEAL and LRU replacement, inclusive two-level hierarchy);
+//   - the six algorithms of the paper's evaluation with their
+//     closed-form miss predictions and the §2.3 lower bounds;
+//   - a real executor that runs the same schedules with one goroutine
+//     per core on float64 data.
+package repro
+
+import (
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Machine is the multicore model: p cores, shared cache of CS blocks
+// (bandwidth σS) above p distributed caches of CD blocks (bandwidth σD).
+type Machine = machine.Machine
+
+// Config is one of the paper's (q, CS, CD) cache configurations.
+type Config = machine.Config
+
+// Workload is the block-dimension triple (M, N, Z) of one product.
+type Workload = algo.Workload
+
+// Result carries the metrics of one simulated run.
+type Result = algo.Result
+
+// Algorithm is one simulated matrix-product strategy.
+type Algorithm = algo.Algorithm
+
+// Simulator runs algorithms on one machine configuration.
+type Simulator = core.Simulator
+
+// Comparison is a side-by-side result table with lower-bound ratios.
+type Comparison = core.Comparison
+
+// RunSetting names the experimental settings (IDEAL, LRU, LRU-2x,
+// LRU-50).
+type RunSetting = core.RunSetting
+
+// BoundsReport carries every §2.3 lower bound for one workload.
+type BoundsReport = bounds.Report
+
+// Triple bundles real float64 operands for the executor.
+type Triple = matrix.Triple
+
+// The four run settings of the paper's evaluation.
+const (
+	SettingIdeal = core.SettingIdeal
+	SettingLRU   = core.SettingLRU
+	SettingLRU2x = core.SettingLRU2x
+	SettingLRU50 = core.SettingLRU50
+)
+
+// NewSimulator validates the machine and returns a simulator for it.
+func NewSimulator(m Machine) (*Simulator, error) { return core.New(m) }
+
+// Square returns the square workload of order n blocks.
+func Square(n int) Workload { return algo.Square(n) }
+
+// Algorithms returns the six algorithms of the paper in evaluation
+// order: Shared Opt., Distributed Opt., Tradeoff, Outer Product, Shared
+// Equal, Distributed Equal.
+func Algorithms() []Algorithm { return algo.All() }
+
+// AlgorithmByName resolves a display name to its algorithm.
+func AlgorithmByName(name string) (Algorithm, error) { return algo.ByName(name) }
+
+// PaperConfigs returns the three cache configurations of §4.1
+// (q ∈ {32, 64, 80}).
+func PaperConfigs() []Config { return machine.PaperConfigs() }
+
+// QuadCore returns the paper's "realistic quad-core" machine for block
+// size q (32, 64 or 80); pessimistic selects the half-cache distributed
+// capacity. It panics on an unknown q — use machine.FindConfig for a
+// checked lookup.
+func QuadCore(q int, pessimistic bool) Machine {
+	cfg, err := machine.FindConfig(q)
+	if err != nil {
+		panic(err)
+	}
+	return cfg.Machine(machine.PaperCores, pessimistic)
+}
+
+// Bounds evaluates the §2.3 lower bounds for an m×n×z block product on
+// machine mach.
+func Bounds(mach Machine, w Workload) BoundsReport {
+	return bounds.NewReport(mach, w.M, w.N, w.Z)
+}
+
+// NewTriple allocates and fills real operands for an (m×z)·(z×n) block
+// product with tile size q.
+func NewTriple(mBlocks, nBlocks, zBlocks, q int, seed uint64) (*Triple, error) {
+	return matrix.NewTriple(mBlocks, nBlocks, zBlocks, q, seed)
+}
+
+// Multiply executes algorithm name for real on the triple's data using
+// one goroutine per core of mach.
+func Multiply(name string, t *Triple, mach Machine) error {
+	return parallel.Multiply(name, t, mach)
+}
+
+// Verify recomputes the triple's product sequentially and returns the
+// maximum absolute deviation of C.
+func Verify(t *Triple) (float64, error) { return parallel.Verify(t) }
