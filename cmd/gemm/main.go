@@ -4,7 +4,7 @@
 //
 // Examples:
 //
-//	gemm -order 16                   # all four executable schedules, 16x16 blocks of 32x32
+//	gemm -order 16                   # every registered schedule, 16x16 blocks of 32x32
 //	gemm -algo "Tradeoff" -order 24 -q 64 -p 8
 package main
 
@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/algo"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -39,7 +40,7 @@ func main() {
 }
 
 func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
-	names := []string{"Shared Opt.", "Distributed Opt.", "Tradeoff", "Outer Product"}
+	names := algo.Names()
 	if algoName != "" {
 		names = []string{algoName}
 	}

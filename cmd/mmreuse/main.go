@@ -82,7 +82,7 @@ func run(algoName string, order, q int, capsArg, dump, load string) error {
 		rec := reuse.NewRecorder(mach.P)
 		wp := w
 		wp.Probe = rec.Probe()
-		if _, err := a.Run(mach, mach.Halve(), wp, algo.LRU); err != nil {
+		if _, err := algo.Run(a, mach, mach.Halve(), wp, algo.LRU); err != nil {
 			return err
 		}
 		printCurve(name, rec.Analyze(), capacities)

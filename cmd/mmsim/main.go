@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/algo"
 	"repro/internal/bounds"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		algoName    = flag.String("algo", "", "algorithm name (default: all); one of: Shared Opt., Distributed Opt., Tradeoff, Outer Product, Shared Equal, Distributed Equal")
+		algoName    = flag.String("algo", "", "algorithm name (default: all); one of: "+strings.Join(algo.Names(), ", "))
 		order       = flag.Int("order", 64, "square matrix order in blocks (overridden by -m/-n/-z)")
 		mDim        = flag.Int("m", 0, "block rows of C")
 		nDim        = flag.Int("n", 0, "block columns of C")

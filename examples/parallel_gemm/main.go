@@ -47,7 +47,7 @@ func main() {
 			seqTime.Round(time.Microsecond), flops/seqTime.Seconds()/1e9)
 	}
 
-	for _, name := range []string{"Shared Opt.", "Distributed Opt.", "Tradeoff", "Outer Product"} {
+	for _, name := range repro.AlgorithmNames() {
 		tr, err := repro.NewTriple(order, order, order, q, 7)
 		if err != nil {
 			log.Fatal(err)

@@ -280,7 +280,7 @@ func TestDistributedOptBeatsDistributedEqualOnMD(t *testing.T) {
 func TestMaximumReuseBeatsOuterProduct(t *testing.T) {
 	m := quadMachine()
 	w := Square(56)
-	outer, err := OuterProduct{}.Run(m, m, w, LRU)
+	outer, err := Run(OuterProduct{}, m, m, w, LRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +400,7 @@ func TestAllAlgorithmsComputeAllProducts(t *testing.T) {
 	for _, w := range []Workload{Square(8), {M: 9, N: 7, Z: 5}, {M: 13, N: 4, Z: 6}, {M: 1, N: 1, Z: 1}} {
 		for _, alg := range All() {
 			for _, s := range []Setting{Ideal, LRU} {
-				res, err := alg.Run(m, m, w, s)
+				res, err := Run(alg, m, m, w, s)
 				if err != nil {
 					t.Fatalf("%s %v %v: %v", alg.Name(), w, s, err)
 				}
@@ -424,7 +424,7 @@ func TestLoadBalanceOnDivisibleWorkloads(t *testing.T) {
 	m := smallMachine()
 	w := Square(24)
 	for _, alg := range All() {
-		res, err := alg.Run(m, m, w, LRU)
+		res, err := Run(alg, m, m, w, LRU)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -489,10 +489,10 @@ func TestRaggedWorkloadsRunCleanly(t *testing.T) {
 	m := quadMachine()
 	for _, w := range []Workload{{M: 31, N: 17, Z: 7}, {M: 5, N: 61, Z: 11}, {M: 1, N: 97, Z: 3}} {
 		for _, alg := range All() {
-			if _, err := alg.Run(m, m, w, Ideal); err != nil {
+			if _, err := Run(alg, m, m, w, Ideal); err != nil {
 				t.Fatalf("%s %v IDEAL: %v", alg.Name(), w, err)
 			}
-			if _, err := alg.Run(m, m, w, LRU); err != nil {
+			if _, err := Run(alg, m, m, w, LRU); err != nil {
 				t.Fatalf("%s %v LRU: %v", alg.Name(), w, err)
 			}
 		}
@@ -502,7 +502,7 @@ func TestRaggedWorkloadsRunCleanly(t *testing.T) {
 func TestInvalidWorkloadRejected(t *testing.T) {
 	m := smallMachine()
 	for _, alg := range All() {
-		if _, err := alg.Run(m, m, Workload{}, LRU); err == nil {
+		if _, err := Run(alg, m, m, Workload{}, LRU); err == nil {
 			t.Fatalf("%s accepted empty workload", alg.Name())
 		}
 	}
@@ -512,11 +512,11 @@ func TestDeterminism(t *testing.T) {
 	m := quadMachine()
 	w := Workload{M: 19, N: 23, Z: 9}
 	for _, alg := range All() {
-		r1, err := alg.Run(m, m, w, LRU)
+		r1, err := Run(alg, m, m, w, LRU)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := alg.Run(m, m, w, LRU)
+		r2, err := Run(alg, m, m, w, LRU)
 		if err != nil {
 			t.Fatal(err)
 		}

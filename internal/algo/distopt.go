@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // DistributedOpt is Algorithm 2: the adaptation of the Maximum Reuse
@@ -42,118 +43,119 @@ func (a DistributedOpt) Predict(declared machine.Machine, w Workload) (ms, md fl
 	return ms, md, true
 }
 
-// Run simulates Algorithm 2.
-func (a DistributedOpt) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+// Schedule emits Algorithm 2's loop nest.
+func (a DistributedOpt) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	mu, gr, gc := a.Params(declared)
 	if mu < 1 {
-		return Result{}, fmt.Errorf("algo: %s needs CD ≥ 3 declared blocks, got %d", a.Name(), declared.CD)
-	}
-	e, err := NewExec(actual, s, w.Probe)
-	if err != nil {
-		return Result{}, err
+		return nil, fmt.Errorf("algo: %s needs CD ≥ 3 declared blocks, got %d", a.Name(), declared.CD)
 	}
 
 	tileI := gr * mu // super-tile height in blocks
 	tileJ := gc * mu // super-tile width in blocks
 
-	for i0 := 0; i0 < w.M; i0 += tileI {
-		ilen := min(tileI, w.M-i0)
-		for j0 := 0; j0 < w.N; j0 += tileJ {
-			jlen := min(tileJ, w.N-j0)
+	body := func(b schedule.Backend) {
+		for i0 := 0; i0 < w.M; i0 += tileI {
+			ilen := min(tileI, w.M-i0)
+			for j0 := 0; j0 < w.N; j0 += tileJ {
+				jlen := min(tileJ, w.N-j0)
 
-			// Load a new (√p·µ)×(√p·µ) block of C in the shared cache.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					e.StageShared(lineC(i0+bi, j0+bj))
-				}
-			}
-
-			// Each core stages its private µ×µ sub-block of C.
-			e.Parallel(func(c int, ops *CoreOps) {
-				rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
-				for bi := rlo; bi < rhi; bi++ {
-					for bj := clo; bj < chi; bj++ {
-						ops.Stage(lineC(i0+bi, j0+bj))
+				// Load a new (√p·µ)×(√p·µ) block of C in the shared cache.
+				for bi := 0; bi < ilen; bi++ {
+					for bj := 0; bj < jlen; bj++ {
+						b.StageShared(lineC(i0+bi, j0+bj))
 					}
 				}
-			})
 
-			for k := 0; k < w.Z; k++ {
-				// Load a row B[k; j0..j0+√p·µ] of B in the shared cache,
-				// and each core its µ-wide fragment.
-				for bj := 0; bj < jlen; bj++ {
-					e.StageShared(lineB(k, j0+bj))
-				}
-				e.Parallel(func(c int, ops *CoreOps) {
-					_, _, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
-					for bj := clo; bj < chi; bj++ {
-						ops.Stage(lineB(k, j0+bj))
-					}
-				})
-
-				// √p elements of the k-th column of A transit through the
-				// shared cache at a time (one per core-grid row); the
-				// cores of one grid row share the same element.
-				for ii := 0; ii < mu; ii++ {
-					for r := 0; r < gr; r++ {
-						if row := r*mu + ii; row < ilen {
-							e.StageShared(lineA(i0+row, k))
-						}
-					}
-					e.Parallel(func(c int, ops *CoreOps) {
-						rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
-						row := rlo + ii
-						if row >= rhi || clo >= chi {
-							return
-						}
-						al := lineA(i0+row, k)
-						ops.Stage(al)
+				// Each core stages its private µ×µ sub-block of C.
+				b.Parallel(func(c int, ops schedule.CoreSink) {
+					rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+					for bi := rlo; bi < rhi; bi++ {
 						for bj := clo; bj < chi; bj++ {
-							ops.Read(al)
-							ops.Read(lineB(k, j0+bj))
-							ops.Write(lineC(i0+row, j0+bj))
+							ops.Stage(lineC(i0+bi, j0+bj))
 						}
-						ops.Unstage(al)
-					})
-					for r := 0; r < gr; r++ {
-						if row := r*mu + ii; row < ilen {
-							e.UnstageShared(lineA(i0+row, k))
-						}
-					}
-				}
-
-				e.Parallel(func(c int, ops *CoreOps) {
-					_, _, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
-					for bj := clo; bj < chi; bj++ {
-						ops.Unstage(lineB(k, j0+bj))
 					}
 				})
-				for bj := 0; bj < jlen; bj++ {
-					e.UnstageShared(lineB(k, j0+bj))
-				}
-			}
 
-			// Cores write their finished sub-blocks back to the shared
-			// cache, then the super-tile returns to main memory.
-			e.Parallel(func(c int, ops *CoreOps) {
-				rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
-				for bi := rlo; bi < rhi; bi++ {
-					for bj := clo; bj < chi; bj++ {
-						ops.Unstage(lineC(i0+bi, j0+bj))
+				for k := 0; k < w.Z; k++ {
+					// Load a row B[k; j0..j0+√p·µ] of B in the shared cache,
+					// and each core its µ-wide fragment.
+					for bj := 0; bj < jlen; bj++ {
+						b.StageShared(lineB(k, j0+bj))
+					}
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						_, _, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+						for bj := clo; bj < chi; bj++ {
+							ops.Stage(lineB(k, j0+bj))
+						}
+					})
+
+					// √p elements of the k-th column of A transit through the
+					// shared cache at a time (one per core-grid row); the
+					// cores of one grid row share the same element.
+					for ii := 0; ii < mu; ii++ {
+						for r := 0; r < gr; r++ {
+							if row := r*mu + ii; row < ilen {
+								b.StageShared(lineA(i0+row, k))
+							}
+						}
+						b.Parallel(func(c int, ops schedule.CoreSink) {
+							rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+							row := rlo + ii
+							if row >= rhi || clo >= chi {
+								return
+							}
+							al := lineA(i0+row, k)
+							ops.Stage(al)
+							for bj := clo; bj < chi; bj++ {
+								ops.Compute(i0+row, j0+bj, k)
+							}
+							ops.Unstage(al)
+						})
+						for r := 0; r < gr; r++ {
+							if row := r*mu + ii; row < ilen {
+								b.UnstageShared(lineA(i0+row, k))
+							}
+						}
+					}
+
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						_, _, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+						for bj := clo; bj < chi; bj++ {
+							ops.Unstage(lineB(k, j0+bj))
+						}
+					})
+					for bj := 0; bj < jlen; bj++ {
+						b.UnstageShared(lineB(k, j0+bj))
 					}
 				}
-			})
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					e.UnstageShared(lineC(i0+bi, j0+bj))
+
+				// Cores write their finished sub-blocks back to the shared
+				// cache, then the super-tile returns to main memory.
+				b.Parallel(func(c int, ops schedule.CoreSink) {
+					rlo, rhi, clo, chi := a.coreRegion(c, gr, gc, mu, ilen, jlen)
+					for bi := rlo; bi < rhi; bi++ {
+						for bj := clo; bj < chi; bj++ {
+							ops.Unstage(lineC(i0+bi, j0+bj))
+						}
+					}
+				})
+				for bi := 0; bi < ilen; bi++ {
+					for bj := 0; bj < jlen; bj++ {
+						b.UnstageShared(lineC(i0+bi, j0+bj))
+					}
 				}
 			}
 		}
 	}
-	return e.Finish(a.Name(), actual, declared, w)
+	return &schedule.Program{
+		Algorithm: a.Name(),
+		Cores:     declared.P,
+		Params:    schedule.Params{Mu: mu, GridRows: gr, GridCols: gc},
+		Body:      body,
+	}, nil
 }
 
 // coreRegion returns core c's sub-block bounds [rlo,rhi)×[clo,chi) inside

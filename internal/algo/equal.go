@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // The Equal algorithms are the paper's adaptation of Toledo's out-of-core
@@ -55,89 +56,90 @@ func (a SharedEqual) Predict(declared machine.Machine, w Workload) (ms, md float
 	return ms, md, true
 }
 
-// Run simulates SharedEqual.
-func (a SharedEqual) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+// Schedule emits the SharedEqual loop nest.
+func (a SharedEqual) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	e := a.Params(declared)
 	if e < 1 {
-		return Result{}, fmt.Errorf("algo: %s needs CS ≥ 3 declared blocks, got %d", a.Name(), declared.CS)
+		return nil, fmt.Errorf("algo: %s needs CS ≥ 3 declared blocks, got %d", a.Name(), declared.CS)
 	}
-	ex, err := NewExec(actual, s, w.Probe)
-	if err != nil {
-		return Result{}, err
-	}
-	p := actual.P
+	p := declared.P
 
-	for i0 := 0; i0 < w.M; i0 += e {
-		ilen := min(e, w.M-i0)
-		for j0 := 0; j0 < w.N; j0 += e {
-			jlen := min(e, w.N-j0)
+	body := func(b schedule.Backend) {
+		for i0 := 0; i0 < w.M; i0 += e {
+			ilen := min(e, w.M-i0)
+			for j0 := 0; j0 < w.N; j0 += e {
+				jlen := min(e, w.N-j0)
 
-			// The C tile occupies the first third for the whole k sweep.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					ex.StageShared(lineC(i0+bi, j0+bj))
-				}
-			}
-			for k0 := 0; k0 < w.Z; k0 += e {
-				klen := min(e, w.Z-k0)
-				// A panel and B panel fill the other two thirds.
+				// The C tile occupies the first third for the whole k sweep.
 				for bi := 0; bi < ilen; bi++ {
-					for bk := 0; bk < klen; bk++ {
-						ex.StageShared(lineA(i0+bi, k0+bk))
-					}
-				}
-				for bk := 0; bk < klen; bk++ {
 					for bj := 0; bj < jlen; bj++ {
-						ex.StageShared(lineB(k0+bk, j0+bj))
+						b.StageShared(lineC(i0+bi, j0+bj))
 					}
 				}
-
-				// Row-split tile update, element-wise at the distributed
-				// level (footprint 3 blocks per core).
-				ex.Parallel(func(c int, ops *CoreOps) {
-					rlo, rhi := split(ilen, p, c)
-					for bi := rlo; bi < rhi; bi++ {
+				for k0 := 0; k0 < w.Z; k0 += e {
+					klen := min(e, w.Z-k0)
+					// A panel and B panel fill the other two thirds.
+					for bi := 0; bi < ilen; bi++ {
 						for bk := 0; bk < klen; bk++ {
-							al := lineA(i0+bi, k0+bk)
-							ops.Stage(al)
-							for bj := 0; bj < jlen; bj++ {
-								bl := lineB(k0+bk, j0+bj)
-								cl := lineC(i0+bi, j0+bj)
-								ops.Stage(bl)
-								ops.Stage(cl)
-								ops.Read(al)
-								ops.Read(bl)
-								ops.Write(cl)
-								ops.Unstage(cl)
-								ops.Unstage(bl)
-							}
-							ops.Unstage(al)
+							b.StageShared(lineA(i0+bi, k0+bk))
 						}
 					}
-				})
-
-				for bi := 0; bi < ilen; bi++ {
 					for bk := 0; bk < klen; bk++ {
-						ex.UnstageShared(lineA(i0+bi, k0+bk))
+						for bj := 0; bj < jlen; bj++ {
+							b.StageShared(lineB(k0+bk, j0+bj))
+						}
+					}
+
+					// Row-split tile update, element-wise at the distributed
+					// level (footprint 3 blocks per core).
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						rlo, rhi := split(ilen, p, c)
+						for bi := rlo; bi < rhi; bi++ {
+							for bk := 0; bk < klen; bk++ {
+								al := lineA(i0+bi, k0+bk)
+								ops.Stage(al)
+								for bj := 0; bj < jlen; bj++ {
+									bl := lineB(k0+bk, j0+bj)
+									cl := lineC(i0+bi, j0+bj)
+									ops.Stage(bl)
+									ops.Stage(cl)
+									ops.Compute(i0+bi, j0+bj, k0+bk)
+									ops.Unstage(cl)
+									ops.Unstage(bl)
+								}
+								ops.Unstage(al)
+							}
+						}
+					})
+
+					for bi := 0; bi < ilen; bi++ {
+						for bk := 0; bk < klen; bk++ {
+							b.UnstageShared(lineA(i0+bi, k0+bk))
+						}
+					}
+					for bk := 0; bk < klen; bk++ {
+						for bj := 0; bj < jlen; bj++ {
+							b.UnstageShared(lineB(k0+bk, j0+bj))
+						}
 					}
 				}
-				for bk := 0; bk < klen; bk++ {
+				for bi := 0; bi < ilen; bi++ {
 					for bj := 0; bj < jlen; bj++ {
-						ex.UnstageShared(lineB(k0+bk, j0+bj))
+						b.UnstageShared(lineC(i0+bi, j0+bj))
 					}
-				}
-			}
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					ex.UnstageShared(lineC(i0+bi, j0+bj))
 				}
 			}
 		}
 	}
-	return ex.Finish(a.Name(), actual, declared, w)
+	return &schedule.Program{
+		Algorithm: a.Name(),
+		Cores:     p,
+		Params:    schedule.Params{Edge: e},
+		Body:      body,
+	}, nil
 }
 
 // DistributedEqual applies the equal-thirds split to each distributed
@@ -173,124 +175,125 @@ func (a DistributedEqual) Predict(declared machine.Machine, w Workload) (ms, md 
 	return ms, md, true
 }
 
-// Run simulates DistributedEqual.
-func (a DistributedEqual) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+// Schedule emits the DistributedEqual loop nest.
+func (a DistributedEqual) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	d := a.Params(declared)
 	if d < 1 {
-		return Result{}, fmt.Errorf("algo: %s needs CD ≥ 3 declared blocks, got %d", a.Name(), declared.CD)
+		return nil, fmt.Errorf("algo: %s needs CD ≥ 3 declared blocks, got %d", a.Name(), declared.CD)
 	}
-	ex, err := NewExec(actual, s, w.Probe)
-	if err != nil {
-		return Result{}, err
-	}
-	gr, gc := actual.Grid()
+	gr, gc := declared.Grid()
 	tileI := gr * d
 	tileJ := gc * d
 
-	for i0 := 0; i0 < w.M; i0 += tileI {
-		ilen := min(tileI, w.M-i0)
-		for j0 := 0; j0 < w.N; j0 += tileJ {
-			jlen := min(tileJ, w.N-j0)
+	body := func(b schedule.Backend) {
+		for i0 := 0; i0 < w.M; i0 += tileI {
+			ilen := min(tileI, w.M-i0)
+			for j0 := 0; j0 < w.N; j0 += tileJ {
+				jlen := min(tileJ, w.N-j0)
 
-			// Stage the cyclic round's C region and each core's tile.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					ex.StageShared(lineC(i0+bi, j0+bj))
-				}
-			}
-			ex.Parallel(func(c int, ops *CoreOps) {
-				rlo, rhi, clo, chi := cyclicRegion(c, gr, gc, d, ilen, jlen)
-				for bi := rlo; bi < rhi; bi++ {
-					for bj := clo; bj < chi; bj++ {
-						ops.Stage(lineC(i0+bi, j0+bj))
-					}
-				}
-			})
-
-			for k0 := 0; k0 < w.Z; k0 += d {
-				klen := min(d, w.Z-k0)
-				// Stage the A column panel (rows of the whole round) and
-				// B row panel shared by the grid rows/columns.
+				// Stage the cyclic round's C region and each core's tile.
 				for bi := 0; bi < ilen; bi++ {
-					for bk := 0; bk < klen; bk++ {
-						ex.StageShared(lineA(i0+bi, k0+bk))
-					}
-				}
-				for bk := 0; bk < klen; bk++ {
 					for bj := 0; bj < jlen; bj++ {
-						ex.StageShared(lineB(k0+bk, j0+bj))
+						b.StageShared(lineC(i0+bi, j0+bj))
 					}
 				}
-
-				ex.Parallel(func(c int, ops *CoreOps) {
+				b.Parallel(func(c int, ops schedule.CoreSink) {
 					rlo, rhi, clo, chi := cyclicRegion(c, gr, gc, d, ilen, jlen)
-					if rlo >= rhi || clo >= chi {
-						return
-					}
-					// Stream the core's d×d A and B tiles through its
-					// private cache, then update its C tile in place.
 					for bi := rlo; bi < rhi; bi++ {
-						for bk := 0; bk < klen; bk++ {
-							ops.Stage(lineA(i0+bi, k0+bk))
-						}
-					}
-					for bk := 0; bk < klen; bk++ {
 						for bj := clo; bj < chi; bj++ {
-							ops.Stage(lineB(k0+bk, j0+bj))
-						}
-					}
-					for bi := rlo; bi < rhi; bi++ {
-						for bk := 0; bk < klen; bk++ {
-							for bj := clo; bj < chi; bj++ {
-								ops.Read(lineA(i0+bi, k0+bk))
-								ops.Read(lineB(k0+bk, j0+bj))
-								ops.Write(lineC(i0+bi, j0+bj))
-							}
-						}
-					}
-					for bi := rlo; bi < rhi; bi++ {
-						for bk := 0; bk < klen; bk++ {
-							ops.Unstage(lineA(i0+bi, k0+bk))
-						}
-					}
-					for bk := 0; bk < klen; bk++ {
-						for bj := clo; bj < chi; bj++ {
-							ops.Unstage(lineB(k0+bk, j0+bj))
+							ops.Stage(lineC(i0+bi, j0+bj))
 						}
 					}
 				})
 
-				for bi := 0; bi < ilen; bi++ {
+				for k0 := 0; k0 < w.Z; k0 += d {
+					klen := min(d, w.Z-k0)
+					// Stage the A column panel (rows of the whole round) and
+					// B row panel shared by the grid rows/columns.
+					for bi := 0; bi < ilen; bi++ {
+						for bk := 0; bk < klen; bk++ {
+							b.StageShared(lineA(i0+bi, k0+bk))
+						}
+					}
 					for bk := 0; bk < klen; bk++ {
-						ex.UnstageShared(lineA(i0+bi, k0+bk))
+						for bj := 0; bj < jlen; bj++ {
+							b.StageShared(lineB(k0+bk, j0+bj))
+						}
 					}
-				}
-				for bk := 0; bk < klen; bk++ {
-					for bj := 0; bj < jlen; bj++ {
-						ex.UnstageShared(lineB(k0+bk, j0+bj))
-					}
-				}
-			}
 
-			ex.Parallel(func(c int, ops *CoreOps) {
-				rlo, rhi, clo, chi := cyclicRegion(c, gr, gc, d, ilen, jlen)
-				for bi := rlo; bi < rhi; bi++ {
-					for bj := clo; bj < chi; bj++ {
-						ops.Unstage(lineC(i0+bi, j0+bj))
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						rlo, rhi, clo, chi := cyclicRegion(c, gr, gc, d, ilen, jlen)
+						if rlo >= rhi || clo >= chi {
+							return
+						}
+						// Stream the core's d×d A and B tiles through its
+						// private cache, then update its C tile in place.
+						for bi := rlo; bi < rhi; bi++ {
+							for bk := 0; bk < klen; bk++ {
+								ops.Stage(lineA(i0+bi, k0+bk))
+							}
+						}
+						for bk := 0; bk < klen; bk++ {
+							for bj := clo; bj < chi; bj++ {
+								ops.Stage(lineB(k0+bk, j0+bj))
+							}
+						}
+						for bi := rlo; bi < rhi; bi++ {
+							for bk := 0; bk < klen; bk++ {
+								for bj := clo; bj < chi; bj++ {
+									ops.Compute(i0+bi, j0+bj, k0+bk)
+								}
+							}
+						}
+						for bi := rlo; bi < rhi; bi++ {
+							for bk := 0; bk < klen; bk++ {
+								ops.Unstage(lineA(i0+bi, k0+bk))
+							}
+						}
+						for bk := 0; bk < klen; bk++ {
+							for bj := clo; bj < chi; bj++ {
+								ops.Unstage(lineB(k0+bk, j0+bj))
+							}
+						}
+					})
+
+					for bi := 0; bi < ilen; bi++ {
+						for bk := 0; bk < klen; bk++ {
+							b.UnstageShared(lineA(i0+bi, k0+bk))
+						}
+					}
+					for bk := 0; bk < klen; bk++ {
+						for bj := 0; bj < jlen; bj++ {
+							b.UnstageShared(lineB(k0+bk, j0+bj))
+						}
 					}
 				}
-			})
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					ex.UnstageShared(lineC(i0+bi, j0+bj))
+
+				b.Parallel(func(c int, ops schedule.CoreSink) {
+					rlo, rhi, clo, chi := cyclicRegion(c, gr, gc, d, ilen, jlen)
+					for bi := rlo; bi < rhi; bi++ {
+						for bj := clo; bj < chi; bj++ {
+							ops.Unstage(lineC(i0+bi, j0+bj))
+						}
+					}
+				})
+				for bi := 0; bi < ilen; bi++ {
+					for bj := 0; bj < jlen; bj++ {
+						b.UnstageShared(lineC(i0+bi, j0+bj))
+					}
 				}
 			}
 		}
 	}
-	return ex.Finish(a.Name(), actual, declared, w)
+	return &schedule.Program{
+		Algorithm: a.Name(),
+		Cores:     declared.P,
+		Params:    schedule.Params{Edge: d, GridRows: gr, GridCols: gc},
+		Body:      body,
+	}, nil
 }
 
 // cyclicRegion returns core c's d×d tile bounds inside a (gr·d)×(gc·d)

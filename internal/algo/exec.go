@@ -1,5 +1,5 @@
 // Package algo implements the six matrix-product algorithms evaluated in
-// the paper on top of the cache simulator:
+// the paper (plus the cache-oblivious comparator) as schedule emitters:
 //
 //   - SharedOpt — Algorithm 1, the Multicore Maximum Reuse Algorithm
 //     tuned to minimise shared-cache misses MS (parameter λ);
@@ -10,10 +10,14 @@
 //   - SharedEqual / DistributedEqual — the Toledo-style equal-thirds
 //     baselines at either cache level.
 //
-// Every algorithm is written once as a loop nest over abstract cache
-// operations (Exec); the same body runs under the omniscient IDEAL policy
-// (explicit staging, validated residency) and under the classical LRU
-// policy (staging operations vanish, compute accesses drive the caches).
+// Every algorithm is written once, as a loop nest that emits a
+// backend-agnostic schedule.Program. This package's Exec is the cache
+// simulator backend: it replays the operation stream against the
+// two-level hierarchy under the omniscient IDEAL policy (explicit
+// staging, validated residency) or the classical LRU policy (staging
+// operations degrade to ordinary accesses, the policy picks victims).
+// The real-execution backend lives in internal/parallel and consumes the
+// very same programs.
 package algo
 
 import (
@@ -21,21 +25,15 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/machine"
-	"repro/internal/matrix"
+	"repro/internal/schedule"
 )
 
 // Line aliases the simulator's cache-line identifier (one q×q block).
 type Line = cache.Line
 
-// Probe observes the access streams of one run. Either callback may be
-// nil. CoreAccess fires for every distributed-level access (stages,
-// reads and writes issued by a core, in simulation order); SharedAccess
-// fires for every shared-level staging access. Probes see the streams
-// under every setting, including IDEAL.
-type Probe struct {
-	CoreAccess   func(core int, l Line, write bool)
-	SharedAccess func(l Line)
-}
+// Probe observes the access streams of one run; see schedule.Probe.
+// Probes see the streams under every setting, including IDEAL.
+type Probe = schedule.Probe
 
 // Workload is the block-dimension triple of one product C = A×B: A is
 // M×Z, B is Z×N and C is M×N, all in q×q blocks. An optional Probe
@@ -122,17 +120,52 @@ func (r Result) CCRD() float64 {
 	return float64(r.MD) / (r.Workload.Products() / float64(r.Actual.P))
 }
 
-// Algorithm is one simulated matrix-product strategy.
+// Algorithm is one matrix-product strategy: a named schedule emitter
+// with an optional closed-form miss prediction. Everything else —
+// simulation under the paper's settings, real parallel execution,
+// tracing — is derived from the emitted schedule by the backends.
 type Algorithm interface {
 	// Name returns the display name used in the paper's figures.
 	Name() string
-	// Run simulates the algorithm on a hierarchy with actual's
-	// capacities, deriving its parameters from declared (which differs
-	// from actual under the LRU-50 and LRU(2CS) settings).
-	Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error)
+	// Schedule binds the algorithm's loop nest to the parameters derived
+	// from the declared machine and returns the backend-agnostic
+	// program. It fails if the workload is invalid or the declared
+	// caches are too small for the algorithm's minimum footprint.
+	Schedule(declared machine.Machine, w Workload) (*schedule.Program, error)
 	// Predict returns the paper's closed-form MS and MD for this
 	// algorithm (§3), or ok=false if no closed form is stated.
 	Predict(declared machine.Machine, w Workload) (ms, md float64, ok bool)
+}
+
+// Run simulates algorithm a on a hierarchy with actual's capacities,
+// deriving the schedule from declared (which differs from actual under
+// the LRU-50 and LRU(2CS) settings). Demand-driven algorithms (no
+// staging discipline) always run under plain LRU regardless of s,
+// mirroring the paper's figures where their single curve appears
+// unchanged in every plot.
+func Run(a Algorithm, actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	prog, err := a.Schedule(declared, w)
+	if err != nil {
+		return Result{}, err
+	}
+	if prog.Cores != actual.P {
+		return Result{}, fmt.Errorf("algo: program %q wants %d cores, machine has %d",
+			prog.Algorithm, prog.Cores, actual.P)
+	}
+	if prog.DemandDriven {
+		s = LRU
+	}
+	e, err := NewExec(actual, s, w.Probe)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := prog.Emit(e); err != nil {
+		return Result{}, err
+	}
+	return e.Finish(prog.Algorithm, actual, declared, w)
 }
 
 // opKind enumerates the per-core operations recorded inside a parallel
@@ -148,7 +181,7 @@ const (
 
 // CoreOps records the operation stream of one core inside a parallel
 // region; the Exec replays the p streams round-robin to emulate
-// concurrent cores deterministically.
+// concurrent cores deterministically. It implements schedule.CoreSink.
 type CoreOps struct {
 	ops []coreOp
 }
@@ -172,10 +205,21 @@ func (o *CoreOps) Read(l Line) { o.ops = append(o.ops, coreOp{opRead, l}) }
 // Write records a compute write of l by this core.
 func (o *CoreOps) Write(l Line) { o.ops = append(o.ops, coreOp{opWrite, l}) }
 
-// Exec adapts one algorithm body to a concrete hierarchy and policy. All
-// cache errors are sticky: after the first failure every operation
-// becomes a no-op and Err reports the cause (IDEAL-mode errors always
-// indicate a bug in an algorithm's staging discipline).
+// Compute records the elementary block FMA C[i,j] += A[i,k]·B[k,j] as
+// its three accesses, preserving the paper's read-read-write order at
+// replay granularity (the round-robin interleaving switches cores
+// between the individual accesses, exactly as before the schedule IR).
+func (o *CoreOps) Compute(i, j, k int) {
+	o.Read(lineA(i, k))
+	o.Read(lineB(k, j))
+	o.Write(lineC(i, j))
+}
+
+// Exec adapts schedules to a concrete hierarchy and policy: it is the
+// cache-simulator backend of the schedule IR. All cache errors are
+// sticky: after the first failure every operation becomes a no-op and
+// Err reports the cause (IDEAL-mode errors always indicate a bug in an
+// algorithm's staging discipline).
 type Exec struct {
 	p       int
 	setting Setting
@@ -187,6 +231,9 @@ type Exec struct {
 	probe   *Probe
 	err     error
 }
+
+// Exec is the simulator backend of the schedule IR.
+var _ schedule.Backend = (*Exec)(nil)
 
 // NewExec builds an executor over a fresh hierarchy with the machine's
 // capacities under the given setting. probe may be nil.
@@ -258,7 +305,7 @@ func (e *Exec) UnstageShared(l Line) {
 // operation streams round-robin, one operation per core per round, to
 // emulate the paper's "foreach core c = 1..p in parallel" regions
 // deterministically.
-func (e *Exec) Parallel(body func(core int, ops *CoreOps)) {
+func (e *Exec) Parallel(body func(core int, ops schedule.CoreSink)) {
 	if e.err != nil {
 		return
 	}
@@ -373,22 +420,13 @@ func (e *Exec) Finish(name string, actual, declared machine.Machine, w Workload)
 	return res, nil
 }
 
-// split partitions length items into parts nearly equal chunks and
-// returns the half-open range [lo, hi) of chunk idx. Earlier chunks get
-// the larger shares, matching the paper's λ/p row split when p divides λ
-// and degrading gracefully otherwise.
+// split partitions length items into parts nearly equal chunks; see
+// schedule.Split.
 func split(length, parts, idx int) (lo, hi int) {
-	base := length / parts
-	rem := length % parts
-	lo = idx*base + min(idx, rem)
-	hi = lo + base
-	if idx < rem {
-		hi++
-	}
-	return lo, hi
+	return schedule.Split(length, parts, idx)
 }
 
 // lineA, lineB and lineC name blocks of the three operands.
-func lineA(i, k int) Line { return Line{Matrix: matrix.MatA, Row: i, Col: k} }
-func lineB(k, j int) Line { return Line{Matrix: matrix.MatB, Row: k, Col: j} }
-func lineC(i, j int) Line { return Line{Matrix: matrix.MatC, Row: i, Col: j} }
+func lineA(i, k int) Line { return schedule.LineA(i, k) }
+func lineB(k, j int) Line { return schedule.LineB(k, j) }
+func lineC(i, j int) Line { return schedule.LineC(i, j) }

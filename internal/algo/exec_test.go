@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 func execMachine() machine.Machine {
@@ -26,7 +27,7 @@ func TestExecIdealStagingDiscipline(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Referencing unstaged data must produce a sticky error.
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		if c == 0 {
 			ops.Read(lineA(0, 0))
 		}
@@ -52,7 +53,7 @@ func TestExecIdealInclusionDiscipline(t *testing.T) {
 	}
 	// Loading into a distributed cache without the shared copy violates
 	// inclusion.
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		if c == 1 {
 			ops.Stage(lineB(0, 0))
 		}
@@ -88,7 +89,7 @@ func TestExecParallelRoundRobinInterleaving(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		ops.Read(lineA(c, 0))
 		ops.Read(lineA(c, 1))
 	})
@@ -112,7 +113,7 @@ func TestExecParallelSequentialInterleaving(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		ops.Read(lineA(c, 0))
 		ops.Read(lineA(c, 1))
 	})
@@ -132,7 +133,7 @@ func TestExecParallelUnevenStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		n := 3
 		if c == 1 {
 			n = 1
@@ -167,7 +168,7 @@ func TestExecProbeUnstageInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		ops.Stage(lineA(c, 0))
 		ops.Unstage(lineA(c, 0))
 	})
@@ -183,7 +184,7 @@ func TestExecLRUStageActsAsRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		if c == 0 {
 			ops.Stage(lineA(0, 0))
 			ops.Read(lineA(0, 0)) // now a hit
@@ -203,7 +204,7 @@ func TestExecUpdatesCounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Parallel(func(c int, ops *CoreOps) {
+	e.Parallel(func(c int, ops schedule.CoreSink) {
 		for i := 0; i < c+1; i++ {
 			ops.Write(lineC(c, i))
 		}

@@ -2,6 +2,7 @@ package algo
 
 import (
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // CacheOblivious is the divide-and-conquer matrix product of the
@@ -31,47 +32,50 @@ func (CacheOblivious) Predict(machine.Machine, Workload) (float64, float64, bool
 	return 0, 0, false
 }
 
-// Run simulates the algorithm. As with OuterProduct, both settings run
-// the demand-driven LRU simulation.
-func (a CacheOblivious) Run(actual, declared machine.Machine, w Workload, _ Setting) (Result, error) {
+// Schedule emits the divide-and-conquer recursion. As with OuterProduct
+// the program is demand-driven: there is no staging schedule to hand to
+// an omniscient policy, so simulators always run it under plain LRU.
+func (a CacheOblivious) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	e, err := NewExec(actual, LRU, w.Probe)
-	if err != nil {
-		return Result{}, err
-	}
-	gr, gc := actual.Grid()
+	gr, gc := declared.Grid()
 
-	// One parallel region for the whole run would buffer mnz/p operations
-	// per core; instead the recursion is emitted in slabs of bounded
-	// size: the top-level k dimension is cut into chunks processed one
-	// parallel region at a time. The k cut does not change the recursion
-	// below it (k would be halved first anyway whenever it is largest).
-	const slabProducts = 1 << 14
-	slabZ := max(1, slabProducts/max(1, (w.M/max(1, gr))*(w.N/max(1, gc))))
-	for k0 := 0; k0 < w.Z; k0 += slabZ {
-		klen := min(slabZ, w.Z-k0)
-		e.Parallel(func(c int, ops *CoreOps) {
-			rlo, rhi := split(w.M, gr, c%gr)
-			clo, chi := split(w.N, gc, c/gr)
-			a.recurse(ops, rlo, rhi-rlo, clo, chi-clo, k0, klen)
-		})
+	body := func(b schedule.Backend) {
+		// One parallel region for the whole run would buffer mnz/p operations
+		// per core; instead the recursion is emitted in slabs of bounded
+		// size: the top-level k dimension is cut into chunks processed one
+		// parallel region at a time. The k cut does not change the recursion
+		// below it (k would be halved first anyway whenever it is largest).
+		const slabProducts = 1 << 14
+		slabZ := max(1, slabProducts/max(1, (w.M/max(1, gr))*(w.N/max(1, gc))))
+		for k0 := 0; k0 < w.Z; k0 += slabZ {
+			klen := min(slabZ, w.Z-k0)
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				rlo, rhi := split(w.M, gr, c%gr)
+				clo, chi := split(w.N, gc, c/gr)
+				a.recurse(ops, rlo, rhi-rlo, clo, chi-clo, k0, klen)
+			})
+		}
 	}
-	return e.Finish(a.Name(), actual, declared, w)
+	return &schedule.Program{
+		Algorithm:    a.Name(),
+		Cores:        declared.P,
+		Params:       schedule.Params{GridRows: gr, GridCols: gc},
+		DemandDriven: true,
+		Body:         body,
+	}, nil
 }
 
 // recurse emits the access stream of the sequential cache-oblivious
 // recursion on C[i0:i0+il) × B-cols[j0:j0+jl) with inner range
 // [k0, k0+kl).
-func (a CacheOblivious) recurse(ops *CoreOps, i0, il, j0, jl, k0, kl int) {
+func (a CacheOblivious) recurse(ops schedule.CoreSink, i0, il, j0, jl, k0, kl int) {
 	if il <= 0 || jl <= 0 || kl <= 0 {
 		return
 	}
 	if il == 1 && jl == 1 && kl == 1 {
-		ops.Read(lineA(i0, k0))
-		ops.Read(lineB(k0, j0))
-		ops.Write(lineC(i0, j0))
+		ops.Compute(i0, j0, k0)
 		return
 	}
 	// Halve the largest dimension; k halves run sequentially (they
@@ -90,10 +94,4 @@ func (a CacheOblivious) recurse(ops *CoreOps, i0, il, j0, jl, k0, kl int) {
 		a.recurse(ops, i0, il, j0, jl, k0, h)
 		a.recurse(ops, i0, il, j0, jl, k0+h, kl-h)
 	}
-}
-
-// Extended returns the paper's six algorithms plus the cache-oblivious
-// comparator.
-func Extended() []Algorithm {
-	return append(All(), CacheOblivious{})
 }

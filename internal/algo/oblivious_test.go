@@ -21,7 +21,7 @@ func TestExtendedRegistry(t *testing.T) {
 func TestCacheObliviousComputesAllProducts(t *testing.T) {
 	m := smallMachine()
 	for _, w := range []Workload{Square(8), {M: 9, N: 5, Z: 7}, {M: 1, N: 1, Z: 1}, {M: 17, N: 3, Z: 2}} {
-		res, err := CacheOblivious{}.Run(m, m, w, LRU)
+		res, err := Run(CacheOblivious{}, m, m, w, LRU)
 		if err != nil {
 			t.Fatalf("%v: %v", w, err)
 		}
@@ -38,11 +38,11 @@ func TestCacheObliviousComputesAllProducts(t *testing.T) {
 func TestCacheObliviousDeterministic(t *testing.T) {
 	m := quadMachine()
 	w := Workload{M: 13, N: 11, Z: 9}
-	r1, err := CacheOblivious{}.Run(m, m, w, LRU)
+	r1, err := Run(CacheOblivious{}, m, m, w, LRU)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := CacheOblivious{}.Run(m, m, w, LRU)
+	r2, err := Run(CacheOblivious{}, m, m, w, LRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestCacheObliviousDeterministic(t *testing.T) {
 func TestCacheObliviousCompetitiveWithAware(t *testing.T) {
 	m := quadMachine()
 	w := Square(64)
-	obl, err := CacheOblivious{}.Run(m, m, w, LRU)
+	obl, err := Run(CacheOblivious{}, m, m, w, LRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestCacheObliviousCompetitiveWithAware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outer, err := OuterProduct{}.Run(m, m, w, LRU)
+	outer, err := Run(OuterProduct{}, m, m, w, LRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestCacheObliviousCompetitiveWithAware(t *testing.T) {
 
 func TestCacheObliviousInvalidWorkload(t *testing.T) {
 	m := smallMachine()
-	if _, err := (CacheOblivious{}).Run(m, m, Workload{}, LRU); err == nil {
+	if _, err := Run(CacheOblivious{}, m, m, Workload{}, LRU); err == nil {
 		t.Fatal("empty workload must fail")
 	}
 }

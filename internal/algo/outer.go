@@ -2,6 +2,7 @@ package algo
 
 import (
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // OuterProduct is the ScaLAPACK-style outer-product baseline ([2] in the
@@ -23,41 +24,37 @@ func (OuterProduct) Predict(machine.Machine, Workload) (float64, float64, bool) 
 	return 0, 0, false
 }
 
-// Run simulates the outer-product algorithm. The setting argument is
-// accepted for interface uniformity but the simulation is always
-// demand-driven LRU, mirroring the paper's figures where the single
-// "Outer Product" curve appears unchanged in both the LRU-50 and IDEAL
-// plots.
-func (a OuterProduct) Run(actual, declared machine.Machine, w Workload, _ Setting) (Result, error) {
+// Schedule emits the outer-product loop nest. The program is marked
+// demand-driven: it issues no staging operations, so simulators always
+// run it under plain LRU — mirroring the paper's figures where the
+// single "Outer Product" curve appears unchanged in both the LRU-50 and
+// IDEAL plots.
+func (a OuterProduct) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	e, err := NewExec(actual, LRU, w.Probe)
-	if err != nil {
-		return Result{}, err
-	}
-	gr, gc := actual.Grid()
+	gr, gc := declared.Grid()
 
-	// One parallel region per outer step k keeps the replay buffers
-	// bounded by the per-core tile size.
-	for k := 0; k < w.Z; k++ {
-		e.Parallel(func(c int, ops *CoreOps) {
-			rlo, rhi := split(w.M, gr, c%gr)
-			clo, chi := split(w.N, gc, c/gr)
-			for i := rlo; i < rhi; i++ {
-				al := lineA(i, k)
-				for j := clo; j < chi; j++ {
-					ops.Read(al)
-					ops.Read(lineB(k, j))
-					ops.Write(lineC(i, j))
+	body := func(b schedule.Backend) {
+		// One parallel region per outer step k keeps the replay buffers
+		// bounded by the per-core tile size.
+		for k := 0; k < w.Z; k++ {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				rlo, rhi := split(w.M, gr, c%gr)
+				clo, chi := split(w.N, gc, c/gr)
+				for i := rlo; i < rhi; i++ {
+					for j := clo; j < chi; j++ {
+						ops.Compute(i, j, k)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
-	res, err := e.Finish(a.Name(), actual, declared, w)
-	if err != nil {
-		return Result{}, err
-	}
-	// Report under the requested setting label for uniform plotting.
-	return res, nil
+	return &schedule.Program{
+		Algorithm:    a.Name(),
+		Cores:        declared.P,
+		Params:       schedule.Params{GridRows: gr, GridCols: gc},
+		DemandDriven: true,
+		Body:         body,
+	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // SharedOpt is Algorithm 1: the adaptation of the Maximum Reuse Algorithm
@@ -48,78 +49,79 @@ func (a SharedOpt) Predict(declared machine.Machine, w Workload) (ms, md float64
 	return ms, md, true
 }
 
-// Run simulates Algorithm 1.
-func (a SharedOpt) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+// Schedule emits Algorithm 1's loop nest.
+func (a SharedOpt) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	lambda := a.Params(declared)
 	if lambda < 1 {
-		return Result{}, fmt.Errorf("algo: %s needs CS ≥ 3 declared blocks, got %d", a.Name(), declared.CS)
+		return nil, fmt.Errorf("algo: %s needs CS ≥ 3 declared blocks, got %d", a.Name(), declared.CS)
 	}
-	e, err := NewExec(actual, s, w.Probe)
-	if err != nil {
-		return Result{}, err
-	}
-	p := actual.P
+	p := declared.P
 
-	for i0 := 0; i0 < w.M; i0 += lambda {
-		ilen := min(lambda, w.M-i0)
-		for j0 := 0; j0 < w.N; j0 += lambda {
-			jlen := min(lambda, w.N-j0)
+	body := func(b schedule.Backend) {
+		for i0 := 0; i0 < w.M; i0 += lambda {
+			ilen := min(lambda, w.M-i0)
+			for j0 := 0; j0 < w.N; j0 += lambda {
+				jlen := min(lambda, w.N-j0)
 
-			// Load a new λ×λ block of C in the shared cache.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					e.StageShared(lineC(i0+bi, j0+bj))
-				}
-			}
-
-			for k := 0; k < w.Z; k++ {
-				// Load a row B[k; j0..j0+λ] of B in the shared cache.
-				for bj := 0; bj < jlen; bj++ {
-					e.StageShared(lineB(k, j0+bj))
-				}
+				// Load a new λ×λ block of C in the shared cache.
 				for bi := 0; bi < ilen; bi++ {
-					iRow := i0 + bi
-					// Load the element a = A[i'; k] in the shared cache,
-					// then distribute the row update over the p cores.
-					e.StageShared(lineA(iRow, k))
-					e.Parallel(func(c int, ops *CoreOps) {
-						lo, hi := split(jlen, p, c)
-						if lo == hi {
-							return
-						}
-						ops.Stage(lineA(iRow, k))
-						for j := lo; j < hi; j++ {
-							bl := lineB(k, j0+j)
-							cl := lineC(iRow, j0+j)
-							ops.Stage(bl)
-							ops.Stage(cl)
-							ops.Read(lineA(iRow, k))
-							ops.Read(bl)
-							ops.Write(cl)
-							// Update block Cc in the shared cache: the
-							// dirty copy merges upward on eviction.
-							ops.Unstage(cl)
-							ops.Unstage(bl)
-						}
-						ops.Unstage(lineA(iRow, k))
-					})
-					e.UnstageShared(lineA(iRow, k))
+					for bj := 0; bj < jlen; bj++ {
+						b.StageShared(lineC(i0+bi, j0+bj))
+					}
 				}
-				for bj := 0; bj < jlen; bj++ {
-					e.UnstageShared(lineB(k, j0+bj))
-				}
-			}
 
-			// Write back the block of C to the main memory.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					e.UnstageShared(lineC(i0+bi, j0+bj))
+				for k := 0; k < w.Z; k++ {
+					// Load a row B[k; j0..j0+λ] of B in the shared cache.
+					for bj := 0; bj < jlen; bj++ {
+						b.StageShared(lineB(k, j0+bj))
+					}
+					for bi := 0; bi < ilen; bi++ {
+						iRow := i0 + bi
+						// Load the element a = A[i'; k] in the shared cache,
+						// then distribute the row update over the p cores.
+						b.StageShared(lineA(iRow, k))
+						b.Parallel(func(c int, ops schedule.CoreSink) {
+							lo, hi := split(jlen, p, c)
+							if lo == hi {
+								return
+							}
+							ops.Stage(lineA(iRow, k))
+							for j := lo; j < hi; j++ {
+								bl := lineB(k, j0+j)
+								cl := lineC(iRow, j0+j)
+								ops.Stage(bl)
+								ops.Stage(cl)
+								ops.Compute(iRow, j0+j, k)
+								// Update block Cc in the shared cache: the
+								// dirty copy merges upward on eviction.
+								ops.Unstage(cl)
+								ops.Unstage(bl)
+							}
+							ops.Unstage(lineA(iRow, k))
+						})
+						b.UnstageShared(lineA(iRow, k))
+					}
+					for bj := 0; bj < jlen; bj++ {
+						b.UnstageShared(lineB(k, j0+bj))
+					}
+				}
+
+				// Write back the block of C to the main memory.
+				for bi := 0; bi < ilen; bi++ {
+					for bj := 0; bj < jlen; bj++ {
+						b.UnstageShared(lineC(i0+bi, j0+bj))
+					}
 				}
 			}
 		}
 	}
-	return e.Finish(a.Name(), actual, declared, w)
+	return &schedule.Program{
+		Algorithm: a.Name(),
+		Cores:     p,
+		Params:    schedule.Params{Lambda: lambda},
+		Body:      body,
+	}, nil
 }

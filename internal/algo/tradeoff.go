@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // Tradeoff is Algorithm 3: the adaptation of the Maximum Reuse Algorithm
@@ -48,139 +49,139 @@ func (a Tradeoff) Predict(declared machine.Machine, w Workload) (ms, md float64,
 	return ms, md, true
 }
 
-// Run simulates Algorithm 3.
-func (a Tradeoff) Run(actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
+// Schedule emits Algorithm 3's loop nest.
+func (a Tradeoff) Schedule(declared machine.Machine, w Workload) (*schedule.Program, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	tp := a.Params(declared)
 	if tp.Alpha < 1 || tp.Mu < 1 {
-		return Result{}, fmt.Errorf("algo: %s has no feasible parameters for %v", a.Name(), declared)
+		return nil, fmt.Errorf("algo: %s has no feasible parameters for %v", a.Name(), declared)
 	}
 	gr, gc := declared.Grid()
 	// Each core owns exactly one sub-block per tile when the tile is one
 	// cyclic round of the grid; then sub-blocks stay resident across the
 	// whole k loop (the paper's remark).
 	single := tp.Alpha == gr*tp.Mu && tp.Alpha == gc*tp.Mu
-
-	e, err := NewExec(actual, s, w.Probe)
-	if err != nil {
-		return Result{}, err
-	}
 	alpha, beta, mu := tp.Alpha, tp.Beta, tp.Mu
 
-	for i0 := 0; i0 < w.M; i0 += alpha {
-		ilen := min(alpha, w.M-i0)
-		for j0 := 0; j0 < w.N; j0 += alpha {
-			jlen := min(alpha, w.N-j0)
+	body := func(b schedule.Backend) {
+		for i0 := 0; i0 < w.M; i0 += alpha {
+			ilen := min(alpha, w.M-i0)
+			for j0 := 0; j0 < w.N; j0 += alpha {
+				jlen := min(alpha, w.N-j0)
 
-			// Load a new α×α block of C in the shared cache.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					e.StageShared(lineC(i0+bi, j0+bj))
-				}
-			}
-			if single {
-				e.Parallel(func(c int, ops *CoreOps) {
-					a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
-						for bi := rlo; bi < rhi; bi++ {
-							for bj := clo; bj < chi; bj++ {
-								ops.Stage(lineC(i0+bi, j0+bj))
-							}
-						}
-					})
-				})
-			}
-
-			for kb := 0; kb < w.Z; kb += beta {
-				blen := min(beta, w.Z-kb)
-
-				// Load a β×α block-row of B and an α×β block-column of A
-				// in the shared cache.
-				for k := kb; k < kb+blen; k++ {
-					for bj := 0; bj < jlen; bj++ {
-						e.StageShared(lineB(k, j0+bj))
-					}
-				}
+				// Load a new α×α block of C in the shared cache.
 				for bi := 0; bi < ilen; bi++ {
-					for k := kb; k < kb+blen; k++ {
-						e.StageShared(lineA(i0+bi, k))
+					for bj := 0; bj < jlen; bj++ {
+						b.StageShared(lineC(i0+bi, j0+bj))
 					}
 				}
-
-				e.Parallel(func(c int, ops *CoreOps) {
-					a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
-						if rlo >= rhi || clo >= chi {
-							return
-						}
-						if !single {
+				if single {
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
 							for bi := rlo; bi < rhi; bi++ {
 								for bj := clo; bj < chi; bj++ {
 									ops.Stage(lineC(i0+bi, j0+bj))
 								}
 							}
+						})
+					})
+				}
+
+				for kb := 0; kb < w.Z; kb += beta {
+					blen := min(beta, w.Z-kb)
+
+					// Load a β×α block-row of B and an α×β block-column of A
+					// in the shared cache.
+					for k := kb; k < kb+blen; k++ {
+						for bj := 0; bj < jlen; bj++ {
+							b.StageShared(lineB(k, j0+bj))
 						}
+					}
+					for bi := 0; bi < ilen; bi++ {
 						for k := kb; k < kb+blen; k++ {
-							for bj := clo; bj < chi; bj++ {
-								ops.Stage(lineB(k, j0+bj))
-							}
-							for bi := rlo; bi < rhi; bi++ {
-								al := lineA(i0+bi, k)
-								ops.Stage(al)
-								for bj := clo; bj < chi; bj++ {
-									ops.Read(al)
-									ops.Read(lineB(k, j0+bj))
-									ops.Write(lineC(i0+bi, j0+bj))
-								}
-								ops.Unstage(al)
-							}
-							for bj := clo; bj < chi; bj++ {
-								ops.Unstage(lineB(k, j0+bj))
-							}
+							b.StageShared(lineA(i0+bi, k))
 						}
-						if !single {
-							// Update the µ×µ block of C in the shared cache.
+					}
+
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
+							if rlo >= rhi || clo >= chi {
+								return
+							}
+							if !single {
+								for bi := rlo; bi < rhi; bi++ {
+									for bj := clo; bj < chi; bj++ {
+										ops.Stage(lineC(i0+bi, j0+bj))
+									}
+								}
+							}
+							for k := kb; k < kb+blen; k++ {
+								for bj := clo; bj < chi; bj++ {
+									ops.Stage(lineB(k, j0+bj))
+								}
+								for bi := rlo; bi < rhi; bi++ {
+									al := lineA(i0+bi, k)
+									ops.Stage(al)
+									for bj := clo; bj < chi; bj++ {
+										ops.Compute(i0+bi, j0+bj, k)
+									}
+									ops.Unstage(al)
+								}
+								for bj := clo; bj < chi; bj++ {
+									ops.Unstage(lineB(k, j0+bj))
+								}
+							}
+							if !single {
+								// Update the µ×µ block of C in the shared cache.
+								for bi := rlo; bi < rhi; bi++ {
+									for bj := clo; bj < chi; bj++ {
+										ops.Unstage(lineC(i0+bi, j0+bj))
+									}
+								}
+							}
+						})
+					})
+
+					for bi := 0; bi < ilen; bi++ {
+						for k := kb; k < kb+blen; k++ {
+							b.UnstageShared(lineA(i0+bi, k))
+						}
+					}
+					for k := kb; k < kb+blen; k++ {
+						for bj := 0; bj < jlen; bj++ {
+							b.UnstageShared(lineB(k, j0+bj))
+						}
+					}
+				}
+
+				if single {
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
 							for bi := rlo; bi < rhi; bi++ {
 								for bj := clo; bj < chi; bj++ {
 									ops.Unstage(lineC(i0+bi, j0+bj))
 								}
 							}
-						}
+						})
 					})
-				})
-
+				}
+				// Write back the block of C to the main memory.
 				for bi := 0; bi < ilen; bi++ {
-					for k := kb; k < kb+blen; k++ {
-						e.UnstageShared(lineA(i0+bi, k))
-					}
-				}
-				for k := kb; k < kb+blen; k++ {
 					for bj := 0; bj < jlen; bj++ {
-						e.UnstageShared(lineB(k, j0+bj))
+						b.UnstageShared(lineC(i0+bi, j0+bj))
 					}
-				}
-			}
-
-			if single {
-				e.Parallel(func(c int, ops *CoreOps) {
-					a.eachSubBlock(c, gr, gc, mu, alpha, ilen, jlen, func(rlo, rhi, clo, chi int) {
-						for bi := rlo; bi < rhi; bi++ {
-							for bj := clo; bj < chi; bj++ {
-								ops.Unstage(lineC(i0+bi, j0+bj))
-							}
-						}
-					})
-				})
-			}
-			// Write back the block of C to the main memory.
-			for bi := 0; bi < ilen; bi++ {
-				for bj := 0; bj < jlen; bj++ {
-					e.UnstageShared(lineC(i0+bi, j0+bj))
 				}
 			}
 		}
 	}
-	return e.Finish(a.Name(), actual, declared, w)
+	return &schedule.Program{
+		Algorithm: a.Name(),
+		Cores:     declared.P,
+		Params:    schedule.Params{Alpha: alpha, Beta: beta, Mu: mu, GridRows: gr, GridCols: gc},
+		Body:      body,
+	}, nil
 }
 
 // eachSubBlock enumerates core c's µ×µ sub-blocks of the current α×α

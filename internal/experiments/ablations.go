@@ -41,7 +41,7 @@ func AblationTightFit(opt Options) (Figure, error) {
 		if actual.CS < actual.P*actual.CD {
 			continue
 		}
-		res, err := algo.SharedOpt{}.Run(actual, declared, w, algo.LRU)
+		res, err := algo.Run(algo.SharedOpt{}, actual, declared, w, algo.LRU)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -71,11 +71,11 @@ func AblationInterleave(opt Options) (Figure, error) {
 		seq := report.Series{Name: a.Name() + " sequential"}
 		for _, n := range opt.OrdersSmall {
 			w := algo.Square(n)
-			r1, err := a.Run(m, m, w, algo.LRU)
+			r1, err := algo.Run(a, m, m, w, algo.LRU)
 			if err != nil {
 				return Figure{}, err
 			}
-			r2, err := a.Run(m, m, w, algo.LRUSeq)
+			r2, err := algo.Run(a, m, m, w, algo.LRUSeq)
 			if err != nil {
 				return Figure{}, err
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/algo"
 	"repro/internal/machine"
@@ -75,13 +76,14 @@ func ScalingStudy(opt Options) ([]Figure, error) {
 	return figs, nil
 }
 
+// shortName slugs a display name for figure IDs: lower-case letters and
+// digits only ("Distributed Opt." → "distributedopt").
 func shortName(name string) string {
-	switch name {
-	case "Shared Opt.":
-		return "sharedopt"
-	case "Distributed Opt.":
-		return "distopt"
-	default:
-		return "alg"
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
 	}
+	return b.String()
 }

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// Executor is the real-execution backend of the schedule IR: it maps the
+// same operation stream the cache simulator replays onto a Team of
+// worker goroutines calling the q×q DGEMM kernel on float64 blocks.
+//
+// Each parallel region of the schedule is recorded first — one compute
+// list per core, with any attached probe fed in each core's program
+// order, exactly matching the simulator probe's per-core streams — and
+// then executed by the Team. Stage/Unstage operations carry no data
+// movement here (all operands already live in the executor's address
+// space); they exist so the probe sees the schedule's full access
+// stream.
+type Executor struct {
+	team  *Team
+	t     *matrix.Triple
+	probe *schedule.Probe
+	tasks [][]task
+	err   error
+}
+
+// Executor is the real backend of the schedule IR.
+var _ schedule.Backend = (*Executor)(nil)
+
+// task is one elementary block FMA C[i,j] += A[i,k]·B[k,j].
+type task struct{ i, j, k int }
+
+// NewExecutor binds a backend to a team and a triple. probe may be nil.
+func NewExecutor(team *Team, t *matrix.Triple, probe *schedule.Probe) (*Executor, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor{
+		team:  team,
+		t:     t,
+		probe: probe,
+		tasks: make([][]task, team.Size()),
+	}, nil
+}
+
+// Err returns the first execution error, if any. Errors are sticky:
+// after the first failure every operation becomes a no-op.
+func (ex *Executor) Err() error { return ex.err }
+
+func (ex *Executor) fail(err error) {
+	if ex.err == nil && err != nil {
+		ex.err = err
+	}
+}
+
+// StageShared is a shared-cache hint; only the probe observes it.
+func (ex *Executor) StageShared(l schedule.Line) {
+	if ex.err != nil {
+		return
+	}
+	if ex.probe != nil && ex.probe.SharedAccess != nil {
+		ex.probe.SharedAccess(l)
+	}
+}
+
+// UnstageShared is the omniscient policy's privilege: a no-op here.
+func (ex *Executor) UnstageShared(schedule.Line) {}
+
+// execSink records one core's stream of a parallel region.
+type execSink struct {
+	ex   *Executor
+	core int
+}
+
+func (s execSink) access(l schedule.Line, write bool) {
+	if p := s.ex.probe; p != nil && p.CoreAccess != nil {
+		p.CoreAccess(s.core, l, write)
+	}
+}
+
+// Stage is a distributed-cache hint; only the probe observes it.
+func (s execSink) Stage(l schedule.Line) { s.access(l, false) }
+
+// Unstage is invisible to probes, exactly as in the simulator.
+func (s execSink) Unstage(schedule.Line) {}
+
+// Read records a raw access; it carries no arithmetic.
+func (s execSink) Read(l schedule.Line) { s.access(l, false) }
+
+// Write records a raw access; it carries no arithmetic.
+func (s execSink) Write(l schedule.Line) { s.access(l, true) }
+
+// Compute queues the block FMA for this core and feeds the probe its
+// three accesses in the schedule's read-read-write order.
+func (s execSink) Compute(i, j, k int) {
+	s.access(schedule.LineA(i, k), false)
+	s.access(schedule.LineB(k, j), false)
+	s.access(schedule.LineC(i, j), true)
+	s.ex.tasks[s.core] = append(s.ex.tasks[s.core], task{i, j, k})
+}
+
+// Parallel records the per-core streams of one region, then runs them
+// concurrently on the team. The schedules guarantee that cores write
+// disjoint C blocks within a region, so no further synchronisation is
+// needed.
+func (ex *Executor) Parallel(body func(core int, ops schedule.CoreSink)) {
+	if ex.err != nil {
+		return
+	}
+	work := false
+	for c := range ex.tasks {
+		ex.tasks[c] = ex.tasks[c][:0]
+		body(c, execSink{ex: ex, core: c})
+		work = work || len(ex.tasks[c]) > 0
+	}
+	// Staging-only regions carry no arithmetic: skip the team barrier
+	// (the probe has already seen the streams above).
+	if !work {
+		return
+	}
+	ex.fail(ex.team.Run(func(c int) error {
+		t := ex.t
+		for _, tk := range ex.tasks[c] {
+			if err := matrix.MulAdd(t.C.Block(tk.i, tk.j), t.A.Block(tk.i, tk.k), t.B.Block(tk.k, tk.j)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+}
+
+// Run replays a complete program and reports the first error.
+func (ex *Executor) Run(prog *schedule.Program) error {
+	if prog.Cores != ex.team.Size() {
+		return fmt.Errorf("parallel: program %q wants %d cores, team has %d",
+			prog.Algorithm, prog.Cores, ex.team.Size())
+	}
+	if err := prog.Emit(ex); err != nil {
+		return err
+	}
+	return ex.err
+}

@@ -1,21 +1,40 @@
 package parallel
 
 import (
-	"fmt"
-	"math"
-
+	"repro/internal/algo"
 	"repro/internal/machine"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 )
 
-// Multiply executes algorithm name (an algo display name) for real on
-// the triple's data, using the machine's core count and cache-derived
-// parameters to shape the loop nest exactly as the simulator does.
+// Multiply executes algorithm name (an algo display name, resolved
+// through the registry) for real on the triple's data, using the
+// machine's core count and cache-derived parameters to shape the loop
+// nest exactly as the simulator does — both consume the same
+// schedule.Program.
 func Multiply(name string, t *matrix.Triple, mach machine.Machine) error {
+	a, err := algo.ByName(name)
+	if err != nil {
+		return err
+	}
+	return Execute(a, t, mach, nil)
+}
+
+// Execute runs algorithm a's schedule on the triple with one worker
+// goroutine per core of mach. An optional probe observes the access
+// streams (per-core and shared), which are identical to the streams a
+// simulator probe sees for the same declared machine — the schedule IR
+// is the single source for both backends.
+func Execute(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *schedule.Probe) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
 	if err := mach.Validate(); err != nil {
+		return err
+	}
+	m, n, z := t.Dims()
+	prog, err := a.Schedule(mach, algo.Workload{M: m, N: n, Z: z})
+	if err != nil {
 		return err
 	}
 	team, err := NewTeam(mach.P)
@@ -23,318 +42,11 @@ func Multiply(name string, t *matrix.Triple, mach machine.Machine) error {
 		return err
 	}
 	defer team.Close()
-	switch name {
-	case "Shared Opt.":
-		return SharedOptMultiply(team, t, mach)
-	case "Distributed Opt.":
-		return DistributedOptMultiply(team, t, mach)
-	case "Tradeoff":
-		return TradeoffMultiply(team, t, mach)
-	case "Outer Product":
-		return OuterProductMultiply(team, t, mach)
-	case "Cache Oblivious":
-		return CacheObliviousMultiply(team, t, mach)
-	case "Shared Equal":
-		return SharedEqualMultiply(team, t, mach)
-	case "Distributed Equal":
-		return DistributedEqualMultiply(team, t, mach)
-	default:
-		return fmt.Errorf("parallel: no real executor for algorithm %q", name)
+	ex, err := NewExecutor(team, t, probe)
+	if err != nil {
+		return err
 	}
-}
-
-// split mirrors algo.split: a near-even partition of length items into
-// parts chunks.
-func split(length, parts, idx int) (lo, hi int) {
-	base := length / parts
-	rem := length % parts
-	lo = idx*base + min(idx, rem)
-	hi = lo + base
-	if idx < rem {
-		hi++
-	}
-	return lo, hi
-}
-
-// SharedOptMultiply runs Algorithm 1's schedule: λ×λ block-tiles of C
-// are processed one after the other; inside a tile, for every k and
-// every block-row i', the p cores update disjoint column ranges.
-func SharedOptMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	lambda := mach.Lambda()
-	if lambda >= mach.P {
-		lambda -= lambda % mach.P
-	}
-	if lambda < 1 {
-		return fmt.Errorf("parallel: shared-opt needs CS ≥ 3, got %d", mach.CS)
-	}
-	p := team.Size()
-	for i0 := 0; i0 < m; i0 += lambda {
-		ilen := min(lambda, m-i0)
-		for j0 := 0; j0 < n; j0 += lambda {
-			jlen := min(lambda, n-j0)
-			for k := 0; k < z; k++ {
-				for bi := 0; bi < ilen; bi++ {
-					iRow := i0 + bi
-					ab := t.A.Block(iRow, k)
-					if err := team.Run(func(c int) error {
-						lo, hi := split(jlen, p, c)
-						for j := lo; j < hi; j++ {
-							if err := matrix.MulAdd(t.C.Block(iRow, j0+j), ab, t.B.Block(k, j0+j)); err != nil {
-								return err
-							}
-						}
-						return nil
-					}); err != nil {
-						return err
-					}
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// DistributedOptMultiply runs Algorithm 2's schedule: every core fully
-// computes its private µ×µ sub-block of each (√p·µ)×(√p·µ) super-tile of
-// C before the team moves to the next super-tile.
-func DistributedOptMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	mu := mach.Mu()
-	if mu < 1 {
-		return fmt.Errorf("parallel: distributed-opt needs CD ≥ 3, got %d", mach.CD)
-	}
-	gr, gc := mach.Grid()
-	tileI, tileJ := gr*mu, gc*mu
-	for i0 := 0; i0 < m; i0 += tileI {
-		ilen := min(tileI, m-i0)
-		for j0 := 0; j0 < n; j0 += tileJ {
-			jlen := min(tileJ, n-j0)
-			if err := team.Run(func(c int) error {
-				rlo := min((c%gr)*mu, ilen)
-				rhi := min(rlo+mu, ilen)
-				clo := min((c/gr)*mu, jlen)
-				chi := min(clo+mu, jlen)
-				for k := 0; k < z; k++ {
-					for bi := rlo; bi < rhi; bi++ {
-						ab := t.A.Block(i0+bi, k)
-						for bj := clo; bj < chi; bj++ {
-							if err := matrix.MulAdd(t.C.Block(i0+bi, j0+bj), ab, t.B.Block(k, j0+bj)); err != nil {
-								return err
-							}
-						}
-					}
-				}
-				return nil
-			}); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// TradeoffMultiply runs Algorithm 3's schedule: α×α tiles of C, β-deep
-// panels of A and B per sub-step, µ×µ sub-blocks distributed 2-D
-// cyclically over the core grid.
-func TradeoffMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	tp := mach.Tradeoff()
-	if tp.Alpha < 1 || tp.Mu < 1 {
-		return fmt.Errorf("parallel: tradeoff has no feasible parameters for %v", mach)
-	}
-	gr, gc := mach.Grid()
-	alpha, beta, mu := tp.Alpha, tp.Beta, tp.Mu
-	nSub := alpha / mu
-	for i0 := 0; i0 < m; i0 += alpha {
-		ilen := min(alpha, m-i0)
-		for j0 := 0; j0 < n; j0 += alpha {
-			jlen := min(alpha, n-j0)
-			for kb := 0; kb < z; kb += beta {
-				blen := min(beta, z-kb)
-				if err := team.Run(func(c int) error {
-					offI, offJ := c%gr, c/gr
-					for si := offI; si < nSub; si += gr {
-						rlo := si * mu
-						if rlo >= ilen {
-							break
-						}
-						rhi := min(rlo+mu, ilen)
-						for sj := offJ; sj < nSub; sj += gc {
-							clo := sj * mu
-							if clo >= jlen {
-								break
-							}
-							chi := min(clo+mu, jlen)
-							for k := kb; k < kb+blen; k++ {
-								for bi := rlo; bi < rhi; bi++ {
-									ab := t.A.Block(i0+bi, k)
-									for bj := clo; bj < chi; bj++ {
-										if err := matrix.MulAdd(t.C.Block(i0+bi, j0+bj), ab, t.B.Block(k, j0+bj)); err != nil {
-											return err
-										}
-									}
-								}
-							}
-						}
-					}
-					return nil
-				}); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// OuterProductMultiply runs the ScaLAPACK-style baseline: the core grid
-// partitions C statically; every core sweeps all k for its tile.
-func OuterProductMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	gr, gc := mach.Grid()
-	return team.Run(func(c int) error {
-		rlo, rhi := split(m, gr, c%gr)
-		clo, chi := split(n, gc, c/gr)
-		for k := 0; k < z; k++ {
-			for i := rlo; i < rhi; i++ {
-				ab := t.A.Block(i, k)
-				for j := clo; j < chi; j++ {
-					if err := matrix.MulAdd(t.C.Block(i, j), ab, t.B.Block(k, j)); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		return nil
-	})
-}
-
-// equalEdge mirrors algo's Toledo equal-thirds tile edge: e = ⌊√(cap/3)⌋.
-func equalEdge(capBlocks int) int {
-	if capBlocks < 3 {
-		return 0
-	}
-	return int(math.Sqrt(float64(capBlocks) / 3))
-}
-
-// SharedEqualMultiply runs the Toledo equal-thirds schedule tuned to the
-// shared cache: e×e block-tiles of C with e-deep A/B panels, the tile
-// update split row-wise over the cores.
-func SharedEqualMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	e := equalEdge(mach.CS)
-	if e < 1 {
-		return fmt.Errorf("parallel: shared-equal needs CS ≥ 3, got %d", mach.CS)
-	}
-	p := team.Size()
-	for i0 := 0; i0 < m; i0 += e {
-		ilen := min(e, m-i0)
-		for j0 := 0; j0 < n; j0 += e {
-			jlen := min(e, n-j0)
-			for k0 := 0; k0 < z; k0 += e {
-				klen := min(e, z-k0)
-				if err := team.Run(func(c int) error {
-					rlo, rhi := split(ilen, p, c)
-					for bi := rlo; bi < rhi; bi++ {
-						for bk := 0; bk < klen; bk++ {
-							ab := t.A.Block(i0+bi, k0+bk)
-							for bj := 0; bj < jlen; bj++ {
-								if err := matrix.MulAdd(t.C.Block(i0+bi, j0+bj), ab, t.B.Block(k0+bk, j0+bj)); err != nil {
-									return err
-								}
-							}
-						}
-					}
-					return nil
-				}); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// DistributedEqualMultiply runs the Toledo equal-thirds schedule tuned to
-// the distributed caches: each core owns a d×d tile of each cyclic round
-// of C and streams d-deep A/B tiles through it.
-func DistributedEqualMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	d := equalEdge(mach.CD)
-	if d < 1 {
-		return fmt.Errorf("parallel: distributed-equal needs CD ≥ 3, got %d", mach.CD)
-	}
-	gr, gc := mach.Grid()
-	tileI, tileJ := gr*d, gc*d
-	for i0 := 0; i0 < m; i0 += tileI {
-		ilen := min(tileI, m-i0)
-		for j0 := 0; j0 < n; j0 += tileJ {
-			jlen := min(tileJ, n-j0)
-			if err := team.Run(func(c int) error {
-				rlo := min((c%gr)*d, ilen)
-				rhi := min(rlo+d, ilen)
-				clo := min((c/gr)*d, jlen)
-				chi := min(clo+d, jlen)
-				for k := 0; k < z; k++ {
-					for bi := rlo; bi < rhi; bi++ {
-						ab := t.A.Block(i0+bi, k)
-						for bj := clo; bj < chi; bj++ {
-							if err := matrix.MulAdd(t.C.Block(i0+bi, j0+bj), ab, t.B.Block(k, j0+bj)); err != nil {
-								return err
-							}
-						}
-					}
-				}
-				return nil
-			}); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// CacheObliviousMultiply runs the divide-and-conquer schedule for real:
-// the core grid splits C statically, each worker recurses on its own
-// sub-problem halving the largest dimension down to single q×q blocks.
-func CacheObliviousMultiply(team *Team, t *matrix.Triple, mach machine.Machine) error {
-	m, n, z := t.Dims()
-	gr, gc := mach.Grid()
-	return team.Run(func(c int) error {
-		rlo, rhi := split(m, gr, c%gr)
-		clo, chi := split(n, gc, c/gr)
-		return obliviousRecurse(t, rlo, rhi-rlo, clo, chi-clo, 0, z)
-	})
-}
-
-func obliviousRecurse(t *matrix.Triple, i0, il, j0, jl, k0, kl int) error {
-	if il <= 0 || jl <= 0 || kl <= 0 {
-		return nil
-	}
-	if il == 1 && jl == 1 && kl == 1 {
-		return matrix.MulAdd(t.C.Block(i0, j0), t.A.Block(i0, k0), t.B.Block(k0, j0))
-	}
-	switch {
-	case il >= jl && il >= kl:
-		h := il / 2
-		if err := obliviousRecurse(t, i0, h, j0, jl, k0, kl); err != nil {
-			return err
-		}
-		return obliviousRecurse(t, i0+h, il-h, j0, jl, k0, kl)
-	case jl >= kl:
-		h := jl / 2
-		if err := obliviousRecurse(t, i0, il, j0, h, k0, kl); err != nil {
-			return err
-		}
-		return obliviousRecurse(t, i0, il, j0+h, jl-h, k0, kl)
-	default:
-		h := kl / 2
-		if err := obliviousRecurse(t, i0, il, j0, jl, k0, h); err != nil {
-			return err
-		}
-		return obliviousRecurse(t, i0, il, j0, jl, k0+h, kl-h)
-	}
+	return ex.Run(prog)
 }
 
 // Reference computes the expected C for a triple using the sequential

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/algo"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 )
@@ -67,10 +68,38 @@ func TestTeamCloseIdempotent(t *testing.T) {
 	team.Close() // must not panic
 }
 
+// algorithms returns every registered display name: the real executor
+// must be able to run the whole extended set, so the registry itself is
+// the test fixture (no second hand-maintained name list).
 func algorithms() []string {
-	return []string{
-		"Shared Opt.", "Distributed Opt.", "Tradeoff",
-		"Outer Product", "Cache Oblivious", "Shared Equal", "Distributed Equal",
+	return algo.Names()
+}
+
+// TestRegistryCoversRealExecutor guards against dispatch drift: every
+// algorithm the registry can name — including comparators outside
+// algo.All(), like "Cache Oblivious" — must be runnable by the real
+// executor, and must fail at resolution time (not deep inside a run)
+// for unknown names.
+func TestRegistryCoversRealExecutor(t *testing.T) {
+	if len(algo.Extended()) < 7 {
+		t.Fatalf("extended registry has %d algorithms, want ≥ 7", len(algo.Extended()))
+	}
+	mach := testMachine(4)
+	for _, a := range algo.Extended() {
+		tr, err := matrix.NewTriple(5, 4, 3, mach.Q, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Multiply(a.Name(), tr, mach); err != nil {
+			t.Fatalf("%s: not runnable by the real executor: %v", a.Name(), err)
+		}
+		diff, err := Verify(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff > 1e-10 {
+			t.Fatalf("%s: result deviates by %g", a.Name(), diff)
+		}
 	}
 }
 

@@ -1,7 +1,9 @@
-// Package parallel executes the paper's algorithms for real: the same
-// loop nests that the simulator counts misses for are run by one worker
-// goroutine per simulated core on actual float64 block data, with the
-// sequential q×q "DGEMM" kernel of internal/matrix at the leaves.
+// Package parallel executes the paper's algorithms for real: the exact
+// schedule.Program the cache simulator counts misses for is replayed by
+// one worker goroutine per simulated core on actual float64 block data,
+// with the sequential q×q "DGEMM" kernel of internal/matrix at the
+// leaves. Algorithms are resolved through the algo registry; there is no
+// second copy of any loop nest here.
 //
 // This is the performance-evaluation half of the reproduction: it
 // demonstrates that the algorithms are not just counting abstractions

@@ -12,7 +12,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	w := algo.Square(6)
 	rec := NewRecorder(m.P)
 	w.Probe = rec.Probe()
-	if _, err := (algo.Tradeoff{}).Run(m, m, w, algo.LRU); err != nil {
+	if _, err := algo.Run(algo.Tradeoff{}, m, m, w, algo.LRU); err != nil {
 		t.Fatal(err)
 	}
 

@@ -53,7 +53,7 @@ func Record(a algo.Algorithm, m machine.Machine, w algo.Workload, s algo.Setting
 func RecordDeclared(a algo.Algorithm, actual, declared machine.Machine, w algo.Workload, s algo.Setting) (*Analysis, algo.Result, error) {
 	rec := NewRecorder(actual.P)
 	w.Probe = rec.Probe()
-	res, err := a.Run(actual, declared, w, s)
+	res, err := algo.Run(a, actual, declared, w, s)
 	if err != nil {
 		return nil, algo.Result{}, err
 	}
@@ -110,7 +110,7 @@ func (an *Analysis) VerifyWorkload(a algo.Algorithm, w algo.Workload, cd int, s 
 	if m.CS < m.P*m.CD {
 		m.CS = m.P * m.CD
 	}
-	res, err := a.Run(m, an.Machine, w, s)
+	res, err := algo.Run(a, m, an.Machine, w, s)
 	if err != nil {
 		return err
 	}

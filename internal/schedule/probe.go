@@ -1,0 +1,83 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Probe observes the access streams of one run of a schedule, on any
+// backend. Either callback may be nil. CoreAccess fires for every
+// distributed-level access a core issues (stages, reads and writes;
+// unstages are policy bookkeeping, not accesses, and stay invisible);
+// SharedAccess fires for every shared-level staging access. The per-core
+// and shared streams a probe sees depend only on the schedule, never on
+// the backend or the cache policy — that independence is the
+// sim↔exec-equivalence invariant.
+type Probe struct {
+	CoreAccess   func(core int, l Line, write bool)
+	SharedAccess func(l Line)
+}
+
+// Access is one recorded distributed-level access.
+type Access struct {
+	Line  Line
+	Write bool
+}
+
+// Recorder captures a schedule's access streams: one per core plus the
+// shared staging stream. Identical Recorder contents from two backends
+// certify that they executed the same schedule.
+type Recorder struct {
+	Cores  [][]Access // per-core streams, in each core's program order
+	Shared []Line     // shared staging accesses, in program order
+}
+
+// NewRecorder prepares a recorder for p cores.
+func NewRecorder(p int) *Recorder {
+	return &Recorder{Cores: make([][]Access, p)}
+}
+
+// Probe returns the probe that feeds this recorder.
+func (r *Recorder) Probe() *Probe {
+	return &Probe{
+		CoreAccess: func(core int, l Line, write bool) {
+			r.Cores[core] = append(r.Cores[core], Access{Line: l, Write: write})
+		},
+		SharedAccess: func(l Line) {
+			r.Shared = append(r.Shared, l)
+		},
+	}
+}
+
+// Diff compares two recordings operation-for-operation and returns a
+// description of the first divergence, or "" if the streams are
+// identical.
+func (r *Recorder) Diff(o *Recorder) string {
+	var b strings.Builder
+	if len(r.Shared) != len(o.Shared) {
+		fmt.Fprintf(&b, "shared stream length %d vs %d; ", len(r.Shared), len(o.Shared))
+	}
+	for i := 0; i < min(len(r.Shared), len(o.Shared)); i++ {
+		if r.Shared[i] != o.Shared[i] {
+			fmt.Fprintf(&b, "shared[%d]: %v vs %v; ", i, r.Shared[i], o.Shared[i])
+			break
+		}
+	}
+	if len(r.Cores) != len(o.Cores) {
+		fmt.Fprintf(&b, "core count %d vs %d", len(r.Cores), len(o.Cores))
+		return b.String()
+	}
+	for c := range r.Cores {
+		if len(r.Cores[c]) != len(o.Cores[c]) {
+			fmt.Fprintf(&b, "core %d stream length %d vs %d; ", c, len(r.Cores[c]), len(o.Cores[c]))
+		}
+		for i := 0; i < min(len(r.Cores[c]), len(o.Cores[c])); i++ {
+			if r.Cores[c][i] != o.Cores[c][i] {
+				fmt.Fprintf(&b, "core %d op %d: %v/w=%v vs %v/w=%v; ",
+					c, i, r.Cores[c][i].Line, r.Cores[c][i].Write, o.Cores[c][i].Line, o.Cores[c][i].Write)
+				break
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}

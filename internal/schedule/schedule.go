@@ -1,0 +1,133 @@
+// Package schedule defines the backend-agnostic schedule IR that every
+// algorithm of the reproduction compiles to: a per-core program of
+// Stage/Unstage/Compute operations over q×q block coordinates, framed by
+// shared-cache staging and parallel regions.
+//
+// One schedule, two (or more) backends. An algorithm's loop nest is
+// written exactly once, as a Program whose Body drives a Backend:
+//
+//   - the cache simulator (internal/algo.Exec) replays the operation
+//     stream against the two-level hierarchy and counts MS/MD under the
+//     IDEAL and LRU policies;
+//   - the real executor (internal/parallel.Executor) maps the same
+//     stream onto worker goroutines calling the q×q DGEMM kernel on
+//     float64 blocks.
+//
+// Because both backends consume the identical stream, "the executor runs
+// the schedule the simulator analysed" is an invariant checked by tests,
+// not a convention maintained by hand.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Line identifies one q×q block of an operand matrix — the cache-line
+// unit of the whole model.
+type Line = matrix.BlockCoord
+
+// LineA, LineB and LineC name blocks of the three operands of C = A×B.
+func LineA(i, k int) Line { return Line{Matrix: matrix.MatA, Row: i, Col: k} }
+func LineB(k, j int) Line { return Line{Matrix: matrix.MatB, Row: k, Col: j} }
+func LineC(i, j int) Line { return Line{Matrix: matrix.MatC, Row: i, Col: j} }
+
+// CoreSink receives one core's operation stream inside a parallel
+// region, in program order.
+//
+// Compute(i, j, k) is the elementary block FMA C[i,j] += A[i,k]·B[k,j];
+// it is defined to access A[i,k] (read), B[k,j] (read) and C[i,j]
+// (write), in that order. Read and Write are the raw accesses Compute
+// expands to; schedules for irregular kernels may emit them directly,
+// but only Compute carries arithmetic for the real executor.
+type CoreSink interface {
+	// Stage loads l into this core's distributed cache (explicit under
+	// IDEAL, an ordinary read under LRU, a cache hint for real hardware).
+	Stage(l Line)
+	// Unstage evicts l from this core's distributed cache, merging a
+	// dirty copy upward. It is the omniscient policy's privilege: LRU
+	// backends and real executors treat it as a no-op, and it is
+	// invisible to probes.
+	Unstage(l Line)
+	// Read records a raw read of l without arithmetic.
+	Read(l Line)
+	// Write records a raw write of l without arithmetic.
+	Write(l Line)
+	// Compute performs C[i,j] += A[i,k]·B[k,j].
+	Compute(i, j, k int)
+}
+
+// Backend consumes a schedule's operation stream. Implementations decide
+// what Stage means (simulated load, prefetch hint, …) and how parallel
+// regions are ordered or interleaved; the per-core streams themselves
+// are backend-independent.
+type Backend interface {
+	// StageShared loads l from memory into the shared cache.
+	StageShared(l Line)
+	// UnstageShared evicts l from the shared cache (omniscient policies
+	// only; a no-op elsewhere).
+	UnstageShared(l Line)
+	// Parallel opens one "foreach core c = 1..p in parallel" region:
+	// body is invoked once per core to emit that core's stream. Cores
+	// write disjoint C blocks within a region (the algorithms guarantee
+	// this by construction), so backends may run the streams
+	// concurrently.
+	Parallel(body func(core int, ops CoreSink))
+}
+
+// Params carries the tuning parameters an algorithm derived from the
+// declared machine, for reporting. Fields irrelevant to an algorithm
+// stay zero.
+type Params struct {
+	Lambda   int // Algorithm 1's shared C-tile edge λ
+	Mu       int // Algorithms 2–3's distributed C-tile edge µ
+	Alpha    int // Algorithm 3's shared C-tile edge α
+	Beta     int // Algorithm 3's A/B panel depth β
+	Edge     int // Toledo equal-thirds tile edge e or d
+	GridRows int // core-grid rows of the 2-D cyclic layouts
+	GridCols int // core-grid columns
+}
+
+// Program is one algorithm's schedule bound to a machine and workload:
+// the single source of truth that every backend replays.
+type Program struct {
+	// Algorithm is the display name used in the paper's figures.
+	Algorithm string
+	// Cores is the number of per-core streams every parallel region
+	// emits; backends must run with exactly this many cores.
+	Cores int
+	// Params echoes the tuning parameters derived from the declared
+	// machine.
+	Params Params
+	// DemandDriven marks algorithms with no staging discipline (Outer
+	// Product, Cache Oblivious): they cannot be handed to an omniscient
+	// policy, so simulators always run them under demand-driven LRU.
+	DemandDriven bool
+	// Body drives a backend through the schedule's operation stream.
+	Body func(b Backend)
+}
+
+// Emit replays the program on backend b.
+func (p *Program) Emit(b Backend) error {
+	if p.Body == nil {
+		return fmt.Errorf("schedule: program %q has no body", p.Algorithm)
+	}
+	p.Body(b)
+	return nil
+}
+
+// Split partitions length items into parts nearly equal chunks and
+// returns the half-open range [lo, hi) of chunk idx. Earlier chunks get
+// the larger shares, matching the paper's λ/p row split when p divides λ
+// and degrading gracefully otherwise.
+func Split(length, parts, idx int) (lo, hi int) {
+	base := length / parts
+	rem := length % parts
+	lo = idx*base + min(idx, rem)
+	hi = lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}

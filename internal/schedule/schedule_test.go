@@ -1,0 +1,138 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestLineHelpers(t *testing.T) {
+	if LineA(2, 3) != (Line{Matrix: matrix.MatA, Row: 2, Col: 3}) {
+		t.Fatal("LineA broken")
+	}
+	if LineB(4, 5) != (Line{Matrix: matrix.MatB, Row: 4, Col: 5}) {
+		t.Fatal("LineB broken")
+	}
+	if LineC(6, 7) != (Line{Matrix: matrix.MatC, Row: 6, Col: 7}) {
+		t.Fatal("LineC broken")
+	}
+}
+
+func TestSplitCoversRange(t *testing.T) {
+	for _, tc := range []struct{ length, parts int }{
+		{12, 4}, {13, 4}, {3, 4}, {0, 2}, {7, 1},
+	} {
+		prev := 0
+		total := 0
+		for idx := 0; idx < tc.parts; idx++ {
+			lo, hi := Split(tc.length, tc.parts, idx)
+			if lo != prev {
+				t.Fatalf("Split(%d,%d,%d): lo=%d, want contiguous %d", tc.length, tc.parts, idx, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("Split(%d,%d,%d): empty-inverted range [%d,%d)", tc.length, tc.parts, idx, lo, hi)
+			}
+			total += hi - lo
+			prev = hi
+		}
+		if total != tc.length {
+			t.Fatalf("Split(%d,%d): chunks cover %d items", tc.length, tc.parts, total)
+		}
+	}
+}
+
+func TestSplitEarlierChunksLarger(t *testing.T) {
+	lo0, hi0 := Split(13, 4, 0)
+	lo3, hi3 := Split(13, 4, 3)
+	if hi0-lo0 != 4 || hi3-lo3 != 3 {
+		t.Fatalf("uneven split: chunk 0 is %d, chunk 3 is %d; want 4 and 3", hi0-lo0, hi3-lo3)
+	}
+}
+
+func TestProgramEmitRequiresBody(t *testing.T) {
+	p := &Program{Algorithm: "x"}
+	if err := p.Emit(nil); err == nil {
+		t.Fatal("Emit must reject a program without a body")
+	}
+}
+
+// countBackend is a minimal Backend for exercising Program plumbing.
+type countBackend struct {
+	shared int
+	ops    []Access
+	cores  int
+}
+
+type countSink struct {
+	b    *countBackend
+	core int
+}
+
+func (s countSink) Stage(l Line) { s.b.ops = append(s.b.ops, Access{l, false}) }
+func (s countSink) Unstage(Line) {}
+func (s countSink) Read(l Line)  { s.b.ops = append(s.b.ops, Access{l, false}) }
+func (s countSink) Write(l Line) { s.b.ops = append(s.b.ops, Access{l, true}) }
+func (s countSink) Compute(i, j, k int) {
+	s.Read(LineA(i, k))
+	s.Read(LineB(k, j))
+	s.Write(LineC(i, j))
+}
+
+func (b *countBackend) StageShared(Line)   { b.shared++ }
+func (b *countBackend) UnstageShared(Line) {}
+func (b *countBackend) Parallel(body func(core int, ops CoreSink)) {
+	for c := 0; c < b.cores; c++ {
+		body(c, countSink{b, c})
+	}
+}
+
+func TestProgramDrivesAnyBackend(t *testing.T) {
+	prog := &Program{
+		Algorithm: "toy",
+		Cores:     2,
+		Body: func(b Backend) {
+			b.StageShared(LineC(0, 0))
+			b.Parallel(func(core int, ops CoreSink) {
+				ops.Compute(core, 0, 0)
+			})
+			b.UnstageShared(LineC(0, 0))
+		},
+	}
+	b := &countBackend{cores: 2}
+	if err := prog.Emit(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.shared != 1 {
+		t.Fatalf("shared stages = %d, want 1", b.shared)
+	}
+	if len(b.ops) != 6 { // two computes × (read, read, write)
+		t.Fatalf("core ops = %d, want 6", len(b.ops))
+	}
+	if !b.ops[2].Write || b.ops[2].Line != LineC(0, 0) {
+		t.Fatalf("third op is %v/w=%v, want write of C[0,0]", b.ops[2].Line, b.ops[2].Write)
+	}
+}
+
+func TestRecorderDiff(t *testing.T) {
+	r1, r2 := NewRecorder(2), NewRecorder(2)
+	feed := func(r *Recorder) {
+		p := r.Probe()
+		p.SharedAccess(LineC(0, 0))
+		p.CoreAccess(0, LineA(0, 0), false)
+		p.CoreAccess(1, LineB(0, 1), false)
+		p.CoreAccess(1, LineC(1, 1), true)
+	}
+	feed(r1)
+	feed(r2)
+	if d := r1.Diff(r2); d != "" {
+		t.Fatalf("identical recordings diff: %s", d)
+	}
+	r2.Cores[1][1].Write = false
+	if d := r1.Diff(r2); d == "" {
+		t.Fatal("diverging recordings must diff")
+	}
+	r3 := NewRecorder(2)
+	if d := r1.Diff(r3); d == "" {
+		t.Fatal("length mismatch must diff")
+	}
+}

@@ -11,14 +11,19 @@
 //	res, _ := sim.RunByName("Tradeoff", repro.Square(96), repro.SettingLRU50)
 //	fmt.Println(res.MS, res.MD, res.Tdata)
 //
-// The three layers underneath are:
+// The four layers underneath are:
 //
-//   - the cache simulator and machine model (capacities in q×q blocks,
+//   - the machine model and cache simulator (capacities in q×q blocks,
 //     IDEAL and LRU replacement, inclusive two-level hierarchy);
-//   - the six algorithms of the paper's evaluation with their
-//     closed-form miss predictions and the §2.3 lower bounds;
-//   - a real executor that runs the same schedules with one goroutine
-//     per core on float64 data.
+//   - the schedule IR (internal/schedule): each algorithm is written
+//     once, as a loop nest emitting a backend-agnostic program of
+//     Stage/Compute/Unstage operations over block coordinates;
+//   - the simulator backend, which replays a program against the
+//     hierarchy and counts misses next to the closed-form predictions
+//     and §2.3 lower bounds;
+//   - the real-execution backend, which replays the *same* program with
+//     one goroutine per core on float64 data (their access streams are
+//     asserted identical by the equivalence tests).
 package repro
 
 import (
@@ -80,6 +85,15 @@ func Square(n int) Workload { return algo.Square(n) }
 // order: Shared Opt., Distributed Opt., Tradeoff, Outer Product, Shared
 // Equal, Distributed Equal.
 func Algorithms() []Algorithm { return algo.All() }
+
+// ExtendedAlgorithms returns the paper's six algorithms plus the
+// registered comparators (the cache-oblivious recursion by default).
+func ExtendedAlgorithms() []Algorithm { return algo.Extended() }
+
+// AlgorithmNames returns the display names of the extended set, in
+// registry order. Every name is accepted by both the simulator and the
+// real executor.
+func AlgorithmNames() []string { return algo.Names() }
 
 // AlgorithmByName resolves a display name to its algorithm.
 func AlgorithmByName(name string) (Algorithm, error) { return algo.ByName(name) }
