@@ -6,6 +6,13 @@
 //
 //	gemm -order 16                   # every registered schedule, 16x16 blocks of 32x32
 //	gemm -algo "Tradeoff" -order 24 -q 64 -p 8
+//	gemm -order 32 -bench-json BENCH_gemm.json -bench-cores 1,2,4
+//
+// With -bench-json the command switches to benchmark mode: it measures
+// the sequential blocked baseline plus every algorithm under both
+// executor modes (strided "view" vs "packed" staging arenas) for each
+// requested core count, and writes the GFLOP/s records as JSON — the
+// repository's measured perf trajectory.
 package main
 
 import (
@@ -13,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/algo"
@@ -24,29 +33,58 @@ import (
 
 func main() {
 	var (
-		algoName = flag.String("algo", "", "algorithm (default: all executable ones)")
-		order    = flag.Int("order", 16, "square matrix order in blocks")
-		q        = flag.Int("q", 32, "block size in coefficients")
-		cores    = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores)")
-		verify   = flag.Bool("verify", true, "check the result against the sequential reference")
-		seed     = flag.Uint64("seed", 1, "input matrix seed")
+		algoName   = flag.String("algo", "", "algorithm (default: all executable ones)")
+		order      = flag.Int("order", 16, "square matrix order in blocks")
+		q          = flag.Int("q", 32, "block size in coefficients")
+		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		verify     = flag.Bool("verify", true, "check the result against the sequential reference (ignored in benchmark mode)")
+		seed       = flag.Uint64("seed", 1, "input matrix seed")
+		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
+		benchCores = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
+		benchReps  = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
 	)
 	flag.Parse()
 
-	if err := run(*algoName, *order, *q, *cores, *verify, *seed); err != nil {
+	var err error
+	if *benchJSON != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "p" || f.Name == "verify" {
+				fmt.Fprintf(os.Stderr, "gemm: -%s is ignored in benchmark mode (use -bench-cores; correctness is covered by go test)\n", f.Name)
+			}
+		})
+		var coreList []int
+		coreList, err = parseCores(*benchCores)
+		if err == nil {
+			err = bench(*benchJSON, *algoName, *order, *q, coreList, *benchReps, *seed)
+		}
+	} else {
+		err = run(*algoName, *order, *q, *cores, *verify, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gemm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
-	names := algo.Names()
-	if algoName != "" {
-		names = []string{algoName}
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("bad core count %q in -bench-cores", f)
+		}
+		out = append(out, p)
 	}
+	return out, nil
+}
 
+// bigMachine models the benchmark host for p cores and block size q:
+// the 8MB-shared/256KB-distributed quad-core of §4.1 generalised to
+// arbitrary p and q, with the capacities clamped to stay a valid
+// hierarchy.
+func bigMachine(p, q int) (machine.Machine, error) {
 	mach := machine.Machine{
-		P:      cores,
+		P:      p,
 		CS:     machine.BlocksFromBytes(8<<20, q, 1.0),
 		CD:     machine.BlocksFromBytes(256<<10, q, 2.0/3.0),
 		SigmaS: machine.DefaultSigmaS,
@@ -60,6 +98,31 @@ func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
 		mach.CS = mach.P * mach.CD
 	}
 	if err := mach.Validate(); err != nil {
+		return machine.Machine{}, err
+	}
+	return mach, nil
+}
+
+// selectAlgos resolves -algo to the measured name list, failing fast on
+// unknown names (before any work runs).
+func selectAlgos(algoName string) ([]string, error) {
+	if algoName == "" {
+		return algo.Names(), nil
+	}
+	if _, err := algo.ByName(algoName); err != nil {
+		return nil, err
+	}
+	return []string{algoName}, nil
+}
+
+func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
+	names, err := selectAlgos(algoName)
+	if err != nil {
+		return err
+	}
+
+	mach, err := bigMachine(cores, q)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("machine: %s\nworkload: %d×%d×%d blocks of %d×%d coefficients\n\n",
@@ -91,19 +154,139 @@ func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
 	}
 
 	// Sequential baseline for the speedup story.
+	elapsed, err := measureSequential(order, q, seed)
+	if err != nil {
+		return err
+	}
+	tbl.AddRow("sequential blocked", elapsed.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.2f", flops/elapsed.Seconds()/1e9), "reference")
+
+	fmt.Print(tbl.String())
+	return nil
+}
+
+// measureSequential times one C += A×B with the sequential blocked
+// kernel: the single-core "naive" anchor both output modes report.
+func measureSequential(order, q int, seed uint64) (time.Duration, error) {
+	tr, err := matrix.NewTriple(order, order, order, q, seed)
+	if err != nil {
+		return 0, err
+	}
+	out := matrix.New(tr.C.Dense().Rows(), tr.C.Dense().Cols())
+	start := time.Now()
+	if err := matrix.MulBlocked(out, tr.A.Dense(), tr.B.Dense(), q); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// bench measures naive vs view vs packed and writes the JSON record.
+// Every configuration runs reps times and the fastest repetition is
+// recorded — the standard minimum-wall-time estimator, least sensitive
+// to scheduler noise on shared machines.
+func bench(path, algoName string, order, q int, coreList []int, reps int, seed uint64) error {
+	if reps < 1 {
+		reps = 1
+	}
+	names, err := selectAlgos(algoName)
+	if err != nil {
+		return err
+	}
+	rec := report.NewBench("gemm")
+	fmt.Printf("benchmark: n=%d (order %d blocks of %d×%d), cores %v, best of %d\n\n",
+		order*q, order, q, q, coreList, reps)
+
+	best := func(f func() (time.Duration, error)) (time.Duration, error) {
+		var min time.Duration
+		for i := 0; i < reps; i++ {
+			d, err := f()
+			if err != nil {
+				return 0, err
+			}
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+
+	// Operands are allocated once and C re-zeroed between repetitions —
+	// A and B are deterministic from the seed, so re-filling them per
+	// rep would be identical untimed work.
 	tr, err := matrix.NewTriple(order, order, order, q, seed)
 	if err != nil {
 		return err
 	}
 	out := matrix.New(tr.C.Dense().Rows(), tr.C.Dense().Cols())
-	start := time.Now()
-	if err := matrix.MulBlocked(out, tr.A.Dense(), tr.B.Dense(), q); err != nil {
+	elapsed, err := best(func() (time.Duration, error) {
+		out.Zero()
+		start := time.Now()
+		if err := matrix.MulBlocked(out, tr.A.Dense(), tr.B.Dense(), q); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	tbl.AddRow("sequential blocked", elapsed.Round(time.Microsecond).String(),
-		fmt.Sprintf("%.2f", flops/elapsed.Seconds()/1e9), "reference")
+	naive := rec.Add("sequential blocked", "naive", 1, order, q, elapsed)
+	fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s\n", naive.Algorithm, naive.Mode, naive.Cores, naive.GFlops)
 
-	fmt.Print(tbl.String())
+	for _, p := range coreList {
+		mach, err := bigMachine(p, q)
+		if err != nil {
+			return err
+		}
+		team, err := parallel.NewTeam(mach.P)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			a, err := algo.ByName(name)
+			if err != nil {
+				team.Close()
+				return err
+			}
+			// Prepare once per configuration: program and executor live
+			// across repetitions, so the timed region is the executed
+			// schedule itself (validation is cached after the first run).
+			prog, err := a.Schedule(mach, algo.Workload{M: order, N: order, Z: order})
+			if err != nil {
+				team.Close()
+				return err
+			}
+			for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked} {
+				ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD)
+				if err != nil {
+					team.Close()
+					return err
+				}
+				elapsed, err := best(func() (time.Duration, error) {
+					tr.C.Dense().Zero()
+					start := time.Now()
+					if err := ex.Run(prog); err != nil {
+						return 0, fmt.Errorf("%s (%v, p=%d): %w", name, mode, p, err)
+					}
+					return time.Since(start), nil
+				})
+				if err != nil {
+					team.Close()
+					return err
+				}
+				r := rec.Add(name, mode.String(), p, order, q, elapsed)
+				fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s\n", r.Algorithm, r.Mode, r.Cores, r.GFlops)
+			}
+		}
+		team.Close()
+	}
+
+	fmt.Println("\npacked over view:")
+	for _, sp := range rec.Speedup(parallel.ModePacked.String(), parallel.ModeView.String()) {
+		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+	}
+	if err := rec.WriteJSONFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d runs)\n", path, len(rec.Runs))
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSmoke(t *testing.T) {
 	if err := run("", 4, 8, 2, true, 1); err != nil {
@@ -11,5 +16,53 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if err := run("nope", 4, 8, 2, false, 1); err == nil {
 		t.Fatal("unknown algorithm must fail")
+	}
+}
+
+func TestParseCores(t *testing.T) {
+	got, err := parseCores("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseCores = %v", got)
+	}
+	if _, err := parseCores("1,zero"); err == nil {
+		t.Fatal("bad core count must fail")
+	}
+	if _, err := parseCores("0"); err == nil {
+		t.Fatal("non-positive core count must fail")
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
+	if err := bench(path, "Tradeoff", 4, 8, []int{1, 2}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Name string `json:"name"`
+		Runs []struct {
+			Algorithm string  `json:"algorithm"`
+			Mode      string  `json:"mode"`
+			Cores     int     `json:"cores"`
+			GFlops    float64 `json:"gflops"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	// 1 naive + (view+packed) × 2 core counts for one algorithm.
+	if rec.Name != "gemm" || len(rec.Runs) != 5 {
+		t.Fatalf("record has %d runs, want 5: %+v", len(rec.Runs), rec)
+	}
+	for _, r := range rec.Runs {
+		if r.GFlops <= 0 {
+			t.Fatalf("non-positive GFLOP/s in %+v", r)
+		}
 	}
 }

@@ -154,6 +154,7 @@ func (a DistributedOpt) Schedule(declared machine.Machine, w Workload) (*schedul
 		Algorithm: a.Name(),
 		Cores:     declared.P,
 		Params:    schedule.Params{Mu: mu, GridRows: gr, GridCols: gc},
+		Resources: resources(declared),
 		Body:      body,
 	}, nil
 }

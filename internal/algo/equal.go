@@ -138,6 +138,7 @@ func (a SharedEqual) Schedule(declared machine.Machine, w Workload) (*schedule.P
 		Algorithm: a.Name(),
 		Cores:     p,
 		Params:    schedule.Params{Edge: e},
+		Resources: resources(declared),
 		Body:      body,
 	}, nil
 }
@@ -292,6 +293,7 @@ func (a DistributedEqual) Schedule(declared machine.Machine, w Workload) (*sched
 		Algorithm: a.Name(),
 		Cores:     declared.P,
 		Params:    schedule.Params{Edge: d, GridRows: gr, GridCols: gc},
+		Resources: resources(declared),
 		Body:      body,
 	}, nil
 }

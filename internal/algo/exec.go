@@ -430,3 +430,16 @@ func split(length, parts, idx int) (lo, hi int) {
 func lineA(i, k int) Line { return schedule.LineA(i, k) }
 func lineB(k, j int) Line { return schedule.LineB(k, j) }
 func lineC(i, j int) Line { return schedule.LineC(i, j) }
+
+// resources echoes the declared machine's cache parameters into a
+// program's Resources metadata, so backends can validate the schedule's
+// working set against the capacities it was tuned for.
+func resources(declared machine.Machine) schedule.Resources {
+	return schedule.Resources{
+		SharedBlocks: declared.CS,
+		CoreBlocks:   declared.CD,
+		SigmaS:       declared.SigmaS,
+		SigmaD:       declared.SigmaD,
+		BlockEdge:    declared.Q,
+	}
+}

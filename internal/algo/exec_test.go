@@ -227,3 +227,37 @@ func TestExecCores(t *testing.T) {
 		t.Fatalf("Cores = %d", e.Cores())
 	}
 }
+
+// Every registered algorithm must declare its cache resources on the
+// programs it emits, and its measured staging working set must fit
+// them — the same invariant the IDEAL simulator enforces dynamically,
+// checked here statically so real backends can trust the metadata
+// before allocating arenas.
+func TestSchedulesDeclareAndFitResources(t *testing.T) {
+	mach := machine.Machine{P: 4, CS: 157, CD: 7, SigmaS: 1, SigmaD: 4, Q: 8}
+	for _, a := range Extended() {
+		prog, err := a.Schedule(mach, Workload{M: 7, N: 6, Z: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if prog.Resources.CoreBlocks != mach.CD || prog.Resources.SharedBlocks != mach.CS {
+			t.Fatalf("%s: resources %+v do not echo the declared machine", a.Name(), prog.Resources)
+		}
+		ws, err := schedule.Measure(prog)
+		if err != nil {
+			t.Fatalf("%s: measure: %v", a.Name(), err)
+		}
+		if err := ws.Fits(prog.Resources); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if ws.Computes != 7*6*5 {
+			t.Fatalf("%s: measured %d computes, want %d", a.Name(), ws.Computes, 7*6*5)
+		}
+		if prog.DemandDriven && ws.Stages != 0 {
+			t.Fatalf("%s: demand-driven program stages %d blocks", a.Name(), ws.Stages)
+		}
+		if !prog.DemandDriven && ws.Stages == 0 {
+			t.Fatalf("%s: staged program emits no Stage operations", a.Name())
+		}
+	}
+}

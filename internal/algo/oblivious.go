@@ -62,6 +62,7 @@ func (a CacheOblivious) Schedule(declared machine.Machine, w Workload) (*schedul
 		Algorithm:    a.Name(),
 		Cores:        declared.P,
 		Params:       schedule.Params{GridRows: gr, GridCols: gc},
+		Resources:    resources(declared),
 		DemandDriven: true,
 		Body:         body,
 	}, nil

@@ -54,6 +54,7 @@ func (a OuterProduct) Schedule(declared machine.Machine, w Workload) (*schedule.
 		Algorithm:    a.Name(),
 		Cores:        declared.P,
 		Params:       schedule.Params{GridRows: gr, GridCols: gc},
+		Resources:    resources(declared),
 		DemandDriven: true,
 		Body:         body,
 	}, nil

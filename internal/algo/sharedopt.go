@@ -122,6 +122,7 @@ func (a SharedOpt) Schedule(declared machine.Machine, w Workload) (*schedule.Pro
 		Algorithm: a.Name(),
 		Cores:     p,
 		Params:    schedule.Params{Lambda: lambda},
+		Resources: resources(declared),
 		Body:      body,
 	}, nil
 }

@@ -180,6 +180,7 @@ func (a Tradeoff) Schedule(declared machine.Machine, w Workload) (*schedule.Prog
 		Algorithm: a.Name(),
 		Cores:     declared.P,
 		Params:    schedule.Params{Alpha: alpha, Beta: beta, Mu: mu, GridRows: gr, GridCols: gc},
+		Resources: resources(declared),
 		Body:      body,
 	}, nil
 }

@@ -115,18 +115,31 @@ func NewTriple(mBlocks, nBlocks, zBlocks, q int, seed uint64) (*Triple, error) {
 		return nil, fmt.Errorf("matrix: block dimensions must be positive, got m=%d n=%d z=%d",
 			mBlocks, nBlocks, zBlocks)
 	}
-	a := Random(mBlocks*q, zBlocks*q, seed)
-	bm := Random(zBlocks*q, nBlocks*q, seed+1)
-	c := New(mBlocks*q, nBlocks*q)
-	ab, err := NewBlocked(MatA, a, q)
+	if q <= 0 {
+		return nil, fmt.Errorf("matrix: block size q=%d must be positive", q)
+	}
+	return NewTripleDims(mBlocks*q, nBlocks*q, zBlocks*q, q, seed)
+}
+
+// NewTripleDims allocates dense operands for a (rows×inner)·(inner×cols)
+// product whose coefficient dimensions need not be multiples of q: the
+// right/bottom edge tiles of the blocked views are ragged (smaller than
+// q×q). It is the workload constructor for the n mod q ≠ 0 tests and for
+// real problem sizes that do not align with the paper's block grid.
+func NewTripleDims(rows, cols, inner, q int, seed uint64) (*Triple, error) {
+	if rows <= 0 || cols <= 0 || inner <= 0 {
+		return nil, fmt.Errorf("matrix: coefficient dimensions must be positive, got %dx%d·%dx%d",
+			rows, inner, inner, cols)
+	}
+	ab, err := NewBlocked(MatA, Random(rows, inner, seed), q)
 	if err != nil {
 		return nil, err
 	}
-	bb, err := NewBlocked(MatB, bm, q)
+	bb, err := NewBlocked(MatB, Random(inner, cols, seed+1), q)
 	if err != nil {
 		return nil, err
 	}
-	cb, err := NewBlocked(MatC, c, q)
+	cb, err := NewBlocked(MatC, New(rows, cols), q)
 	if err != nil {
 		return nil, err
 	}

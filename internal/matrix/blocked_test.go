@@ -110,6 +110,40 @@ func TestNewTripleRejectsBadDims(t *testing.T) {
 	}
 }
 
+func TestNewTripleDimsRagged(t *testing.T) {
+	// 13×11 · 11×7 with q=4: every dimension has a ragged edge tile.
+	tr, err := NewTripleDims(13, 7, 11, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, n, z := tr.Dims()
+	if m != 4 || n != 2 || z != 3 {
+		t.Fatalf("Dims = %d,%d,%d, want 4,2,3", m, n, z)
+	}
+	if tr.A.Dense().Rows() != 13 || tr.A.Dense().Cols() != 11 {
+		t.Fatalf("A dense dims %dx%d", tr.A.Dense().Rows(), tr.A.Dense().Cols())
+	}
+	edge := tr.C.Block(3, 1) // rows 12..12, cols 4..6
+	if edge.Rows() != 1 || edge.Cols() != 3 {
+		t.Fatalf("ragged C edge block %dx%d, want 1x3", edge.Rows(), edge.Cols())
+	}
+	if tr.C.Dense().FrobeniusNorm() != 0 {
+		t.Fatal("C not zeroed")
+	}
+}
+
+func TestNewTripleDimsRejectsBadDims(t *testing.T) {
+	if _, err := NewTripleDims(0, 1, 1, 2, 1); err == nil {
+		t.Fatal("expected error for zero coefficient dim")
+	}
+	if _, err := NewTripleDims(4, 4, 4, 0, 1); err == nil {
+		t.Fatal("expected error for q=0")
+	}
+}
+
 func TestValidateCatchesMismatches(t *testing.T) {
 	mk := func(id MatrixID, r, c, q int) *Blocked {
 		b, err := NewBlocked(id, New(r, c), q)

@@ -26,8 +26,12 @@ func MulNaive(c, a, b *Dense) error {
 }
 
 // MulAdd computes C += A×B using the i-k-j loop order so the innermost
-// loop streams rows of B and C. This is the sequential "DGEMM" used on
-// q×q tiles by the executor.
+// loop streams rows of B and C. It is the kernel of the sequential
+// MulBlocked baseline (the executor's tile computes run MulAddUnrolled
+// in both modes). It performs exactly 2·m·n·k flops: rows of A
+// containing zeros are not skipped, so the kernel's work — and any
+// GFLOP/s number derived from it — depends only on the shapes, never on
+// the data (a sparse variant would belong in a kernel of its own).
 func MulAdd(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
@@ -36,9 +40,6 @@ func MulAdd(c, a, b *Dense) error {
 		arow := a.data[i*a.stride : i*a.stride+a.cols]
 		crow := c.data[i*c.stride : i*c.stride+c.cols]
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.data[k*b.stride : k*b.stride+b.cols]
 			for j, bv := range brow {
 				crow[j] += av * bv
@@ -48,8 +49,11 @@ func MulAdd(c, a, b *Dense) error {
 	return nil
 }
 
-// MulAddUnrolled is MulAdd with a 4-way unrolled inner loop. It exists to
-// give the real-execution benchmarks a second kernel to compare against.
+// MulAddUnrolled is MulAdd with a 4-way unrolled inner loop. It is the
+// executor's q×q tile kernel in both modes — over strided views in
+// ModeView and (through MulAddPacked) over contiguous arena tiles in
+// ModePacked — so packed-vs-view ratios measure data layout, not loop
+// shape.
 func MulAddUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err

@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// Arena is one core's staging buffer: the physical realisation of the
+// paper's distributed cache. It holds up to capBlocks packed q×q tiles
+// in one contiguous allocation, indexed by block coordinate. Stage
+// copies a tile of the operand matrices into a free slot (the paper's
+// "load into the distributed cache of core c"), computes run on the
+// packed copies, and Unstage writes dirty C tiles back and frees the
+// slot. The discipline is exactly as strict as the IDEAL cache's:
+// staging a resident line, overflowing the capacity, or unstaging a
+// non-resident line is an error — the executor's memory traffic is
+// literally the stream the simulator counts.
+//
+// An Arena is owned by a single worker goroutine; it needs no locking.
+type Arena struct {
+	blockLen int // q·q values per slot
+	buf      []float64
+	slots    []arenaSlot
+	index    map[schedule.Line]int
+	free     []int
+}
+
+type arenaSlot struct {
+	line       schedule.Line
+	rows, cols int
+	dirty      bool
+	data       []float64 // slice of buf, len rows·cols while resident
+}
+
+// NewArena allocates a staging buffer of capBlocks tiles of q×q values.
+func NewArena(capBlocks, q int) (*Arena, error) {
+	if capBlocks <= 0 || q <= 0 {
+		return nil, fmt.Errorf("parallel: arena needs positive capacity and block edge, got %d blocks of %dx%d",
+			capBlocks, q, q)
+	}
+	a := &Arena{
+		blockLen: q * q,
+		buf:      make([]float64, capBlocks*q*q),
+		slots:    make([]arenaSlot, capBlocks),
+		index:    make(map[schedule.Line]int, capBlocks),
+		free:     make([]int, 0, capBlocks),
+	}
+	for i := capBlocks - 1; i >= 0; i-- {
+		a.free = append(a.free, i)
+	}
+	return a, nil
+}
+
+// Capacity returns the number of tile slots.
+func (a *Arena) Capacity() int { return len(a.slots) }
+
+// Resident returns the number of currently staged tiles.
+func (a *Arena) Resident() int { return len(a.index) }
+
+// Stage packs the src tile into a free slot under line l. Mirroring the
+// IDEAL cache, staging a resident line or staging into a full arena is
+// an error (it indicates a bug in the schedule's staging discipline).
+func (a *Arena) Stage(l schedule.Line, src *matrix.Dense) error {
+	if _, ok := a.index[l]; ok {
+		return fmt.Errorf("parallel: arena stage of resident block %v", l)
+	}
+	if len(a.free) == 0 {
+		return fmt.Errorf("parallel: arena full (capacity %d blocks) staging %v", len(a.slots), l)
+	}
+	if src.Rows()*src.Cols() > a.blockLen {
+		return fmt.Errorf("parallel: %dx%d tile %v exceeds the arena's %d-value slots",
+			src.Rows(), src.Cols(), l, a.blockLen)
+	}
+	i := a.free[len(a.free)-1]
+	slot := &a.slots[i]
+	slot.data = a.buf[i*a.blockLen : i*a.blockLen+src.Rows()*src.Cols()]
+	if _, err := matrix.Pack(slot.data, src); err != nil {
+		return err
+	}
+	slot.line = l
+	slot.rows = src.Rows()
+	slot.cols = src.Cols()
+	slot.dirty = false
+	a.free = a.free[:len(a.free)-1]
+	a.index[l] = i
+	return nil
+}
+
+// Unstage frees the slot holding l, writing the packed tile back into
+// dst first if it is dirty. Unstaging a non-resident line is an error,
+// exactly as evicting one is under IDEAL.
+func (a *Arena) Unstage(l schedule.Line, dst *matrix.Dense) error {
+	i, ok := a.index[l]
+	if !ok {
+		return fmt.Errorf("parallel: arena unstage of non-resident block %v", l)
+	}
+	slot := &a.slots[i]
+	if slot.dirty {
+		if err := matrix.Unpack(dst, slot.data); err != nil {
+			return err
+		}
+	}
+	delete(a.index, l)
+	a.free = append(a.free, i)
+	return nil
+}
+
+// tile returns the slot holding l, or nil if l is not staged.
+func (a *Arena) tile(l schedule.Line) *arenaSlot {
+	if i, ok := a.index[l]; ok {
+		return &a.slots[i]
+	}
+	return nil
+}
+
+// Flush writes every dirty resident tile back through lookup and empties
+// the arena. It is the executor's end-of-program safety net, mirroring
+// the simulated hierarchy's Flush: schedules are expected to unstage
+// everything themselves, so a non-empty flush usually indicates a
+// sloppy schedule rather than an error. The number of written-back
+// tiles is returned.
+func (a *Arena) Flush(lookup func(l schedule.Line) *matrix.Dense) (int, error) {
+	var wrote int
+	for l, i := range a.index {
+		slot := &a.slots[i]
+		if slot.dirty {
+			if err := matrix.Unpack(lookup(l), slot.data); err != nil {
+				return wrote, err
+			}
+			wrote++
+		}
+		delete(a.index, l)
+		a.free = append(a.free, i)
+	}
+	return wrote, nil
+}

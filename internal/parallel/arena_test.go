@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+func TestArenaStageComputeUnstage(t *testing.T) {
+	ar, err := NewArena(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := matrix.Random(8, 8, 3)
+	src := parent.View(0, 4, 4, 4) // strided tile
+	l := schedule.LineA(0, 1)
+	if err := ar.Stage(l, src); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Resident() != 1 {
+		t.Fatalf("Resident = %d, want 1", ar.Resident())
+	}
+	slot := ar.tile(l)
+	if slot == nil || slot.rows != 4 || slot.cols != 4 {
+		t.Fatalf("tile not staged correctly: %+v", slot)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if slot.data[i*4+j] != src.At(i, j) {
+				t.Fatalf("packed[%d,%d] = %g, want %g", i, j, slot.data[i*4+j], src.At(i, j))
+			}
+		}
+	}
+	// A clean unstage must not write back.
+	dst := matrix.New(4, 4)
+	if err := ar.Unstage(l, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.FrobeniusNorm() != 0 {
+		t.Fatal("clean tile wrote back")
+	}
+	// A dirty unstage must.
+	if err := ar.Stage(l, src); err != nil {
+		t.Fatal(err)
+	}
+	ar.tile(l).dirty = true
+	if err := ar.Unstage(l, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.MaxAbsDiff(src.Clone()) != 0 {
+		t.Fatal("dirty tile did not write back the packed image")
+	}
+	if ar.Resident() != 0 {
+		t.Fatalf("Resident = %d after unstage, want 0", ar.Resident())
+	}
+}
+
+func TestArenaDiscipline(t *testing.T) {
+	ar, err := NewArena(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := matrix.Random(2, 2, 1)
+	if err := ar.Stage(schedule.LineA(0, 0), tile); err != nil {
+		t.Fatal(err)
+	}
+	// Re-staging a resident line is a schedule bug, exactly as in IDEAL.
+	if err := ar.Stage(schedule.LineA(0, 0), tile); err == nil || !strings.Contains(err.Error(), "resident") {
+		t.Fatalf("re-stage not rejected: %v", err)
+	}
+	if err := ar.Stage(schedule.LineB(0, 0), tile); err != nil {
+		t.Fatal(err)
+	}
+	// Overflowing the capacity is too.
+	if err := ar.Stage(schedule.LineC(0, 0), tile); err == nil || !strings.Contains(err.Error(), "full") {
+		t.Fatalf("overflow not rejected: %v", err)
+	}
+	// So is unstaging a non-resident line.
+	if err := ar.Unstage(schedule.LineC(0, 0), matrix.New(2, 2)); err == nil {
+		t.Fatal("unstage of non-resident line not rejected")
+	}
+	// An oversized tile cannot be staged.
+	if err := ar.Unstage(schedule.LineB(0, 0), matrix.New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.Stage(schedule.LineB(0, 0), matrix.Random(3, 3, 2)); err == nil {
+		t.Fatal("oversized tile not rejected")
+	}
+}
+
+func TestArenaSlotReuse(t *testing.T) {
+	// Stage/unstage cycling through more distinct blocks than slots must
+	// work indefinitely — slots are recycled.
+	ar, err := NewArena(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := matrix.Random(3, 3, 5)
+	for round := 0; round < 10; round++ {
+		l := schedule.LineB(0, round)
+		if err := ar.Stage(l, tile); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := ar.Unstage(l, matrix.New(3, 3)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if ar.Capacity() != 2 {
+		t.Fatalf("Capacity = %d, want 2", ar.Capacity())
+	}
+}
+
+func TestArenaFlushWritesDirtyTiles(t *testing.T) {
+	ar, err := NewArena(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := map[schedule.Line]*matrix.Dense{
+		schedule.LineC(0, 0): matrix.New(2, 2),
+		schedule.LineC(0, 1): matrix.New(2, 2),
+	}
+	src := matrix.Random(2, 2, 9)
+	for l := range backing {
+		if err := ar.Stage(l, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ar.tile(schedule.LineC(0, 0)).dirty = true
+	wrote, err := ar.Flush(func(l schedule.Line) *matrix.Dense { return backing[l] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != 1 {
+		t.Fatalf("Flush wrote %d tiles, want 1", wrote)
+	}
+	if backing[schedule.LineC(0, 0)].MaxAbsDiff(src) != 0 {
+		t.Fatal("dirty tile not flushed")
+	}
+	if backing[schedule.LineC(0, 1)].FrobeniusNorm() != 0 {
+		t.Fatal("clean tile flushed")
+	}
+	if ar.Resident() != 0 {
+		t.Fatalf("Resident = %d after flush, want 0", ar.Resident())
+	}
+}
+
+func TestNewArenaRejectsBadParams(t *testing.T) {
+	if _, err := NewArena(0, 4); err == nil {
+		t.Fatal("zero capacity must fail")
+	}
+	if _, err := NewArena(4, 0); err == nil {
+		t.Fatal("zero block edge must fail")
+	}
+}

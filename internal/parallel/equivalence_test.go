@@ -69,6 +69,60 @@ func TestSimExecStreamEquivalence(t *testing.T) {
 	}
 }
 
+// The same invariant with ragged coefficient dimensions: when n mod q ≠ 0
+// the edge tiles are smaller than q×q, the packed executor moves
+// partial blocks through the arenas, and the streams must still match
+// the simulator's operation for operation while the numbers match the
+// naive reference.
+func TestSimExecStreamEquivalenceRagged(t *testing.T) {
+	mach := testMachine(4)
+	const q = 4
+	// Coefficient shapes with no dimension a multiple of q.
+	shapes := [][3]int{
+		{13, 7, 11}, // every dimension ragged
+		{8, 10, 4},  // cols ragged only (rows and inner aligned)
+		{17, 17, 3}, // inner smaller than q, ragged rows/cols
+	}
+	for _, a := range algo.Extended() {
+		for _, s := range shapes {
+			rows, cols, inner := s[0], s[1], s[2]
+			tr, err := matrix.NewTripleDims(rows, cols, inner, q, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mq := mach
+			mq.Q = q
+			execRec := schedule.NewRecorder(mach.P)
+			if err := Execute(a, tr, mq, execRec.Probe()); err != nil {
+				t.Fatalf("%s %v: execute: %v", a.Name(), s, err)
+			}
+
+			// Packed↔naive: the executed C must match the naive product.
+			want := matrix.New(rows, cols)
+			if err := matrix.MulNaive(want, tr.A.Dense(), tr.B.Dense()); err != nil {
+				t.Fatal(err)
+			}
+			if diff := tr.C.Dense().MaxAbsDiff(want); diff > 1e-10 {
+				t.Fatalf("%s %v: C deviates from MulNaive by %g", a.Name(), s, diff)
+			}
+
+			// The simulator sees block dimensions ⌈dim/q⌉.
+			m, n, z := tr.Dims()
+			for _, setting := range []algo.Setting{algo.Ideal, algo.LRU} {
+				simRec := schedule.NewRecorder(mach.P)
+				w := algo.Workload{M: m, N: n, Z: z, Probe: simRec.Probe()}
+				if _, err := algo.Run(a, mach, mach, w, setting); err != nil {
+					t.Fatalf("%s %v %v: simulate: %v", a.Name(), s, setting, err)
+				}
+				if d := simRec.Diff(execRec); d != "" {
+					t.Fatalf("%s %v: simulator (%v) and executor streams diverge: %s",
+						a.Name(), s, setting, d)
+				}
+			}
+		}
+	}
+}
+
 // The recorded streams must carry real work: every core stream contains
 // the read-read-write triples of its compute operations, and the
 // per-core write counts sum to m·n·z.

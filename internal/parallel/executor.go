@@ -7,42 +7,115 @@ import (
 	"repro/internal/schedule"
 )
 
-// Executor is the real-execution backend of the schedule IR: it maps the
-// same operation stream the cache simulator replays onto a Team of
-// worker goroutines calling the q×q DGEMM kernel on float64 blocks.
+// Mode selects how the executor realises the schedule's staging
+// operations.
+type Mode uint8
+
+const (
+	// ModePacked is the default: Stage packs a block into the core's
+	// staging arena, Compute runs the contiguous micro-kernel on
+	// arena-resident operands, and Unstage writes dirty C blocks back —
+	// the executor's memory traffic is literally the stream the
+	// simulator counts.
+	ModePacked Mode = iota
+	// ModeView is the strided baseline: staging operations carry no data
+	// movement (only the probe observes them) and the kernel reads q×q
+	// tiles as strided views into the full matrices. It exists so the
+	// benchmarks can measure what physical staging buys.
+	ModeView
+)
+
+// String names the mode as it appears in benchmark records.
+func (m Mode) String() string {
+	switch m {
+	case ModePacked:
+		return "packed"
+	case ModeView:
+		return "view"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Executor is the real-execution backend of the schedule IR: it maps
+// the same operation stream the cache simulator replays onto a Team of
+// worker goroutines computing on float64 blocks.
 //
-// Each parallel region of the schedule is recorded first — one compute
-// list per core, with any attached probe fed in each core's program
-// order, exactly matching the simulator probe's per-core streams — and
-// then executed by the Team. Stage/Unstage operations carry no data
-// movement here (all operands already live in the executor's address
-// space); they exist so the probe sees the schedule's full access
-// stream.
+// Each parallel region of the schedule is recorded first — one
+// operation list per core, with any attached probe fed in each core's
+// program order, exactly matching the simulator probe's per-core
+// streams — and then executed by the Team. In ModePacked every core
+// owns an Arena sized from the declared machine's distributed-cache
+// capacity; Stage/Unstage move blocks between the operand matrices and
+// that arena, persisting across regions (a block staged in one region
+// is still arena-resident in the next, as in the simulated hierarchy).
+// In ModeView staging is probe-only, as it was before packed storage
+// existed.
 type Executor struct {
-	team  *Team
-	t     *matrix.Triple
-	probe *schedule.Probe
-	tasks [][]task
-	err   error
+	team        *Team
+	t           *matrix.Triple
+	probe       *schedule.Probe
+	mode        Mode
+	arenaBlocks int
+	arenas      []*Arena // allocated by Run for programs that stage
+	staging     bool     // current program stages (set per Run)
+	ops         [][]execOp
+	err         error
+
+	// validated caches the last successfully validated program (by
+	// pointer; a Program is immutable once built), so repeated Runs of
+	// the same program — the benchmark loop — measure it only once.
+	validated        *schedule.Program
+	validatedStaging bool
 }
 
 // Executor is the real backend of the schedule IR.
 var _ schedule.Backend = (*Executor)(nil)
 
-// task is one elementary block FMA C[i,j] += A[i,k]·B[k,j].
-type task struct{ i, j, k int }
+// execOp is one recorded per-core operation: a staging transfer or an
+// elementary block FMA C[i,j] += A[i,k]·B[k,j].
+type execOp struct {
+	kind    execOpKind
+	line    schedule.Line // stage/unstage only
+	i, j, k int           // compute only
+}
+
+type execOpKind uint8
+
+const (
+	xCompute execOpKind = iota
+	xStage
+	xUnstage
+)
 
 // NewExecutor binds a backend to a team and a triple. probe may be nil.
-func NewExecutor(team *Team, t *matrix.Triple, probe *schedule.Probe) (*Executor, error) {
+// In ModePacked each core receives an arena of arenaBlocks tiles of
+// Q×Q values, Q the triple's tile size — pass the declared machine's
+// CD, as Execute does; arenaBlocks is ignored in ModeView. Arenas are
+// allocated by Run, and only for programs that actually stage, so
+// demand-driven schedules pay nothing for the capability.
+func NewExecutor(team *Team, t *matrix.Triple, probe *schedule.Probe, mode Mode, arenaBlocks int) (*Executor, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	return &Executor{
-		team:  team,
-		t:     t,
-		probe: probe,
-		tasks: make([][]task, team.Size()),
-	}, nil
+	ex := &Executor{
+		team:        team,
+		t:           t,
+		probe:       probe,
+		mode:        mode,
+		arenaBlocks: arenaBlocks,
+		ops:         make([][]execOp, team.Size()),
+	}
+	switch mode {
+	case ModePacked:
+		if arenaBlocks <= 0 {
+			return nil, fmt.Errorf("parallel: packed executor needs a positive arena capacity, got %d blocks", arenaBlocks)
+		}
+	case ModeView:
+	default:
+		return nil, fmt.Errorf("parallel: unknown executor mode %v", mode)
+	}
+	return ex, nil
 }
 
 // Err returns the first execution error, if any. Errors are sticky:
@@ -55,7 +128,8 @@ func (ex *Executor) fail(err error) {
 	}
 }
 
-// StageShared is a shared-cache hint; only the probe observes it.
+// StageShared is a shared-cache hint; only the probe observes it (the
+// executor has no physical shared level between the arenas and memory).
 func (ex *Executor) StageShared(l schedule.Line) {
 	if ex.err != nil {
 		return
@@ -80,11 +154,22 @@ func (s execSink) access(l schedule.Line, write bool) {
 	}
 }
 
-// Stage is a distributed-cache hint; only the probe observes it.
-func (s execSink) Stage(l schedule.Line) { s.access(l, false) }
+// Stage queues the block transfer into this core's arena (ModePacked)
+// and feeds the probe the access, exactly as the simulator does.
+func (s execSink) Stage(l schedule.Line) {
+	s.access(l, false)
+	if s.ex.mode == ModePacked {
+		s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xStage, line: l})
+	}
+}
 
-// Unstage is invisible to probes, exactly as in the simulator.
-func (s execSink) Unstage(schedule.Line) {}
+// Unstage queues the write-back/release of l. It is invisible to
+// probes, exactly as in the simulator.
+func (s execSink) Unstage(l schedule.Line) {
+	if s.ex.mode == ModePacked {
+		s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xUnstage, line: l})
+	}
+}
 
 // Read records a raw access; it carries no arithmetic.
 func (s execSink) Read(l schedule.Line) { s.access(l, false) }
@@ -98,47 +183,169 @@ func (s execSink) Compute(i, j, k int) {
 	s.access(schedule.LineA(i, k), false)
 	s.access(schedule.LineB(k, j), false)
 	s.access(schedule.LineC(i, j), true)
-	s.ex.tasks[s.core] = append(s.ex.tasks[s.core], task{i, j, k})
+	s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xCompute, i: i, j: j, k: k})
 }
 
 // Parallel records the per-core streams of one region, then runs them
 // concurrently on the team. The schedules guarantee that cores write
-// disjoint C blocks within a region, so no further synchronisation is
-// needed.
+// disjoint C blocks within a region — and that arena residency of a C
+// block never migrates between cores across regions — so no further
+// synchronisation is needed.
 func (ex *Executor) Parallel(body func(core int, ops schedule.CoreSink)) {
 	if ex.err != nil {
 		return
 	}
 	work := false
-	for c := range ex.tasks {
-		ex.tasks[c] = ex.tasks[c][:0]
+	for c := range ex.ops {
+		ex.ops[c] = ex.ops[c][:0]
 		body(c, execSink{ex: ex, core: c})
-		work = work || len(ex.tasks[c]) > 0
+		work = work || len(ex.ops[c]) > 0
 	}
-	// Staging-only regions carry no arithmetic: skip the team barrier
-	// (the probe has already seen the streams above).
+	// Regions with no recorded operations (probe-only in this mode)
+	// skip the team barrier; the probe has already seen the streams.
 	if !work {
 		return
 	}
-	ex.fail(ex.team.Run(func(c int) error {
-		t := ex.t
-		for _, tk := range ex.tasks[c] {
-			if err := matrix.MulAdd(t.C.Block(tk.i, tk.j), t.A.Block(tk.i, tk.k), t.B.Block(tk.k, tk.j)); err != nil {
+	ex.fail(ex.team.Run(ex.replay))
+}
+
+// replay executes core c's recorded stream of the current region. The
+// arena applies only when the *current* program stages: a reused
+// Executor may hold arenas from an earlier staged Run while replaying a
+// demand-driven program, whose computes must take the strided path.
+func (ex *Executor) replay(c int) error {
+	var ar *Arena
+	if ex.staging {
+		ar = ex.arenas[c]
+	}
+	for _, op := range ex.ops[c] {
+		switch op.kind {
+		case xStage, xUnstage:
+			if ar == nil {
+				// Staging ops reach replay only through Run, which
+				// allocates arenas for every program that stages.
+				return fmt.Errorf("parallel: staging op %v outside a validated Run", op.line)
+			}
+			if op.line.Matrix > matrix.MatC {
+				// block() would silently alias an unknown operand to C;
+				// fail loudly instead, as with every other misuse.
+				return fmt.Errorf("parallel: staging op on unknown operand %v", op.line)
+			}
+			if op.kind == xStage {
+				if err := ar.Stage(op.line, ex.block(op.line)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := ar.Unstage(op.line, ex.block(op.line)); err != nil {
+				return err
+			}
+		case xCompute:
+			if err := ex.compute(ar, op.i, op.j, op.k); err != nil {
 				return err
 			}
 		}
-		return nil
-	}))
+	}
+	return nil
 }
 
-// Run replays a complete program and reports the first error.
+// block resolves a line to its tile view in the operand matrices.
+func (ex *Executor) block(l schedule.Line) *matrix.Dense {
+	switch l.Matrix {
+	case matrix.MatA:
+		return ex.t.A.Block(l.Row, l.Col)
+	case matrix.MatB:
+		return ex.t.B.Block(l.Row, l.Col)
+	default:
+		return ex.t.C.Block(l.Row, l.Col)
+	}
+}
+
+// compute performs C[i,j] += A[i,k]·B[k,j]. With an arena present
+// (staged schedules) all three operands must be arena-resident —
+// mirroring the IDEAL cache, where referencing a non-resident line is
+// an error — and the packed micro-kernel runs on the contiguous
+// copies. Demand-driven schedules never stage, so Run allocates them
+// no arena (ar == nil) and the strided kernel reads the tile views
+// directly.
+func (ex *Executor) compute(ar *Arena, i, j, k int) error {
+	if ar != nil {
+		sa := ar.tile(schedule.LineA(i, k))
+		sb := ar.tile(schedule.LineB(k, j))
+		sc := ar.tile(schedule.LineC(i, j))
+		if sa == nil || sb == nil || sc == nil {
+			return fmt.Errorf("parallel: compute C[%d,%d] += A[%d,%d]·B[%d,%d] with non-resident operand (A:%t B:%t C:%t)",
+				i, j, i, k, k, j, sa != nil, sb != nil, sc != nil)
+		}
+		sc.dirty = true
+		return matrix.MulAddPacked(sc.data, sa.data, sb.data, sc.rows, sc.cols, sa.cols)
+	}
+	// The strided path uses the equally 4-way-unrolled kernel so that
+	// packed-vs-view ratios measure data movement, not loop shape.
+	t := ex.t
+	return matrix.MulAddUnrolled(t.C.Block(i, j), t.A.Block(i, k), t.B.Block(k, j))
+}
+
+// Run replays a complete program and reports the first error. In
+// ModePacked the program's measured working set is validated against
+// the resources it declares before anything executes, and any tiles a
+// sloppy schedule left staged are flushed back afterwards (schedules
+// are expected to unstage everything themselves; the simulated
+// hierarchy has the same end-of-run Flush).
+//
+// Only the per-core level is validated: the arenas are the one cache
+// level this backend materialises, while the shared level stays a
+// probe-only hint (some emitters overclaim CS by a block or two on
+// tiny machines, and rejecting execution on a resource that is never
+// allocated would regress workloads that run fine). The validation
+// replay costs one extra pass over the operation stream — measured at
+// ~0.4% of the packed run time for n=1024, far below run-to-run noise.
 func (ex *Executor) Run(prog *schedule.Program) error {
 	if prog.Cores != ex.team.Size() {
 		return fmt.Errorf("parallel: program %q wants %d cores, team has %d",
 			prog.Algorithm, prog.Cores, ex.team.Size())
 	}
+	ex.staging = false
+	if ex.mode == ModePacked && !prog.DemandDriven {
+		if prog == ex.validated {
+			ex.staging = ex.validatedStaging
+		} else {
+			ws, err := schedule.Measure(prog)
+			if err != nil {
+				return err
+			}
+			if err := ws.Fits(schedule.Resources{CoreBlocks: prog.Resources.CoreBlocks}); err != nil {
+				return fmt.Errorf("parallel: program %q: %w", prog.Algorithm, err)
+			}
+			if ws.CorePeak > ex.arenaBlocks {
+				return fmt.Errorf("parallel: program %q needs %d arena blocks per core, have %d",
+					prog.Algorithm, ws.CorePeak, ex.arenaBlocks)
+			}
+			ex.staging = ws.Stages > 0
+			ex.validated = prog
+			ex.validatedStaging = ex.staging
+		}
+		if ex.staging && ex.arenas == nil {
+			ex.arenas = make([]*Arena, ex.team.Size())
+			for c := range ex.arenas {
+				a, err := NewArena(ex.arenaBlocks, ex.t.A.Q)
+				if err != nil {
+					return err
+				}
+				ex.arenas[c] = a
+			}
+		}
+	}
 	if err := prog.Emit(ex); err != nil {
 		return err
+	}
+	if ex.err == nil && ex.mode == ModePacked {
+		for _, ar := range ex.arenas {
+			if _, err := ar.Flush(ex.block); err != nil {
+				ex.fail(err)
+				break
+			}
+		}
 	}
 	return ex.err
 }

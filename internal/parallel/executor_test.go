@@ -1,0 +1,294 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+func TestModeString(t *testing.T) {
+	if ModePacked.String() != "packed" || ModeView.String() != "view" {
+		t.Fatalf("mode names: %v / %v", ModePacked, ModeView)
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Fatal("unknown mode should include numeric value")
+	}
+}
+
+func TestNewExecutorRejectsUnknownMode(t *testing.T) {
+	team, _ := NewTeam(1)
+	defer team.Close()
+	tr, _ := matrix.NewTriple(2, 2, 2, 4, 1)
+	if _, err := NewExecutor(team, tr, nil, Mode(9), 3); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+}
+
+// Both executor modes must agree with the sequential reference for the
+// whole registry; the packed mode is additionally the default used
+// everywhere else, so this pins down that ModeView stays correct as a
+// benchmark baseline.
+func TestBothModesMatchReference(t *testing.T) {
+	mach := testMachine(4)
+	for _, name := range algorithms() {
+		for _, mode := range []Mode{ModePacked, ModeView} {
+			tr, err := matrix.NewTriple(6, 5, 4, mach.Q, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := MultiplyMode(name, tr, mach, mode); err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			diff, err := Verify(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff > 1e-10 {
+				t.Fatalf("%s/%v: result deviates by %g", name, mode, diff)
+			}
+		}
+	}
+}
+
+// A program whose declared resources cannot hold its measured working
+// set must be rejected before any execution happens.
+func TestRunRejectsOverclaimedWorkingSet(t *testing.T) {
+	team, err := NewTeam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	tr, err := matrix.NewTriple(2, 2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &schedule.Program{
+		Algorithm: "overclaim",
+		Cores:     1,
+		Resources: schedule.Resources{CoreBlocks: 1},
+		Body: func(b schedule.Backend) {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(schedule.LineA(0, 0))
+				ops.Stage(schedule.LineB(0, 0)) // 2 resident > declared CD=1
+				ops.Compute(0, 0, 0)
+			})
+		},
+	}
+	err = ex.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "CD=1") {
+		t.Fatalf("overclaimed working set not rejected: %v", err)
+	}
+}
+
+// A program that needs more arena blocks than the executor allocated
+// must be rejected up front, not fail mid-run.
+func TestRunRejectsUndersizedArena(t *testing.T) {
+	team, err := NewTeam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	tr, err := matrix.NewTriple(2, 2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &schedule.Program{
+		Algorithm: "big-footprint",
+		Cores:     1,
+		Resources: schedule.Resources{CoreBlocks: 8},
+		Body: func(b schedule.Backend) {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(schedule.LineA(0, 0))
+				ops.Stage(schedule.LineB(0, 0))
+				ops.Stage(schedule.LineC(0, 0))
+				ops.Compute(0, 0, 0)
+			})
+		},
+	}
+	err = ex.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "arena blocks") {
+		t.Fatalf("undersized arena not rejected: %v", err)
+	}
+}
+
+// A schedule that stages and computes but forgets to unstage must still
+// produce the right C: the end-of-program flush writes dirty arena
+// tiles back, mirroring the simulated hierarchy's Flush.
+func TestRunFlushesSloppySchedules(t *testing.T) {
+	team, err := NewTeam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	const q = 4
+	tr, err := matrix.NewTriple(1, 1, 1, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &schedule.Program{
+		Algorithm: "sloppy",
+		Cores:     1,
+		Resources: schedule.Resources{CoreBlocks: 3},
+		Body: func(b schedule.Backend) {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(schedule.LineA(0, 0))
+				ops.Stage(schedule.LineB(0, 0))
+				ops.Stage(schedule.LineC(0, 0))
+				ops.Compute(0, 0, 0)
+				// no Unstage: the C update lives only in the arena here
+			})
+		},
+	}
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Verify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-12 {
+		t.Fatalf("flushed result deviates by %g", diff)
+	}
+}
+
+// A packed Executor must be reusable across programs with different
+// staging styles: arenas allocated for a staged program must not leak
+// into a later demand-driven program's computes.
+func TestPackedExecutorReuseAcrossStagingStyles(t *testing.T) {
+	mach := testMachine(4)
+	tr, err := matrix.NewTriple(5, 4, 3, mach.Q, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	ex, err := NewExecutor(team, tr, nil, ModePacked, mach.CD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, z := tr.Dims()
+	w := algo.Workload{M: m, N: n, Z: z}
+	for _, name := range []string{"Tradeoff", "Outer Product", "Distributed Opt."} {
+		a, err := algo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := a.Schedule(mach, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Run(prog); err != nil {
+			t.Fatalf("%s on reused executor: %v", name, err)
+		}
+	}
+	// Three accumulating runs: C must hold 3·(A×B).
+	want, err := Reference(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Scale(3)
+	if diff := tr.C.Dense().MaxAbsDiff(want); diff > 1e-9 {
+		t.Fatalf("reused executor deviates by %g", diff)
+	}
+}
+
+// A staged program that computes on a block it forgot to stage must
+// fail loudly, exactly as referencing a non-resident line does under
+// IDEAL — a silent strided fallback would let staging-discipline bugs
+// corrupt the packed benchmark numbers undetected.
+func TestPackedComputeRequiresResidentOperands(t *testing.T) {
+	team, err := NewTeam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	tr, err := matrix.NewTriple(1, 1, 1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &schedule.Program{
+		Algorithm: "forgot-to-stage-C",
+		Cores:     1,
+		Resources: schedule.Resources{CoreBlocks: 3},
+		Body: func(b schedule.Backend) {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(schedule.LineA(0, 0))
+				ops.Stage(schedule.LineB(0, 0))
+				ops.Compute(0, 0, 0) // C never staged
+			})
+		},
+	}
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ex.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "non-resident operand") {
+		t.Fatalf("unstaged compute operand not rejected: %v", err)
+	}
+}
+
+// The executor materialises only the per-core level, so a schedule that
+// overclaims the *shared* cache by a block or two (some emitters do on
+// tiny machines) must still execute: shared staging is a probe-only
+// hint here and must not gate real execution.
+func TestPackedExecutorIgnoresSharedOverclaim(t *testing.T) {
+	// Tradeoff on this machine emits α=2, β=1: α²+2αβ = 8 > CS = 7.
+	mach := machine.Machine{P: 1, CS: 7, CD: 7, SigmaS: 1, SigmaD: 4, Q: 4}
+	tr, err := matrix.NewTriple(2, 3, 5, mach.Q, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MultiplyMode("Tradeoff", tr, mach, ModePacked); err != nil {
+		t.Fatalf("shared overclaim must not gate execution: %v", err)
+	}
+	diff, err := Verify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-10 {
+		t.Fatalf("result deviates by %g", diff)
+	}
+}
+
+// The packed executor must accept ragged coefficient dimensions: edge
+// tiles smaller than q×q flow through Pack/MulAddPacked/Unpack.
+func TestPackedExecutorRaggedTiles(t *testing.T) {
+	mach := testMachine(4)
+	// 13×11 · 11×7 with q=4: no dimension is a multiple of q.
+	tr, err := matrix.NewTripleDims(13, 7, 11, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq := mach
+	mq.Q = 4
+	if err := MultiplyMode("Tradeoff", tr, mq, ModePacked); err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.New(13, 7)
+	if err := matrix.MulNaive(want, tr.A.Dense(), tr.B.Dense()); err != nil {
+		t.Fatal(err)
+	}
+	if diff := tr.C.Dense().MaxAbsDiff(want); diff > 1e-10 {
+		t.Fatalf("ragged packed result deviates by %g", diff)
+	}
+}

@@ -11,21 +11,35 @@ import (
 // through the registry) for real on the triple's data, using the
 // machine's core count and cache-derived parameters to shape the loop
 // nest exactly as the simulator does — both consume the same
-// schedule.Program.
+// schedule.Program. Staging is physical: blocks are packed into
+// per-core arenas sized from the machine's distributed-cache capacity.
 func Multiply(name string, t *matrix.Triple, mach machine.Machine) error {
+	return MultiplyMode(name, t, mach, ModePacked)
+}
+
+// MultiplyMode is Multiply with an explicit executor mode, so callers
+// (benchmarks, examples) can compare packed staging against the strided
+// ModeView baseline.
+func MultiplyMode(name string, t *matrix.Triple, mach machine.Machine, mode Mode) error {
 	a, err := algo.ByName(name)
 	if err != nil {
 		return err
 	}
-	return Execute(a, t, mach, nil)
+	return ExecuteMode(a, t, mach, nil, mode)
 }
 
 // Execute runs algorithm a's schedule on the triple with one worker
-// goroutine per core of mach. An optional probe observes the access
+// goroutine per core of mach, staging blocks into per-core packed
+// arenas of mach.CD tiles. An optional probe observes the access
 // streams (per-core and shared), which are identical to the streams a
 // simulator probe sees for the same declared machine — the schedule IR
 // is the single source for both backends.
 func Execute(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *schedule.Probe) error {
+	return ExecuteMode(a, t, mach, probe, ModePacked)
+}
+
+// ExecuteMode is Execute with an explicit executor mode.
+func ExecuteMode(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *schedule.Probe, mode Mode) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
@@ -42,7 +56,7 @@ func Execute(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *sc
 		return err
 	}
 	defer team.Close()
-	ex, err := NewExecutor(team, t, probe)
+	ex, err := NewExecutor(team, t, probe, mode, mach.CD)
 	if err != nil {
 		return err
 	}

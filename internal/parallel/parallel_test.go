@@ -215,6 +215,60 @@ func TestMultiplyAccumulates(t *testing.T) {
 	}
 }
 
+// BenchmarkExecutor measures every registered algorithm under both
+// executor modes, so `go test -bench Executor` prints the packed-vs-view
+// comparison the benchmark pipeline records at full scale in
+// BENCH_gemm.json (cmd/gemm -bench-json). The workload is 16×16 blocks
+// of 32×32 (n=512) to stay benchmark-sized; GFLOP/s is reported as a
+// custom metric.
+func BenchmarkExecutor(b *testing.B) {
+	mach := machine.Machine{P: 4, CS: 977, CD: 21, SigmaS: 1, SigmaD: 4, Q: 32}
+	const order = 16
+	flops := 2 * float64(order*mach.Q) * float64(order*mach.Q) * float64(order*mach.Q)
+	for _, name := range algorithms() {
+		for _, mode := range []Mode{ModeView, ModePacked} {
+			b.Run(name+"/"+mode.String(), func(b *testing.B) {
+				tr, err := matrix.NewTriple(order, order, order, mach.Q, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Prepare once, run many: team, executor and program
+				// live across iterations, so per-iteration work is the
+				// executed schedule itself (validation is cached by
+				// program pointer after the first Run).
+				a, err := algo.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog, err := a.Schedule(mach, algo.Workload{M: order, N: order, Z: order})
+				if err != nil {
+					b.Fatal(err)
+				}
+				team, err := NewTeam(mach.P)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer team.Close()
+				ex, err := NewExecutor(team, tr, nil, mode, mach.CD)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := ex.Run(prog); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if s := b.Elapsed().Seconds(); s > 0 {
+					b.ReportMetric(flops*float64(b.N)/s/1e9, "GFLOP/s")
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkParallelTradeoff(b *testing.B) {
 	mach := machine.Machine{P: 4, CS: 977, CD: 21, SigmaS: 1, SigmaD: 4, Q: 32}
 	tr, err := matrix.NewTriple(16, 16, 16, 32, 1)

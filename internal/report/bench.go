@@ -1,0 +1,145 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// This file defines the machine-readable benchmark record emitted by
+// `cmd/gemm -bench-json` (BENCH_gemm.json): one BenchRun per measured
+// (algorithm, executor mode, core count) combination, wrapped in a
+// Bench envelope that pins the environment the numbers were taken on.
+// The record is the start of the repository's measured perf trajectory:
+// successive PRs append comparable files rather than prose claims.
+
+// BenchRun is one measured execution.
+type BenchRun struct {
+	Algorithm   string  `json:"algorithm"`    // algo display name, or "sequential blocked"
+	Mode        string  `json:"mode"`         // "naive", "view" or "packed"
+	Cores       int     `json:"cores"`        // worker goroutines
+	OrderBlocks int     `json:"order_blocks"` // square workload edge, in blocks
+	Q           int     `json:"q"`            // block edge, in coefficients
+	N           int     `json:"n"`            // matrix order in coefficients (order_blocks·q)
+	Seconds     float64 `json:"seconds"`      // wall-clock of one multiplication
+	GFlops      float64 `json:"gflops"`       // 2n³ / seconds / 1e9
+}
+
+// Bench is the envelope written to BENCH_gemm.json.
+type Bench struct {
+	Name      string     `json:"name"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	When      string     `json:"when"` // RFC 3339
+	Runs      []BenchRun `json:"runs"`
+}
+
+// NewBench returns an envelope stamped with the current environment.
+func NewBench(name string) *Bench {
+	return &Bench{
+		Name:      name,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Add records one run, deriving N and GFLOP/s from the workload shape.
+// Timings below the clock's resolution are clamped to one nanosecond so
+// the rate stays finite (an Inf would make the whole record
+// unencodable as JSON).
+func (b *Bench) Add(algorithm, mode string, cores, orderBlocks, q int, elapsed time.Duration) BenchRun {
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	n := orderBlocks * q
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	run := BenchRun{
+		Algorithm:   algorithm,
+		Mode:        mode,
+		Cores:       cores,
+		OrderBlocks: orderBlocks,
+		Q:           q,
+		N:           n,
+		Seconds:     elapsed.Seconds(),
+		GFlops:      flops / elapsed.Seconds() / 1e9,
+	}
+	b.Runs = append(b.Runs, run)
+	return run
+}
+
+// Speedup returns GFLOP/s ratios of mode over baseMode per
+// (algorithm, cores) pair present in both modes, sorted by algorithm
+// then cores. Callers pass the same mode names they recorded runs
+// under (cmd/gemm passes parallel.Mode.String() values for both); each
+// result echoes the compared modes so the ratio is self-describing.
+func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
+	type key struct {
+		algo  string
+		cores int
+	}
+	num := map[key]float64{}
+	den := map[key]float64{}
+	for _, r := range b.Runs {
+		k := key{r.Algorithm, r.Cores}
+		switch r.Mode {
+		case mode:
+			num[k] = r.GFlops
+		case baseMode:
+			den[k] = r.GFlops
+		}
+	}
+	var out []BenchSpeedup
+	for k, n := range num {
+		if d, ok := den[k]; ok && d > 0 {
+			out = append(out, BenchSpeedup{
+				Algorithm: k.algo, Cores: k.cores,
+				Mode: mode, BaseMode: baseMode, Ratio: n / d,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Algorithm != out[j].Algorithm {
+			return out[i].Algorithm < out[j].Algorithm
+		}
+		return out[i].Cores < out[j].Cores
+	})
+	return out
+}
+
+// BenchSpeedup is one Mode-over-BaseMode GFLOP/s ratio.
+type BenchSpeedup struct {
+	Algorithm string  `json:"algorithm"`
+	Cores     int     `json:"cores"`
+	Mode      string  `json:"mode"`
+	BaseMode  string  `json:"base_mode"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// WriteJSON emits the envelope as indented JSON.
+func (b *Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteJSONFile writes the envelope to path.
+func (b *Bench) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("report: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

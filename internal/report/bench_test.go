@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBenchAddAndSpeedup(t *testing.T) {
+	b := NewBench("gemm")
+	run := b.Add("Tradeoff", "packed", 4, 32, 32, 2*time.Second)
+	if run.N != 1024 {
+		t.Fatalf("N = %d, want 1024", run.N)
+	}
+	wantG := 2 * 1024.0 * 1024 * 1024 / 2 / 1e9 // 2n³ flops over 2 s
+	if diff := run.GFlops - wantG; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("GFlops = %g, want %g", run.GFlops, wantG)
+	}
+	b.Add("Tradeoff", "view", 4, 32, 32, 4*time.Second)
+	b.Add("Tradeoff", "view", 2, 32, 32, 4*time.Second) // no packed partner
+	sp := b.Speedup("packed", "view")
+	if len(sp) != 1 {
+		t.Fatalf("Speedup has %d entries, want 1: %+v", len(sp), sp)
+	}
+	if sp[0].Algorithm != "Tradeoff" || sp[0].Cores != 4 || sp[0].Mode != "packed" || sp[0].BaseMode != "view" {
+		t.Fatalf("unexpected speedup key: %+v", sp[0])
+	}
+	if diff := sp[0].Ratio - 2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Ratio = %g, want 2", sp[0].Ratio)
+	}
+}
+
+func TestBenchZeroElapsedStaysEncodable(t *testing.T) {
+	b := NewBench("gemm")
+	run := b.Add("Tradeoff", "packed", 1, 1, 1, 0)
+	if run.GFlops <= 0 || run.GFlops != run.GFlops || run.Seconds <= 0 {
+		t.Fatalf("zero elapsed produced unusable run: %+v", run)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatalf("zero-elapsed record must stay encodable: %v", err)
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	b := NewBench("gemm")
+	b.Add("Shared Opt.", "packed", 1, 4, 8, 100*time.Millisecond)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Bench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "gemm" || len(back.Runs) != 1 || back.Runs[0].Algorithm != "Shared Opt." {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.GoVersion == "" || back.CPUs <= 0 {
+		t.Fatalf("environment not stamped: %+v", back)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
+	if err := b.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -89,6 +89,26 @@ type Params struct {
 	GridCols int // core-grid columns
 }
 
+// Resources records the cache resources of the declared machine a
+// program was tuned for, in the units of the model: q×q blocks and
+// blocks-per-time-unit bandwidths. Backends that realise staging
+// physically (the executor's per-core arenas) validate the schedule's
+// measured working set against these claims before committing memory;
+// see Measure and WorkingSet.Fits. A zero value means "not declared"
+// and disables the corresponding check.
+type Resources struct {
+	SharedBlocks int // declared shared-cache capacity CS, in blocks
+	CoreBlocks   int // declared per-core capacity CD, in blocks
+	// SigmaS/SigmaD/BlockEdge carry the rest of the declared machine for
+	// backends that model time or size buffers in bytes; today's
+	// executor validates only the block capacities, and a future
+	// multi-level backend (see ROADMAP: shared-level arenas) is the
+	// intended consumer of the bandwidths.
+	SigmaS    float64 // shared-cache bandwidth σS, blocks per time unit
+	SigmaD    float64 // distributed-cache bandwidth σD, blocks per time unit
+	BlockEdge int     // block edge q, in coefficients
+}
+
 // Program is one algorithm's schedule bound to a machine and workload:
 // the single source of truth that every backend replays.
 type Program struct {
@@ -100,6 +120,9 @@ type Program struct {
 	// Params echoes the tuning parameters derived from the declared
 	// machine.
 	Params Params
+	// Resources echoes the declared machine's cache sizes so backends
+	// can check the schedule's working set against what it claims.
+	Resources Resources
 	// DemandDriven marks algorithms with no staging discipline (Outer
 	// Product, Cache Oblivious): they cannot be handed to an omniscient
 	// policy, so simulators always run them under demand-driven LRU.

@@ -1,0 +1,106 @@
+package schedule
+
+import "fmt"
+
+// WorkingSet summarises the staging footprint of one program: the peak
+// number of simultaneously staged blocks at the shared level and in the
+// busiest core's distributed level, measured by replaying the operation
+// stream against counting sets (no cache policy, no data). A backend
+// that materialises staging — the executor's per-core arenas — uses it
+// to prove, before allocating or running anything, that the schedule
+// fits the cache capacities it was tuned for.
+type WorkingSet struct {
+	SharedPeak int    // peak simultaneously staged shared-level blocks
+	CorePeak   int    // peak simultaneously staged blocks of the busiest core
+	Computes   uint64 // total elementary block FMAs emitted
+	Stages     uint64 // total per-core Stage operations emitted
+}
+
+// Fits checks the measured working set against declared resources.
+// Zero-valued capacities are not checked (demand-driven programs
+// declare nothing and stage nothing).
+func (ws WorkingSet) Fits(r Resources) error {
+	if r.CoreBlocks > 0 && ws.CorePeak > r.CoreBlocks {
+		return fmt.Errorf("schedule: per-core working set of %d blocks exceeds the declared CD=%d",
+			ws.CorePeak, r.CoreBlocks)
+	}
+	if r.SharedBlocks > 0 && ws.SharedPeak > r.SharedBlocks {
+		return fmt.Errorf("schedule: shared working set of %d blocks exceeds the declared CS=%d",
+			ws.SharedPeak, r.SharedBlocks)
+	}
+	return nil
+}
+
+// Measure replays p's operation stream against counting sets and
+// returns its working set. The replay performs no arithmetic and
+// instantiates no cache policy, so it is cheap relative to execution
+// and safe to run ahead of it.
+func Measure(p *Program) (WorkingSet, error) {
+	m := &measurer{cores: make([]coreSet, p.Cores), shared: make(map[Line]struct{})}
+	if err := p.Emit(m); err != nil {
+		return WorkingSet{}, err
+	}
+	ws := WorkingSet{SharedPeak: m.sharedPeak, Computes: m.computes, Stages: m.stages}
+	for _, c := range m.cores {
+		if c.peak > ws.CorePeak {
+			ws.CorePeak = c.peak
+		}
+	}
+	return ws, nil
+}
+
+// measurer is the counting backend behind Measure.
+type measurer struct {
+	shared     map[Line]struct{}
+	sharedPeak int
+	cores      []coreSet
+	computes   uint64
+	stages     uint64
+}
+
+type coreSet struct {
+	resident map[Line]struct{}
+	peak     int
+}
+
+var _ Backend = (*measurer)(nil)
+
+func (m *measurer) StageShared(l Line) {
+	m.shared[l] = struct{}{}
+	if len(m.shared) > m.sharedPeak {
+		m.sharedPeak = len(m.shared)
+	}
+}
+
+func (m *measurer) UnstageShared(l Line) { delete(m.shared, l) }
+
+func (m *measurer) Parallel(body func(core int, ops CoreSink)) {
+	for c := range m.cores {
+		body(c, measureSink{m: m, core: c})
+	}
+}
+
+// measureSink tracks one core's resident staged set.
+type measureSink struct {
+	m    *measurer
+	core int
+}
+
+func (s measureSink) Stage(l Line) {
+	cs := &s.m.cores[s.core]
+	if cs.resident == nil {
+		cs.resident = make(map[Line]struct{})
+	}
+	cs.resident[l] = struct{}{}
+	if len(cs.resident) > cs.peak {
+		cs.peak = len(cs.resident)
+	}
+	s.m.stages++
+}
+
+func (s measureSink) Unstage(l Line) { delete(s.m.cores[s.core].resident, l) }
+
+func (s measureSink) Read(Line)  {}
+func (s measureSink) Write(Line) {}
+
+func (s measureSink) Compute(int, int, int) { s.m.computes++ }

@@ -1,0 +1,75 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// wsProgram builds a two-core program with a known footprint: each core
+// stages 3 blocks, computes, unstages 2 — peak 3 per core; the shared
+// level stages 4 lines and unstages 1 before the peak check.
+func wsProgram() *Program {
+	return &Program{
+		Algorithm: "ws-test",
+		Cores:     2,
+		Resources: Resources{SharedBlocks: 4, CoreBlocks: 3},
+		Body: func(b Backend) {
+			b.StageShared(LineC(0, 0))
+			b.StageShared(LineC(0, 1))
+			b.StageShared(LineB(0, 0))
+			b.UnstageShared(LineB(0, 0))
+			b.StageShared(LineA(0, 0))
+			b.StageShared(LineA(1, 0))
+			b.Parallel(func(c int, ops CoreSink) {
+				ops.Stage(LineA(c, 0))
+				ops.Stage(LineB(0, c))
+				ops.Stage(LineC(c, c))
+				ops.Compute(c, c, 0)
+				ops.Unstage(LineC(c, c))
+				ops.Unstage(LineB(0, c))
+			})
+		},
+	}
+}
+
+func TestMeasureWorkingSet(t *testing.T) {
+	ws, err := Measure(wsProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.SharedPeak != 4 {
+		t.Fatalf("SharedPeak = %d, want 4", ws.SharedPeak)
+	}
+	if ws.CorePeak != 3 {
+		t.Fatalf("CorePeak = %d, want 3", ws.CorePeak)
+	}
+	if ws.Computes != 2 {
+		t.Fatalf("Computes = %d, want 2", ws.Computes)
+	}
+	if ws.Stages != 6 {
+		t.Fatalf("Stages = %d, want 6", ws.Stages)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	ws := WorkingSet{SharedPeak: 4, CorePeak: 3}
+	if err := ws.Fits(Resources{SharedBlocks: 4, CoreBlocks: 3}); err != nil {
+		t.Fatalf("exact fit rejected: %v", err)
+	}
+	// Zero-valued capacities disable the corresponding check.
+	if err := ws.Fits(Resources{}); err != nil {
+		t.Fatalf("undeclared resources rejected: %v", err)
+	}
+	if err := ws.Fits(Resources{CoreBlocks: 2}); err == nil || !strings.Contains(err.Error(), "CD=2") {
+		t.Fatalf("core overflow not reported: %v", err)
+	}
+	if err := ws.Fits(Resources{SharedBlocks: 3}); err == nil || !strings.Contains(err.Error(), "CS=3") {
+		t.Fatalf("shared overflow not reported: %v", err)
+	}
+}
+
+func TestMeasureEmptyProgram(t *testing.T) {
+	if _, err := Measure(&Program{Algorithm: "nobody", Cores: 1}); err == nil {
+		t.Fatal("program without a body must fail")
+	}
+}

@@ -67,6 +67,18 @@ type BoundsReport = bounds.Report
 // Triple bundles real float64 operands for the executor.
 type Triple = matrix.Triple
 
+// ExecMode selects how the real executor realises staging: ExecPacked
+// copies blocks into per-core packed arenas (the default), ExecView
+// reads strided tile views with staging as probe-only hints (the
+// benchmark baseline).
+type ExecMode = parallel.Mode
+
+// Executor modes.
+const (
+	ExecPacked = parallel.ModePacked
+	ExecView   = parallel.ModeView
+)
+
 // The four run settings of the paper's evaluation.
 const (
 	SettingIdeal = core.SettingIdeal
@@ -127,9 +139,22 @@ func NewTriple(mBlocks, nBlocks, zBlocks, q int, seed uint64) (*Triple, error) {
 }
 
 // Multiply executes algorithm name for real on the triple's data using
-// one goroutine per core of mach.
+// one goroutine per core of mach, staging blocks into per-core packed
+// arenas sized from the machine's distributed-cache capacity.
 func Multiply(name string, t *Triple, mach Machine) error {
 	return parallel.Multiply(name, t, mach)
+}
+
+// MultiplyMode is Multiply with an explicit executor mode, for
+// comparing packed staging against the strided-view baseline.
+func MultiplyMode(name string, t *Triple, mach Machine, mode ExecMode) error {
+	return parallel.MultiplyMode(name, t, mach, mode)
+}
+
+// NewTripleDims allocates operands by coefficient dimensions, allowing
+// ragged edges (dimensions that are not multiples of q).
+func NewTripleDims(rows, cols, inner, q int, seed uint64) (*Triple, error) {
+	return matrix.NewTripleDims(rows, cols, inner, q, seed)
 }
 
 // Verify recomputes the triple's product sequentially and returns the
