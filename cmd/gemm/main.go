@@ -6,13 +6,20 @@
 //
 //	gemm -order 16                   # every registered schedule, 16x16 blocks of 32x32
 //	gemm -algo "Tradeoff" -order 24 -q 64 -p 8
+//	gemm -mode shared -order 16      # two-level hierarchy: shared arena + core arenas
 //	gemm -order 32 -bench-json BENCH_gemm.json -bench-cores 1,2,4
 //
+// -mode selects how the executor realises staging: "packed" (per-core
+// arenas, the default), "view" (strided baseline, staging probe-only)
+// or "shared" (the full two-level hierarchy: blocks flow memory →
+// shared arena → core arenas, and the MS/MD streams are physically
+// distinct).
+//
 // With -bench-json the command switches to benchmark mode: it measures
-// the sequential blocked baseline plus every algorithm under both
-// executor modes (strided "view" vs "packed" staging arenas) for each
-// requested core count, and writes the GFLOP/s records as JSON — the
-// repository's measured perf trajectory.
+// the sequential blocked baseline plus every algorithm under all three
+// executor modes for each requested core count, and writes the GFLOP/s
+// records — with the executor's per-level traffic byte counts — as
+// JSON: the repository's measured perf trajectory.
 package main
 
 import (
@@ -37,6 +44,7 @@ func main() {
 		order      = flag.Int("order", 16, "square matrix order in blocks")
 		q          = flag.Int("q", 32, "block size in coefficients")
 		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view or shared (benchmark mode measures all three)")
 		verify     = flag.Bool("verify", true, "check the result against the sequential reference (ignored in benchmark mode)")
 		seed       = flag.Uint64("seed", 1, "input matrix seed")
 		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
@@ -48,8 +56,8 @@ func main() {
 	var err error
 	if *benchJSON != "" {
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "p" || f.Name == "verify" {
-				fmt.Fprintf(os.Stderr, "gemm: -%s is ignored in benchmark mode (use -bench-cores; correctness is covered by go test)\n", f.Name)
+			if f.Name == "p" || f.Name == "verify" || f.Name == "mode" {
+				fmt.Fprintf(os.Stderr, "gemm: -%s is ignored in benchmark mode (use -bench-cores; all modes are measured; correctness is covered by go test)\n", f.Name)
 			}
 		})
 		var coreList []int
@@ -58,11 +66,30 @@ func main() {
 			err = bench(*benchJSON, *algoName, *order, *q, coreList, *benchReps, *seed)
 		}
 	} else {
-		err = run(*algoName, *order, *q, *cores, *verify, *seed)
+		var mode parallel.Mode
+		mode, err = parallel.ParseMode(*modeName)
+		if err == nil {
+			err = run(*algoName, *order, *q, *cores, *verify, *seed, mode)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gemm:", err)
 		os.Exit(1)
+	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix for the
+// benchmark console output (the JSON record keeps exact integers).
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
 	}
 }
 
@@ -115,7 +142,7 @@ func selectAlgos(algoName string) ([]string, error) {
 	return []string{algoName}, nil
 }
 
-func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
+func run(algoName string, order, q, cores int, verify bool, seed uint64, mode parallel.Mode) error {
 	names, err := selectAlgos(algoName)
 	if err != nil {
 		return err
@@ -125,8 +152,8 @@ func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("machine: %s\nworkload: %d×%d×%d blocks of %d×%d coefficients\n\n",
-		mach, order, order, order, q, q)
+	fmt.Printf("machine: %s\nmode: %v\nworkload: %d×%d×%d blocks of %d×%d coefficients\n\n",
+		mach, mode, order, order, order, q, q)
 
 	flops := 2 * float64(order*q) * float64(order*q) * float64(order*q)
 	tbl := report.NewTable("algorithm", "time", "GFLOP/s", "max |err|")
@@ -136,7 +163,7 @@ func run(algoName string, order, q, cores int, verify bool, seed uint64) error {
 			return err
 		}
 		start := time.Now()
-		if err := parallel.Multiply(name, tr, mach); err != nil {
+		if err := parallel.MultiplyMode(name, tr, mach, mode); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		elapsed := time.Since(start)
@@ -180,10 +207,12 @@ func measureSequential(order, q int, seed uint64) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// bench measures naive vs view vs packed and writes the JSON record.
+// bench measures naive vs view vs packed vs shared and writes the JSON
+// record, including the executor's per-level traffic byte counts.
 // Every configuration runs reps times and the fastest repetition is
 // recorded — the standard minimum-wall-time estimator, least sensitive
-// to scheduler noise on shared machines.
+// to scheduler noise on shared machines (the traffic counts are
+// deterministic, identical in every repetition).
 func bench(path, algoName string, order, q int, coreList []int, reps int, seed uint64) error {
 	if reps < 1 {
 		reps = 1
@@ -255,8 +284,8 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 				team.Close()
 				return err
 			}
-			for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked} {
-				ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD)
+			for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared} {
+				ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
 				if err != nil {
 					team.Close()
 					return err
@@ -274,7 +303,14 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 					return err
 				}
 				r := rec.Add(name, mode.String(), p, order, q, elapsed)
-				fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s\n", r.Algorithm, r.Mode, r.Cores, r.GFlops)
+				tra := ex.Traffic()
+				r.MSStageBytes = tra.MS.StageBytes
+				r.MSWriteBackBytes = tra.MS.WriteBackBytes
+				r.MDStageBytes = tra.MD.StageBytes
+				r.MDWriteBackBytes = tra.MD.WriteBackBytes
+				fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
+					r.Algorithm, r.Mode, r.Cores, r.GFlops,
+					fmtBytes(tra.MS.Bytes()), fmtBytes(tra.MD.Bytes()))
 			}
 		}
 		team.Close()

@@ -5,16 +5,22 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestRunSmoke(t *testing.T) {
-	if err := run("", 4, 8, 2, true, 1); err != nil {
+	if err := run("", 4, 8, 2, true, 1, parallel.ModePacked); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("Tradeoff", 4, 8, 2, false, 1); err != nil {
+	if err := run("Tradeoff", 4, 8, 2, false, 1, parallel.ModeView); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("nope", 4, 8, 2, false, 1); err == nil {
+	// The shared-physical mode must run the whole registry end to end.
+	if err := run("", 4, 8, 2, true, 1, parallel.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", 4, 8, 2, false, 1, parallel.ModePacked); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
 }
@@ -47,22 +53,43 @@ func TestBenchSmoke(t *testing.T) {
 	var rec struct {
 		Name string `json:"name"`
 		Runs []struct {
-			Algorithm string  `json:"algorithm"`
-			Mode      string  `json:"mode"`
-			Cores     int     `json:"cores"`
-			GFlops    float64 `json:"gflops"`
+			Algorithm        string  `json:"algorithm"`
+			Mode             string  `json:"mode"`
+			Cores            int     `json:"cores"`
+			GFlops           float64 `json:"gflops"`
+			MSStageBytes     uint64  `json:"ms_stage_bytes"`
+			MSWriteBackBytes uint64  `json:"ms_writeback_bytes"`
+			MDStageBytes     uint64  `json:"md_stage_bytes"`
+			MDWriteBackBytes uint64  `json:"md_writeback_bytes"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatal(err)
 	}
-	// 1 naive + (view+packed) × 2 core counts for one algorithm.
-	if rec.Name != "gemm" || len(rec.Runs) != 5 {
-		t.Fatalf("record has %d runs, want 5: %+v", len(rec.Runs), rec)
+	// 1 naive + (view+packed+shared) × 2 core counts for one algorithm.
+	if rec.Name != "gemm" || len(rec.Runs) != 7 {
+		t.Fatalf("record has %d runs, want 7: %+v", len(rec.Runs), rec)
 	}
 	for _, r := range rec.Runs {
 		if r.GFlops <= 0 {
 			t.Fatalf("non-positive GFLOP/s in %+v", r)
+		}
+		// A staged algorithm must report both physical streams in shared
+		// mode, only the distributed one in packed mode, and none in
+		// view/naive.
+		switch r.Mode {
+		case "shared":
+			if r.MSStageBytes == 0 || r.MDStageBytes == 0 || r.MSWriteBackBytes == 0 {
+				t.Fatalf("shared run missing per-level traffic: %+v", r)
+			}
+		case "packed":
+			if r.MSStageBytes != 0 || r.MDStageBytes == 0 {
+				t.Fatalf("packed run traffic malformed: %+v", r)
+			}
+		default:
+			if r.MSStageBytes != 0 || r.MDStageBytes != 0 {
+				t.Fatalf("%s run must move no counted bytes: %+v", r.Mode, r)
+			}
 		}
 	}
 }

@@ -19,8 +19,11 @@ import (
 // literally the stream the simulator counts.
 //
 // An Arena is owned by a single worker goroutine; it needs no locking.
+// The same slot machinery backs the team-wide SharedArena, whose
+// concurrency rules are its own (see shared.go).
 type Arena struct {
-	blockLen int // q·q values per slot
+	level    string // "core arena" or "shared arena", for error messages
+	blockLen int    // q·q values per slot
 	buf      []float64
 	slots    []arenaSlot
 	index    map[schedule.Line]int
@@ -36,11 +39,16 @@ type arenaSlot struct {
 
 // NewArena allocates a staging buffer of capBlocks tiles of q×q values.
 func NewArena(capBlocks, q int) (*Arena, error) {
+	return newArena(capBlocks, q, "core arena")
+}
+
+func newArena(capBlocks, q int, level string) (*Arena, error) {
 	if capBlocks <= 0 || q <= 0 {
-		return nil, fmt.Errorf("parallel: arena needs positive capacity and block edge, got %d blocks of %dx%d",
-			capBlocks, q, q)
+		return nil, fmt.Errorf("parallel: %s needs positive capacity and block edge, got %d blocks of %dx%d",
+			level, capBlocks, q, q)
 	}
 	a := &Arena{
+		level:    level,
 		blockLen: q * q,
 		buf:      make([]float64, capBlocks*q*q),
 		slots:    make([]arenaSlot, capBlocks),
@@ -59,51 +67,82 @@ func (a *Arena) Capacity() int { return len(a.slots) }
 // Resident returns the number of currently staged tiles.
 func (a *Arena) Resident() int { return len(a.index) }
 
+// alloc claims a free slot for a rows×cols tile under line l, enforcing
+// the staging discipline (no re-stage of a resident line, no overflow,
+// no oversized tile). The caller fills the returned slot's data.
+func (a *Arena) alloc(l schedule.Line, rows, cols int) (*arenaSlot, error) {
+	if _, ok := a.index[l]; ok {
+		return nil, fmt.Errorf("parallel: %s stage of resident block %v", a.level, l)
+	}
+	if len(a.free) == 0 {
+		return nil, fmt.Errorf("parallel: %s full (capacity %d blocks) staging %v", a.level, len(a.slots), l)
+	}
+	if rows*cols > a.blockLen {
+		return nil, fmt.Errorf("parallel: %dx%d tile %v exceeds the %s's %d-value slots",
+			rows, cols, l, a.level, a.blockLen)
+	}
+	i := a.free[len(a.free)-1]
+	slot := &a.slots[i]
+	slot.data = a.buf[i*a.blockLen : i*a.blockLen+rows*cols]
+	slot.line = l
+	slot.rows = rows
+	slot.cols = cols
+	slot.dirty = false
+	a.free = a.free[:len(a.free)-1]
+	a.index[l] = i
+	return slot, nil
+}
+
 // Stage packs the src tile into a free slot under line l. Mirroring the
 // IDEAL cache, staging a resident line or staging into a full arena is
 // an error (it indicates a bug in the schedule's staging discipline).
 func (a *Arena) Stage(l schedule.Line, src *matrix.Dense) error {
-	if _, ok := a.index[l]; ok {
-		return fmt.Errorf("parallel: arena stage of resident block %v", l)
-	}
-	if len(a.free) == 0 {
-		return fmt.Errorf("parallel: arena full (capacity %d blocks) staging %v", len(a.slots), l)
-	}
-	if src.Rows()*src.Cols() > a.blockLen {
-		return fmt.Errorf("parallel: %dx%d tile %v exceeds the arena's %d-value slots",
-			src.Rows(), src.Cols(), l, a.blockLen)
-	}
-	i := a.free[len(a.free)-1]
-	slot := &a.slots[i]
-	slot.data = a.buf[i*a.blockLen : i*a.blockLen+src.Rows()*src.Cols()]
-	if _, err := matrix.Pack(slot.data, src); err != nil {
+	slot, err := a.alloc(l, src.Rows(), src.Cols())
+	if err != nil {
 		return err
 	}
-	slot.line = l
-	slot.rows = src.Rows()
-	slot.cols = src.Cols()
-	slot.dirty = false
-	a.free = a.free[:len(a.free)-1]
-	a.index[l] = i
+	_, err = matrix.Pack(slot.data, src)
+	return err
+}
+
+// stagePacked stages an already-packed rows×cols image under line l —
+// the intra-chip copy a core arena makes when refilling from the shared
+// arena. Discipline is identical to Stage's.
+func (a *Arena) stagePacked(l schedule.Line, rows, cols int, src []float64) error {
+	slot, err := a.alloc(l, rows, cols)
+	if err != nil {
+		return err
+	}
+	copy(slot.data, src[:rows*cols])
 	return nil
 }
 
-// Unstage frees the slot holding l, writing the packed tile back into
-// dst first if it is dirty. Unstaging a non-resident line is an error,
-// exactly as evicting one is under IDEAL.
-func (a *Arena) Unstage(l schedule.Line, dst *matrix.Dense) error {
+// release frees the slot holding l and hands its packed contents to the
+// caller, which decides where a dirty tile merges (operand matrices in
+// ModePacked, the shared arena in ModeShared). The returned data slice
+// stays valid until the slot is staged again. Releasing a non-resident
+// line is an error, exactly as evicting one is under IDEAL.
+func (a *Arena) release(l schedule.Line) (rows, cols int, data []float64, dirty bool, err error) {
 	i, ok := a.index[l]
 	if !ok {
-		return fmt.Errorf("parallel: arena unstage of non-resident block %v", l)
+		return 0, 0, nil, false, fmt.Errorf("parallel: %s unstage of non-resident block %v", a.level, l)
 	}
 	slot := &a.slots[i]
-	if slot.dirty {
-		if err := matrix.Unpack(dst, slot.data); err != nil {
-			return err
-		}
-	}
 	delete(a.index, l)
 	a.free = append(a.free, i)
+	return slot.rows, slot.cols, slot.data, slot.dirty, nil
+}
+
+// Unstage frees the slot holding l, writing the packed tile back into
+// dst first if it is dirty.
+func (a *Arena) Unstage(l schedule.Line, dst *matrix.Dense) error {
+	_, _, data, dirty, err := a.release(l)
+	if err != nil {
+		return err
+	}
+	if dirty {
+		return matrix.Unpack(dst, data)
+	}
 	return nil
 }
 
@@ -115,24 +154,26 @@ func (a *Arena) tile(l schedule.Line) *arenaSlot {
 	return nil
 }
 
-// Flush writes every dirty resident tile back through lookup and empties
-// the arena. It is the executor's end-of-program safety net, mirroring
-// the simulated hierarchy's Flush: schedules are expected to unstage
-// everything themselves, so a non-empty flush usually indicates a
-// sloppy schedule rather than an error. The number of written-back
-// tiles is returned.
-func (a *Arena) Flush(lookup func(l schedule.Line) *matrix.Dense) (int, error) {
-	var wrote int
+// Drain empties the arena, invoking merge for every dirty resident tile
+// and returning how many tiles were merged. It is the executor's
+// end-of-program safety net, mirroring the simulated hierarchy's Flush:
+// schedules are expected to unstage everything themselves, so a
+// non-empty drain usually indicates a sloppy schedule rather than an
+// error. Where a dirty tile merges depends on the level: core arenas
+// merge upward into the shared arena (ModeShared) or the operand
+// matrices (ModePacked), the shared arena into the matrices.
+func (a *Arena) Drain(merge func(l schedule.Line, rows, cols int, data []float64) error) (int, error) {
+	var merged int
 	for l, i := range a.index {
 		slot := &a.slots[i]
 		if slot.dirty {
-			if err := matrix.Unpack(lookup(l), slot.data); err != nil {
-				return wrote, err
+			if err := merge(l, slot.rows, slot.cols, slot.data); err != nil {
+				return merged, err
 			}
-			wrote++
+			merged++
 		}
 		delete(a.index, l)
 		a.free = append(a.free, i)
 	}
-	return wrote, nil
+	return merged, nil
 }

@@ -112,7 +112,7 @@ func TestArenaSlotReuse(t *testing.T) {
 	}
 }
 
-func TestArenaFlushWritesDirtyTiles(t *testing.T) {
+func TestArenaDrainMergesDirtyTiles(t *testing.T) {
 	ar, err := NewArena(3, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -128,21 +128,23 @@ func TestArenaFlushWritesDirtyTiles(t *testing.T) {
 		}
 	}
 	ar.tile(schedule.LineC(0, 0)).dirty = true
-	wrote, err := ar.Flush(func(l schedule.Line) *matrix.Dense { return backing[l] })
+	merged, err := ar.Drain(func(l schedule.Line, _, _ int, data []float64) error {
+		return matrix.Unpack(backing[l], data)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wrote != 1 {
-		t.Fatalf("Flush wrote %d tiles, want 1", wrote)
+	if merged != 1 {
+		t.Fatalf("Drain merged %d tiles, want 1", merged)
 	}
 	if backing[schedule.LineC(0, 0)].MaxAbsDiff(src) != 0 {
-		t.Fatal("dirty tile not flushed")
+		t.Fatal("dirty tile not merged")
 	}
 	if backing[schedule.LineC(0, 1)].FrobeniusNorm() != 0 {
-		t.Fatal("clean tile flushed")
+		t.Fatal("clean tile merged")
 	}
 	if ar.Resident() != 0 {
-		t.Fatalf("Resident = %d after flush, want 0", ar.Resident())
+		t.Fatalf("Resident = %d after drain, want 0", ar.Resident())
 	}
 }
 

@@ -12,17 +12,25 @@ import (
 type Mode uint8
 
 const (
-	// ModePacked is the default: Stage packs a block into the core's
-	// staging arena, Compute runs the contiguous micro-kernel on
-	// arena-resident operands, and Unstage writes dirty C blocks back —
-	// the executor's memory traffic is literally the stream the
-	// simulator counts.
+	// ModePacked realises the distributed level: Stage packs a block from
+	// the operand matrices into the core's staging arena, Compute runs
+	// the contiguous micro-kernel on arena-resident operands, and Unstage
+	// writes dirty C blocks back to the matrices. Shared staging stays a
+	// probe-only hint.
 	ModePacked Mode = iota
 	// ModeView is the strided baseline: staging operations carry no data
 	// movement (only the probe observes them) and the kernel reads q×q
 	// tiles as strided views into the full matrices. It exists so the
 	// benchmarks can measure what physical staging buys.
 	ModeView
+	// ModeShared realises both cache levels: StageShared packs a block
+	// from the operand matrices into the Team-wide shared arena (CS
+	// slots), per-core Stage refills each core's arena from the shared
+	// arena (an intra-chip copy), dirty core tiles merge upward into the
+	// shared copy on Unstage, and UnstageShared writes dirty shared
+	// tiles back to memory — so the memory↔shared (MS) and shared↔core
+	// (MD) streams are physically distinct and separately counted.
+	ModeShared
 )
 
 // String names the mode as it appears in benchmark records.
@@ -32,9 +40,67 @@ func (m Mode) String() string {
 		return "packed"
 	case ModeView:
 		return "view"
+	case ModeShared:
+		return "shared"
 	default:
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
+}
+
+// ParseMode resolves a benchmark-record mode name to its Mode.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{ModePacked, ModeView, ModeShared} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("parallel: unknown executor mode %q (want packed, view or shared)", s)
+}
+
+// LevelTraffic counts the physical transfers the executor performed
+// across one boundary of the memory hierarchy during a Run: stages move
+// blocks downward (towards the cores), write-backs move dirty blocks
+// upward. Blocks count transfer operations — the unit of the
+// simulator's MS/MD miss counts — while bytes count the float64 values
+// actually copied, so ragged edge tiles weigh exactly what they moved.
+type LevelTraffic struct {
+	StageBlocks     uint64
+	StageBytes      uint64
+	WriteBackBlocks uint64
+	WriteBackBytes  uint64
+}
+
+// Bytes returns the total bytes moved across the boundary.
+func (t LevelTraffic) Bytes() uint64 { return t.StageBytes + t.WriteBackBytes }
+
+func (t *LevelTraffic) stage(values int) {
+	t.StageBlocks++
+	t.StageBytes += 8 * uint64(values)
+}
+
+func (t *LevelTraffic) writeBack(values int) {
+	t.WriteBackBlocks++
+	t.WriteBackBytes += 8 * uint64(values)
+}
+
+func (t *LevelTraffic) add(o LevelTraffic) {
+	t.StageBlocks += o.StageBlocks
+	t.StageBytes += o.StageBytes
+	t.WriteBackBlocks += o.WriteBackBlocks
+	t.WriteBackBytes += o.WriteBackBytes
+}
+
+// Traffic is the per-level physical data movement of one Run, the
+// executed counterpart of the simulator's MS/MD miss counts. MS is the
+// memory↔shared-arena stream and MD the shared↔core stream; for a
+// well-disciplined schedule in ModeShared, MS.StageBlocks equals the
+// IDEAL simulator's MS and MD.StageBlocks the sum over cores of its
+// MD(c). In ModePacked no shared arena exists: core arenas fill
+// straight from memory, that stream is reported as MD, and MS stays
+// zero. ModeView moves no data at all.
+type Traffic struct {
+	MS LevelTraffic
+	MD LevelTraffic
 }
 
 // Executor is the real-execution backend of the schedule IR: it maps
@@ -49,18 +115,26 @@ func (m Mode) String() string {
 // capacity; Stage/Unstage move blocks between the operand matrices and
 // that arena, persisting across regions (a block staged in one region
 // is still arena-resident in the next, as in the simulated hierarchy).
-// In ModeView staging is probe-only, as it was before packed storage
-// existed.
+// ModeShared adds the Team-wide SharedArena between memory and the
+// core arenas; shared staging then happens on the driving goroutine,
+// strictly between regions, which the Team barrier orders against all
+// worker accesses. In ModeView staging is probe-only, as it was before
+// packed storage existed.
 type Executor struct {
-	team        *Team
-	t           *matrix.Triple
-	probe       *schedule.Probe
-	mode        Mode
-	arenaBlocks int
-	arenas      []*Arena // allocated by Run for programs that stage
-	staging     bool     // current program stages (set per Run)
-	ops         [][]execOp
-	err         error
+	team         *Team
+	t            *matrix.Triple
+	probe        *schedule.Probe
+	mode         Mode
+	arenaBlocks  int
+	sharedBlocks int
+	arenas       []*Arena     // allocated by Run for programs that stage
+	shared       *SharedArena // ModeShared only, allocated with the arenas
+	staging      bool         // current program stages (set per Run)
+	ops          [][]execOp
+	err          error
+
+	ms LevelTraffic   // memory↔shared stream, driving goroutine only
+	md []LevelTraffic // shared↔core (or memory↔core) stream, one per worker
 
 	// validated caches the last successfully validated program (by
 	// pointer; a Program is immutable once built), so repeated Runs of
@@ -89,27 +163,33 @@ const (
 )
 
 // NewExecutor binds a backend to a team and a triple. probe may be nil.
-// In ModePacked each core receives an arena of arenaBlocks tiles of
-// Q×Q values, Q the triple's tile size — pass the declared machine's
-// CD, as Execute does; arenaBlocks is ignored in ModeView. Arenas are
-// allocated by Run, and only for programs that actually stage, so
-// demand-driven schedules pay nothing for the capability.
-func NewExecutor(team *Team, t *matrix.Triple, probe *schedule.Probe, mode Mode, arenaBlocks int) (*Executor, error) {
+// coreBlocks is the per-core arena capacity in tiles of Q×Q values, Q
+// the triple's tile size — pass the declared machine's CD, as Execute
+// does. sharedBlocks is the shared arena's capacity (the machine's CS),
+// used only by ModeShared; ModeView ignores both. Arenas are allocated
+// by Run, and only for programs that actually stage, so demand-driven
+// schedules pay nothing for the capability.
+func NewExecutor(team *Team, t *matrix.Triple, probe *schedule.Probe, mode Mode, coreBlocks, sharedBlocks int) (*Executor, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	ex := &Executor{
-		team:        team,
-		t:           t,
-		probe:       probe,
-		mode:        mode,
-		arenaBlocks: arenaBlocks,
-		ops:         make([][]execOp, team.Size()),
+		team:         team,
+		t:            t,
+		probe:        probe,
+		mode:         mode,
+		arenaBlocks:  coreBlocks,
+		sharedBlocks: sharedBlocks,
+		ops:          make([][]execOp, team.Size()),
+		md:           make([]LevelTraffic, team.Size()),
 	}
 	switch mode {
-	case ModePacked:
-		if arenaBlocks <= 0 {
-			return nil, fmt.Errorf("parallel: packed executor needs a positive arena capacity, got %d blocks", arenaBlocks)
+	case ModePacked, ModeShared:
+		if coreBlocks <= 0 {
+			return nil, fmt.Errorf("parallel: %v executor needs a positive core arena capacity, got %d blocks", mode, coreBlocks)
+		}
+		if mode == ModeShared && sharedBlocks <= 0 {
+			return nil, fmt.Errorf("parallel: shared executor needs a positive shared arena capacity, got %d blocks", sharedBlocks)
 		}
 	case ModeView:
 	default:
@@ -128,8 +208,27 @@ func (ex *Executor) fail(err error) {
 	}
 }
 
-// StageShared is a shared-cache hint; only the probe observes it (the
-// executor has no physical shared level between the arenas and memory).
+// Traffic returns the physical data movement of the most recent Run,
+// per hierarchy level. The shared-level stream is counted on the
+// driving goroutine and the per-core streams are summed after the
+// workers finished, so the totals are exact, not sampled.
+func (ex *Executor) Traffic() Traffic {
+	t := Traffic{MS: ex.ms}
+	for i := range ex.md {
+		t.MD.add(ex.md[i])
+	}
+	return t
+}
+
+// CoreTraffic returns core c's share of the most recent Run's MD
+// stream (for load-balance analysis; the simulator's per-core MD(c)
+// counts correspond to StageBlocks).
+func (ex *Executor) CoreTraffic(c int) LevelTraffic { return ex.md[c] }
+
+// StageShared loads l into the shared level. The probe observes it in
+// every mode; ModeShared additionally packs the block into the shared
+// arena (one physical MS transfer). Other modes have no shared level
+// between the arenas and memory, so the hint carries no data.
 func (ex *Executor) StageShared(l schedule.Line) {
 	if ex.err != nil {
 		return
@@ -137,10 +236,49 @@ func (ex *Executor) StageShared(l schedule.Line) {
 	if ex.probe != nil && ex.probe.SharedAccess != nil {
 		ex.probe.SharedAccess(l)
 	}
+	if ex.mode != ModeShared || !ex.staging {
+		return
+	}
+	if l.Matrix > matrix.MatC {
+		ex.fail(fmt.Errorf("parallel: shared staging op on unknown operand %v", l))
+		return
+	}
+	values, err := ex.shared.Stage(l, ex.block(l))
+	if err != nil {
+		ex.fail(err)
+		return
+	}
+	ex.ms.stage(values)
 }
 
-// UnstageShared is the omniscient policy's privilege: a no-op here.
-func (ex *Executor) UnstageShared(schedule.Line) {}
+// UnstageShared releases l from the shared level. In ModeShared it
+// writes a dirty tile back to memory and frees the slot, enforcing
+// inclusion (a block still held by a core arena cannot leave the shared
+// level); elsewhere it is the omniscient policy's privilege: a no-op,
+// invisible to probes, exactly as in the simulator.
+func (ex *Executor) UnstageShared(l schedule.Line) {
+	if ex.err != nil || ex.mode != ModeShared || !ex.staging {
+		return
+	}
+	if l.Matrix > matrix.MatC {
+		ex.fail(fmt.Errorf("parallel: shared staging op on unknown operand %v", l))
+		return
+	}
+	for c, ar := range ex.arenas {
+		if ar.tile(l) != nil {
+			ex.fail(fmt.Errorf("parallel: unstaging %v from the shared arena while core %d still holds it", l, c))
+			return
+		}
+	}
+	values, dirty, err := ex.shared.Unstage(l, ex.block(l))
+	if err != nil {
+		ex.fail(err)
+		return
+	}
+	if dirty {
+		ex.ms.writeBack(values)
+	}
+}
 
 // execSink records one core's stream of a parallel region.
 type execSink struct {
@@ -154,11 +292,11 @@ func (s execSink) access(l schedule.Line, write bool) {
 	}
 }
 
-// Stage queues the block transfer into this core's arena (ModePacked)
-// and feeds the probe the access, exactly as the simulator does.
+// Stage queues the block transfer into this core's arena (staging
+// modes) and feeds the probe the access, exactly as the simulator does.
 func (s execSink) Stage(l schedule.Line) {
 	s.access(l, false)
-	if s.ex.mode == ModePacked {
+	if s.ex.mode != ModeView {
 		s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xStage, line: l})
 	}
 }
@@ -166,7 +304,7 @@ func (s execSink) Stage(l schedule.Line) {
 // Unstage queues the write-back/release of l. It is invisible to
 // probes, exactly as in the simulator.
 func (s execSink) Unstage(l schedule.Line) {
-	if s.ex.mode == ModePacked {
+	if s.ex.mode != ModeView {
 		s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xUnstage, line: l})
 	}
 }
@@ -218,6 +356,7 @@ func (ex *Executor) replay(c int) error {
 	if ex.staging {
 		ar = ex.arenas[c]
 	}
+	md := &ex.md[c]
 	for _, op := range ex.ops[c] {
 		switch op.kind {
 		case xStage, xUnstage:
@@ -232,14 +371,41 @@ func (ex *Executor) replay(c int) error {
 				return fmt.Errorf("parallel: staging op on unknown operand %v", op.line)
 			}
 			if op.kind == xStage {
-				if err := ar.Stage(op.line, ex.block(op.line)); err != nil {
+				if ex.mode == ModeShared {
+					// Intra-chip refill: the core arena fills from the
+					// shared arena, never from the matrices.
+					values, err := ex.shared.Refill(ar, op.line)
+					if err != nil {
+						return err
+					}
+					md.stage(values)
+					continue
+				}
+				src := ex.block(op.line)
+				if err := ar.Stage(op.line, src); err != nil {
 					return err
 				}
+				md.stage(src.Rows() * src.Cols())
 				continue
 			}
-			if err := ar.Unstage(op.line, ex.block(op.line)); err != nil {
+			rows, cols, data, dirty, err := ar.release(op.line)
+			if err != nil {
 				return err
 			}
+			if !dirty {
+				continue
+			}
+			if ex.mode == ModeShared {
+				// Dirty tiles merge upward into the shared copy, as
+				// EvictDistributed merges under IDEAL; the shared level
+				// owns the eventual write-back to memory.
+				if err := ex.shared.Absorb(op.line, rows, cols, data); err != nil {
+					return err
+				}
+			} else if err := matrix.Unpack(ex.block(op.line), data); err != nil {
+				return err
+			}
+			md.writeBack(rows * cols)
 		case xCompute:
 			if err := ex.compute(ar, op.i, op.j, op.k); err != nil {
 				return err
@@ -286,27 +452,39 @@ func (ex *Executor) compute(ar *Arena, i, j, k int) error {
 	return matrix.MulAddUnrolled(t.C.Block(i, j), t.A.Block(i, k), t.B.Block(k, j))
 }
 
-// Run replays a complete program and reports the first error. In
-// ModePacked the program's measured working set is validated against
+// Run replays a complete program and reports the first error. In the
+// staging modes the program's measured working set is validated against
 // the resources it declares before anything executes, and any tiles a
 // sloppy schedule left staged are flushed back afterwards (schedules
 // are expected to unstage everything themselves; the simulated
-// hierarchy has the same end-of-run Flush).
+// hierarchy has the same end-of-run Flush). The flush drains the levels
+// top-down — core arenas merge into the shared arena before the shared
+// arena writes to memory — so a stale shared copy can never overwrite a
+// fresher core result, and a reused Executor always starts its next Run
+// from clean arenas.
 //
-// Only the per-core level is validated: the arenas are the one cache
-// level this backend materialises, while the shared level stays a
-// probe-only hint (some emitters overclaim CS by a block or two on
-// tiny machines, and rejecting execution on a resource that is never
-// allocated would regress workloads that run fine). The validation
-// replay costs one extra pass over the operation stream — measured at
-// ~0.4% of the packed run time for n=1024, far below run-to-run noise.
+// ModePacked validates only the per-core level (WorkingSet.FitsCore):
+// the arenas are the one cache level it materialises, while the shared
+// level stays a probe-only hint (some emitters overclaim CS by a block
+// or two on tiny machines, and rejecting execution on a resource that
+// is never allocated would regress workloads that run fine). ModeShared
+// materialises both levels and therefore validates both (Fits) — there
+// a shared overclaim is a real overflow of the CS-sized arena and must
+// be rejected up front. The validation replay costs one extra pass over
+// the operation stream — measured at ~0.4% of the packed run time for
+// n=1024, far below run-to-run noise.
 func (ex *Executor) Run(prog *schedule.Program) error {
 	if prog.Cores != ex.team.Size() {
 		return fmt.Errorf("parallel: program %q wants %d cores, team has %d",
 			prog.Algorithm, prog.Cores, ex.team.Size())
 	}
+	ex.ms = LevelTraffic{}
+	for i := range ex.md {
+		ex.md[i] = LevelTraffic{}
+	}
 	ex.staging = false
-	if ex.mode == ModePacked && !prog.DemandDriven {
+	staged := (ex.mode == ModePacked || ex.mode == ModeShared) && !prog.DemandDriven
+	if staged {
 		if prog == ex.validated {
 			ex.staging = ex.validatedStaging
 		} else {
@@ -314,14 +492,22 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 			if err != nil {
 				return err
 			}
-			if err := ws.Fits(schedule.Resources{CoreBlocks: prog.Resources.CoreBlocks}); err != nil {
+			if ex.mode == ModeShared {
+				if err := ws.Fits(prog.Resources); err != nil {
+					return fmt.Errorf("parallel: program %q: %w", prog.Algorithm, err)
+				}
+				if ws.SharedPeak > ex.sharedBlocks {
+					return fmt.Errorf("parallel: program %q needs %d shared arena blocks, have %d",
+						prog.Algorithm, ws.SharedPeak, ex.sharedBlocks)
+				}
+			} else if err := ws.FitsCore(prog.Resources); err != nil {
 				return fmt.Errorf("parallel: program %q: %w", prog.Algorithm, err)
 			}
 			if ws.CorePeak > ex.arenaBlocks {
 				return fmt.Errorf("parallel: program %q needs %d arena blocks per core, have %d",
 					prog.Algorithm, ws.CorePeak, ex.arenaBlocks)
 			}
-			ex.staging = ws.Stages > 0
+			ex.staging = ws.Stages > 0 || (ex.mode == ModeShared && ws.SharedStages > 0)
 			ex.validated = prog
 			ex.validatedStaging = ex.staging
 		}
@@ -335,16 +521,58 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 				ex.arenas[c] = a
 			}
 		}
+		if ex.staging && ex.mode == ModeShared && ex.shared == nil {
+			sa, err := NewSharedArena(ex.sharedBlocks, ex.t.A.Q)
+			if err != nil {
+				return err
+			}
+			ex.shared = sa
+		}
 	}
 	if err := prog.Emit(ex); err != nil {
 		return err
 	}
 	if ex.err == nil && ex.mode == ModePacked {
-		for _, ar := range ex.arenas {
-			if _, err := ar.Flush(ex.block); err != nil {
+		for c, ar := range ex.arenas {
+			_, err := ar.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
+				if err := matrix.Unpack(ex.block(l), data); err != nil {
+					return err
+				}
+				ex.md[c].writeBack(rows * cols)
+				return nil
+			})
+			if err != nil {
 				ex.fail(err)
 				break
 			}
+		}
+	}
+	if ex.err == nil && ex.mode == ModeShared {
+		// Top-down: dirty core tiles merge into the shared copies first,
+		// then the shared arena writes to memory — the reverse order
+		// would let a stale shared copy overwrite a fresher core result.
+		for c, ar := range ex.arenas {
+			_, err := ar.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
+				if err := ex.shared.Absorb(l, rows, cols, data); err != nil {
+					return err
+				}
+				ex.md[c].writeBack(rows * cols)
+				return nil
+			})
+			if err != nil {
+				ex.fail(err)
+				break
+			}
+		}
+		if ex.err == nil && ex.shared != nil {
+			_, err := ex.shared.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
+				if err := matrix.Unpack(ex.block(l), data); err != nil {
+					return err
+				}
+				ex.ms.writeBack(rows * cols)
+				return nil
+			})
+			ex.fail(err)
 		}
 	}
 	return ex.err

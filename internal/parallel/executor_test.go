@@ -11,11 +11,23 @@ import (
 )
 
 func TestModeString(t *testing.T) {
-	if ModePacked.String() != "packed" || ModeView.String() != "view" {
-		t.Fatalf("mode names: %v / %v", ModePacked, ModeView)
+	if ModePacked.String() != "packed" || ModeView.String() != "view" || ModeShared.String() != "shared" {
+		t.Fatalf("mode names: %v / %v / %v", ModePacked, ModeView, ModeShared)
 	}
 	if !strings.Contains(Mode(9).String(), "9") {
 		t.Fatal("unknown mode should include numeric value")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, m := range []Mode{ModePacked, ModeView, ModeShared} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("strided"); err == nil {
+		t.Fatal("unknown mode name must be rejected")
 	}
 }
 
@@ -23,19 +35,37 @@ func TestNewExecutorRejectsUnknownMode(t *testing.T) {
 	team, _ := NewTeam(1)
 	defer team.Close()
 	tr, _ := matrix.NewTriple(2, 2, 2, 4, 1)
-	if _, err := NewExecutor(team, tr, nil, Mode(9), 3); err == nil {
+	if _, err := NewExecutor(team, tr, nil, Mode(9), 3, 9); err == nil {
 		t.Fatal("unknown mode must be rejected")
 	}
 }
 
-// Both executor modes must agree with the sequential reference for the
+// The staging modes need real capacities up front: a packed executor
+// without core arena blocks, or a shared executor without shared arena
+// blocks, cannot realise the schedule it exists for.
+func TestNewExecutorRejectsMissingCapacities(t *testing.T) {
+	team, _ := NewTeam(1)
+	defer team.Close()
+	tr, _ := matrix.NewTriple(2, 2, 2, 4, 1)
+	if _, err := NewExecutor(team, tr, nil, ModePacked, 0, 9); err == nil {
+		t.Fatal("packed executor without core capacity must be rejected")
+	}
+	if _, err := NewExecutor(team, tr, nil, ModeShared, 3, 0); err == nil {
+		t.Fatal("shared executor without shared capacity must be rejected")
+	}
+	if _, err := NewExecutor(team, tr, nil, ModeView, 0, 0); err != nil {
+		t.Fatal("view executor needs no capacities")
+	}
+}
+
+// All executor modes must agree with the sequential reference for the
 // whole registry; the packed mode is additionally the default used
 // everywhere else, so this pins down that ModeView stays correct as a
-// benchmark baseline.
-func TestBothModesMatchReference(t *testing.T) {
+// benchmark baseline and ModeShared as the two-level hierarchy.
+func TestAllModesMatchReference(t *testing.T) {
 	mach := testMachine(4)
 	for _, name := range algorithms() {
-		for _, mode := range []Mode{ModePacked, ModeView} {
+		for _, mode := range []Mode{ModePacked, ModeView, ModeShared} {
 			tr, err := matrix.NewTriple(6, 5, 4, mach.Q, 11)
 			if err != nil {
 				t.Fatal(err)
@@ -66,7 +96,7 @@ func TestRunRejectsOverclaimedWorkingSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := NewExecutor(team, tr, nil, ModePacked, 3)
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 3, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +130,7 @@ func TestRunRejectsUndersizedArena(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := NewExecutor(team, tr, nil, ModePacked, 2)
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 2, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,45 +155,107 @@ func TestRunRejectsUndersizedArena(t *testing.T) {
 
 // A schedule that stages and computes but forgets to unstage must still
 // produce the right C: the end-of-program flush writes dirty arena
-// tiles back, mirroring the simulated hierarchy's Flush.
+// tiles back, mirroring the simulated hierarchy's Flush. In ModeShared
+// the same flush must drain top-down (core → shared → memory) so the
+// freshest copy wins.
 func TestRunFlushesSloppySchedules(t *testing.T) {
-	team, err := NewTeam(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer team.Close()
 	const q = 4
-	tr, err := matrix.NewTriple(1, 1, 1, q, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
 	prog := &schedule.Program{
 		Algorithm: "sloppy",
 		Cores:     1,
-		Resources: schedule.Resources{CoreBlocks: 3},
+		Resources: schedule.Resources{SharedBlocks: 3, CoreBlocks: 3},
 		Body: func(b schedule.Backend) {
+			b.StageShared(schedule.LineA(0, 0))
+			b.StageShared(schedule.LineB(0, 0))
+			b.StageShared(schedule.LineC(0, 0))
 			b.Parallel(func(c int, ops schedule.CoreSink) {
 				ops.Stage(schedule.LineA(0, 0))
 				ops.Stage(schedule.LineB(0, 0))
 				ops.Stage(schedule.LineC(0, 0))
 				ops.Compute(0, 0, 0)
-				// no Unstage: the C update lives only in the arena here
+				// no Unstage at either level: the C update lives only in
+				// the core arena here
 			})
 		},
 	}
-	ex, err := NewExecutor(team, tr, nil, ModePacked, 3)
-	if err != nil {
-		t.Fatal(err)
+	for _, mode := range []Mode{ModePacked, ModeShared} {
+		t.Run(mode.String(), func(t *testing.T) {
+			team, err := NewTeam(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer team.Close()
+			tr, err := matrix.NewTriple(1, 1, 1, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := NewExecutor(team, tr, nil, mode, 3, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ex.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+			diff, err := Verify(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff > 1e-12 {
+				t.Fatalf("flushed result deviates by %g", diff)
+			}
+		})
 	}
-	if err := ex.Run(prog); err != nil {
-		t.Fatal(err)
-	}
-	diff, err := Verify(tr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if diff > 1e-12 {
-		t.Fatalf("flushed result deviates by %g", diff)
+}
+
+// Prepare-once/run-many, as cmd/gemm -bench-json does: the second Run
+// of the same program on the same Executor must start from clean
+// arenas — no tile left resident, no stale dirty copy written back a
+// second time — and therefore reproduce the first run exactly,
+// bit for bit.
+func TestRunTwiceStartsFromCleanArenas(t *testing.T) {
+	mach := testMachine(4)
+	for _, name := range []string{"Shared Opt.", "Distributed Opt.", "Tradeoff"} {
+		for _, mode := range []Mode{ModePacked, ModeShared} {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				tr, err := matrix.NewTriple(6, 5, 4, mach.Q, 19)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := algo.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, n, z := tr.Dims()
+				prog, err := a.Schedule(mach, algo.Workload{M: m, N: n, Z: z})
+				if err != nil {
+					t.Fatal(err)
+				}
+				team, err := NewTeam(mach.P)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer team.Close()
+				ex, err := NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ex.Run(prog); err != nil {
+					t.Fatalf("first run: %v", err)
+				}
+				first := tr.C.Dense().Clone()
+				firstTraffic := ex.Traffic()
+				tr.C.Dense().Zero()
+				if err := ex.Run(prog); err != nil {
+					t.Fatalf("second run: %v", err)
+				}
+				if diff := tr.C.Dense().MaxAbsDiff(first); diff != 0 {
+					t.Fatalf("second run deviates from a fresh run by %g — arenas were not clean", diff)
+				}
+				if ex.Traffic() != firstTraffic {
+					t.Fatalf("second run traffic %+v differs from first %+v", ex.Traffic(), firstTraffic)
+				}
+			})
+		}
 	}
 }
 
@@ -181,7 +273,7 @@ func TestPackedExecutorReuseAcrossStagingStyles(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer team.Close()
-	ex, err := NewExecutor(team, tr, nil, ModePacked, mach.CD)
+	ex, err := NewExecutor(team, tr, nil, ModePacked, mach.CD, mach.CS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +329,7 @@ func TestPackedComputeRequiresResidentOperands(t *testing.T) {
 			})
 		},
 	}
-	ex, err := NewExecutor(team, tr, nil, ModePacked, 3)
+	ex, err := NewExecutor(team, tr, nil, ModePacked, 3, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,10 +339,10 @@ func TestPackedComputeRequiresResidentOperands(t *testing.T) {
 	}
 }
 
-// The executor materialises only the per-core level, so a schedule that
-// overclaims the *shared* cache by a block or two (some emitters do on
-// tiny machines) must still execute: shared staging is a probe-only
-// hint here and must not gate real execution.
+// The packed executor materialises only the per-core level, so a
+// schedule that overclaims the *shared* cache by a block or two (some
+// emitters do on tiny machines) must still execute: shared staging is a
+// probe-only hint there and must not gate real execution.
 func TestPackedExecutorIgnoresSharedOverclaim(t *testing.T) {
 	// Tradeoff on this machine emits α=2, β=1: α²+2αβ = 8 > CS = 7.
 	mach := machine.Machine{P: 1, CS: 7, CD: 7, SigmaS: 1, SigmaD: 4, Q: 4}
@@ -267,6 +359,20 @@ func TestPackedExecutorIgnoresSharedOverclaim(t *testing.T) {
 	}
 	if diff > 1e-10 {
 		t.Fatalf("result deviates by %g", diff)
+	}
+}
+
+// In ModeShared the same overclaim is a real overflow of the CS-sized
+// shared arena and must be rejected up front, before anything runs.
+func TestSharedExecutorRejectsSharedOverclaim(t *testing.T) {
+	mach := machine.Machine{P: 1, CS: 7, CD: 7, SigmaS: 1, SigmaD: 4, Q: 4}
+	tr, err := matrix.NewTriple(2, 3, 5, mach.Q, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = MultiplyMode("Tradeoff", tr, mach, ModeShared)
+	if err == nil || !strings.Contains(err.Error(), "CS=7") {
+		t.Fatalf("shared overclaim must be rejected in ModeShared: %v", err)
 	}
 }
 
@@ -290,5 +396,40 @@ func TestPackedExecutorRaggedTiles(t *testing.T) {
 	}
 	if diff := tr.C.Dense().MaxAbsDiff(want); diff > 1e-10 {
 		t.Fatalf("ragged packed result deviates by %g", diff)
+	}
+}
+
+// The inclusion discipline is enforced physically: unstaging a shared
+// block while a core arena still holds it must fail, exactly as
+// EvictShared does under IDEAL.
+func TestSharedUnstageWhileCoreResidentFails(t *testing.T) {
+	team, err := NewTeam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	tr, err := matrix.NewTriple(1, 1, 1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &schedule.Program{
+		Algorithm: "inclusion-breaker",
+		Cores:     1,
+		Resources: schedule.Resources{SharedBlocks: 3, CoreBlocks: 3},
+		Body: func(b schedule.Backend) {
+			b.StageShared(schedule.LineA(0, 0))
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(schedule.LineA(0, 0))
+			})
+			b.UnstageShared(schedule.LineA(0, 0)) // core 0 still holds it
+		},
+	}
+	ex, err := NewExecutor(team, tr, nil, ModeShared, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ex.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "still holds") {
+		t.Fatalf("inclusion violation not rejected: %v", err)
 	}
 }

@@ -19,7 +19,8 @@ func Multiply(name string, t *matrix.Triple, mach machine.Machine) error {
 
 // MultiplyMode is Multiply with an explicit executor mode, so callers
 // (benchmarks, examples) can compare packed staging against the strided
-// ModeView baseline.
+// ModeView baseline, or run the full two-level hierarchy (ModeShared)
+// where the shared arena sits between memory and the core arenas.
 func MultiplyMode(name string, t *matrix.Triple, mach machine.Machine, mode Mode) error {
 	a, err := algo.ByName(name)
 	if err != nil {
@@ -30,7 +31,9 @@ func MultiplyMode(name string, t *matrix.Triple, mach machine.Machine, mode Mode
 
 // Execute runs algorithm a's schedule on the triple with one worker
 // goroutine per core of mach, staging blocks into per-core packed
-// arenas of mach.CD tiles. An optional probe observes the access
+// arenas of mach.CD tiles (ModeShared additionally routes them through
+// a Team-wide shared arena of mach.CS tiles). An optional probe
+// observes the access
 // streams (per-core and shared), which are identical to the streams a
 // simulator probe sees for the same declared machine — the schedule IR
 // is the single source for both backends.
@@ -56,7 +59,7 @@ func ExecuteMode(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe
 		return err
 	}
 	defer team.Close()
-	ex, err := NewExecutor(team, t, probe, mode, mach.CD)
+	ex, err := NewExecutor(team, t, probe, mode, mach.CD, mach.CS)
 	if err != nil {
 		return err
 	}

@@ -215,9 +215,9 @@ func TestMultiplyAccumulates(t *testing.T) {
 	}
 }
 
-// BenchmarkExecutor measures every registered algorithm under both
-// executor modes, so `go test -bench Executor` prints the packed-vs-view
-// comparison the benchmark pipeline records at full scale in
+// BenchmarkExecutor measures every registered algorithm under all three
+// executor modes, so `go test -bench Executor` prints the view vs packed
+// vs shared comparison the benchmark pipeline records at full scale in
 // BENCH_gemm.json (cmd/gemm -bench-json). The workload is 16×16 blocks
 // of 32×32 (n=512) to stay benchmark-sized; GFLOP/s is reported as a
 // custom metric.
@@ -226,7 +226,7 @@ func BenchmarkExecutor(b *testing.B) {
 	const order = 16
 	flops := 2 * float64(order*mach.Q) * float64(order*mach.Q) * float64(order*mach.Q)
 	for _, name := range algorithms() {
-		for _, mode := range []Mode{ModeView, ModePacked} {
+		for _, mode := range []Mode{ModeView, ModePacked, ModeShared} {
 			b.Run(name+"/"+mode.String(), func(b *testing.B) {
 				tr, err := matrix.NewTriple(order, order, order, mach.Q, 1)
 				if err != nil {
@@ -249,7 +249,7 @@ func BenchmarkExecutor(b *testing.B) {
 					b.Fatal(err)
 				}
 				defer team.Close()
-				ex, err := NewExecutor(team, tr, nil, mode, mach.CD)
+				ex, err := NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
 				if err != nil {
 					b.Fatal(err)
 				}

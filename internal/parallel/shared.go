@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// SharedArena is the physical realisation of the paper's shared cache:
+// one per Team, sized to the declared CS, holding packed q×q tiles in
+// one contiguous allocation. It sits between main memory (the operand
+// matrices) and the per-core Arenas, splitting the executor's data
+// movement into the model's two streams:
+//
+//	memory ↔ shared arena   Stage / Unstage / Drain   (MS traffic)
+//	shared ↔ core arenas    Refill / Absorb           (MD traffic)
+//
+// The discipline mirrors the IDEAL hierarchy's: staging a resident
+// block or overflowing CS is an error, a core may only refill a block
+// that is shared-resident (inclusion), and a dirty core tile merges
+// upward into the shared copy before the shared level writes it back to
+// memory.
+//
+// Concurrency contract: Stage, Unstage and Drain run only on the
+// goroutine driving the schedule, strictly between parallel regions —
+// the Team barrier orders them against all worker accesses. Refill and
+// Absorb run on worker goroutines inside regions, where the index is
+// read-only and the schedules guarantee that dirty (C) blocks are
+// disjoint across cores, so distinct workers never touch the same
+// slot's data. No locking is needed, and the race detector verifies
+// the contract over the whole test suite.
+type SharedArena struct {
+	arena Arena
+}
+
+// NewSharedArena allocates a shared staging buffer of capBlocks tiles
+// of q×q values — the executor's CS.
+func NewSharedArena(capBlocks, q int) (*SharedArena, error) {
+	a, err := newArena(capBlocks, q, "shared arena")
+	if err != nil {
+		return nil, err
+	}
+	return &SharedArena{arena: *a}, nil
+}
+
+// Capacity returns the number of tile slots (CS).
+func (sa *SharedArena) Capacity() int { return sa.arena.Capacity() }
+
+// Resident returns the number of currently staged tiles.
+func (sa *SharedArena) Resident() int { return sa.arena.Resident() }
+
+// Contains reports whether l is shared-resident.
+func (sa *SharedArena) Contains(l schedule.Line) bool { return sa.arena.tile(l) != nil }
+
+// Stage packs the src tile into a free slot under line l: the physical
+// "load into the shared cache" (one MS transfer). The tile's value
+// count is returned for traffic accounting.
+func (sa *SharedArena) Stage(l schedule.Line, src *matrix.Dense) (values int, err error) {
+	if err := sa.arena.Stage(l, src); err != nil {
+		return 0, err
+	}
+	return src.Rows() * src.Cols(), nil
+}
+
+// Unstage frees the slot holding l, writing the packed tile back into
+// dst first if it is dirty — the "write back to main memory" of the
+// pseudocode. It reports the tile's value count and whether a physical
+// write-back happened.
+func (sa *SharedArena) Unstage(l schedule.Line, dst *matrix.Dense) (values int, dirty bool, err error) {
+	rows, cols, data, dirty, err := sa.arena.release(l)
+	if err != nil {
+		return 0, false, err
+	}
+	if dirty {
+		if err := matrix.Unpack(dst, data); err != nil {
+			return 0, false, err
+		}
+	}
+	return rows * cols, dirty, nil
+}
+
+// Refill stages the shared-resident packed image of l into the core
+// arena dst: the intra-chip shared→core copy (one MD transfer).
+// Refilling a block that is not shared-resident is an error — the
+// inclusive hierarchy's "it is the user responsibility to guarantee
+// that a given data is present in every cache below the target cache".
+func (sa *SharedArena) Refill(dst *Arena, l schedule.Line) (values int, err error) {
+	slot := sa.arena.tile(l)
+	if slot == nil {
+		return 0, fmt.Errorf("parallel: core refill of block %v not resident in the shared arena", l)
+	}
+	if err := dst.stagePacked(l, slot.rows, slot.cols, slot.data); err != nil {
+		return 0, err
+	}
+	return slot.rows * slot.cols, nil
+}
+
+// Absorb merges a dirty packed tile released by a core arena into the
+// resident shared copy and marks it dirty — the upward half of the MD
+// stream, mirroring EvictDistributed's merge under IDEAL. Absorbing
+// into a non-resident block is an error (inclusion was violated).
+func (sa *SharedArena) Absorb(l schedule.Line, rows, cols int, data []float64) error {
+	slot := sa.arena.tile(l)
+	if slot == nil {
+		return fmt.Errorf("parallel: write-back of %v, but it is not resident in the shared arena", l)
+	}
+	if slot.rows != rows || slot.cols != cols {
+		return fmt.Errorf("parallel: write-back of %dx%d tile %v over a %dx%d shared copy",
+			rows, cols, l, slot.rows, slot.cols)
+	}
+	copy(slot.data, data[:rows*cols])
+	slot.dirty = true
+	return nil
+}
+
+// Drain empties the shared arena, invoking merge for every dirty
+// resident tile (see Arena.Drain). The executor calls it at end of run
+// after the core arenas have drained upward, so every surviving dirty
+// tile carries the freshest data.
+func (sa *SharedArena) Drain(merge func(l schedule.Line, rows, cols int, data []float64) error) (int, error) {
+	return sa.arena.Drain(merge)
+}

@@ -1,0 +1,213 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// The shared arena's staging discipline mirrors the IDEAL shared
+// cache's: no re-stage of a resident block, no overflow past CS, no
+// release of a non-resident block.
+func TestSharedArenaDiscipline(t *testing.T) {
+	sa, err := NewSharedArena(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := matrix.Random(2, 2, 1)
+	if _, err := sa.Stage(schedule.LineA(0, 0), tile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Stage(schedule.LineA(0, 0), tile); err == nil || !strings.Contains(err.Error(), "resident") {
+		t.Fatalf("re-stage not rejected: %v", err)
+	}
+	if _, err := sa.Stage(schedule.LineB(0, 0), tile); err != nil {
+		t.Fatal(err)
+	}
+	// Overflowing CS is an error, exactly as loading into a full IDEAL
+	// cache.
+	if _, err := sa.Stage(schedule.LineC(0, 0), tile); err == nil || !strings.Contains(err.Error(), "full") {
+		t.Fatalf("overflow past CS not rejected: %v", err)
+	}
+	if _, _, err := sa.Unstage(schedule.LineC(0, 0), matrix.New(2, 2)); err == nil {
+		t.Fatal("unstage of non-resident block not rejected")
+	}
+	if sa.Capacity() != 2 || sa.Resident() != 2 {
+		t.Fatalf("Capacity/Resident = %d/%d, want 2/2", sa.Capacity(), sa.Resident())
+	}
+}
+
+// A core arena may only refill blocks that are shared-resident — the
+// physical form of the inclusive hierarchy's discipline.
+func TestSharedArenaRefillRequiresResidency(t *testing.T) {
+	sa, err := NewSharedArena(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewArena(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Refill(core, schedule.LineA(0, 0)); err == nil || !strings.Contains(err.Error(), "not resident") {
+		t.Fatalf("refill of non-resident shared block not rejected: %v", err)
+	}
+	src := matrix.Random(4, 4, 7)
+	if _, err := sa.Stage(schedule.LineA(0, 0), src); err != nil {
+		t.Fatal(err)
+	}
+	values, err := sa.Refill(core, schedule.LineA(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values != 16 {
+		t.Fatalf("refill moved %d values, want 16", values)
+	}
+	slot := core.tile(schedule.LineA(0, 0))
+	if slot == nil {
+		t.Fatal("refill did not stage into the core arena")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if slot.data[i*4+j] != src.At(i, j) {
+				t.Fatalf("refilled[%d,%d] = %g, want %g", i, j, slot.data[i*4+j], src.At(i, j))
+			}
+		}
+	}
+}
+
+// Absorb merges a dirty core tile into the resident shared copy and
+// marks it dirty, so the eventual shared unstage writes it to memory.
+func TestSharedArenaAbsorbAndWriteBack(t *testing.T) {
+	sa, err := NewSharedArena(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := schedule.LineC(0, 0)
+	if _, err := sa.Stage(l, matrix.New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A clean unstage must not write back.
+	dst := matrix.New(2, 2)
+	if _, dirty, err := sa.Unstage(l, dst); err != nil || dirty {
+		t.Fatalf("clean unstage: dirty=%v err=%v", dirty, err)
+	}
+	// Absorbing into a non-resident block is an inclusion violation.
+	fresh := []float64{1, 2, 3, 4}
+	if err := sa.Absorb(l, 2, 2, fresh); err == nil || !strings.Contains(err.Error(), "not resident") {
+		t.Fatalf("absorb into non-resident block not rejected: %v", err)
+	}
+	if _, err := sa.Stage(l, matrix.New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A shape mismatch indicates slot corruption and must fail loudly.
+	if err := sa.Absorb(l, 1, 2, fresh); err == nil || !strings.Contains(err.Error(), "over a") {
+		t.Fatalf("mismatched absorb not rejected: %v", err)
+	}
+	if err := sa.Absorb(l, 2, 2, fresh); err != nil {
+		t.Fatal(err)
+	}
+	values, dirty, err := sa.Unstage(l, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty || values != 4 {
+		t.Fatalf("absorbed unstage: dirty=%v values=%d, want true/4", dirty, values)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if dst.At(i, j) != fresh[i*2+j] {
+				t.Fatalf("written-back[%d,%d] = %g, want %g", i, j, dst.At(i, j), fresh[i*2+j])
+			}
+		}
+	}
+}
+
+// Drain writes only dirty tiles and leaves the arena empty — the
+// end-of-run safety net for sloppy schedules.
+func TestSharedArenaDrain(t *testing.T) {
+	sa, err := NewSharedArena(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, dirtied := schedule.LineB(0, 0), schedule.LineC(0, 0)
+	src := matrix.Random(2, 2, 9)
+	for _, l := range []schedule.Line{clean, dirtied} {
+		if _, err := sa.Stage(l, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sa.Absorb(dirtied, 2, 2, []float64{5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	var merged []schedule.Line
+	n, err := sa.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
+		merged = append(merged, l)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(merged) != 1 || merged[0] != dirtied {
+		t.Fatalf("Drain merged %v (n=%d), want only %v", merged, n, dirtied)
+	}
+	if sa.Resident() != 0 {
+		t.Fatalf("Resident = %d after drain, want 0", sa.Resident())
+	}
+}
+
+// Ragged boundary tiles pack into partial slots and round-trip through
+// stage → refill → absorb → unstage without padding artefacts.
+func TestSharedArenaRaggedRoundTrip(t *testing.T) {
+	const q = 4
+	sa, err := NewSharedArena(2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewArena(2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := matrix.Random(7, 5, 11) // ragged: 2×2 blocks of q=4 with 3×1 edges
+	src := parent.View(4, 4, 3, 1)    // bottom-right 3×1 edge tile
+	l := schedule.LineC(1, 1)
+	if _, err := sa.Stage(l, src); err != nil {
+		t.Fatal(err)
+	}
+	values, err := sa.Refill(core, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values != 3 {
+		t.Fatalf("ragged refill moved %d values, want 3", values)
+	}
+	slot := core.tile(l)
+	slot.data[0], slot.data[1], slot.data[2] = 1, 2, 3
+	slot.dirty = true
+	rows, cols, data, dirty, err := core.release(l)
+	if err != nil || !dirty {
+		t.Fatalf("release: dirty=%v err=%v", dirty, err)
+	}
+	if err := sa.Absorb(l, rows, cols, data); err != nil {
+		t.Fatal(err)
+	}
+	dst := matrix.New(3, 1)
+	if _, dirty, err := sa.Unstage(l, dst); err != nil || !dirty {
+		t.Fatalf("unstage: dirty=%v err=%v", dirty, err)
+	}
+	for i := 0; i < 3; i++ {
+		if dst.At(i, 0) != float64(i+1) {
+			t.Fatalf("ragged round trip lost data: dst[%d,0] = %g, want %d", i, dst.At(i, 0), i+1)
+		}
+	}
+}
+
+func TestNewSharedArenaRejectsBadParams(t *testing.T) {
+	if _, err := NewSharedArena(0, 4); err == nil {
+		t.Fatal("zero capacity must fail")
+	}
+	if _, err := NewSharedArena(4, 0); err == nil {
+		t.Fatal("zero block edge must fail")
+	}
+}

@@ -20,24 +20,37 @@ import (
 // BenchRun is one measured execution.
 type BenchRun struct {
 	Algorithm   string  `json:"algorithm"`    // algo display name, or "sequential blocked"
-	Mode        string  `json:"mode"`         // "naive", "view" or "packed"
+	Mode        string  `json:"mode"`         // "naive", "view", "packed" or "shared"
 	Cores       int     `json:"cores"`        // worker goroutines
 	OrderBlocks int     `json:"order_blocks"` // square workload edge, in blocks
 	Q           int     `json:"q"`            // block edge, in coefficients
 	N           int     `json:"n"`            // matrix order in coefficients (order_blocks·q)
 	Seconds     float64 `json:"seconds"`      // wall-clock of one multiplication
 	GFlops      float64 `json:"gflops"`       // 2n³ / seconds / 1e9
+
+	// Per-level physical traffic of the measured run, in bytes, as
+	// counted by the executor (parallel.Executor.Traffic). MS is the
+	// memory↔shared stream, MD the shared↔core stream; in "packed" mode
+	// no shared arena exists, so the memory↔core stream appears as MD
+	// and the MS fields stay zero (and are omitted, as they are for the
+	// "naive" and "view" modes, which move no counted bytes at all).
+	MSStageBytes     uint64 `json:"ms_stage_bytes,omitempty"`     // memory→shared fills
+	MSWriteBackBytes uint64 `json:"ms_writeback_bytes,omitempty"` // shared→memory write-backs
+	MDStageBytes     uint64 `json:"md_stage_bytes,omitempty"`     // shared→core (or memory→core) fills
+	MDWriteBackBytes uint64 `json:"md_writeback_bytes,omitempty"` // core→shared (or core→memory) write-backs
 }
 
-// Bench is the envelope written to BENCH_gemm.json.
+// Bench is the envelope written to BENCH_gemm.json. Runs holds
+// pointers so the *BenchRun handles Add returns stay valid however
+// much the record grows.
 type Bench struct {
-	Name      string     `json:"name"`
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	CPUs      int        `json:"cpus"`
-	When      string     `json:"when"` // RFC 3339
-	Runs      []BenchRun `json:"runs"`
+	Name      string      `json:"name"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	When      string      `json:"when"` // RFC 3339
+	Runs      []*BenchRun `json:"runs"`
 }
 
 // NewBench returns an envelope stamped with the current environment.
@@ -52,17 +65,18 @@ func NewBench(name string) *Bench {
 	}
 }
 
-// Add records one run, deriving N and GFLOP/s from the workload shape.
-// Timings below the clock's resolution are clamped to one nanosecond so
-// the rate stays finite (an Inf would make the whole record
-// unencodable as JSON).
-func (b *Bench) Add(algorithm, mode string, cores, orderBlocks, q int, elapsed time.Duration) BenchRun {
+// Add records one run, deriving N and GFLOP/s from the workload shape,
+// and returns the stored run so callers can fill the optional
+// per-level traffic fields. Timings below the clock's resolution are
+// clamped to one nanosecond so the rate stays finite (an Inf would
+// make the whole record unencodable as JSON).
+func (b *Bench) Add(algorithm, mode string, cores, orderBlocks, q int, elapsed time.Duration) *BenchRun {
 	if elapsed <= 0 {
 		elapsed = time.Nanosecond
 	}
 	n := orderBlocks * q
 	flops := 2 * float64(n) * float64(n) * float64(n)
-	run := BenchRun{
+	run := &BenchRun{
 		Algorithm:   algorithm,
 		Mode:        mode,
 		Cores:       cores,

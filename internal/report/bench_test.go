@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -29,6 +30,34 @@ func TestBenchAddAndSpeedup(t *testing.T) {
 	}
 	if diff := sp[0].Ratio - 2; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("Ratio = %g, want 2", sp[0].Ratio)
+	}
+}
+
+// The pointer Add returns aliases the stored run, so per-level traffic
+// fields filled after the timed repetitions land in the JSON record —
+// and stay omitted for modes that move no counted bytes.
+func TestBenchTrafficFieldsRoundTrip(t *testing.T) {
+	b := NewBench("gemm")
+	run := b.Add("Tradeoff", "shared", 4, 32, 32, time.Second)
+	run.MSStageBytes = 111
+	run.MSWriteBackBytes = 44
+	run.MDStageBytes = 222
+	run.MDWriteBackBytes = 333
+	b.Add("Tradeoff", "view", 4, 32, 32, time.Second)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Bench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Runs[0]
+	if got.MSStageBytes != 111 || got.MSWriteBackBytes != 44 || got.MDStageBytes != 222 || got.MDWriteBackBytes != 333 {
+		t.Fatalf("traffic fields lost in round trip: %+v", got)
+	}
+	if s := buf.String(); strings.Count(s, "ms_stage_bytes") != 1 {
+		t.Fatalf("zero traffic fields must be omitted:\n%s", s)
 	}
 }
 

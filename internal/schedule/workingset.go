@@ -2,27 +2,66 @@ package schedule
 
 import "fmt"
 
-// WorkingSet summarises the staging footprint of one program: the peak
-// number of simultaneously staged blocks at the shared level and in the
-// busiest core's distributed level, measured by replaying the operation
-// stream against counting sets (no cache policy, no data). A backend
-// that materialises staging — the executor's per-core arenas — uses it
-// to prove, before allocating or running anything, that the schedule
-// fits the cache capacities it was tuned for.
+// WorkingSet summarises the staging footprint and traffic of one
+// program: the peak number of simultaneously staged blocks at the
+// shared level and in the busiest core's distributed level, plus the
+// per-level staging traffic in blocks, measured by replaying the
+// operation stream against counting sets (no cache policy, no data). A
+// backend that materialises staging — the executor's shared and
+// per-core arenas — uses it to prove, before allocating or running
+// anything, that the schedule fits the cache capacities it was tuned
+// for.
+//
+// The traffic counters mirror the paper's two miss streams: a
+// well-disciplined program's SharedStages equal the MS the IDEAL
+// simulator counts, and its Stages are the sum over cores of MD — the
+// blocks the σS and σD bandwidths divide in Tdata.
 type WorkingSet struct {
 	SharedPeak int    // peak simultaneously staged shared-level blocks
 	CorePeak   int    // peak simultaneously staged blocks of the busiest core
 	Computes   uint64 // total elementary block FMAs emitted
-	Stages     uint64 // total per-core Stage operations emitted
+
+	SharedStages   uint64 // total StageShared operations (memory→shared fills)
+	SharedUnstages uint64 // total UnstageShared operations (shared-level releases)
+	Stages         uint64 // total per-core Stage operations (shared→core fills)
+	Unstages       uint64 // total per-core Unstage operations (core-level releases)
 }
 
-// Fits checks the measured working set against declared resources.
-// Zero-valued capacities are not checked (demand-driven programs
-// declare nothing and stage nothing).
+// Fits checks the measured working set against declared resources at
+// both cache levels. Staging at a level whose capacity is undeclared
+// (zero) is an error: a program that emits StageShared operations while
+// declaring no shared capacity is claiming traffic through a cache it
+// says does not exist, and silently skipping the check let exactly that
+// pass validation. Levels the program never stages at (peak 0) may stay
+// undeclared — demand-driven programs declare nothing and stage
+// nothing.
 func (ws WorkingSet) Fits(r Resources) error {
+	if err := ws.FitsCore(r); err != nil {
+		return err
+	}
+	return ws.FitsShared(r)
+}
+
+// FitsCore checks only the distributed (per-core) level. Backends that
+// materialise just that level — the executor's ModePacked, where shared
+// staging stays a probe-only hint — validate with this instead of Fits.
+func (ws WorkingSet) FitsCore(r Resources) error {
+	if ws.CorePeak > 0 && r.CoreBlocks <= 0 {
+		return fmt.Errorf("schedule: program stages up to %d blocks per core but declares no distributed capacity (CD=0)",
+			ws.CorePeak)
+	}
 	if r.CoreBlocks > 0 && ws.CorePeak > r.CoreBlocks {
 		return fmt.Errorf("schedule: per-core working set of %d blocks exceeds the declared CD=%d",
 			ws.CorePeak, r.CoreBlocks)
+	}
+	return nil
+}
+
+// FitsShared checks only the shared level.
+func (ws WorkingSet) FitsShared(r Resources) error {
+	if ws.SharedPeak > 0 && r.SharedBlocks <= 0 {
+		return fmt.Errorf("schedule: program stages up to %d shared blocks but declares no shared capacity (CS=0)",
+			ws.SharedPeak)
 	}
 	if r.SharedBlocks > 0 && ws.SharedPeak > r.SharedBlocks {
 		return fmt.Errorf("schedule: shared working set of %d blocks exceeds the declared CS=%d",
@@ -40,7 +79,14 @@ func Measure(p *Program) (WorkingSet, error) {
 	if err := p.Emit(m); err != nil {
 		return WorkingSet{}, err
 	}
-	ws := WorkingSet{SharedPeak: m.sharedPeak, Computes: m.computes, Stages: m.stages}
+	ws := WorkingSet{
+		SharedPeak:     m.sharedPeak,
+		Computes:       m.computes,
+		SharedStages:   m.sharedStages,
+		SharedUnstages: m.sharedUnstages,
+		Stages:         m.stages,
+		Unstages:       m.unstages,
+	}
 	for _, c := range m.cores {
 		if c.peak > ws.CorePeak {
 			ws.CorePeak = c.peak
@@ -51,11 +97,14 @@ func Measure(p *Program) (WorkingSet, error) {
 
 // measurer is the counting backend behind Measure.
 type measurer struct {
-	shared     map[Line]struct{}
-	sharedPeak int
-	cores      []coreSet
-	computes   uint64
-	stages     uint64
+	shared         map[Line]struct{}
+	sharedPeak     int
+	cores          []coreSet
+	computes       uint64
+	sharedStages   uint64
+	sharedUnstages uint64
+	stages         uint64
+	unstages       uint64
 }
 
 type coreSet struct {
@@ -70,9 +119,13 @@ func (m *measurer) StageShared(l Line) {
 	if len(m.shared) > m.sharedPeak {
 		m.sharedPeak = len(m.shared)
 	}
+	m.sharedStages++
 }
 
-func (m *measurer) UnstageShared(l Line) { delete(m.shared, l) }
+func (m *measurer) UnstageShared(l Line) {
+	delete(m.shared, l)
+	m.sharedUnstages++
+}
 
 func (m *measurer) Parallel(body func(core int, ops CoreSink)) {
 	for c := range m.cores {
@@ -98,7 +151,10 @@ func (s measureSink) Stage(l Line) {
 	s.m.stages++
 }
 
-func (s measureSink) Unstage(l Line) { delete(s.m.cores[s.core].resident, l) }
+func (s measureSink) Unstage(l Line) {
+	delete(s.m.cores[s.core].resident, l)
+	s.m.unstages++
+}
 
 func (s measureSink) Read(Line)  {}
 func (s measureSink) Write(Line) {}

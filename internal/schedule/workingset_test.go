@@ -51,20 +51,73 @@ func TestMeasureWorkingSet(t *testing.T) {
 	}
 }
 
+// Measure counts per-level traffic: shared fills/releases and core
+// fills/releases — the block streams the σS and σD bandwidths divide.
+func TestMeasurePerLevelTraffic(t *testing.T) {
+	ws, err := Measure(wsProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.SharedStages != 5 {
+		t.Fatalf("SharedStages = %d, want 5", ws.SharedStages)
+	}
+	if ws.SharedUnstages != 1 {
+		t.Fatalf("SharedUnstages = %d, want 1", ws.SharedUnstages)
+	}
+	if ws.Unstages != 4 {
+		t.Fatalf("Unstages = %d, want 4", ws.Unstages)
+	}
+}
+
 func TestWorkingSetFits(t *testing.T) {
 	ws := WorkingSet{SharedPeak: 4, CorePeak: 3}
 	if err := ws.Fits(Resources{SharedBlocks: 4, CoreBlocks: 3}); err != nil {
 		t.Fatalf("exact fit rejected: %v", err)
 	}
-	// Zero-valued capacities disable the corresponding check.
-	if err := ws.Fits(Resources{}); err != nil {
-		t.Fatalf("undeclared resources rejected: %v", err)
+	if err := ws.Fits(Resources{SharedBlocks: 3, CoreBlocks: 3}); err == nil || !strings.Contains(err.Error(), "CS=3") {
+		t.Fatalf("shared overflow not reported: %v", err)
 	}
-	if err := ws.Fits(Resources{CoreBlocks: 2}); err == nil || !strings.Contains(err.Error(), "CD=2") {
+	if err := ws.Fits(Resources{SharedBlocks: 4, CoreBlocks: 2}); err == nil || !strings.Contains(err.Error(), "CD=2") {
 		t.Fatalf("core overflow not reported: %v", err)
 	}
-	if err := ws.Fits(Resources{SharedBlocks: 3}); err == nil || !strings.Contains(err.Error(), "CS=3") {
-		t.Fatalf("shared overflow not reported: %v", err)
+	// A program that stages nothing may leave the capacities undeclared.
+	if err := (WorkingSet{}).Fits(Resources{}); err != nil {
+		t.Fatalf("demand-driven program rejected: %v", err)
+	}
+}
+
+// Staging at a level whose capacity is undeclared is an error, not a
+// skipped check: a program emitting StageShared ops while declaring
+// CS=0 used to pass validation silently.
+func TestWorkingSetFitsRejectsUndeclaredLevels(t *testing.T) {
+	ws := WorkingSet{SharedPeak: 4, CorePeak: 3}
+	if err := ws.Fits(Resources{CoreBlocks: 3}); err == nil || !strings.Contains(err.Error(), "CS=0") {
+		t.Fatalf("shared staging without declared CS not rejected: %v", err)
+	}
+	if err := ws.Fits(Resources{SharedBlocks: 4}); err == nil || !strings.Contains(err.Error(), "CD=0") {
+		t.Fatalf("core staging without declared CD not rejected: %v", err)
+	}
+	if err := ws.Fits(Resources{}); err == nil {
+		t.Fatal("staging program with no declared resources not rejected")
+	}
+}
+
+// The per-level checks are independently callable: FitsCore ignores the
+// shared level entirely (the ModePacked executor materialises only the
+// per-core arenas) and FitsShared the converse.
+func TestWorkingSetFitsPerLevel(t *testing.T) {
+	ws := WorkingSet{SharedPeak: 9, CorePeak: 3}
+	if err := ws.FitsCore(Resources{CoreBlocks: 3}); err != nil {
+		t.Fatalf("FitsCore must ignore the shared level: %v", err)
+	}
+	if err := ws.FitsCore(Resources{SharedBlocks: 9}); err == nil {
+		t.Fatal("FitsCore must reject undeclared CD")
+	}
+	if err := ws.FitsShared(Resources{SharedBlocks: 9}); err != nil {
+		t.Fatalf("FitsShared must ignore the core level: %v", err)
+	}
+	if err := ws.FitsShared(Resources{SharedBlocks: 8}); err == nil {
+		t.Fatal("FitsShared must reject shared overflow")
 	}
 }
 
