@@ -27,8 +27,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/algo"
@@ -61,7 +59,7 @@ func main() {
 			}
 		})
 		var coreList []int
-		coreList, err = parseCores(*benchCores)
+		coreList, err = report.ParseCores(*benchCores)
 		if err == nil {
 			err = bench(*benchJSON, *algoName, *order, *q, coreList, *benchReps, *seed)
 		}
@@ -76,33 +74,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gemm:", err)
 		os.Exit(1)
 	}
-}
-
-// fmtBytes renders a byte count with a binary-unit suffix for the
-// benchmark console output (the JSON record keeps exact integers).
-func fmtBytes(b uint64) string {
-	switch {
-	case b >= 1<<30:
-		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
-	case b >= 1<<20:
-		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
-	case b >= 1<<10:
-		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
-	default:
-		return fmt.Sprintf("%dB", b)
-	}
-}
-
-func parseCores(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || p <= 0 {
-			return nil, fmt.Errorf("bad core count %q in -bench-cores", f)
-		}
-		out = append(out, p)
-	}
-	return out, nil
 }
 
 // bigMachine models the benchmark host for p cores and block size q:
@@ -310,7 +281,7 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 				r.MDWriteBackBytes = tra.MD.WriteBackBytes
 				fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
 					r.Algorithm, r.Mode, r.Cores, r.GFlops,
-					fmtBytes(tra.MS.Bytes()), fmtBytes(tra.MD.Bytes()))
+					report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
 			}
 		}
 		team.Close()

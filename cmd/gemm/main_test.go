@@ -25,22 +25,6 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
-func TestParseCores(t *testing.T) {
-	got, err := parseCores("1, 2,4")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
-		t.Fatalf("parseCores = %v", got)
-	}
-	if _, err := parseCores("1,zero"); err == nil {
-		t.Fatal("bad core count must fail")
-	}
-	if _, err := parseCores("0"); err == nil {
-		t.Fatal("non-positive core count must fail")
-	}
-}
-
 func TestBenchSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
 	if err := bench(path, "Tradeoff", 4, 8, []int{1, 2}, 1, 1); err != nil {

@@ -1,0 +1,229 @@
+// Command lufact executes the blocked LU factorisation for real through
+// the schedule IR — goroutine per core, packed arena-resident tiles —
+// verifies |A − L·U| against the input, and reports wall-clock time,
+// effective GFLOP/s (2n³/3 flops) and the executor's measured per-level
+// traffic. It mirrors cmd/gemm for the repository's second workload.
+//
+// Examples:
+//
+//	lufact -n 512                     # factor a 512×512 system, packed staging
+//	lufact -n 512 -q 64 -p 8 -mode shared
+//	lufact -n 1024 -bench-json BENCH_lu.json -bench-cores 1,2,4
+//
+// -mode selects how the executor realises staging: "packed" (per-core
+// arenas, the default), "view" (strided baseline, staging probe-only)
+// or "shared" (the full two-level hierarchy: tiles flow memory →
+// shared arena → core arenas, and the MS/MD streams are physically
+// distinct).
+//
+// With -bench-json the command switches to benchmark mode: it measures
+// the sequential tiled Factor plus the schedule-driven factorisation
+// under all three executor modes for each requested core count, and
+// writes the GFLOP/s records — with the executor's per-level traffic
+// byte counts — as JSON: the factorisation's perf trajectory, the
+// companion of BENCH_gemm.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 512, "matrix order in coefficients")
+		q          = flag.Int("q", 32, "tile size in coefficients")
+		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view or shared (benchmark mode measures all three)")
+		verify     = flag.Bool("verify", true, "check |A - L·U| against the input (ignored in benchmark mode)")
+		seed       = flag.Uint64("seed", 1, "input matrix seed")
+		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
+		benchCores = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
+		benchReps  = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
+	)
+	flag.Parse()
+
+	var err error
+	if *benchJSON != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "p" || f.Name == "verify" || f.Name == "mode" {
+				fmt.Fprintf(os.Stderr, "lufact: -%s is ignored in benchmark mode (use -bench-cores; all modes are measured; correctness is covered by go test)\n", f.Name)
+			}
+		})
+		var coreList []int
+		coreList, err = report.ParseCores(*benchCores)
+		if err == nil {
+			err = bench(*benchJSON, *n, *q, coreList, *benchReps, *seed)
+		}
+	} else {
+		var mode parallel.Mode
+		mode, err = parallel.ParseMode(*modeName)
+		if err == nil {
+			err = run(*n, *q, *cores, *verify, *seed, mode)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lufact:", err)
+		os.Exit(1)
+	}
+}
+
+// luFlops is the classical flop count of an unpivoted n×n LU, 2n³/3.
+func luFlops(n int) float64 {
+	fn := float64(n)
+	return 2 * fn * fn * fn / 3
+}
+
+func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode) error {
+	if n <= 0 || q <= 0 {
+		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
+	}
+	mach := lu.MachineFor(cores, q)
+	fmt.Printf("machine: %s\nmode: %v\nworkload: LU of %d×%d, tiles of %d×%d\n\n", mach, mode, n, n, q, q)
+
+	orig := lu.RandomDominant(n, seed)
+	tbl := report.NewTable("path", "time", "GFLOP/s", "max |A-LU|", "MS", "MD")
+
+	// Sequential tiled baseline.
+	seq := orig.Clone()
+	start := time.Now()
+	if err := lu.Factor(seq, q); err != nil {
+		return err
+	}
+	seqTime := time.Since(start)
+	residual := func(f *matrix.Dense) string {
+		if !verify {
+			return "skipped"
+		}
+		return fmt.Sprintf("%.2e", lu.Verify(orig, f))
+	}
+	tbl.AddRow("sequential tiled", seqTime.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.2f", luFlops(n)/seqTime.Seconds()/1e9), residual(seq), "-", "-")
+
+	// Schedule-driven factorisation on the team.
+	team, err := parallel.NewTeam(cores)
+	if err != nil {
+		return err
+	}
+	defer team.Close()
+	par := orig.Clone()
+	start = time.Now()
+	tra, err := lu.FactorParallelMode(par, q, team, mode, mach)
+	if err != nil {
+		return err
+	}
+	parTime := time.Since(start)
+	tbl.AddRow(fmt.Sprintf("schedule %v p=%d", mode, cores), parTime.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.2f", luFlops(n)/parTime.Seconds()/1e9), residual(par),
+		report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+	fmt.Print(tbl.String())
+
+	if !par.Equal(seq) {
+		return fmt.Errorf("schedule-driven factors deviate from the sequential ones by %g", par.MaxAbsDiff(seq))
+	}
+	fmt.Println("\nschedule-driven factors are bitwise identical to the sequential ones")
+	return nil
+}
+
+// bench measures sequential vs view vs packed vs shared and writes the
+// JSON record, including the executor's per-level traffic byte counts.
+// Every configuration runs reps times and the fastest repetition is
+// recorded (the traffic counts are deterministic, identical in every
+// repetition).
+func bench(path string, n, q int, coreList []int, reps int, seed uint64) error {
+	if n <= 0 || q <= 0 {
+		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	orderBlocks := (n + q - 1) / q
+	rec := report.NewBench("lu")
+	fmt.Printf("benchmark: LU of n=%d (%d tiles of %d×%d), cores %v, best of %d\n\n",
+		n, orderBlocks, q, q, coreList, reps)
+
+	orig := lu.RandomDominant(n, seed)
+	work := matrix.New(n, n)
+
+	best := func(f func() (time.Duration, error)) (time.Duration, error) {
+		var min time.Duration
+		for i := 0; i < reps; i++ {
+			if err := work.CopyFrom(orig); err != nil {
+				return 0, err
+			}
+			d, err := f()
+			if err != nil {
+				return 0, err
+			}
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+
+	elapsed, err := best(func() (time.Duration, error) {
+		start := time.Now()
+		if err := lu.Factor(work, q); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+	if err != nil {
+		return err
+	}
+	naive := rec.AddOp("sequential tiled LU", "naive", 1, orderBlocks, q, luFlops(n), elapsed)
+	naive.N = n
+	fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s\n", naive.Algorithm, naive.Mode, naive.Cores, naive.GFlops)
+
+	for _, p := range coreList {
+		mach := lu.MachineFor(p, q)
+		team, err := parallel.NewTeam(p)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared} {
+			var tra parallel.Traffic
+			elapsed, err := best(func() (time.Duration, error) {
+				start := time.Now()
+				t, err := lu.FactorParallelMode(work, q, team, mode, mach)
+				if err != nil {
+					return 0, fmt.Errorf("LU (%v, p=%d): %w", mode, p, err)
+				}
+				tra = t
+				return time.Since(start), nil
+			})
+			if err != nil {
+				team.Close()
+				return err
+			}
+			r := rec.AddOp("LU", mode.String(), p, orderBlocks, q, luFlops(n), elapsed)
+			r.N = n
+			r.MSStageBytes = tra.MS.StageBytes
+			r.MSWriteBackBytes = tra.MS.WriteBackBytes
+			r.MDStageBytes = tra.MD.StageBytes
+			r.MDWriteBackBytes = tra.MD.WriteBackBytes
+			fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
+				r.Algorithm, r.Mode, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+		}
+		team.Close()
+	}
+
+	fmt.Println("\npacked over view:")
+	for _, sp := range rec.Speedup(parallel.ModePacked.String(), parallel.ModeView.String()) {
+		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+	}
+	if err := rec.WriteJSONFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d runs)\n", path, len(rec.Runs))
+	return nil
+}

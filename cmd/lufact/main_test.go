@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestRunSmoke(t *testing.T) {
+	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeView, parallel.ModeShared} {
+		if err := run(48, 8, 2, true, 1, mode); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+	// Ragged n mod q ≠ 0 must run end to end too.
+	if err := run(37, 8, 2, true, 1, parallel.ModePacked); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 8, 2, false, 1, parallel.ModePacked); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_lu.json")
+	if err := bench(path, 48, 8, []int{1, 2}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Name string `json:"name"`
+		Runs []struct {
+			Algorithm    string  `json:"algorithm"`
+			Mode         string  `json:"mode"`
+			N            int     `json:"n"`
+			GFlops       float64 `json:"gflops"`
+			MSStageBytes uint64  `json:"ms_stage_bytes"`
+			MDStageBytes uint64  `json:"md_stage_bytes"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	// 1 naive + (view+packed+shared) × 2 core counts.
+	if rec.Name != "lu" || len(rec.Runs) != 7 {
+		t.Fatalf("record has %d runs, want 7: %+v", len(rec.Runs), rec)
+	}
+	for _, r := range rec.Runs {
+		if r.GFlops <= 0 || r.N != 48 {
+			t.Fatalf("malformed run %+v", r)
+		}
+		switch r.Mode {
+		case "shared":
+			if r.MSStageBytes == 0 || r.MDStageBytes == 0 {
+				t.Fatalf("shared run missing per-level traffic: %+v", r)
+			}
+		case "packed":
+			if r.MSStageBytes != 0 || r.MDStageBytes == 0 {
+				t.Fatalf("packed run traffic malformed: %+v", r)
+			}
+		default:
+			if r.MSStageBytes != 0 || r.MDStageBytes != 0 {
+				t.Fatalf("%s run must move no counted bytes: %+v", r.Mode, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// record writes a Bench JSON with one packed/view pair at the given
+// GFLOP/s values and returns its path.
+func record(t *testing.T, name string, packedSecs, viewSecs time.Duration) string {
+	t.Helper()
+	rec := report.NewBench(name)
+	rec.Add("Tradeoff", "view", 2, 8, 8, viewSecs)
+	rec.Add("Tradeoff", "packed", 2, 8, 8, packedSecs)
+	path := filepath.Join(t.TempDir(), name+".json")
+	if err := rec.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGuardPassesWhenPackedWins(t *testing.T) {
+	path := record(t, "gemm", 80*time.Millisecond, 100*time.Millisecond) // packed 1.25x faster
+	var out strings.Builder
+	if err := guard(&out, []string{path}, "packed", "view", 0.1); err != nil {
+		t.Fatalf("healthy ratio rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "geomean") {
+		t.Fatalf("missing geomean summary:\n%s", out.String())
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	path := record(t, "gemm", 200*time.Millisecond, 100*time.Millisecond) // packed 2x slower
+	if err := guard(io.Discard, []string{path}, "packed", "view", 0.25); err == nil {
+		t.Fatal("0.5x ratio must fail a 0.75 floor")
+	}
+}
+
+func TestGuardAggregatesAcrossFiles(t *testing.T) {
+	good := record(t, "gemm", 50*time.Millisecond, 100*time.Millisecond) // 2x
+	bad := record(t, "lu", 190*time.Millisecond, 100*time.Millisecond)   // ~0.53x
+	// Geomean ≈ 1.03x: passes a 0.9 floor only because both files count.
+	if err := guard(io.Discard, []string{good, bad}, "packed", "view", 0.1); err != nil {
+		t.Fatalf("aggregate geomean rejected: %v", err)
+	}
+}
+
+func TestGuardRejectsDegenerateInput(t *testing.T) {
+	if err := guard(io.Discard, []string{filepath.Join(t.TempDir(), "missing.json")}, "packed", "view", 0.1); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	rec := report.NewBench("gemm")
+	rec.Add("Tradeoff", "view", 2, 8, 8, time.Millisecond) // no packed runs at all
+	path := filepath.Join(t.TempDir(), "half.json")
+	if err := rec.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := guard(io.Discard, []string{path}, "packed", "view", 0.1); err == nil {
+		t.Fatal("record with no comparable pair must fail, not silently pass")
+	}
+	full := record(t, "gemm", time.Millisecond, time.Millisecond)
+	if err := guard(io.Discard, []string{full}, "packed", "view", 1.5); err == nil {
+		t.Fatal("noise margin outside [0,1) must fail")
+	}
+	_ = os.Remove(full)
+}

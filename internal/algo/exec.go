@@ -107,7 +107,7 @@ type Result struct {
 	MDPerCore []uint64 // distributed misses per core
 	MD        uint64   // max over cores (the paper's MD)
 	WriteBack uint64   // blocks written back to memory
-	Updates   []uint64 // elementary block FMAs per core (load balance)
+	Updates   []uint64 // kernel applications (block writes) per core (load balance)
 	Tdata     float64  // MS/σS + MD/σD with the actual bandwidths
 }
 
@@ -151,6 +151,16 @@ func Run(a Algorithm, actual, declared machine.Machine, w Workload, s Setting) (
 	if err != nil {
 		return Result{}, err
 	}
+	return RunProgram(prog, actual, declared, w, s)
+}
+
+// RunProgram simulates an already-emitted program — from a registered
+// product algorithm or from any other emitter of the kernel op set, such
+// as internal/lu's blocked factorisation — on a hierarchy with actual's
+// capacities. The workload is carried only into the Result (for the CCR
+// and Tdata derivations); the operation stream is entirely the
+// program's. An attached w.Probe observes the run's access streams.
+func RunProgram(prog *schedule.Program, actual, declared machine.Machine, w Workload, s Setting) (Result, error) {
 	if prog.Cores != actual.P {
 		return Result{}, fmt.Errorf("algo: program %q wants %d cores, machine has %d",
 			prog.Algorithm, prog.Cores, actual.P)
@@ -205,14 +215,21 @@ func (o *CoreOps) Read(l Line) { o.ops = append(o.ops, coreOp{opRead, l}) }
 // Write records a compute write of l by this core.
 func (o *CoreOps) Write(l Line) { o.ops = append(o.ops, coreOp{opWrite, l}) }
 
+// Apply records one typed kernel application as the accesses the kernel
+// declares: every source read in order, then the destination written.
+// The simulator carries no arithmetic, so the kernel's identity matters
+// only through its access pattern — which is exactly what the miss
+// model of the paper counts.
+func (o *CoreOps) Apply(k schedule.Kernel, dest Line, srcs ...Line) {
+	k.Accesses(dest, srcs, o.Read, o.Write)
+}
+
 // Compute records the elementary block FMA C[i,j] += A[i,k]·B[k,j] as
-// its three accesses, preserving the paper's read-read-write order at
+// Apply(MulAdd, …), preserving the paper's read-read-write order at
 // replay granularity (the round-robin interleaving switches cores
 // between the individual accesses, exactly as before the schedule IR).
 func (o *CoreOps) Compute(i, j, k int) {
-	o.Read(lineA(i, k))
-	o.Read(lineB(k, j))
-	o.Write(lineC(i, j))
+	o.Apply(schedule.MulAdd, lineC(i, j), lineA(i, k), lineB(k, j))
 }
 
 // Exec adapts schedules to a concrete hierarchy and policy: it is the

@@ -1,11 +1,14 @@
 // Package lu implements a tiled right-looking LU factorisation, the
 // first "more complex operation" the paper names as future work ("we
 // will tackle more complex operations, such as LU factorization"). It
-// reuses the repository's substrate: q×q tiles as the unit of work, the
-// internal/matrix kernels at the leaves, and the goroutine-per-core Team
-// of internal/parallel for the panel solves and the trailing GEMM update
-// — the step that is exactly the paper's matrix product and dominates
-// the factorisation's cache traffic.
+// is built entirely on the repository's substrate: q×q tiles as the
+// unit of work, the typed block kernels of internal/matrix (FactorTile,
+// the two triangular solves, MulSub) at the leaves, and — for the
+// parallel path — a schedule.Program over the generalized kernel op set,
+// consumed by the same two backends as the matrix product: the cache
+// simulator counts the factorisation's MS/MD streams and the real
+// executor runs it on packed arena-resident tiles. There is no
+// hand-written parallel loop nest here; see Program.
 //
 // The factorisation is unpivoted (tiles on the diagonal are factored in
 // place), so it requires matrices whose leading principal minors are
@@ -14,25 +17,24 @@
 package lu
 
 import (
-	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/matrix"
-	"repro/internal/parallel"
 )
 
 // ErrSingular is returned (wrapped) when a zero or numerically vanishing
-// pivot is encountered.
-var ErrSingular = errors.New("lu: matrix is singular to working precision")
-
-// pivotFloor is the smallest admissible absolute pivot.
-const pivotFloor = 1e-300
+// pivot is encountered. It aliases the kernel-level sentinel so both the
+// sequential and the schedule-driven paths report the same error.
+var ErrSingular = matrix.ErrSingular
 
 // Factor computes the in-place tiled LU factorisation A = L·U with tile
 // size q: after the call, the strictly lower triangle of a holds the
 // unit-lower-triangular L (implicit ones on the diagonal) and the upper
 // triangle holds U. The matrix must be square.
+//
+// The per-tile operations are exactly the executor's kernels, applied in
+// the same panel-then-update order the schedule emits, so FactorParallel
+// reproduces this result bitwise in every executor mode.
 func Factor(a *matrix.Dense, q int) error {
 	if err := check(a, q); err != nil {
 		return err
@@ -41,18 +43,22 @@ func Factor(a *matrix.Dense, q int) error {
 	for k0 := 0; k0 < n; k0 += q {
 		klen := min(q, n-k0)
 		diag := a.View(k0, k0, klen, klen)
-		if err := factorTile(diag); err != nil {
+		if err := matrix.FactorTile(diag); err != nil {
 			return fmt.Errorf("lu: diagonal tile at %d: %w", k0, err)
 		}
 		// Column panel: A[i][k] := A[i][k]·U⁻¹.
 		for i0 := k0 + klen; i0 < n; i0 += q {
 			ilen := min(q, n-i0)
-			trsmUpperRight(diag, a.View(i0, k0, ilen, klen))
+			if err := matrix.TrsmUpperRight(diag, a.View(i0, k0, ilen, klen)); err != nil {
+				return err
+			}
 		}
 		// Row panel: A[k][j] := L⁻¹·A[k][j].
 		for j0 := k0 + klen; j0 < n; j0 += q {
 			jlen := min(q, n-j0)
-			trsmLowerLeftUnit(diag, a.View(k0, j0, klen, jlen))
+			if err := matrix.TrsmLowerLeftUnit(diag, a.View(k0, j0, klen, jlen)); err != nil {
+				return err
+			}
 		}
 		// Trailing update: A[i][j] -= A[i][k]·A[k][j].
 		for i0 := k0 + klen; i0 < n; i0 += q {
@@ -60,65 +66,9 @@ func Factor(a *matrix.Dense, q int) error {
 			li := a.View(i0, k0, ilen, klen)
 			for j0 := k0 + klen; j0 < n; j0 += q {
 				jlen := min(q, n-j0)
-				mulSub(a.View(i0, j0, ilen, jlen), li, a.View(k0, j0, klen, jlen))
-			}
-		}
-	}
-	return nil
-}
-
-// FactorParallel is Factor with the panel solves and the trailing update
-// distributed over the team's workers. The tile-level operations and
-// their per-tile arithmetic order are identical to the sequential
-// version, so the result is bitwise identical.
-func FactorParallel(a *matrix.Dense, q int, team *parallel.Team) error {
-	if err := check(a, q); err != nil {
-		return err
-	}
-	if team == nil {
-		return errors.New("lu: nil team")
-	}
-	n := a.Rows()
-	p := team.Size()
-	for k0 := 0; k0 < n; k0 += q {
-		klen := min(q, n-k0)
-		diag := a.View(k0, k0, klen, klen)
-		if err := factorTile(diag); err != nil {
-			return fmt.Errorf("lu: diagonal tile at %d: %w", k0, err)
-		}
-
-		rest := n - (k0 + klen)     // remaining rows/cols after the pivot tile
-		tiles := (rest + q - 1) / q // panel length in tiles
-		base := k0 + klen           // first trailing coordinate
-		if tiles > 0 {
-			// Both panels in parallel: worker c takes panel tiles c, c+p, …
-			if err := team.Run(func(c int) error {
-				for t := c; t < 2*tiles; t += p {
-					idx := t % tiles
-					o0 := base + idx*q
-					olen := min(q, n-o0)
-					if t < tiles {
-						trsmUpperRight(diag, a.View(o0, k0, olen, klen))
-					} else {
-						trsmLowerLeftUnit(diag, a.View(k0, o0, klen, olen))
-					}
+				if err := matrix.MulSubUnrolled(a.View(i0, j0, ilen, jlen), li, a.View(k0, j0, klen, jlen)); err != nil {
+					return err
 				}
-				return nil
-			}); err != nil {
-				return err
-			}
-			// Trailing update, tiles cyclically assigned by linear index.
-			if err := team.Run(func(c int) error {
-				for t := c; t < tiles*tiles; t += p {
-					i0 := base + (t/tiles)*q
-					j0 := base + (t%tiles)*q
-					ilen := min(q, n-i0)
-					jlen := min(q, n-j0)
-					mulSub(a.View(i0, j0, ilen, jlen), a.View(i0, k0, ilen, klen), a.View(k0, j0, klen, jlen))
-				}
-				return nil
-			}); err != nil {
-				return err
 			}
 		}
 	}
@@ -133,74 +83,6 @@ func check(a *matrix.Dense, q int) error {
 		return fmt.Errorf("lu: tile size q=%d must be positive", q)
 	}
 	return nil
-}
-
-// factorTile performs the unblocked, unpivoted LU factorisation of a
-// square tile in place (right-looking kij order).
-func factorTile(d *matrix.Dense) error {
-	n := d.Rows()
-	for k := 0; k < n; k++ {
-		piv := d.At(k, k)
-		if math.Abs(piv) < pivotFloor || math.IsNaN(piv) {
-			return fmt.Errorf("pivot %g at local index %d: %w", piv, k, ErrSingular)
-		}
-		for i := k + 1; i < n; i++ {
-			l := d.At(i, k) / piv
-			d.Set(i, k, l)
-			if l == 0 {
-				continue
-			}
-			for j := k + 1; j < n; j++ {
-				d.Add(i, j, -l*d.At(k, j))
-			}
-		}
-	}
-	return nil
-}
-
-// trsmUpperRight solves X·U = B in place (B := B·U⁻¹) where U is the
-// upper triangle of the factored diagonal tile.
-func trsmUpperRight(diag, b *matrix.Dense) {
-	n := diag.Rows()
-	for i := 0; i < b.Rows(); i++ {
-		for j := 0; j < n; j++ {
-			s := b.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= b.At(i, k) * diag.At(k, j)
-			}
-			b.Set(i, j, s/diag.At(j, j))
-		}
-	}
-}
-
-// trsmLowerLeftUnit solves L·X = B in place (B := L⁻¹·B) where L is the
-// unit lower triangle of the factored diagonal tile.
-func trsmLowerLeftUnit(diag, b *matrix.Dense) {
-	n := diag.Rows()
-	for j := 0; j < b.Cols(); j++ {
-		for i := 0; i < n; i++ {
-			s := b.At(i, j)
-			for k := 0; k < i; k++ {
-				s -= diag.At(i, k) * b.At(k, j)
-			}
-			b.Set(i, j, s)
-		}
-	}
-}
-
-// mulSub computes C -= A·B on tiles (the trailing GEMM update).
-func mulSub(c, a, b *matrix.Dense) {
-	for i := 0; i < a.Rows(); i++ {
-		for k := 0; k < a.Cols(); k++ {
-			av := a.At(i, k)
-			if av == 0 {
-				continue
-			}
-			for j := 0; j < b.Cols(); j++ {
-				c.Add(i, j, -av*b.At(k, j))
-			}
-		}
-	}
 }
 
 // RandomDominant returns a deterministic random n×n matrix made strictly

@@ -1,0 +1,256 @@
+package lu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/schedule"
+)
+
+// This file is the schedule emitter of the factorisation: the one loop
+// nest, written once, that both backends consume. Program compiles the
+// right-looking blocked LU of an nb×nb block matrix into a
+// schedule.Program over the typed kernel op set — FactorTile on the
+// pivot tile, the two triangular solves on the panels, MulSub on the
+// trailing submatrix — with the staging discipline the declared machine
+// affords: panels and trailing tiles stream through the shared cache in
+// strips sized to CS, and each core's working set never exceeds the
+// 3-block minimum, exactly like Algorithm 1's distributed footprint.
+
+// tile names block (i, j) of the matrix being factored. The
+// factorisation has a single operand; by convention it occupies the A
+// slot ("A = L·U"), so its lines never collide with the product's B/C
+// naming if a future schedule composes both.
+func tile(i, j int) schedule.Line { return schedule.LineA(i, j) }
+
+// trailingEdge returns the largest strip edge w ≥ 1 with w² + 2w ≤ cs:
+// a w×w strip of trailing tiles plus the w-deep L and U panel fragments
+// it consumes must fit the shared cache together.
+func trailingEdge(cs int) int {
+	w := 1
+	for (w+1)*(w+1)+2*(w+1) <= cs {
+		w++
+	}
+	return w
+}
+
+// Program emits the right-looking blocked LU factorisation of an nb×nb
+// block matrix for the declared machine: one parallel region factors the
+// pivot tile, strips of panel tiles are solved against it, and the
+// trailing submatrix is updated in w×w strips of MulSub kernels, cores
+// owning disjoint trailing blocks. Every step leaves the shared level
+// and the core arenas empty, so the working set is per-step, not
+// per-matrix: SharedPeak ≤ CS and CorePeak = 3 ≤ CD for any nb.
+func Program(declared machine.Machine, nb int) (*schedule.Program, error) {
+	if err := declared.Validate(); err != nil {
+		return nil, err
+	}
+	if nb <= 0 {
+		return nil, fmt.Errorf("lu: matrix order %d blocks must be positive", nb)
+	}
+	p := declared.P
+	w := trailingEdge(declared.CS)
+	g := declared.CS - 1 // panel strip length: the diagonal tile shares the level
+	if g < 1 {
+		g = 1
+	}
+
+	// panelLine maps strip index s of step k to its tile: the t
+	// column-panel tiles first, then the t row-panel tiles.
+	panelLine := func(k, s, t int) schedule.Line {
+		if s < t {
+			return tile(k+1+s, k)
+		}
+		return tile(k, k+1+s-t)
+	}
+
+	body := func(b schedule.Backend) {
+		for k := 0; k < nb; k++ {
+			diag := tile(k, k)
+			t := nb - k - 1 // trailing edge of this step, in tiles
+
+			// Factor the pivot tile on its owner core; the factored tile
+			// merges upward so the panel solves read L and U.
+			b.StageShared(diag)
+			owner := k % p
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				if c != owner {
+					return
+				}
+				ops.Stage(diag)
+				ops.Apply(schedule.FactorTile, diag)
+				ops.Unstage(diag)
+			})
+
+			// Panel solves: 2t tiles (column panel, then row panel)
+			// streamed through the shared cache in strips of ≤ g tiles,
+			// cyclically assigned; every working core holds the diagonal
+			// tile plus one panel tile (footprint 2).
+			for s0 := 0; s0 < 2*t; s0 += g {
+				slen := min(g, 2*t-s0)
+				for s := s0; s < s0+slen; s++ {
+					b.StageShared(panelLine(k, s, t))
+				}
+				b.Parallel(func(c int, ops schedule.CoreSink) {
+					if c >= slen {
+						return
+					}
+					ops.Stage(diag)
+					for s := s0 + c; s < s0+slen; s += p {
+						l := panelLine(k, s, t)
+						ops.Stage(l)
+						if s < t {
+							ops.Apply(schedule.TrsmUpperRight, l, diag)
+						} else {
+							ops.Apply(schedule.TrsmLowerLeftUnit, l, diag)
+						}
+						ops.Unstage(l)
+					}
+					ops.Unstage(diag)
+				})
+				for s := s0; s < s0+slen; s++ {
+					b.UnstageShared(panelLine(k, s, t))
+				}
+			}
+			b.UnstageShared(diag)
+
+			// Trailing update in w×w strips: a strip of U panel tiles
+			// stays shared-resident while row strips of L tiles and
+			// trailing tiles stream past it; each trailing tile (i, j) is
+			// owned by one core, which stages L[i,k], U[k,j] and the tile
+			// itself (footprint 3), applies MulSub and releases all three.
+			for j0 := k + 1; j0 < nb; j0 += w {
+				jlen := min(w, nb-j0)
+				for j := j0; j < j0+jlen; j++ {
+					b.StageShared(tile(k, j))
+				}
+				for i0 := k + 1; i0 < nb; i0 += w {
+					ilen := min(w, nb-i0)
+					for i := i0; i < i0+ilen; i++ {
+						b.StageShared(tile(i, k))
+					}
+					for i := i0; i < i0+ilen; i++ {
+						for j := j0; j < j0+jlen; j++ {
+							b.StageShared(tile(i, j))
+						}
+					}
+					b.Parallel(func(c int, ops schedule.CoreSink) {
+						for s := c; s < ilen*jlen; s += p {
+							i := i0 + s/jlen
+							j := j0 + s%jlen
+							li, uj, tij := tile(i, k), tile(k, j), tile(i, j)
+							ops.Stage(li)
+							ops.Stage(uj)
+							ops.Stage(tij)
+							ops.Apply(schedule.MulSub, tij, li, uj)
+							ops.Unstage(tij)
+							ops.Unstage(uj)
+							ops.Unstage(li)
+						}
+					})
+					for i := i0; i < i0+ilen; i++ {
+						for j := j0; j < j0+jlen; j++ {
+							b.UnstageShared(tile(i, j))
+						}
+					}
+					for i := i0; i < i0+ilen; i++ {
+						b.UnstageShared(tile(i, k))
+					}
+				}
+				for j := j0; j < j0+jlen; j++ {
+					b.UnstageShared(tile(k, j))
+				}
+			}
+		}
+	}
+	return &schedule.Program{
+		Algorithm: "LU",
+		Cores:     p,
+		Params:    schedule.Params{Lambda: w},
+		Resources: schedule.Resources{
+			SharedBlocks: declared.CS,
+			CoreBlocks:   declared.CD,
+			SigmaS:       declared.SigmaS,
+			SigmaD:       declared.SigmaD,
+			BlockEdge:    declared.Q,
+		},
+		Body: body,
+	}, nil
+}
+
+// MachineFor models the execution host for p cores and tile size q: the
+// paper's 8MB-shared/256KB-distributed quad-core generalised to
+// arbitrary p and q (as cmd/gemm's benchmark machine is), with the
+// capacities clamped to stay a valid hierarchy.
+func MachineFor(p, q int) machine.Machine {
+	m := machine.Machine{
+		P:      p,
+		CS:     machine.BlocksFromBytes(8<<20, q, 1.0),
+		CD:     machine.BlocksFromBytes(256<<10, q, 2.0/3.0),
+		SigmaS: machine.DefaultSigmaS,
+		SigmaD: machine.DefaultSigmaD,
+		Q:      q,
+	}
+	if m.CD < 3 {
+		m.CD = 3
+	}
+	if m.CS < m.P*m.CD {
+		m.CS = m.P * m.CD
+	}
+	return m
+}
+
+// FactorParallel is Factor with the schedule executed by the team's
+// workers in ModePacked: the factorisation runs on packed arena-resident
+// tiles, through the very kernels and per-tile order of the sequential
+// version, so the result is bitwise identical. The declared machine is
+// derived from the team size and tile size; FactorParallelMode exposes
+// the full control surface.
+func FactorParallel(a *matrix.Dense, q int, team *parallel.Team) error {
+	if team == nil {
+		return errors.New("lu: nil team")
+	}
+	_, err := FactorParallelMode(a, q, team, parallel.ModePacked, MachineFor(team.Size(), q))
+	return err
+}
+
+// FactorParallelMode factors a in place through the schedule IR: it
+// compiles the blocked-LU Program for mach, binds the matrix as the
+// executor's single operand and runs it on the team in the given mode,
+// returning the executor's per-level physical traffic (zero in
+// ModeView, the memory↔core stream as MD in ModePacked, both streams in
+// ModeShared). mach.P must equal the team size.
+func FactorParallelMode(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine) (parallel.Traffic, error) {
+	if err := check(a, q); err != nil {
+		return parallel.Traffic{}, err
+	}
+	if team == nil {
+		return parallel.Traffic{}, errors.New("lu: nil team")
+	}
+	if mach.P != team.Size() {
+		return parallel.Traffic{}, fmt.Errorf("lu: machine declares %d cores, team has %d", mach.P, team.Size())
+	}
+	blocked, err := matrix.NewBlocked(matrix.MatA, a, q)
+	if err != nil {
+		return parallel.Traffic{}, err
+	}
+	operands, err := matrix.NewOperands(blocked)
+	if err != nil {
+		return parallel.Traffic{}, err
+	}
+	prog, err := Program(mach, blocked.BlockRows())
+	if err != nil {
+		return parallel.Traffic{}, err
+	}
+	ex, err := parallel.NewExecutorOperands(team, operands, nil, mode, mach.CD, mach.CS)
+	if err != nil {
+		return parallel.Traffic{}, err
+	}
+	if err := ex.Run(prog); err != nil {
+		return parallel.Traffic{}, err
+	}
+	return ex.Traffic(), nil
+}

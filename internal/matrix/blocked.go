@@ -146,6 +146,13 @@ func NewTripleDims(rows, cols, inner, q int, seed uint64) (*Triple, error) {
 	return &Triple{A: ab, B: bb, C: cb}, nil
 }
 
+// Operands returns the three blocked matrices of the product as an
+// executor operand binding. Validate first: a conformable triple always
+// binds.
+func (t *Triple) Operands() (*Operands, error) {
+	return NewOperands(t.A, t.B, t.C)
+}
+
 // Dims returns the block dimensions (m, n, z) of the product.
 func (t *Triple) Dims() (m, n, z int) {
 	return t.C.BlockRows(), t.C.BlockCols(), t.A.BlockCols()

@@ -1,0 +1,123 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file holds the block kernels of the right-looking LU
+// factorisation: the in-place factorisation of a diagonal tile and the
+// two triangular panel solves, plus the trailing-update MulSub. They are
+// the leaves of both the sequential internal/lu.Factor and the
+// schedule-driven parallel executor — one arithmetic definition, so the
+// two paths are bitwise identical — and, like the product kernels, they
+// perform shape-dependent work only: no data-dependent skips, so flop
+// counts derive from dimensions alone.
+
+// ErrSingular is returned (wrapped) when a zero or numerically vanishing
+// pivot is encountered while factoring a tile.
+var ErrSingular = errors.New("matrix: singular to working precision")
+
+// pivotFloor is the smallest admissible absolute pivot.
+const pivotFloor = 1e-300
+
+// FactorTile performs the unblocked, unpivoted LU factorisation of the
+// square tile d in place (right-looking kij order): afterwards the
+// strictly lower triangle holds the unit-lower-triangular L (implicit
+// ones on the diagonal) and the upper triangle holds U.
+func FactorTile(d *Dense) error {
+	if d.rows != d.cols {
+		return fmt.Errorf("matrix: factor %dx%d tile, need square: %w", d.rows, d.cols, ErrShape)
+	}
+	n := d.rows
+	for k := 0; k < n; k++ {
+		piv := d.data[k*d.stride+k]
+		if math.Abs(piv) < pivotFloor || math.IsNaN(piv) {
+			return fmt.Errorf("matrix: pivot %g at local index %d: %w", piv, k, ErrSingular)
+		}
+		krow := d.data[k*d.stride : k*d.stride+n]
+		for i := k + 1; i < n; i++ {
+			irow := d.data[i*d.stride : i*d.stride+n]
+			l := irow[k] / piv
+			irow[k] = l
+			for j := k + 1; j < n; j++ {
+				irow[j] -= l * krow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmUpperRight solves X·U = B in place (B := B·U⁻¹), where U is the
+// upper triangle of the factored diagonal tile diag. B must have as many
+// columns as diag.
+func TrsmUpperRight(diag, b *Dense) error {
+	if diag.rows != diag.cols || b.cols != diag.rows {
+		return fmt.Errorf("matrix: trsm B(%dx%d)·U⁻¹ with diag %dx%d: %w",
+			b.rows, b.cols, diag.rows, diag.cols, ErrShape)
+	}
+	n := diag.rows
+	for i := 0; i < b.rows; i++ {
+		brow := b.data[i*b.stride : i*b.stride+n]
+		for j := 0; j < n; j++ {
+			s := brow[j]
+			for k := 0; k < j; k++ {
+				s -= brow[k] * diag.data[k*diag.stride+j]
+			}
+			brow[j] = s / diag.data[j*diag.stride+j]
+		}
+	}
+	return nil
+}
+
+// TrsmLowerLeftUnit solves L·X = B in place (B := L⁻¹·B), where L is the
+// unit lower triangle of the factored diagonal tile diag. B must have as
+// many rows as diag.
+func TrsmLowerLeftUnit(diag, b *Dense) error {
+	if diag.rows != diag.cols || b.rows != diag.rows {
+		return fmt.Errorf("matrix: trsm L⁻¹·B(%dx%d) with diag %dx%d: %w",
+			b.rows, b.cols, diag.rows, diag.cols, ErrShape)
+	}
+	n := diag.rows
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			s := b.data[i*b.stride+j]
+			irow := diag.data[i*diag.stride : i*diag.stride+i]
+			for k := 0; k < i; k++ {
+				s -= irow[k] * b.data[k*b.stride+j]
+			}
+			b.data[i*b.stride+j] = s
+		}
+	}
+	return nil
+}
+
+// MulSubUnrolled computes C -= A×B — the trailing GEMM update of the
+// factorisation — with the same i-k-j order and 4-way unrolled inner
+// loop as MulAddUnrolled, so the two FMA kernels are exact mirrors and
+// the update's flop count is 2·m·n·k regardless of the data.
+func MulSubUnrolled(c, a, b *Dense) error {
+	if err := checkMul(c, a, b); err != nil {
+		return err
+	}
+	n := b.cols
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.stride : i*a.stride+a.cols]
+		crow := c.data[i*c.stride : i*c.stride+n]
+		for k, av := range arow {
+			brow := b.data[k*b.stride : k*b.stride+n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				crow[j] -= av * brow[j]
+				crow[j+1] -= av * brow[j+1]
+				crow[j+2] -= av * brow[j+2]
+				crow[j+3] -= av * brow[j+3]
+			}
+			for ; j < n; j++ {
+				crow[j] -= av * brow[j]
+			}
+		}
+	}
+	return nil
+}

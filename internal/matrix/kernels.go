@@ -50,10 +50,10 @@ func MulAdd(c, a, b *Dense) error {
 }
 
 // MulAddUnrolled is MulAdd with a 4-way unrolled inner loop. It is the
-// executor's q×q tile kernel in both modes — over strided views in
-// ModeView and (through MulAddPacked) over contiguous arena tiles in
-// ModePacked — so packed-vs-view ratios measure data layout, not loop
-// shape.
+// executor's q×q tile kernel in every mode — over strided views in
+// ModeView and over the cached contiguous headers of arena-resident
+// tiles in the staging modes — so packed-vs-view ratios measure data
+// layout, not loop shape.
 func MulAddUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err

@@ -41,12 +41,13 @@ func Unpack(dst *Dense, src []float64) error {
 }
 
 // MulAddPacked computes C += A×B over packed tiles: c is m×n, a is m×k
-// and b is k×n, all contiguous row-major. It is the entry point the
-// real executor uses on staged (arena-resident) operands: after the
-// slice-length checks it wraps the buffers as compact Dense headers and
-// runs MulAddUnrolled — the very same kernel the strided path uses — so
-// packed-vs-view comparisons measure data layout, never loop shape, and
-// the flop count stays exactly 2·m·n·k regardless of the data.
+// and b is k×n, all contiguous row-major. It is the standalone entry
+// point for computing on raw packed buffers (the executor itself
+// dispatches MulAddUnrolled on Dense headers it caches per staged
+// tile): after the slice-length checks it wraps the buffers as compact
+// headers and runs the very same MulAddUnrolled kernel, so both routes
+// are bitwise identical and the flop count stays exactly 2·m·n·k
+// regardless of the data.
 func MulAddPacked(c, a, b []float64, m, n, k int) error {
 	if m < 0 || n < 0 || k < 0 || len(c) < m*n || len(a) < m*k || len(b) < k*n {
 		return fmt.Errorf("matrix: packed multiply C(%d:%dx%d) += A(%d:%dx%d)*B(%d:%dx%d): %w",

@@ -34,7 +34,8 @@ type arenaSlot struct {
 	line       schedule.Line
 	rows, cols int
 	dirty      bool
-	data       []float64 // slice of buf, len rows·cols while resident
+	data       []float64     // slice of buf, len rows·cols while resident
+	hdr        *matrix.Dense // compact header over data, refreshed on alloc
 }
 
 // NewArena allocates a staging buffer of capBlocks tiles of q×q values.
@@ -88,6 +89,13 @@ func (a *Arena) alloc(l schedule.Line, rows, cols int) (*arenaSlot, error) {
 	slot.rows = rows
 	slot.cols = cols
 	slot.dirty = false
+	// One header per staging transfer, so the kernels in the replay hot
+	// path run on arena-resident tiles without per-application wrapping.
+	hdr, err := matrix.NewFromSlice(rows, cols, slot.data)
+	if err != nil {
+		return nil, err
+	}
+	slot.hdr = hdr
 	a.free = a.free[:len(a.free)-1]
 	a.index[l] = i
 	return slot, nil

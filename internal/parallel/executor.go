@@ -122,7 +122,7 @@ type Traffic struct {
 // packed storage existed.
 type Executor struct {
 	team         *Team
-	t            *matrix.Triple
+	operands     *matrix.Operands
 	probe        *schedule.Probe
 	mode         Mode
 	arenaBlocks  int
@@ -146,36 +146,53 @@ type Executor struct {
 // Executor is the real backend of the schedule IR.
 var _ schedule.Backend = (*Executor)(nil)
 
-// execOp is one recorded per-core operation: a staging transfer or an
-// elementary block FMA C[i,j] += A[i,k]·B[k,j].
+// execOp is one recorded per-core operation: a staging transfer or a
+// typed kernel application. line is the staging target or the kernel's
+// destination; srcs carries the kernel's read operands (kernel.Arity()
+// of them — at most two across the whole op set).
 type execOp struct {
-	kind    execOpKind
-	line    schedule.Line // stage/unstage only
-	i, j, k int           // compute only
+	kind   execOpKind
+	kernel schedule.Kernel
+	line   schedule.Line
+	srcs   [2]schedule.Line
 }
 
 type execOpKind uint8
 
 const (
-	xCompute execOpKind = iota
+	xApply execOpKind = iota
 	xStage
 	xUnstage
 )
 
-// NewExecutor binds a backend to a team and a triple. probe may be nil.
-// coreBlocks is the per-core arena capacity in tiles of Q×Q values, Q
-// the triple's tile size — pass the declared machine's CD, as Execute
-// does. sharedBlocks is the shared arena's capacity (the machine's CS),
-// used only by ModeShared; ModeView ignores both. Arenas are allocated
-// by Run, and only for programs that actually stage, so demand-driven
-// schedules pay nothing for the capability.
+// NewExecutor binds a backend to a team and a product triple. probe may
+// be nil. coreBlocks is the per-core arena capacity in tiles of Q×Q
+// values, Q the triple's tile size — pass the declared machine's CD, as
+// Execute does. sharedBlocks is the shared arena's capacity (the
+// machine's CS), used only by ModeShared; ModeView ignores both. Arenas
+// are allocated by Run, and only for programs that actually stage, so
+// demand-driven schedules pay nothing for the capability.
 func NewExecutor(team *Team, t *matrix.Triple, probe *schedule.Probe, mode Mode, coreBlocks, sharedBlocks int) (*Executor, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	ops, err := t.Operands()
+	if err != nil {
+		return nil, err
+	}
+	return NewExecutorOperands(team, ops, probe, mode, coreBlocks, sharedBlocks)
+}
+
+// NewExecutorOperands binds a backend to an arbitrary operand binding —
+// the general form behind NewExecutor, for schedules that are not a
+// product of three matrices (blocked LU binds the single matrix it
+// factors). The schedule's lines must resolve within the binding; an
+// unbound operand fails at execution, exactly as an out-of-discipline
+// access does.
+func NewExecutorOperands(team *Team, operands *matrix.Operands, probe *schedule.Probe, mode Mode, coreBlocks, sharedBlocks int) (*Executor, error) {
 	ex := &Executor{
 		team:         team,
-		t:            t,
+		operands:     operands,
 		probe:        probe,
 		mode:         mode,
 		arenaBlocks:  coreBlocks,
@@ -239,11 +256,12 @@ func (ex *Executor) StageShared(l schedule.Line) {
 	if ex.mode != ModeShared || !ex.staging {
 		return
 	}
-	if l.Matrix > matrix.MatC {
-		ex.fail(fmt.Errorf("parallel: shared staging op on unknown operand %v", l))
+	src, err := ex.block(l)
+	if err != nil {
+		ex.fail(err)
 		return
 	}
-	values, err := ex.shared.Stage(l, ex.block(l))
+	values, err := ex.shared.Stage(l, src)
 	if err != nil {
 		ex.fail(err)
 		return
@@ -260,8 +278,9 @@ func (ex *Executor) UnstageShared(l schedule.Line) {
 	if ex.err != nil || ex.mode != ModeShared || !ex.staging {
 		return
 	}
-	if l.Matrix > matrix.MatC {
-		ex.fail(fmt.Errorf("parallel: shared staging op on unknown operand %v", l))
+	dst, err := ex.block(l)
+	if err != nil {
+		ex.fail(err)
 		return
 	}
 	for c, ar := range ex.arenas {
@@ -270,7 +289,7 @@ func (ex *Executor) UnstageShared(l schedule.Line) {
 			return
 		}
 	}
-	values, dirty, err := ex.shared.Unstage(l, ex.block(l))
+	values, dirty, err := ex.shared.Unstage(l, dst)
 	if err != nil {
 		ex.fail(err)
 		return
@@ -315,13 +334,22 @@ func (s execSink) Read(l schedule.Line) { s.access(l, false) }
 // Write records a raw access; it carries no arithmetic.
 func (s execSink) Write(l schedule.Line) { s.access(l, true) }
 
-// Compute queues the block FMA for this core and feeds the probe its
-// three accesses in the schedule's read-read-write order.
+// Apply queues the kernel application for this core and feeds the probe
+// the accesses the kernel declares — each source read in order, then the
+// destination written — exactly the expansion the simulator records.
+func (s execSink) Apply(k schedule.Kernel, dest schedule.Line, srcs ...schedule.Line) {
+	k.Accesses(dest, srcs,
+		func(l schedule.Line) { s.access(l, false) },
+		func(l schedule.Line) { s.access(l, true) })
+	op := execOp{kind: xApply, kernel: k, line: dest}
+	copy(op.srcs[:], srcs)
+	s.ex.ops[s.core] = append(s.ex.ops[s.core], op)
+}
+
+// Compute queues the block FMA C[i,j] += A[i,k]·B[k,j] as its MulAdd
+// expansion, preserving the schedule's read-read-write probe order.
 func (s execSink) Compute(i, j, k int) {
-	s.access(schedule.LineA(i, k), false)
-	s.access(schedule.LineB(k, j), false)
-	s.access(schedule.LineC(i, j), true)
-	s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xCompute, i: i, j: j, k: k})
+	s.Apply(schedule.MulAdd, schedule.LineC(i, j), schedule.LineA(i, k), schedule.LineB(k, j))
 }
 
 // Parallel records the per-core streams of one region, then runs them
@@ -365,11 +393,6 @@ func (ex *Executor) replay(c int) error {
 				// allocates arenas for every program that stages.
 				return fmt.Errorf("parallel: staging op %v outside a validated Run", op.line)
 			}
-			if op.line.Matrix > matrix.MatC {
-				// block() would silently alias an unknown operand to C;
-				// fail loudly instead, as with every other misuse.
-				return fmt.Errorf("parallel: staging op on unknown operand %v", op.line)
-			}
 			if op.kind == xStage {
 				if ex.mode == ModeShared {
 					// Intra-chip refill: the core arena fills from the
@@ -381,7 +404,10 @@ func (ex *Executor) replay(c int) error {
 					md.stage(values)
 					continue
 				}
-				src := ex.block(op.line)
+				src, err := ex.block(op.line)
+				if err != nil {
+					return err
+				}
 				if err := ar.Stage(op.line, src); err != nil {
 					return err
 				}
@@ -402,12 +428,18 @@ func (ex *Executor) replay(c int) error {
 				if err := ex.shared.Absorb(op.line, rows, cols, data); err != nil {
 					return err
 				}
-			} else if err := matrix.Unpack(ex.block(op.line), data); err != nil {
-				return err
+			} else {
+				dst, err := ex.block(op.line)
+				if err != nil {
+					return err
+				}
+				if err := matrix.Unpack(dst, data); err != nil {
+					return err
+				}
 			}
 			md.writeBack(rows * cols)
-		case xCompute:
-			if err := ex.compute(ar, op.i, op.j, op.k); err != nil {
+		case xApply:
+			if err := ex.apply(ar, op); err != nil {
 				return err
 			}
 		}
@@ -416,40 +448,61 @@ func (ex *Executor) replay(c int) error {
 }
 
 // block resolves a line to its tile view in the operand matrices.
-func (ex *Executor) block(l schedule.Line) *matrix.Dense {
-	switch l.Matrix {
-	case matrix.MatA:
-		return ex.t.A.Block(l.Row, l.Col)
-	case matrix.MatB:
-		return ex.t.B.Block(l.Row, l.Col)
-	default:
-		return ex.t.C.Block(l.Row, l.Col)
-	}
+func (ex *Executor) block(l schedule.Line) (*matrix.Dense, error) {
+	return ex.operands.Block(l)
 }
 
-// compute performs C[i,j] += A[i,k]·B[k,j]. With an arena present
-// (staged schedules) all three operands must be arena-resident —
-// mirroring the IDEAL cache, where referencing a non-resident line is
-// an error — and the packed micro-kernel runs on the contiguous
-// copies. Demand-driven schedules never stage, so Run allocates them
-// no arena (ar == nil) and the strided kernel reads the tile views
-// directly.
-func (ex *Executor) compute(ar *Arena, i, j, k int) error {
+// apply dispatches one typed kernel application. With an arena present
+// (staged schedules) every operand must be arena-resident — mirroring
+// the IDEAL cache, where referencing a non-resident line is an error —
+// and the kernel runs on the contiguous packed copies. Demand-driven
+// schedules never stage, so Run allocates them no arena (ar == nil) and
+// the kernel reads the tile views directly; both paths run the very
+// same arithmetic, so packed-vs-view ratios measure data layout, never
+// loop shape, and the two results are bitwise identical.
+func (ex *Executor) apply(ar *Arena, op execOp) error {
+	arity := op.kernel.Arity()
+	var dest *matrix.Dense
+	var srcs [2]*matrix.Dense
 	if ar != nil {
-		sa := ar.tile(schedule.LineA(i, k))
-		sb := ar.tile(schedule.LineB(k, j))
-		sc := ar.tile(schedule.LineC(i, j))
-		if sa == nil || sb == nil || sc == nil {
-			return fmt.Errorf("parallel: compute C[%d,%d] += A[%d,%d]·B[%d,%d] with non-resident operand (A:%t B:%t C:%t)",
-				i, j, i, k, k, j, sa != nil, sb != nil, sc != nil)
+		sd := ar.tile(op.line)
+		if sd == nil {
+			return fmt.Errorf("parallel: %v on non-resident destination %v", op.kernel, op.line)
 		}
-		sc.dirty = true
-		return matrix.MulAddPacked(sc.data, sa.data, sb.data, sc.rows, sc.cols, sa.cols)
+		dest = sd.hdr
+		sd.dirty = true
+		for i := 0; i < arity; i++ {
+			ss := ar.tile(op.srcs[i])
+			if ss == nil {
+				return fmt.Errorf("parallel: %v of %v with non-resident source %v", op.kernel, op.line, op.srcs[i])
+			}
+			srcs[i] = ss.hdr
+		}
+	} else {
+		var err error
+		if dest, err = ex.block(op.line); err != nil {
+			return err
+		}
+		for i := 0; i < arity; i++ {
+			if srcs[i], err = ex.block(op.srcs[i]); err != nil {
+				return err
+			}
+		}
 	}
-	// The strided path uses the equally 4-way-unrolled kernel so that
-	// packed-vs-view ratios measure data movement, not loop shape.
-	t := ex.t
-	return matrix.MulAddUnrolled(t.C.Block(i, j), t.A.Block(i, k), t.B.Block(k, j))
+	switch op.kernel {
+	case schedule.MulAdd:
+		return matrix.MulAddUnrolled(dest, srcs[0], srcs[1])
+	case schedule.MulSub:
+		return matrix.MulSubUnrolled(dest, srcs[0], srcs[1])
+	case schedule.FactorTile:
+		return matrix.FactorTile(dest)
+	case schedule.TrsmLowerLeftUnit:
+		return matrix.TrsmLowerLeftUnit(srcs[0], dest)
+	case schedule.TrsmUpperRight:
+		return matrix.TrsmUpperRight(srcs[0], dest)
+	default:
+		return fmt.Errorf("parallel: no executor dispatch for kernel %v", op.kernel)
+	}
 }
 
 // Run replays a complete program and reports the first error. In the
@@ -514,7 +567,7 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 		if ex.staging && ex.arenas == nil {
 			ex.arenas = make([]*Arena, ex.team.Size())
 			for c := range ex.arenas {
-				a, err := NewArena(ex.arenaBlocks, ex.t.A.Q)
+				a, err := NewArena(ex.arenaBlocks, ex.operands.Q())
 				if err != nil {
 					return err
 				}
@@ -522,7 +575,7 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 			}
 		}
 		if ex.staging && ex.mode == ModeShared && ex.shared == nil {
-			sa, err := NewSharedArena(ex.sharedBlocks, ex.t.A.Q)
+			sa, err := NewSharedArena(ex.sharedBlocks, ex.operands.Q())
 			if err != nil {
 				return err
 			}
@@ -535,7 +588,11 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 	if ex.err == nil && ex.mode == ModePacked {
 		for c, ar := range ex.arenas {
 			_, err := ar.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
-				if err := matrix.Unpack(ex.block(l), data); err != nil {
+				dst, err := ex.block(l)
+				if err != nil {
+					return err
+				}
+				if err := matrix.Unpack(dst, data); err != nil {
 					return err
 				}
 				ex.md[c].writeBack(rows * cols)
@@ -566,7 +623,11 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 		}
 		if ex.err == nil && ex.shared != nil {
 			_, err := ex.shared.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
-				if err := matrix.Unpack(ex.block(l), data); err != nil {
+				dst, err := ex.block(l)
+				if err != nil {
+					return err
+				}
+				if err := matrix.Unpack(dst, data); err != nil {
 					return err
 				}
 				ex.ms.writeBack(rows * cols)

@@ -334,7 +334,7 @@ func TestPackedComputeRequiresResidentOperands(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = ex.Run(prog)
-	if err == nil || !strings.Contains(err.Error(), "non-resident operand") {
+	if err == nil || !strings.Contains(err.Error(), "non-resident") {
 		t.Fatalf("unstaged compute operand not rejected: %v", err)
 	}
 }

@@ -1,9 +1,11 @@
-// Package parallel executes the paper's algorithms for real: the exact
+// Package parallel executes schedules for real: the exact
 // schedule.Program the cache simulator counts misses for is replayed by
 // one worker goroutine per simulated core on actual float64 block data,
-// with the sequential q×q "DGEMM" kernel of internal/matrix at the
-// leaves. Algorithms are resolved through the algo registry; there is no
-// second copy of any loop nest here.
+// with the typed block kernels of internal/matrix (the q×q "DGEMM"
+// MulAdd plus LU's factor/trsm/mulsub set) at the leaves. Product
+// algorithms are resolved through the algo registry, the LU
+// factorisation compiles in internal/lu; there is no second copy of any
+// loop nest here.
 //
 // This is the performance-evaluation half of the reproduction: it
 // demonstrates that the algorithms are not just counting abstractions

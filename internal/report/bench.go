@@ -65,24 +65,30 @@ func NewBench(name string) *Bench {
 	}
 }
 
-// Add records one run, deriving N and GFLOP/s from the workload shape,
-// and returns the stored run so callers can fill the optional
-// per-level traffic fields. Timings below the clock's resolution are
-// clamped to one nanosecond so the rate stays finite (an Inf would
-// make the whole record unencodable as JSON).
+// Add records one run of a matrix product, deriving N and GFLOP/s from
+// the workload shape (2n³ flops), and returns the stored run so callers
+// can fill the optional per-level traffic fields.
 func (b *Bench) Add(algorithm, mode string, cores, orderBlocks, q int, elapsed time.Duration) *BenchRun {
+	n := orderBlocks * q
+	return b.AddOp(algorithm, mode, cores, orderBlocks, q, 2*float64(n)*float64(n)*float64(n), elapsed)
+}
+
+// AddOp records one run of an arbitrary operation with an explicit flop
+// count — the form used by workloads whose work is not the product's
+// 2n³, such as cmd/lufact's factorisation (2n³/3). Timings below the
+// clock's resolution are clamped to one nanosecond so the rate stays
+// finite (an Inf would make the whole record unencodable as JSON).
+func (b *Bench) AddOp(algorithm, mode string, cores, orderBlocks, q int, flops float64, elapsed time.Duration) *BenchRun {
 	if elapsed <= 0 {
 		elapsed = time.Nanosecond
 	}
-	n := orderBlocks * q
-	flops := 2 * float64(n) * float64(n) * float64(n)
 	run := &BenchRun{
 		Algorithm:   algorithm,
 		Mode:        mode,
 		Cores:       cores,
 		OrderBlocks: orderBlocks,
 		Q:           q,
-		N:           n,
+		N:           orderBlocks * q,
 		Seconds:     elapsed.Seconds(),
 		GFlops:      flops / elapsed.Seconds() / 1e9,
 	}

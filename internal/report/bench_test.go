@@ -33,6 +33,25 @@ func TestBenchAddAndSpeedup(t *testing.T) {
 	}
 }
 
+// AddOp records operations whose work is not the product's 2n³ — the
+// LU record passes its 2n³/3 explicitly — and Add must reduce to AddOp
+// with the product's flops.
+func TestBenchAddOpExplicitFlops(t *testing.T) {
+	b := NewBench("lu")
+	run := b.AddOp("LU", "packed", 4, 32, 32, 1e9, 2*time.Second)
+	if run.GFlops != 0.5 {
+		t.Fatalf("GFlops = %g, want 0.5 (1e9 flops over 2s)", run.GFlops)
+	}
+	if run.N != 1024 {
+		t.Fatalf("N = %d, want 1024", run.N)
+	}
+	viaAdd := b.Add("LU", "view", 4, 32, 32, 2*time.Second)
+	viaOp := b.AddOp("LU", "view2", 4, 32, 32, 2*1024.0*1024*1024, 2*time.Second)
+	if viaAdd.GFlops != viaOp.GFlops {
+		t.Fatalf("Add (%g) and AddOp with 2n³ (%g) disagree", viaAdd.GFlops, viaOp.GFlops)
+	}
+}
+
 // The pointer Add returns aliases the stored run, so per-level traffic
 // fields filled after the timed repetitions land in the JSON record —
 // and stay omitted for modes that move no counted bytes.

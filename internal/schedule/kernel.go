@@ -1,0 +1,89 @@
+package schedule
+
+import "fmt"
+
+// Kernel identifies one typed block kernel: the unit of arithmetic a
+// schedule applies to staged blocks. Every kernel declares, once and for
+// all backends, which operands it reads and which it writes — see
+// Accesses — so the cache simulator can expand an Apply into its miss
+// stream and the real executor can dispatch the matching micro-kernel
+// without either backend re-deriving the access pattern.
+//
+// The kernel set covers the block operations of the matrix product and
+// of the right-looking blocked LU factorisation:
+//
+//	Kernel              dest (read+write)        srcs (read only)
+//	MulAdd              C                        A, B     C += A·B
+//	MulSub              C                        A, B     C -= A·B
+//	FactorTile          D                        —        D = L·U in place (unpivoted)
+//	TrsmLowerLeftUnit   X                        D        X = L⁻¹·X, L unit lower of D
+//	TrsmUpperRight      X                        D        X = X·U⁻¹, U upper of D
+type Kernel uint8
+
+const (
+	// MulAdd is the elementary block FMA dest += srcs[0]·srcs[1].
+	MulAdd Kernel = iota
+	// MulSub is the trailing-update block operation dest -= srcs[0]·srcs[1].
+	MulSub
+	// FactorTile factors the square tile dest = L·U in place (unpivoted;
+	// unit lower triangle L below the diagonal, U on and above it).
+	FactorTile
+	// TrsmLowerLeftUnit solves L·X = dest in place, L the unit lower
+	// triangle of the factored diagonal tile srcs[0].
+	TrsmLowerLeftUnit
+	// TrsmUpperRight solves X·U = dest in place, U the upper triangle of
+	// the factored diagonal tile srcs[0].
+	TrsmUpperRight
+
+	numKernels
+)
+
+// String names the kernel for error messages and traces.
+func (k Kernel) String() string {
+	switch k {
+	case MulAdd:
+		return "MulAdd"
+	case MulSub:
+		return "MulSub"
+	case FactorTile:
+		return "FactorTile"
+	case TrsmLowerLeftUnit:
+		return "TrsmLowerLeftUnit"
+	case TrsmUpperRight:
+		return "TrsmUpperRight"
+	default:
+		return fmt.Sprintf("Kernel(%d)", uint8(k))
+	}
+}
+
+// Arity returns the number of source operands the kernel reads (its
+// destination is always read and written, and is not counted).
+func (k Kernel) Arity() int {
+	switch k {
+	case MulAdd, MulSub:
+		return 2
+	case FactorTile:
+		return 0
+	case TrsmLowerLeftUnit, TrsmUpperRight:
+		return 1
+	default:
+		panic(fmt.Sprintf("schedule: arity of unknown kernel %v", k))
+	}
+}
+
+// Accesses expands one Apply into the kernel's declared access pattern:
+// every source is read, in order, then the destination is written. This
+// is the single definition every backend shares — the simulator counts
+// these accesses as misses and hits, the executor feeds them to probes —
+// so "both backends see the same stream" holds per construction, not per
+// convention. An arity mismatch panics: it is a malformed emitter, the
+// schedule-level analogue of an out-of-range block index.
+func (k Kernel) Accesses(dest Line, srcs []Line, read, write func(Line)) {
+	if len(srcs) != k.Arity() {
+		panic(fmt.Sprintf("schedule: %v applied to %d sources, want %d", k, len(srcs), k.Arity()))
+	}
+	for _, s := range srcs {
+		read(s)
+	}
+	write(dest)
+}

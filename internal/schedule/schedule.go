@@ -1,21 +1,27 @@
 // Package schedule defines the backend-agnostic schedule IR that every
 // algorithm of the reproduction compiles to: a per-core program of
-// Stage/Unstage/Compute operations over q×q block coordinates, framed by
-// shared-cache staging and parallel regions.
+// Stage/Unstage/Apply operations over q×q block coordinates, framed by
+// shared-cache staging and parallel regions. Apply runs one typed block
+// kernel (see Kernel) on staged operands — the matrix product's MulAdd,
+// and the factor/solve/update kernels of blocked LU — each kernel
+// declaring its read/write access pattern exactly once, for every
+// backend.
 //
 // One schedule, two (or more) backends. An algorithm's loop nest is
 // written exactly once, as a Program whose Body drives a Backend:
 //
-//   - the cache simulator (internal/algo.Exec) replays the operation
-//     stream against the two-level hierarchy and counts MS/MD under the
-//     IDEAL and LRU policies;
-//   - the real executor (internal/parallel.Executor) maps the same
-//     stream onto worker goroutines calling the q×q DGEMM kernel on
-//     float64 blocks.
+//   - the cache simulator (internal/algo.Exec) expands each kernel's
+//     declared accesses into the MS/MD miss streams of the two-level
+//     hierarchy under the IDEAL and LRU policies;
+//   - the real executor (internal/parallel.Executor) dispatches the same
+//     kernels onto worker goroutines computing on float64 blocks —
+//     packed arena-resident tiles in the staging modes, strided views in
+//     ModeView.
 //
 // Because both backends consume the identical stream, "the executor runs
 // the schedule the simulator analysed" is an invariant checked by tests,
-// not a convention maintained by hand.
+// not a convention maintained by hand — and it now holds for any
+// workload expressible in the kernel set, not just C = A×B.
 package schedule
 
 import (
@@ -36,11 +42,17 @@ func LineC(i, j int) Line { return Line{Matrix: matrix.MatC, Row: i, Col: j} }
 // CoreSink receives one core's operation stream inside a parallel
 // region, in program order.
 //
-// Compute(i, j, k) is the elementary block FMA C[i,j] += A[i,k]·B[k,j];
-// it is defined to access A[i,k] (read), B[k,j] (read) and C[i,j]
-// (write), in that order. Read and Write are the raw accesses Compute
-// expands to; schedules for irregular kernels may emit them directly,
-// but only Compute carries arithmetic for the real executor.
+// Apply runs one typed block kernel on staged operands; its access
+// pattern — each source read in order, then the destination written —
+// is declared once by the Kernel (see Kernel.Accesses) and expanded
+// identically by every backend. Compute(i, j, k) is the historical
+// GEMM shorthand: implementations define it as
+// Apply(MulAdd, C[i,j], A[i,k], B[k,j]), so the seven product emitters
+// read exactly as the paper's pseudocode while flowing through the same
+// generalized op. Read and Write are the raw accesses an Apply expands
+// to; schedules for irregular access patterns may emit them directly,
+// but only Apply (and hence Compute) carries arithmetic for the real
+// executor.
 type CoreSink interface {
 	// Stage loads l into this core's distributed cache (explicit under
 	// IDEAL, an ordinary read under LRU, a cache hint for real hardware).
@@ -54,7 +66,11 @@ type CoreSink interface {
 	Read(l Line)
 	// Write records a raw write of l without arithmetic.
 	Write(l Line)
-	// Compute performs C[i,j] += A[i,k]·B[k,j].
+	// Apply runs kernel k on dest and srcs (len(srcs) == k.Arity()),
+	// reading the sources and writing the destination in place.
+	Apply(k Kernel, dest Line, srcs ...Line)
+	// Compute performs C[i,j] += A[i,k]·B[k,j]: shorthand for
+	// Apply(MulAdd, LineC(i,j), LineA(i,k), LineB(k,j)).
 	Compute(i, j, k int)
 }
 

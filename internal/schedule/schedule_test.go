@@ -72,10 +72,11 @@ func (s countSink) Stage(l Line) { s.b.ops = append(s.b.ops, Access{l, false}) }
 func (s countSink) Unstage(Line) {}
 func (s countSink) Read(l Line)  { s.b.ops = append(s.b.ops, Access{l, false}) }
 func (s countSink) Write(l Line) { s.b.ops = append(s.b.ops, Access{l, true}) }
+func (s countSink) Apply(k Kernel, dest Line, srcs ...Line) {
+	k.Accesses(dest, srcs, s.Read, s.Write)
+}
 func (s countSink) Compute(i, j, k int) {
-	s.Read(LineA(i, k))
-	s.Read(LineB(k, j))
-	s.Write(LineC(i, j))
+	s.Apply(MulAdd, LineC(i, j), LineA(i, k), LineB(k, j))
 }
 
 func (b *countBackend) StageShared(Line)   { b.shared++ }

@@ -19,7 +19,7 @@ import "fmt"
 type WorkingSet struct {
 	SharedPeak int    // peak simultaneously staged shared-level blocks
 	CorePeak   int    // peak simultaneously staged blocks of the busiest core
-	Computes   uint64 // total elementary block FMAs emitted
+	Computes   uint64 // total kernel applications (Apply/Compute) emitted
 
 	SharedStages   uint64 // total StageShared operations (memory→shared fills)
 	SharedUnstages uint64 // total UnstageShared operations (shared-level releases)
@@ -159,4 +159,15 @@ func (s measureSink) Unstage(l Line) {
 func (s measureSink) Read(Line)  {}
 func (s measureSink) Write(Line) {}
 
-func (s measureSink) Compute(int, int, int) { s.m.computes++ }
+// Apply counts one kernel application; staging footprints are tracked by
+// Stage/Unstage, and the kernel's accesses touch only staged blocks.
+func (s measureSink) Apply(k Kernel, dest Line, srcs ...Line) {
+	if len(srcs) != k.Arity() {
+		panic(fmt.Sprintf("schedule: %v applied to %d sources, want %d", k, len(srcs), k.Arity()))
+	}
+	s.m.computes++
+}
+
+func (s measureSink) Compute(i, j, k int) {
+	s.Apply(MulAdd, LineC(i, j), LineA(i, k), LineB(k, j))
+}
