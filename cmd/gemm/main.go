@@ -7,19 +7,22 @@
 //	gemm -order 16                   # every registered schedule, 16x16 blocks of 32x32
 //	gemm -algo "Tradeoff" -order 24 -q 64 -p 8
 //	gemm -mode shared -order 16      # two-level hierarchy: shared arena + core arenas
+//	gemm -mode shared-pipelined -order 16
 //	gemm -order 32 -bench-json BENCH_gemm.json -bench-cores 1,2,4
 //
 // -mode selects how the executor realises staging: "packed" (per-core
-// arenas, the default), "view" (strided baseline, staging probe-only)
-// or "shared" (the full two-level hierarchy: blocks flow memory →
-// shared arena → core arenas, and the MS/MD streams are physically
-// distinct).
+// arenas, the default), "view" (strided baseline, staging probe-only),
+// "shared" (the full two-level hierarchy: blocks flow memory → shared
+// arena → core arenas, and the MS/MD streams are physically distinct)
+// or "shared-pipelined" (the same hierarchy with a stager goroutine
+// overlapping the memory↔shared stream with compute).
 //
 // With -bench-json the command switches to benchmark mode: it measures
-// the sequential blocked baseline plus every algorithm under all three
+// the sequential blocked baseline plus every algorithm under all four
 // executor modes for each requested core count, and writes the GFLOP/s
-// records — with the executor's per-level traffic byte counts — as
-// JSON: the repository's measured perf trajectory.
+// records — with the executor's per-level traffic byte counts and, for
+// the shared-level modes, the stage-wait/compute split — as JSON: the
+// repository's measured perf trajectory.
 package main
 
 import (
@@ -42,7 +45,7 @@ func main() {
 		order      = flag.Int("order", 16, "square matrix order in blocks")
 		q          = flag.Int("q", 32, "block size in coefficients")
 		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
-		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view or shared (benchmark mode measures all three)")
+		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
 		verify     = flag.Bool("verify", true, "check the result against the sequential reference (ignored in benchmark mode)")
 		seed       = flag.Uint64("seed", 1, "input matrix seed")
 		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
@@ -178,12 +181,15 @@ func measureSequential(order, q int, seed uint64) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// bench measures naive vs view vs packed vs shared and writes the JSON
-// record, including the executor's per-level traffic byte counts.
-// Every configuration runs reps times and the fastest repetition is
-// recorded — the standard minimum-wall-time estimator, least sensitive
-// to scheduler noise on shared machines (the traffic counts are
-// deterministic, identical in every repetition).
+// bench measures naive vs view vs packed vs shared vs shared-pipelined
+// and writes the JSON record, including the executor's per-level
+// traffic byte counts and, for the shared-level modes, the stage-wait
+// versus compute wall-time split. Every configuration runs reps times
+// and the fastest repetition is recorded — the standard
+// minimum-wall-time estimator, least sensitive to scheduler noise on
+// shared machines (the traffic counts are deterministic, identical in
+// every repetition; the overlap split is taken from the same fastest
+// repetition).
 func bench(path, algoName string, order, q int, coreList []int, reps int, seed uint64) error {
 	if reps < 1 {
 		reps = 1
@@ -255,23 +261,25 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 				team.Close()
 				return err
 			}
-			for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared} {
+			for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
 				ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
 				if err != nil {
 					team.Close()
 					return err
 				}
-				elapsed, err := best(func() (time.Duration, error) {
+				var elapsed, stageWait, compute time.Duration
+				for i := 0; i < reps; i++ {
 					tr.C.Dense().Zero()
 					start := time.Now()
 					if err := ex.Run(prog); err != nil {
-						return 0, fmt.Errorf("%s (%v, p=%d): %w", name, mode, p, err)
+						team.Close()
+						return fmt.Errorf("%s (%v, p=%d): %w", name, mode, p, err)
 					}
-					return time.Since(start), nil
-				})
-				if err != nil {
-					team.Close()
-					return err
+					if d := time.Since(start); elapsed == 0 || d < elapsed {
+						elapsed = d
+						stageWait = ex.StageWait()
+						compute = ex.ComputeTime()
+					}
 				}
 				r := rec.Add(name, mode.String(), p, order, q, elapsed)
 				tra := ex.Traffic()
@@ -279,9 +287,17 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 				r.MSWriteBackBytes = tra.MS.WriteBackBytes
 				r.MDStageBytes = tra.MD.StageBytes
 				r.MDWriteBackBytes = tra.MD.WriteBackBytes
-				fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
-					r.Algorithm, r.Mode, r.Cores, r.GFlops,
-					report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+				if mode.SharedLevel() {
+					r.SetOverlap(stageWait, compute)
+					fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s  stage-wait=%v overlap=%.2f\n",
+						r.Algorithm, r.Mode, r.Cores, r.GFlops,
+						report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()),
+						stageWait.Round(time.Microsecond), r.OverlapEfficiency)
+				} else {
+					fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
+						r.Algorithm, r.Mode, r.Cores, r.GFlops,
+						report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+				}
 			}
 		}
 		team.Close()
@@ -289,6 +305,10 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 
 	fmt.Println("\npacked over view:")
 	for _, sp := range rec.Speedup(parallel.ModePacked.String(), parallel.ModeView.String()) {
+		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+	}
+	fmt.Println("\npipelined over shared:")
+	for _, sp := range rec.Speedup(parallel.ModeSharedPipelined.String(), parallel.ModeShared.String()) {
 		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
 	}
 	if err := rec.WriteJSONFile(path); err != nil {

@@ -45,27 +45,34 @@ func TestBenchSmoke(t *testing.T) {
 			MSWriteBackBytes uint64  `json:"ms_writeback_bytes"`
 			MDStageBytes     uint64  `json:"md_stage_bytes"`
 			MDWriteBackBytes uint64  `json:"md_writeback_bytes"`
+			ComputeSeconds   float64 `json:"compute_seconds"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatal(err)
 	}
-	// 1 naive + (view+packed+shared) × 2 core counts for one algorithm.
-	if rec.Name != "gemm" || len(rec.Runs) != 7 {
-		t.Fatalf("record has %d runs, want 7: %+v", len(rec.Runs), rec)
+	// 1 naive + (view+packed+shared+shared-pipelined) × 2 core counts
+	// for one algorithm.
+	if rec.Name != "gemm" || len(rec.Runs) != 9 {
+		t.Fatalf("record has %d runs, want 9: %+v", len(rec.Runs), rec)
 	}
+	sharedMS := map[string]uint64{}
 	for _, r := range rec.Runs {
 		if r.GFlops <= 0 {
 			t.Fatalf("non-positive GFLOP/s in %+v", r)
 		}
-		// A staged algorithm must report both physical streams in shared
-		// mode, only the distributed one in packed mode, and none in
-		// view/naive.
+		// A staged algorithm must report both physical streams in the
+		// shared-level modes (plus the stage-wait/compute split), only
+		// the distributed one in packed mode, and none in view/naive.
 		switch r.Mode {
-		case "shared":
+		case "shared", "shared-pipelined":
 			if r.MSStageBytes == 0 || r.MDStageBytes == 0 || r.MSWriteBackBytes == 0 {
-				t.Fatalf("shared run missing per-level traffic: %+v", r)
+				t.Fatalf("%s run missing per-level traffic: %+v", r.Mode, r)
 			}
+			if r.ComputeSeconds <= 0 {
+				t.Fatalf("%s run missing overlap split: %+v", r.Mode, r)
+			}
+			sharedMS[r.Mode] += r.MSStageBytes
 		case "packed":
 			if r.MSStageBytes != 0 || r.MDStageBytes == 0 {
 				t.Fatalf("packed run traffic malformed: %+v", r)
@@ -75,5 +82,9 @@ func TestBenchSmoke(t *testing.T) {
 				t.Fatalf("%s run must move no counted bytes: %+v", r.Mode, r)
 			}
 		}
+	}
+	// Pipelining may only change timing, never traffic.
+	if sharedMS["shared"] != sharedMS["shared-pipelined"] {
+		t.Fatalf("pipelined MS bytes %d differ from serial %d", sharedMS["shared-pipelined"], sharedMS["shared"])
 	}
 }

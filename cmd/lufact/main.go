@@ -8,20 +8,23 @@
 //
 //	lufact -n 512                     # factor a 512×512 system, packed staging
 //	lufact -n 512 -q 64 -p 8 -mode shared
+//	lufact -n 512 -q 64 -p 8 -mode shared-pipelined
 //	lufact -n 1024 -bench-json BENCH_lu.json -bench-cores 1,2,4
 //
 // -mode selects how the executor realises staging: "packed" (per-core
-// arenas, the default), "view" (strided baseline, staging probe-only)
-// or "shared" (the full two-level hierarchy: tiles flow memory →
-// shared arena → core arenas, and the MS/MD streams are physically
-// distinct).
+// arenas, the default), "view" (strided baseline, staging probe-only),
+// "shared" (the full two-level hierarchy: tiles flow memory → shared
+// arena → core arenas, and the MS/MD streams are physically distinct)
+// or "shared-pipelined" (the same hierarchy with a stager goroutine
+// overlapping the memory↔shared stream with compute).
 //
 // With -bench-json the command switches to benchmark mode: it measures
 // the sequential tiled Factor plus the schedule-driven factorisation
-// under all three executor modes for each requested core count, and
+// under all four executor modes for each requested core count, and
 // writes the GFLOP/s records — with the executor's per-level traffic
-// byte counts — as JSON: the factorisation's perf trajectory, the
-// companion of BENCH_gemm.json.
+// byte counts and, for the shared-level modes, the stage-wait/compute
+// split — as JSON: the factorisation's perf trajectory, the companion
+// of BENCH_gemm.json.
 package main
 
 import (
@@ -42,7 +45,7 @@ func main() {
 		n          = flag.Int("n", 512, "matrix order in coefficients")
 		q          = flag.Int("q", 32, "tile size in coefficients")
 		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
-		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view or shared (benchmark mode measures all three)")
+		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
 		verify     = flag.Bool("verify", true, "check |A - L·U| against the input (ignored in benchmark mode)")
 		seed       = flag.Uint64("seed", 1, "input matrix seed")
 		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
@@ -190,35 +193,53 @@ func bench(path string, n, q int, coreList []int, reps int, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared} {
-			var tra parallel.Traffic
-			elapsed, err := best(func() (time.Duration, error) {
-				start := time.Now()
-				t, err := lu.FactorParallelMode(work, q, team, mode, mach)
-				if err != nil {
-					return 0, fmt.Errorf("LU (%v, p=%d): %w", mode, p, err)
+		for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
+			// The traffic is deterministic across repetitions; the overlap
+			// split is taken from the same fastest repetition as the time.
+			var stats lu.Stats
+			var elapsed time.Duration
+			for i := 0; i < reps; i++ {
+				if err := work.CopyFrom(orig); err != nil {
+					team.Close()
+					return err
 				}
-				tra = t
-				return time.Since(start), nil
-			})
-			if err != nil {
-				team.Close()
-				return err
+				start := time.Now()
+				s, err := lu.FactorParallelStats(work, q, team, mode, mach)
+				if err != nil {
+					team.Close()
+					return fmt.Errorf("LU (%v, p=%d): %w", mode, p, err)
+				}
+				if d := time.Since(start); elapsed == 0 || d < elapsed {
+					elapsed = d
+					stats = s
+				}
 			}
+			tra := stats.Traffic
 			r := rec.AddOp("LU", mode.String(), p, orderBlocks, q, luFlops(n), elapsed)
 			r.N = n
 			r.MSStageBytes = tra.MS.StageBytes
 			r.MSWriteBackBytes = tra.MS.WriteBackBytes
 			r.MDStageBytes = tra.MD.StageBytes
 			r.MDWriteBackBytes = tra.MD.WriteBackBytes
-			fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
-				r.Algorithm, r.Mode, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+			if mode.SharedLevel() {
+				r.SetOverlap(stats.StageWait, stats.Compute)
+				fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s  stage-wait=%v overlap=%.2f\n",
+					r.Algorithm, r.Mode, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()),
+					stats.StageWait.Round(time.Microsecond), r.OverlapEfficiency)
+			} else {
+				fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
+					r.Algorithm, r.Mode, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+			}
 		}
 		team.Close()
 	}
 
 	fmt.Println("\npacked over view:")
 	for _, sp := range rec.Speedup(parallel.ModePacked.String(), parallel.ModeView.String()) {
+		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+	}
+	fmt.Println("\npipelined over shared:")
+	for _, sp := range rec.Speedup(parallel.ModeSharedPipelined.String(), parallel.ModeShared.String()) {
 		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
 	}
 	if err := rec.WriteJSONFile(path); err != nil {

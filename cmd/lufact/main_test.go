@@ -10,7 +10,7 @@ import (
 )
 
 func TestRunSmoke(t *testing.T) {
-	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeView, parallel.ModeShared} {
+	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeView, parallel.ModeShared, parallel.ModeSharedPipelined} {
 		if err := run(48, 8, 2, true, 1, mode); err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -36,30 +36,36 @@ func TestBenchSmoke(t *testing.T) {
 	var rec struct {
 		Name string `json:"name"`
 		Runs []struct {
-			Algorithm    string  `json:"algorithm"`
-			Mode         string  `json:"mode"`
-			N            int     `json:"n"`
-			GFlops       float64 `json:"gflops"`
-			MSStageBytes uint64  `json:"ms_stage_bytes"`
-			MDStageBytes uint64  `json:"md_stage_bytes"`
+			Algorithm      string  `json:"algorithm"`
+			Mode           string  `json:"mode"`
+			N              int     `json:"n"`
+			GFlops         float64 `json:"gflops"`
+			MSStageBytes   uint64  `json:"ms_stage_bytes"`
+			MDStageBytes   uint64  `json:"md_stage_bytes"`
+			ComputeSeconds float64 `json:"compute_seconds"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatal(err)
 	}
-	// 1 naive + (view+packed+shared) × 2 core counts.
-	if rec.Name != "lu" || len(rec.Runs) != 7 {
-		t.Fatalf("record has %d runs, want 7: %+v", len(rec.Runs), rec)
+	// 1 naive + (view+packed+shared+shared-pipelined) × 2 core counts.
+	if rec.Name != "lu" || len(rec.Runs) != 9 {
+		t.Fatalf("record has %d runs, want 9: %+v", len(rec.Runs), rec)
 	}
+	sharedMS := map[string]uint64{}
 	for _, r := range rec.Runs {
 		if r.GFlops <= 0 || r.N != 48 {
 			t.Fatalf("malformed run %+v", r)
 		}
 		switch r.Mode {
-		case "shared":
+		case "shared", "shared-pipelined":
 			if r.MSStageBytes == 0 || r.MDStageBytes == 0 {
-				t.Fatalf("shared run missing per-level traffic: %+v", r)
+				t.Fatalf("%s run missing per-level traffic: %+v", r.Mode, r)
 			}
+			if r.ComputeSeconds <= 0 {
+				t.Fatalf("%s run missing overlap split: %+v", r.Mode, r)
+			}
+			sharedMS[r.Mode] += r.MSStageBytes
 		case "packed":
 			if r.MSStageBytes != 0 || r.MDStageBytes == 0 {
 				t.Fatalf("packed run traffic malformed: %+v", r)
@@ -69,5 +75,9 @@ func TestBenchSmoke(t *testing.T) {
 				t.Fatalf("%s run must move no counted bytes: %+v", r.Mode, r)
 			}
 		}
+	}
+	// Pipelining may only change timing, never traffic.
+	if sharedMS["shared"] != sharedMS["shared-pipelined"] {
+		t.Fatalf("pipelined MS bytes %d differ from serial %d", sharedMS["shared-pipelined"], sharedMS["shared"])
 	}
 }

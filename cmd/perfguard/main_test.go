@@ -52,6 +52,56 @@ func TestGuardAggregatesAcrossFiles(t *testing.T) {
 	}
 }
 
+// The pipelined guard enforces shared-pipelined ≥ (1 − noise) × shared
+// when both modes are present…
+func TestPipelinedGuardEnforcesWhenPresent(t *testing.T) {
+	rec := report.NewBench("gemm")
+	rec.Add("Tradeoff", "shared", 2, 8, 8, 100*time.Millisecond)
+	rec.Add("Tradeoff", "shared-pipelined", 2, 8, 8, 90*time.Millisecond) // 1.11x: healthy
+	path := filepath.Join(t.TempDir(), "pipe.json")
+	if err := rec.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := guardLenient(&out, []string{path}, "shared-pipelined", "shared", 0.1); err != nil {
+		t.Fatalf("healthy pipelined ratio rejected: %v\n%s", err, out.String())
+	}
+	slow := report.NewBench("gemm")
+	slow.Add("Tradeoff", "shared", 2, 8, 8, 100*time.Millisecond)
+	slow.Add("Tradeoff", "shared-pipelined", 2, 8, 8, 200*time.Millisecond) // 0.5x: regression
+	slowPath := filepath.Join(t.TempDir(), "slow.json")
+	if err := slow.WriteJSONFile(slowPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardLenient(io.Discard, []string{slowPath}, "shared-pipelined", "shared", 0.25); err == nil {
+		t.Fatal("pipelined slower than serial must fail when both modes are present")
+	}
+}
+
+// …but degrades to a warning when a record predates the pipelined
+// executor and carries no such runs at all.
+func TestPipelinedGuardWarnsOnOldRecords(t *testing.T) {
+	old := record(t, "gemm", 80*time.Millisecond, 100*time.Millisecond) // packed/view only
+	var out strings.Builder
+	if err := guardLenient(&out, []string{old}, "shared-pipelined", "shared", 0.25); err != nil {
+		t.Fatalf("record predating the pipelined mode must warn, not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "warning") || !strings.Contains(out.String(), "skipping") {
+		t.Fatalf("missing degradation warning:\n%s", out.String())
+	}
+	// A mix of old and new records still enforces the pairs that exist.
+	fresh := report.NewBench("lu")
+	fresh.Add("LU", "shared", 2, 8, 8, 100*time.Millisecond)
+	fresh.Add("LU", "shared-pipelined", 2, 8, 8, 400*time.Millisecond) // 0.25x: regression
+	freshPath := filepath.Join(t.TempDir(), "fresh.json")
+	if err := fresh.WriteJSONFile(freshPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardLenient(io.Discard, []string{old, freshPath}, "shared-pipelined", "shared", 0.25); err == nil {
+		t.Fatal("regressed pairs must still fail even when another record is skipped")
+	}
+}
+
 func TestGuardRejectsDegenerateInput(t *testing.T) {
 	if err := guard(io.Discard, []string{filepath.Join(t.TempDir(), "missing.json")}, "packed", "view", 0.1); err == nil {
 		t.Fatal("missing file must fail")

@@ -38,12 +38,14 @@ func main() {
 		seqTime.Round(time.Microsecond), lu.Verify(a, seq))
 
 	// Schedule-driven factorisation: the same right-looking loop nest,
-	// emitted once as a schedule.Program, executed by the team in both
-	// physical staging modes. The traffic columns are the executor's
-	// measured block streams — the factorisation's MS (memory↔shared)
-	// and MD (shared↔core, or memory↔core in packed mode) — the real
-	// counterpart of the miss counts the cache simulator derives from
-	// the very same program.
+	// emitted once as a schedule.Program, executed by the team in every
+	// physical staging mode — packed, shared, and shared with the
+	// staging pipelined against compute. The traffic columns are the
+	// executor's measured block streams — the factorisation's MS
+	// (memory↔shared) and MD (shared↔core, or memory↔core in packed
+	// mode) — the real counterpart of the miss counts the cache
+	// simulator derives from the very same program; note the two
+	// shared-level rows move identical traffic.
 	p := min(runtime.NumCPU(), 8)
 	team, err := parallel.NewTeam(p)
 	if err != nil {
@@ -53,7 +55,7 @@ func main() {
 	mach := lu.MachineFor(p, q)
 
 	var fromSchedule *matrix.Dense
-	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeShared} {
+	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
 		par := a.Clone()
 		start = time.Now()
 		tra, err := lu.FactorParallelMode(par, q, team, mode, mach)

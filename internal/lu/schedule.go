@@ -3,6 +3,7 @@ package lu
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -17,8 +18,10 @@ import (
 // pivot tile, the two triangular solves on the panels, MulSub on the
 // trailing submatrix — with the staging discipline the declared machine
 // affords: panels and trailing tiles stream through the shared cache in
-// strips sized to CS, and each core's working set never exceeds the
-// 3-block minimum, exactly like Algorithm 1's distributed footprint.
+// strips sized to half of CS (leaving the other half free so the
+// pipelined executor can double-buffer consecutive strips), and each
+// core's working set never exceeds the 3-block minimum, exactly like
+// Algorithm 1's distributed footprint.
 
 // tile names block (i, j) of the matrix being factored. The
 // factorisation has a single operand; by convention it occupies the A
@@ -26,12 +29,21 @@ import (
 // naming if a future schedule composes both.
 func tile(i, j int) schedule.Line { return schedule.LineA(i, j) }
 
-// trailingEdge returns the largest strip edge w ≥ 1 with w² + 2w ≤ cs:
+// trailingEdge returns the largest strip edge w ≥ 1 with w² + 2w ≤ cs/2:
 // a w×w strip of trailing tiles plus the w-deep L and U panel fragments
-// it consumes must fit the shared cache together.
+// it consumes must fit *half* the shared cache, so that the other half
+// can double-buffer the next strip. A maximal strip (w² + 2w ≤ cs) would
+// minimise the panel re-staging term of MS, but it leaves the pipelined
+// executor no spare slots: every strip's staging would serialise behind
+// the team barrier. Halving the strip trades a modest MS increase (the
+// L and U panels re-stage once per opposing strip, a lower-order term
+// against the once-per-step trailing tiles) for a schedule whose
+// between-strip gaps fully overlap with compute — the next strip
+// prefetches while the current one updates, and the current one's
+// write-backs retire while the next one runs.
 func trailingEdge(cs int) int {
 	w := 1
-	for (w+1)*(w+1)+2*(w+1) <= cs {
+	for (w+1)*(w+1)+2*(w+1) <= cs/2 {
 		w++
 	}
 	return w
@@ -53,7 +65,11 @@ func Program(declared machine.Machine, nb int) (*schedule.Program, error) {
 	}
 	p := declared.P
 	w := trailingEdge(declared.CS)
-	g := declared.CS - 1 // panel strip length: the diagonal tile shares the level
+	// Panel strip length: the diagonal tile shares the level, and — as
+	// with the trailing strips — only half the remaining capacity is
+	// claimed so consecutive strips double-buffer under the pipelined
+	// executor.
+	g := (declared.CS - 1) / 2
 	if g < 1 {
 		g = 1
 	}
@@ -217,40 +233,57 @@ func FactorParallel(a *matrix.Dense, q int, team *parallel.Team) error {
 	return err
 }
 
+// Stats carries the measured execution profile of one schedule-driven
+// factorisation: the per-level physical traffic plus the driving
+// goroutine's critical-path split (see parallel.Executor.StageWait).
+type Stats struct {
+	Traffic   parallel.Traffic
+	StageWait time.Duration
+	Compute   time.Duration
+}
+
 // FactorParallelMode factors a in place through the schedule IR: it
 // compiles the blocked-LU Program for mach, binds the matrix as the
 // executor's single operand and runs it on the team in the given mode,
 // returning the executor's per-level physical traffic (zero in
 // ModeView, the memory↔core stream as MD in ModePacked, both streams in
-// ModeShared). mach.P must equal the team size.
+// the shared-level modes). mach.P must equal the team size.
 func FactorParallelMode(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine) (parallel.Traffic, error) {
+	stats, err := FactorParallelStats(a, q, team, mode, mach)
+	return stats.Traffic, err
+}
+
+// FactorParallelStats is FactorParallelMode with the full measured
+// profile — the benchmark pipeline uses it to record the stage-wait
+// versus compute split next to the traffic counts.
+func FactorParallelStats(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine) (Stats, error) {
 	if err := check(a, q); err != nil {
-		return parallel.Traffic{}, err
+		return Stats{}, err
 	}
 	if team == nil {
-		return parallel.Traffic{}, errors.New("lu: nil team")
+		return Stats{}, errors.New("lu: nil team")
 	}
 	if mach.P != team.Size() {
-		return parallel.Traffic{}, fmt.Errorf("lu: machine declares %d cores, team has %d", mach.P, team.Size())
+		return Stats{}, fmt.Errorf("lu: machine declares %d cores, team has %d", mach.P, team.Size())
 	}
 	blocked, err := matrix.NewBlocked(matrix.MatA, a, q)
 	if err != nil {
-		return parallel.Traffic{}, err
+		return Stats{}, err
 	}
 	operands, err := matrix.NewOperands(blocked)
 	if err != nil {
-		return parallel.Traffic{}, err
+		return Stats{}, err
 	}
 	prog, err := Program(mach, blocked.BlockRows())
 	if err != nil {
-		return parallel.Traffic{}, err
+		return Stats{}, err
 	}
 	ex, err := parallel.NewExecutorOperands(team, operands, nil, mode, mach.CD, mach.CS)
 	if err != nil {
-		return parallel.Traffic{}, err
+		return Stats{}, err
 	}
 	if err := ex.Run(prog); err != nil {
-		return parallel.Traffic{}, err
+		return Stats{}, err
 	}
-	return ex.Traffic(), nil
+	return Stats{Traffic: ex.Traffic(), StageWait: ex.StageWait(), Compute: ex.ComputeTime()}, nil
 }

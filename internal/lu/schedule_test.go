@@ -67,9 +67,10 @@ func runExecutor(t *testing.T, orig *matrix.Dense, q int, mach machine.Machine, 
 // The single-source invariant, extended to the factorisation: the real
 // executor's per-core and shared access streams for the LU program are
 // identical, operation for operation, to the streams a simulator probe
-// observes — under IDEAL and LRU, in both physical staging modes — and
-// the factored matrix is bitwise equal to the sequential Factor.
-// Shapes include ragged n mod q ≠ 0 edges on both backends.
+// observes — under IDEAL and LRU, in every physical staging mode
+// including the pipelined one — and the factored matrix is bitwise
+// equal to the sequential Factor. Shapes include ragged n mod q ≠ 0
+// edges on both backends.
 func TestLUSimExecStreamEquivalence(t *testing.T) {
 	shapes := []struct{ n, q int }{
 		{16, 4},  // aligned, several steps
@@ -86,7 +87,7 @@ func TestLUSimExecStreamEquivalence(t *testing.T) {
 		if err := Factor(want, s.q); err != nil {
 			t.Fatal(err)
 		}
-		for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeShared} {
+		for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
 			execRec := schedule.NewRecorder(mach.P)
 			got := runExecutor(t, orig, s.q, mach, mode, execRec)
 			if !got.Equal(want) {
@@ -111,9 +112,10 @@ func TestLUSimExecStreamEquivalence(t *testing.T) {
 }
 
 // The LU program's physical traffic must equal the IDEAL simulator's
-// miss counts in ModeShared — MS block for block, MD core for core —
-// and collapse to a distributed-only stream in ModePacked, exactly as
-// the product schedules do.
+// miss counts in the shared-level modes — MS block for block, MD core
+// for core, with the pipelined stager changing the timing but never the
+// counts — and collapse to a distributed-only stream in ModePacked,
+// exactly as the product schedules do.
 func TestLUSharedTrafficMatchesSimulator(t *testing.T) {
 	for _, s := range []struct{ n, q int }{{16, 4}, {13, 4}} {
 		mach := luTestMachine(4, s.q)
@@ -123,47 +125,49 @@ func TestLUSharedTrafficMatchesSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Run(fmt.Sprintf("%dx%d/q%d", s.n, s.n, s.q), func(t *testing.T) {
-			orig := RandomDominant(s.n, 7)
-			a := orig.Clone()
-			blocked, err := matrix.NewBlocked(matrix.MatA, a, s.q)
-			if err != nil {
-				t.Fatal(err)
-			}
-			operands, err := matrix.NewOperands(blocked)
-			if err != nil {
-				t.Fatal(err)
-			}
-			team, err := parallel.NewTeam(mach.P)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer team.Close()
-			ex, err := parallel.NewExecutorOperands(team, operands, nil, parallel.ModeShared, mach.CD, mach.CS)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := ex.Run(prog); err != nil {
-				t.Fatal(err)
-			}
-			tra := ex.Traffic()
-			if tra.MS.StageBlocks != res.MS {
-				t.Fatalf("executor staged %d shared blocks, simulator counts MS=%d", tra.MS.StageBlocks, res.MS)
-			}
-			if tra.MS.WriteBackBlocks != res.WriteBack {
-				t.Fatalf("executor wrote back %d blocks, simulator counts %d", tra.MS.WriteBackBlocks, res.WriteBack)
-			}
-			var mdSum uint64
-			for c, want := range res.MDPerCore {
-				if got := ex.CoreTraffic(c).StageBlocks; got != want {
-					t.Fatalf("core %d refilled %d blocks, simulator counts MD=%d", c, got, want)
+		for _, mode := range []parallel.Mode{parallel.ModeShared, parallel.ModeSharedPipelined} {
+			t.Run(fmt.Sprintf("%dx%d/q%d/%v", s.n, s.n, s.q, mode), func(t *testing.T) {
+				orig := RandomDominant(s.n, 7)
+				a := orig.Clone()
+				blocked, err := matrix.NewBlocked(matrix.MatA, a, s.q)
+				if err != nil {
+					t.Fatal(err)
 				}
-				mdSum += want
-			}
-			if tra.MD.StageBlocks != mdSum {
-				t.Fatalf("aggregate MD %d blocks, simulator sum %d", tra.MD.StageBlocks, mdSum)
-			}
-		})
+				operands, err := matrix.NewOperands(blocked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				team, err := parallel.NewTeam(mach.P)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer team.Close()
+				ex, err := parallel.NewExecutorOperands(team, operands, nil, mode, mach.CD, mach.CS)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ex.Run(prog); err != nil {
+					t.Fatal(err)
+				}
+				tra := ex.Traffic()
+				if tra.MS.StageBlocks != res.MS {
+					t.Fatalf("executor staged %d shared blocks, simulator counts MS=%d", tra.MS.StageBlocks, res.MS)
+				}
+				if tra.MS.WriteBackBlocks != res.WriteBack {
+					t.Fatalf("executor wrote back %d blocks, simulator counts %d", tra.MS.WriteBackBlocks, res.WriteBack)
+				}
+				var mdSum uint64
+				for c, want := range res.MDPerCore {
+					if got := ex.CoreTraffic(c).StageBlocks; got != want {
+						t.Fatalf("core %d refilled %d blocks, simulator counts MD=%d", c, got, want)
+					}
+					mdSum += want
+				}
+				if tra.MD.StageBlocks != mdSum {
+					t.Fatalf("aggregate MD %d blocks, simulator sum %d", tra.MD.StageBlocks, mdSum)
+				}
+			})
+		}
 	}
 }
 

@@ -94,9 +94,10 @@ func TrsmLowerLeftUnit(diag, b *Dense) error {
 }
 
 // MulSubUnrolled computes C -= A×B — the trailing GEMM update of the
-// factorisation — with the same i-k-j order and 4-way unrolled inner
-// loop as MulAddUnrolled, so the two FMA kernels are exact mirrors and
-// the update's flop count is 2·m·n·k regardless of the data.
+// factorisation — with the i-k-j order and a 4-way unrolled inner loop
+// (MulAddUnrolled has since moved on to a 4×4 register-blocked form;
+// lifting this kernel the same way is a ROADMAP item). The update's
+// flop count is 2·m·n·k regardless of the data.
 func MulSubUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err

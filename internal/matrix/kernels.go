@@ -49,31 +49,101 @@ func MulAdd(c, a, b *Dense) error {
 	return nil
 }
 
-// MulAddUnrolled is MulAdd with a 4-way unrolled inner loop. It is the
-// executor's q×q tile kernel in every mode — over strided views in
+// MulAddUnrolled is MulAdd restructured as a 4×4 register-blocked
+// micro-kernel: each 4×4 tile of C is held in sixteen scalar
+// accumulators while the k loop streams four A values and four B values
+// per iteration, so the inner loop carries no C loads or stores. It is
+// the executor's q×q tile kernel in every mode — over strided views in
 // ModeView and over the cached contiguous headers of arena-resident
 // tiles in the staging modes — so packed-vs-view ratios measure data
-// layout, not loop shape.
+// layout, not loop shape. Every C element still receives its k products
+// in ascending order starting from the prior C value, so the result is
+// bitwise identical to MulAdd's, and the flop count stays exactly
+// 2·m·n·k regardless of the data.
 func MulAddUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
 	}
-	n := b.cols
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.stride : i*a.stride+a.cols]
+	m, n, kk := a.rows, b.cols, a.cols
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a.data[(i+0)*a.stride : (i+0)*a.stride+kk]
+		a1 := a.data[(i+1)*a.stride : (i+1)*a.stride+kk]
+		a2 := a.data[(i+2)*a.stride : (i+2)*a.stride+kk]
+		a3 := a.data[(i+3)*a.stride : (i+3)*a.stride+kk]
+		c0 := c.data[(i+0)*c.stride : (i+0)*c.stride+n]
+		c1 := c.data[(i+1)*c.stride : (i+1)*c.stride+n]
+		c2 := c.data[(i+2)*c.stride : (i+2)*c.stride+n]
+		c3 := c.data[(i+3)*c.stride : (i+3)*c.stride+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			s20, s21, s22, s23 := c2[j], c2[j+1], c2[j+2], c2[j+3]
+			s30, s31, s32, s33 := c3[j], c3[j+1], c3[j+2], c3[j+3]
+			for k := 0; k < kk; k++ {
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				b0, b1, b2, b3 := brow[0], brow[1], brow[2], brow[3]
+				av := a0[k]
+				s00 += av * b0
+				s01 += av * b1
+				s02 += av * b2
+				s03 += av * b3
+				av = a1[k]
+				s10 += av * b0
+				s11 += av * b1
+				s12 += av * b2
+				s13 += av * b3
+				av = a2[k]
+				s20 += av * b0
+				s21 += av * b1
+				s22 += av * b2
+				s23 += av * b3
+				av = a3[k]
+				s30 += av * b0
+				s31 += av * b1
+				s32 += av * b2
+				s33 += av * b3
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+			c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+			c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3 := c0[j], c1[j], c2[j], c3[j]
+			for k := 0; k < kk; k++ {
+				bv := b.data[k*b.stride+j]
+				s0 += a0[k] * bv
+				s1 += a1[k] * bv
+				s2 += a2[k] * bv
+				s3 += a3[k] * bv
+			}
+			c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+		}
+	}
+	for ; i < m; i++ {
+		arow := a.data[i*a.stride : i*a.stride+kk]
 		crow := c.data[i*c.stride : i*c.stride+n]
-		for k, av := range arow {
-			brow := b.data[k*b.stride : k*b.stride+n]
-			j := 0
-			for ; j+4 <= n; j += 4 {
-				crow[j] += av * brow[j]
-				crow[j+1] += av * brow[j+1]
-				crow[j+2] += av * brow[j+2]
-				crow[j+3] += av * brow[j+3]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := crow[j], crow[j+1], crow[j+2], crow[j+3]
+			for k := 0; k < kk; k++ {
+				av := arow[k]
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				s0 += av * brow[0]
+				s1 += av * brow[1]
+				s2 += av * brow[2]
+				s3 += av * brow[3]
 			}
-			for ; j < n; j++ {
-				crow[j] += av * brow[j]
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			s := crow[j]
+			for k := 0; k < kk; k++ {
+				s += arow[k] * b.data[k*b.stride+j]
 			}
+			crow[j] = s
 		}
 	}
 	return nil

@@ -115,6 +115,50 @@ func TestAXPYBlock(t *testing.T) {
 	}
 }
 
+// The register-blocked micro-kernel must stay *bitwise* identical to
+// MulAdd: both add each C element's k products in ascending order onto
+// the prior C value, so the 4×4 blocking may change speed but never a
+// single bit of the result. The executor's bitwise guarantees (view vs
+// packed, run-twice reproducibility) lean on this.
+func TestMulAddUnrolledBitwiseMatchesMulAdd(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 3, 3}, {4, 4, 4}, {5, 7, 3}, {8, 8, 8},
+		{13, 11, 9}, {16, 16, 16}, {17, 5, 32}, {2, 31, 6},
+	}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a := Random(m, k, uint64(7*m+n))
+		b := Random(k, n, uint64(11*n+k))
+		seedC := Random(m, n, uint64(13*m+k)) // accumulate onto non-zero C
+		want := seedC.Clone()
+		if err := MulAdd(want, a, b); err != nil {
+			t.Fatal(err)
+		}
+		got := seedC.Clone()
+		if err := MulAddUnrolled(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("shape %v: register-blocked kernel deviates from MulAdd by %g — the accumulation order changed",
+				s, got.MaxAbsDiff(want))
+		}
+		// Strided views must take the same code path unchanged.
+		parent := Random(m+3, n+5, uint64(m+n))
+		wantV := parent.Clone().View(2, 3, m, n)
+		gotV := parent.Clone().View(2, 3, m, n)
+		if err := MulAdd(wantV, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := MulAddUnrolled(gotV, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !gotV.Equal(wantV) {
+			t.Fatalf("shape %v (strided): register-blocked kernel deviates from MulAdd by %g",
+				s, gotV.MaxAbsDiff(wantV))
+		}
+	}
+}
+
 // Property: (A×B)ᵀ = Bᵀ×Aᵀ for the tuned kernel.
 func TestMulTransposeProperty(t *testing.T) {
 	f := func(seed uint64) bool {

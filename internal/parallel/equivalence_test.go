@@ -29,8 +29,10 @@ func equivalenceWorkloads() [][3]int {
 }
 
 // physicalModes are the executor modes that move real data and must
-// both satisfy the equivalence invariant.
-func physicalModes() []Mode { return []Mode{ModePacked, ModeShared} }
+// all satisfy the equivalence invariant — including the pipelined
+// shared mode, whose stager overlaps staging with compute but must
+// leave every stream untouched.
+func physicalModes() []Mode { return []Mode{ModePacked, ModeShared, ModeSharedPipelined} }
 
 func TestSimExecStreamEquivalence(t *testing.T) {
 	mach := testMachine(4)
@@ -134,13 +136,15 @@ func TestSimExecStreamEquivalenceRagged(t *testing.T) {
 	}
 }
 
-// The σS/σD split is measured, not declared: in ModeShared the
-// executor's physical MS stream (memory↔shared arena) must count
+// The σS/σD split is measured, not declared: in the shared-level modes
+// the executor's physical MS stream (memory↔shared arena) must count
 // exactly the IDEAL simulator's shared misses and memory write-backs,
 // and its MD stream (shared↔core refills) the simulator's per-core
 // distributed misses — block for block, core for core. This is the
 // acceptance criterion of the shared level: two physically distinct
-// streams, each equal to its simulated counterpart.
+// streams, each equal to its simulated counterpart. The pipelined mode
+// overlaps the MS stream with compute, so its equality here is the
+// "only timing overlaps, never traffic" invariant.
 func TestSharedTrafficMatchesSimulator(t *testing.T) {
 	mach := testMachine(4)
 	const q = 4
@@ -149,68 +153,70 @@ func TestSharedTrafficMatchesSimulator(t *testing.T) {
 		{7, 6, 5}, // ragged block grid
 	}
 	for _, a := range algo.Extended() {
-		for _, s := range shapes {
-			m, n, z := s[0], s[1], s[2]
-			w := algo.Workload{M: m, N: n, Z: z}
-			prog, err := a.Schedule(mach, w)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if prog.DemandDriven {
-				// No staging schedule: nothing flows through the arenas
-				// and the IDEAL setting is unavailable.
-				continue
-			}
-			t.Run(fmt.Sprintf("%s/%dx%dx%d", a.Name(), m, n, z), func(t *testing.T) {
-				tr, err := matrix.NewTriple(m, n, z, q, 29)
+		for _, mode := range []Mode{ModeShared, ModeSharedPipelined} {
+			for _, s := range shapes {
+				m, n, z := s[0], s[1], s[2]
+				w := algo.Workload{M: m, N: n, Z: z}
+				prog, err := a.Schedule(mach, w)
 				if err != nil {
 					t.Fatal(err)
 				}
-				team, err := NewTeam(mach.P)
-				if err != nil {
-					t.Fatal(err)
+				if prog.DemandDriven {
+					// No staging schedule: nothing flows through the arenas
+					// and the IDEAL setting is unavailable.
+					continue
 				}
-				defer team.Close()
-				ex, err := NewExecutor(team, tr, nil, ModeShared, mach.CD, mach.CS)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := ex.Run(prog); err != nil {
-					t.Fatalf("execute: %v", err)
-				}
-				res, err := algo.RunIdeal(a, mach, w)
-				if err != nil {
-					t.Fatalf("simulate: %v", err)
-				}
-				tra := ex.Traffic()
-				if tra.MS.StageBlocks != res.MS {
-					t.Fatalf("executor staged %d shared blocks, simulator counts MS=%d",
-						tra.MS.StageBlocks, res.MS)
-				}
-				if tra.MS.WriteBackBlocks != res.WriteBack {
-					t.Fatalf("executor wrote back %d blocks to memory, simulator counts %d",
-						tra.MS.WriteBackBlocks, res.WriteBack)
-				}
-				var mdSum uint64
-				for c, want := range res.MDPerCore {
-					if got := ex.CoreTraffic(c).StageBlocks; got != want {
-						t.Fatalf("core %d refilled %d blocks, simulator counts MD=%d", c, got, want)
+				t.Run(fmt.Sprintf("%s/%v/%dx%dx%d", a.Name(), mode, m, n, z), func(t *testing.T) {
+					tr, err := matrix.NewTriple(m, n, z, q, 29)
+					if err != nil {
+						t.Fatal(err)
 					}
-					mdSum += want
-				}
-				if tra.MD.StageBlocks != mdSum {
-					t.Fatalf("aggregate MD %d blocks, simulator sum %d", tra.MD.StageBlocks, mdSum)
-				}
-				// Aligned q×q tiles: every block transfer moves exactly q²
-				// float64 values, so the byte streams are block counts
-				// scaled by the tile size.
-				if want := tra.MS.StageBlocks * q * q * 8; tra.MS.StageBytes != want {
-					t.Fatalf("MS stage bytes %d, want %d", tra.MS.StageBytes, want)
-				}
-				if want := tra.MD.StageBlocks * q * q * 8; tra.MD.StageBytes != want {
-					t.Fatalf("MD stage bytes %d, want %d", tra.MD.StageBytes, want)
-				}
-			})
+					team, err := NewTeam(mach.P)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer team.Close()
+					ex, err := NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ex.Run(prog); err != nil {
+						t.Fatalf("execute: %v", err)
+					}
+					res, err := algo.RunIdeal(a, mach, w)
+					if err != nil {
+						t.Fatalf("simulate: %v", err)
+					}
+					tra := ex.Traffic()
+					if tra.MS.StageBlocks != res.MS {
+						t.Fatalf("executor staged %d shared blocks, simulator counts MS=%d",
+							tra.MS.StageBlocks, res.MS)
+					}
+					if tra.MS.WriteBackBlocks != res.WriteBack {
+						t.Fatalf("executor wrote back %d blocks to memory, simulator counts %d",
+							tra.MS.WriteBackBlocks, res.WriteBack)
+					}
+					var mdSum uint64
+					for c, want := range res.MDPerCore {
+						if got := ex.CoreTraffic(c).StageBlocks; got != want {
+							t.Fatalf("core %d refilled %d blocks, simulator counts MD=%d", c, got, want)
+						}
+						mdSum += want
+					}
+					if tra.MD.StageBlocks != mdSum {
+						t.Fatalf("aggregate MD %d blocks, simulator sum %d", tra.MD.StageBlocks, mdSum)
+					}
+					// Aligned q×q tiles: every block transfer moves exactly q²
+					// float64 values, so the byte streams are block counts
+					// scaled by the tile size.
+					if want := tra.MS.StageBlocks * q * q * 8; tra.MS.StageBytes != want {
+						t.Fatalf("MS stage bytes %d, want %d", tra.MS.StageBytes, want)
+					}
+					if want := tra.MD.StageBlocks * q * q * 8; tra.MD.StageBytes != want {
+						t.Fatalf("MD stage bytes %d, want %d", tra.MD.StageBytes, want)
+					}
+				})
+			}
 		}
 	}
 }

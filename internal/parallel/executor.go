@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/schedule"
@@ -31,6 +32,16 @@ const (
 	// tiles back to memory — so the memory↔shared (MS) and shared↔core
 	// (MD) streams are physically distinct and separately counted.
 	ModeShared
+	// ModeSharedPipelined is ModeShared with the memory↔shared stream
+	// taken off the critical path: while the Team's cores compute a
+	// region, the driving goroutine acts as the stager — it prefetches
+	// the next region's StageShared lines into spare shared slots and
+	// retires the previous gap's write-backs concurrently with the
+	// workers, under the statically verified phase plan of
+	// schedule.PlanPipeline. The executed operation stream — and with it
+	// every MS/MD block and byte count — is bit-identical to ModeShared;
+	// only the timing overlaps.
+	ModeSharedPipelined
 )
 
 // String names the mode as it appears in benchmark records.
@@ -42,19 +53,25 @@ func (m Mode) String() string {
 		return "view"
 	case ModeShared:
 		return "shared"
+	case ModeSharedPipelined:
+		return "shared-pipelined"
 	default:
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
 }
 
+// SharedLevel reports whether the mode materialises the shared cache
+// level (a Team-wide arena between memory and the core arenas).
+func (m Mode) SharedLevel() bool { return m == ModeShared || m == ModeSharedPipelined }
+
 // ParseMode resolves a benchmark-record mode name to its Mode.
 func ParseMode(s string) (Mode, error) {
-	for _, m := range []Mode{ModePacked, ModeView, ModeShared} {
+	for _, m := range []Mode{ModePacked, ModeView, ModeShared, ModeSharedPipelined} {
 		if m.String() == s {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("parallel: unknown executor mode %q (want packed, view or shared)", s)
+	return 0, fmt.Errorf("parallel: unknown executor mode %q (want packed, view, shared or shared-pipelined)", s)
 }
 
 // LevelTraffic counts the physical transfers the executor performed
@@ -128,19 +145,31 @@ type Executor struct {
 	arenaBlocks  int
 	sharedBlocks int
 	arenas       []*Arena     // allocated by Run for programs that stage
-	shared       *SharedArena // ModeShared only, allocated with the arenas
+	shared       *SharedArena // shared-level modes only, allocated with the arenas
 	staging      bool         // current program stages (set per Run)
 	ops          [][]execOp
 	err          error
 
-	ms LevelTraffic   // memory↔shared stream, driving goroutine only
+	ms LevelTraffic   // memory↔shared stream, stager/driving goroutine only
 	md []LevelTraffic // shared↔core (or memory↔core) stream, one per worker
+
+	// stageWait and computeTime split the driving goroutine's critical
+	// path per Run: time spent moving blocks across the memory↔shared
+	// boundary (or, pipelined, blocked waiting for the stager) versus
+	// time inside parallel regions. Their ratio is the overlap story the
+	// benchmark records report.
+	stageWait   time.Duration
+	computeTime time.Duration
 
 	// validated caches the last successfully validated program (by
 	// pointer; a Program is immutable once built), so repeated Runs of
-	// the same program — the benchmark loop — measure it only once.
+	// the same program — the benchmark loop — measure it only once. The
+	// pipelined mode caches its phase plan, and (when no probe watches)
+	// its recorded regions, alongside.
 	validated        *schedule.Program
 	validatedStaging bool
+	plan             *schedule.PipelinePlan
+	recorded         [][][]execOp
 }
 
 // Executor is the real backend of the schedule IR.
@@ -201,11 +230,11 @@ func NewExecutorOperands(team *Team, operands *matrix.Operands, probe *schedule.
 		md:           make([]LevelTraffic, team.Size()),
 	}
 	switch mode {
-	case ModePacked, ModeShared:
+	case ModePacked, ModeShared, ModeSharedPipelined:
 		if coreBlocks <= 0 {
 			return nil, fmt.Errorf("parallel: %v executor needs a positive core arena capacity, got %d blocks", mode, coreBlocks)
 		}
-		if mode == ModeShared && sharedBlocks <= 0 {
+		if mode.SharedLevel() && sharedBlocks <= 0 {
 			return nil, fmt.Errorf("parallel: shared executor needs a positive shared arena capacity, got %d blocks", sharedBlocks)
 		}
 	case ModeView:
@@ -242,10 +271,32 @@ func (ex *Executor) Traffic() Traffic {
 // counts correspond to StageBlocks).
 func (ex *Executor) CoreTraffic(c int) LevelTraffic { return ex.md[c] }
 
+// StageWait returns the time the most recent Run's driving goroutine
+// spent on memory↔shared staging that could not be hidden behind
+// compute: in ModeShared the wall-time of all between-region staging,
+// in ModeSharedPipelined the barrier-phase ops plus any overlapped
+// staging that outlasted the region it ran under (hoisted and retired
+// ops fully covered by worker compute cost nothing here). The traffic
+// moved is identical in both modes; this is the critical-path share of
+// it.
+func (ex *Executor) StageWait() time.Duration { return ex.stageWait }
+
+// ComputeTime returns the wall-time the most recent Run spent inside
+// parallel regions (team barriers included).
+func (ex *Executor) ComputeTime() time.Duration { return ex.computeTime }
+
+// Plan returns the pipeline phase plan of the most recently validated
+// program, or nil outside ModeSharedPipelined — the overlap the region
+// lookahead found, for reporting.
+func (ex *Executor) Plan() *schedule.PipelinePlan { return ex.plan }
+
 // StageShared loads l into the shared level. The probe observes it in
-// every mode; ModeShared additionally packs the block into the shared
-// arena (one physical MS transfer). Other modes have no shared level
-// between the arenas and memory, so the hint carries no data.
+// every mode; the shared-level modes additionally pack the block into
+// the shared arena (one physical MS transfer). Other modes have no
+// shared level between the arenas and memory, so the hint carries no
+// data. (In ModeSharedPipelined staged programs are recorded and
+// replayed through the stager instead of emitting straight into the
+// executor, so this serial path only ever runs their probe feed.)
 func (ex *Executor) StageShared(l schedule.Line) {
 	if ex.err != nil {
 		return
@@ -253,56 +304,84 @@ func (ex *Executor) StageShared(l schedule.Line) {
 	if ex.probe != nil && ex.probe.SharedAccess != nil {
 		ex.probe.SharedAccess(l)
 	}
-	if ex.mode != ModeShared || !ex.staging {
+	if !ex.mode.SharedLevel() || !ex.staging {
 		return
 	}
+	start := time.Now()
+	if err := ex.stageShared(l); err != nil {
+		ex.fail(err)
+	}
+	ex.stageWait += time.Since(start)
+}
+
+// stageShared performs the physical memory→shared transfer of l and
+// counts it on the MS stream. It runs on the driving goroutine in
+// ModeShared and on the stager goroutine in ModeSharedPipelined.
+func (ex *Executor) stageShared(l schedule.Line) error {
 	src, err := ex.block(l)
 	if err != nil {
-		ex.fail(err)
-		return
+		return err
 	}
 	values, err := ex.shared.Stage(l, src)
 	if err != nil {
-		ex.fail(err)
-		return
+		return err
 	}
 	ex.ms.stage(values)
+	return nil
 }
 
-// UnstageShared releases l from the shared level. In ModeShared it
-// writes a dirty tile back to memory and frees the slot, enforcing
-// inclusion (a block still held by a core arena cannot leave the shared
-// level); elsewhere it is the omniscient policy's privilege: a no-op,
-// invisible to probes, exactly as in the simulator.
+// UnstageShared releases l from the shared level. In the shared-level
+// modes it writes a dirty tile back to memory and frees the slot,
+// enforcing inclusion (a block still held by a core arena cannot leave
+// the shared level); elsewhere it is the omniscient policy's privilege:
+// a no-op, invisible to probes, exactly as in the simulator.
 func (ex *Executor) UnstageShared(l schedule.Line) {
-	if ex.err != nil || ex.mode != ModeShared || !ex.staging {
+	if ex.err != nil || !ex.mode.SharedLevel() || !ex.staging {
 		return
 	}
-	dst, err := ex.block(l)
-	if err != nil {
-		ex.fail(err)
-		return
-	}
+	start := time.Now()
 	for c, ar := range ex.arenas {
 		if ar.tile(l) != nil {
 			ex.fail(fmt.Errorf("parallel: unstaging %v from the shared arena while core %d still holds it", l, c))
 			return
 		}
 	}
+	if err := ex.unstageShared(l); err != nil {
+		ex.fail(err)
+	}
+	ex.stageWait += time.Since(start)
+}
+
+// unstageShared performs the physical shared→memory release of l,
+// counting a dirty write-back on the MS stream. Unlike the serial
+// UnstageShared it does not re-check core-arena residency: the serial
+// path checks at runtime between regions, while the pipelined stager —
+// which may run this concurrently with worker regions — relies on
+// schedule.PlanPipeline having proven inclusion statically.
+func (ex *Executor) unstageShared(l schedule.Line) error {
+	dst, err := ex.block(l)
+	if err != nil {
+		return err
+	}
 	values, dirty, err := ex.shared.Unstage(l, dst)
 	if err != nil {
-		ex.fail(err)
-		return
+		return err
 	}
 	if dirty {
 		ex.ms.writeBack(values)
 	}
+	return nil
 }
 
-// execSink records one core's stream of a parallel region.
+// execSink records one core's stream of a parallel region into *out,
+// feeding the probe every access on the way. Kernel applications are
+// always recorded; staging transfers only in the modes that move data
+// (ModeView replays computes on strided views, staying probe-only for
+// staging, exactly as before packed storage existed).
 type execSink struct {
 	ex   *Executor
 	core int
+	out  *[]execOp
 }
 
 func (s execSink) access(l schedule.Line, write bool) {
@@ -316,7 +395,7 @@ func (s execSink) access(l schedule.Line, write bool) {
 func (s execSink) Stage(l schedule.Line) {
 	s.access(l, false)
 	if s.ex.mode != ModeView {
-		s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xStage, line: l})
+		*s.out = append(*s.out, execOp{kind: xStage, line: l})
 	}
 }
 
@@ -324,7 +403,7 @@ func (s execSink) Stage(l schedule.Line) {
 // probes, exactly as in the simulator.
 func (s execSink) Unstage(l schedule.Line) {
 	if s.ex.mode != ModeView {
-		s.ex.ops[s.core] = append(s.ex.ops[s.core], execOp{kind: xUnstage, line: l})
+		*s.out = append(*s.out, execOp{kind: xUnstage, line: l})
 	}
 }
 
@@ -343,13 +422,20 @@ func (s execSink) Apply(k schedule.Kernel, dest schedule.Line, srcs ...schedule.
 		func(l schedule.Line) { s.access(l, true) })
 	op := execOp{kind: xApply, kernel: k, line: dest}
 	copy(op.srcs[:], srcs)
-	s.ex.ops[s.core] = append(s.ex.ops[s.core], op)
+	*s.out = append(*s.out, op)
 }
 
 // Compute queues the block FMA C[i,j] += A[i,k]·B[k,j] as its MulAdd
 // expansion, preserving the schedule's read-read-write probe order.
 func (s execSink) Compute(i, j, k int) {
 	s.Apply(schedule.MulAdd, schedule.LineC(i, j), schedule.LineA(i, k), schedule.LineB(k, j))
+}
+
+// sinkFor builds the recording sink for core c, targeting out — the
+// per-region scratch in the serial path, a pipeline recorder's region
+// storage in ModeSharedPipelined.
+func (ex *Executor) sinkFor(c int, out *[]execOp) execSink {
+	return execSink{ex: ex, core: c, out: out}
 }
 
 // Parallel records the per-core streams of one region, then runs them
@@ -364,7 +450,7 @@ func (ex *Executor) Parallel(body func(core int, ops schedule.CoreSink)) {
 	work := false
 	for c := range ex.ops {
 		ex.ops[c] = ex.ops[c][:0]
-		body(c, execSink{ex: ex, core: c})
+		body(c, ex.sinkFor(c, &ex.ops[c]))
 		work = work || len(ex.ops[c]) > 0
 	}
 	// Regions with no recorded operations (probe-only in this mode)
@@ -372,20 +458,22 @@ func (ex *Executor) Parallel(body func(core int, ops schedule.CoreSink)) {
 	if !work {
 		return
 	}
-	ex.fail(ex.team.Run(ex.replay))
+	start := time.Now()
+	ex.fail(ex.team.Run(func(c int) error { return ex.replayOps(c, ex.ops[c]) }))
+	ex.computeTime += time.Since(start)
 }
 
-// replay executes core c's recorded stream of the current region. The
+// replayOps executes core c's recorded stream of one region. The
 // arena applies only when the *current* program stages: a reused
 // Executor may hold arenas from an earlier staged Run while replaying a
 // demand-driven program, whose computes must take the strided path.
-func (ex *Executor) replay(c int) error {
+func (ex *Executor) replayOps(c int, ops []execOp) error {
 	var ar *Arena
 	if ex.staging {
 		ar = ex.arenas[c]
 	}
 	md := &ex.md[c]
-	for _, op := range ex.ops[c] {
+	for _, op := range ops {
 		switch op.kind {
 		case xStage, xUnstage:
 			if ar == nil {
@@ -394,7 +482,7 @@ func (ex *Executor) replay(c int) error {
 				return fmt.Errorf("parallel: staging op %v outside a validated Run", op.line)
 			}
 			if op.kind == xStage {
-				if ex.mode == ModeShared {
+				if ex.mode.SharedLevel() {
 					// Intra-chip refill: the core arena fills from the
 					// shared arena, never from the matrices.
 					values, err := ex.shared.Refill(ar, op.line)
@@ -421,7 +509,7 @@ func (ex *Executor) replay(c int) error {
 			if !dirty {
 				continue
 			}
-			if ex.mode == ModeShared {
+			if ex.mode.SharedLevel() {
 				// Dirty tiles merge upward into the shared copy, as
 				// EvictDistributed merges under IDEAL; the shared level
 				// owns the eventual write-back to memory.
@@ -535,8 +623,10 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 	for i := range ex.md {
 		ex.md[i] = LevelTraffic{}
 	}
+	ex.stageWait = 0
+	ex.computeTime = 0
 	ex.staging = false
-	staged := (ex.mode == ModePacked || ex.mode == ModeShared) && !prog.DemandDriven
+	staged := ex.mode != ModeView && !prog.DemandDriven
 	if staged {
 		if prog == ex.validated {
 			ex.staging = ex.validatedStaging
@@ -545,7 +635,7 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 			if err != nil {
 				return err
 			}
-			if ex.mode == ModeShared {
+			if ex.mode.SharedLevel() {
 				if err := ws.Fits(prog.Resources); err != nil {
 					return fmt.Errorf("parallel: program %q: %w", prog.Algorithm, err)
 				}
@@ -560,7 +650,19 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 				return fmt.Errorf("parallel: program %q needs %d arena blocks per core, have %d",
 					prog.Algorithm, ws.CorePeak, ex.arenaBlocks)
 			}
-			ex.staging = ws.Stages > 0 || (ex.mode == ModeShared && ws.SharedStages > 0)
+			ex.staging = ws.Stages > 0 || (ex.mode.SharedLevel() && ws.SharedStages > 0)
+			ex.plan = nil
+			ex.recorded = nil
+			if ex.staging && ex.mode == ModeSharedPipelined {
+				// The region lookahead phases every staging gap and proves
+				// the 2-region footprint and the inclusion discipline
+				// before the stager is allowed to reorder anything.
+				plan, err := schedule.PlanPipeline(prog, ex.sharedBlocks)
+				if err != nil {
+					return fmt.Errorf("parallel: program %q: %w", prog.Algorithm, err)
+				}
+				ex.plan = plan
+			}
 			ex.validated = prog
 			ex.validatedStaging = ex.staging
 		}
@@ -574,7 +676,7 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 				ex.arenas[c] = a
 			}
 		}
-		if ex.staging && ex.mode == ModeShared && ex.shared == nil {
+		if ex.staging && ex.mode.SharedLevel() && ex.shared == nil {
 			sa, err := NewSharedArena(ex.sharedBlocks, ex.operands.Q())
 			if err != nil {
 				return err
@@ -582,7 +684,11 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 			ex.shared = sa
 		}
 	}
-	if err := prog.Emit(ex); err != nil {
+	if ex.staging && ex.mode == ModeSharedPipelined {
+		if err := ex.runPipelined(prog); err != nil {
+			return err
+		}
+	} else if err := prog.Emit(ex); err != nil {
 		return err
 	}
 	if ex.err == nil && ex.mode == ModePacked {
@@ -604,7 +710,7 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 			}
 		}
 	}
-	if ex.err == nil && ex.mode == ModeShared {
+	if ex.err == nil && ex.mode.SharedLevel() {
 		// Top-down: dirty core tiles merge into the shared copies first,
 		// then the shared arena writes to memory — the reverse order
 		// would let a stale shared copy overwrite a fresher core result.

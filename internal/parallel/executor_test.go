@@ -14,13 +14,16 @@ func TestModeString(t *testing.T) {
 	if ModePacked.String() != "packed" || ModeView.String() != "view" || ModeShared.String() != "shared" {
 		t.Fatalf("mode names: %v / %v / %v", ModePacked, ModeView, ModeShared)
 	}
+	if ModeSharedPipelined.String() != "shared-pipelined" {
+		t.Fatalf("pipelined mode name: %v", ModeSharedPipelined)
+	}
 	if !strings.Contains(Mode(9).String(), "9") {
 		t.Fatal("unknown mode should include numeric value")
 	}
 }
 
 func TestParseMode(t *testing.T) {
-	for _, m := range []Mode{ModePacked, ModeView, ModeShared} {
+	for _, m := range []Mode{ModePacked, ModeView, ModeShared, ModeSharedPipelined} {
 		got, err := ParseMode(m.String())
 		if err != nil || got != m {
 			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
@@ -65,7 +68,7 @@ func TestNewExecutorRejectsMissingCapacities(t *testing.T) {
 func TestAllModesMatchReference(t *testing.T) {
 	mach := testMachine(4)
 	for _, name := range algorithms() {
-		for _, mode := range []Mode{ModePacked, ModeView, ModeShared} {
+		for _, mode := range []Mode{ModePacked, ModeView, ModeShared, ModeSharedPipelined} {
 			tr, err := matrix.NewTriple(6, 5, 4, mach.Q, 11)
 			if err != nil {
 				t.Fatal(err)
@@ -178,7 +181,7 @@ func TestRunFlushesSloppySchedules(t *testing.T) {
 			})
 		},
 	}
-	for _, mode := range []Mode{ModePacked, ModeShared} {
+	for _, mode := range []Mode{ModePacked, ModeShared, ModeSharedPipelined} {
 		t.Run(mode.String(), func(t *testing.T) {
 			team, err := NewTeam(1)
 			if err != nil {
@@ -215,7 +218,7 @@ func TestRunFlushesSloppySchedules(t *testing.T) {
 func TestRunTwiceStartsFromCleanArenas(t *testing.T) {
 	mach := testMachine(4)
 	for _, name := range []string{"Shared Opt.", "Distributed Opt.", "Tradeoff"} {
-		for _, mode := range []Mode{ModePacked, ModeShared} {
+		for _, mode := range []Mode{ModePacked, ModeShared, ModeSharedPipelined} {
 			t.Run(name+"/"+mode.String(), func(t *testing.T) {
 				tr, err := matrix.NewTriple(6, 5, 4, mach.Q, 19)
 				if err != nil {

@@ -215,18 +215,19 @@ func TestMultiplyAccumulates(t *testing.T) {
 	}
 }
 
-// BenchmarkExecutor measures every registered algorithm under all three
-// executor modes, so `go test -bench Executor` prints the view vs packed
-// vs shared comparison the benchmark pipeline records at full scale in
-// BENCH_gemm.json (cmd/gemm -bench-json). The workload is 16×16 blocks
-// of 32×32 (n=512) to stay benchmark-sized; GFLOP/s is reported as a
-// custom metric.
+// BenchmarkExecutor measures every registered algorithm under all four
+// executor modes, so `go test -bench Executor` prints the view vs
+// packed vs shared vs shared-pipelined comparison the benchmark
+// pipeline records at full scale in BENCH_gemm.json
+// (cmd/gemm -bench-json). The workload is 16×16 blocks of 32×32
+// (n=512) to stay benchmark-sized; GFLOP/s is reported as a custom
+// metric.
 func BenchmarkExecutor(b *testing.B) {
 	mach := machine.Machine{P: 4, CS: 977, CD: 21, SigmaS: 1, SigmaD: 4, Q: 32}
 	const order = 16
 	flops := 2 * float64(order*mach.Q) * float64(order*mach.Q) * float64(order*mach.Q)
 	for _, name := range algorithms() {
-		for _, mode := range []Mode{ModeView, ModePacked, ModeShared} {
+		for _, mode := range []Mode{ModeView, ModePacked, ModeShared, ModeSharedPipelined} {
 			b.Run(name+"/"+mode.String(), func(b *testing.B) {
 				tr, err := matrix.NewTriple(order, order, order, mach.Q, 1)
 				if err != nil {

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/matrix"
 	"repro/internal/schedule"
@@ -22,15 +23,20 @@ import (
 // upward into the shared copy before the shared level writes it back to
 // memory.
 //
-// Concurrency contract: Stage, Unstage and Drain run only on the
-// goroutine driving the schedule, strictly between parallel regions —
-// the Team barrier orders them against all worker accesses. Refill and
-// Absorb run on worker goroutines inside regions, where the index is
-// read-only and the schedules guarantee that dirty (C) blocks are
-// disjoint across cores, so distinct workers never touch the same
-// slot's data. No locking is needed, and the race detector verifies
-// the contract over the whole test suite.
+// Concurrency contract: Stage, Unstage and Drain run on a single
+// goroutine — the driving goroutine between parallel regions in
+// ModeShared, the stager goroutine (possibly concurrent with worker
+// regions) in ModeSharedPipelined. Refill and Absorb run on worker
+// goroutines inside regions. The slot index and free list are guarded
+// by a readers-writer lock so the pipelined stager may restage free
+// slots while workers look up resident ones; the tile *data* needs no
+// lock, because every concurrent pairing addresses disjoint lines — the
+// schedules guarantee that dirty (C) blocks are disjoint across cores,
+// and schedule.PlanPipeline proves the stager's prefetches and retires
+// never address a line the running region touches. The race detector
+// verifies the contract over the whole test suite.
 type SharedArena struct {
+	mu    sync.RWMutex // guards arena.index, arena.free and slot headers
 	arena Arena
 }
 
@@ -48,16 +54,32 @@ func NewSharedArena(capBlocks, q int) (*SharedArena, error) {
 func (sa *SharedArena) Capacity() int { return sa.arena.Capacity() }
 
 // Resident returns the number of currently staged tiles.
-func (sa *SharedArena) Resident() int { return sa.arena.Resident() }
+func (sa *SharedArena) Resident() int {
+	sa.mu.RLock()
+	defer sa.mu.RUnlock()
+	return sa.arena.Resident()
+}
 
 // Contains reports whether l is shared-resident.
-func (sa *SharedArena) Contains(l schedule.Line) bool { return sa.arena.tile(l) != nil }
+func (sa *SharedArena) Contains(l schedule.Line) bool {
+	sa.mu.RLock()
+	defer sa.mu.RUnlock()
+	return sa.arena.tile(l) != nil
+}
 
 // Stage packs the src tile into a free slot under line l: the physical
 // "load into the shared cache" (one MS transfer). The tile's value
-// count is returned for traffic accounting.
+// count is returned for traffic accounting. Only the slot claim holds
+// the lock; the copy itself runs unlocked — the slot was free, so no
+// worker can be addressing it.
 func (sa *SharedArena) Stage(l schedule.Line, src *matrix.Dense) (values int, err error) {
-	if err := sa.arena.Stage(l, src); err != nil {
+	sa.mu.Lock()
+	slot, err := sa.arena.alloc(l, src.Rows(), src.Cols())
+	sa.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := matrix.Pack(slot.data, src); err != nil {
 		return 0, err
 	}
 	return src.Rows() * src.Cols(), nil
@@ -66,9 +88,12 @@ func (sa *SharedArena) Stage(l schedule.Line, src *matrix.Dense) (values int, er
 // Unstage frees the slot holding l, writing the packed tile back into
 // dst first if it is dirty — the "write back to main memory" of the
 // pseudocode. It reports the tile's value count and whether a physical
-// write-back happened.
+// write-back happened. The released data stays valid for the unlocked
+// copy because only the single staging goroutine can restage the slot.
 func (sa *SharedArena) Unstage(l schedule.Line, dst *matrix.Dense) (values int, dirty bool, err error) {
+	sa.mu.Lock()
 	rows, cols, data, dirty, err := sa.arena.release(l)
+	sa.mu.Unlock()
 	if err != nil {
 		return 0, false, err
 	}
@@ -86,7 +111,9 @@ func (sa *SharedArena) Unstage(l schedule.Line, dst *matrix.Dense) (values int, 
 // inclusive hierarchy's "it is the user responsibility to guarantee
 // that a given data is present in every cache below the target cache".
 func (sa *SharedArena) Refill(dst *Arena, l schedule.Line) (values int, err error) {
+	sa.mu.RLock()
 	slot := sa.arena.tile(l)
+	sa.mu.RUnlock()
 	if slot == nil {
 		return 0, fmt.Errorf("parallel: core refill of block %v not resident in the shared arena", l)
 	}
@@ -101,7 +128,9 @@ func (sa *SharedArena) Refill(dst *Arena, l schedule.Line) (values int, err erro
 // stream, mirroring EvictDistributed's merge under IDEAL. Absorbing
 // into a non-resident block is an error (inclusion was violated).
 func (sa *SharedArena) Absorb(l schedule.Line, rows, cols int, data []float64) error {
+	sa.mu.RLock()
 	slot := sa.arena.tile(l)
+	sa.mu.RUnlock()
 	if slot == nil {
 		return fmt.Errorf("parallel: write-back of %v, but it is not resident in the shared arena", l)
 	}
@@ -119,5 +148,7 @@ func (sa *SharedArena) Absorb(l schedule.Line, rows, cols int, data []float64) e
 // after the core arenas have drained upward, so every surviving dirty
 // tile carries the freshest data.
 func (sa *SharedArena) Drain(merge func(l schedule.Line, rows, cols int, data []float64) error) (int, error) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
 	return sa.arena.Drain(merge)
 }

@@ -58,6 +58,15 @@ func (t *Team) Size() int { return t.p }
 // cores must touch disjoint output data (the algorithms guarantee this
 // by construction).
 func (t *Team) Run(body func(core int) error) error {
+	return t.Launch(body)()
+}
+
+// Launch dispatches body(core) to every worker and returns immediately
+// with the join: calling the returned function blocks until all workers
+// finish and yields the first error. Between Launch and the join the
+// caller runs concurrently with the workers — the pipelined executor
+// uses that window to stage shared blocks while the team computes.
+func (t *Team) Launch(body func(core int) error) (wait func() error) {
 	var wg sync.WaitGroup
 	errs := make([]error, t.p)
 	wg.Add(t.p)
@@ -68,13 +77,15 @@ func (t *Team) Run(body func(core int) error) error {
 			errs[c] = body(c)
 		}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return func() error {
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
 }
 
 // Close terminates the workers. The Team is unusable afterwards.

@@ -38,6 +38,29 @@ type BenchRun struct {
 	MSWriteBackBytes uint64 `json:"ms_writeback_bytes,omitempty"` // shared→memory write-backs
 	MDStageBytes     uint64 `json:"md_stage_bytes,omitempty"`     // shared→core (or memory→core) fills
 	MDWriteBackBytes uint64 `json:"md_writeback_bytes,omitempty"` // core→shared (or core→memory) write-backs
+
+	// Overlap accounting of the shared-level modes ("shared" and
+	// "shared-pipelined"), from the same repetition Seconds was taken
+	// from. StageWaitSeconds is the memory↔shared staging time left on
+	// the driving goroutine's critical path (in the pipelined mode, the
+	// time spent blocked on the stager); ComputeSeconds the wall-time
+	// inside parallel regions. OverlapEfficiency is
+	// compute / (compute + stage wait): 1.0 means the staging was fully
+	// hidden behind compute. Records written before the pipelined
+	// executor existed carry none of these fields.
+	StageWaitSeconds  float64 `json:"stage_wait_seconds,omitempty"`
+	ComputeSeconds    float64 `json:"compute_seconds,omitempty"`
+	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
+}
+
+// SetOverlap fills the overlap fields from an executor's measured
+// critical-path split.
+func (r *BenchRun) SetOverlap(stageWait, compute time.Duration) {
+	r.StageWaitSeconds = stageWait.Seconds()
+	r.ComputeSeconds = compute.Seconds()
+	if total := stageWait + compute; total > 0 {
+		r.OverlapEfficiency = compute.Seconds() / total.Seconds()
+	}
 }
 
 // Bench is the envelope written to BENCH_gemm.json. Runs holds

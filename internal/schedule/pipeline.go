@@ -1,0 +1,307 @@
+package schedule
+
+import "fmt"
+
+// This file is the region-lookahead pass behind the pipelined executor:
+// it splits a program's shared-level staging stream into per-region
+// phases that a double-buffered backend can overlap with compute, while
+// proving — before anything runs — that the overlapped residency still
+// fits the declared shared capacity and that the reordering can never
+// change which blocks are resident when a core touches them.
+//
+// The serial executor realises the stream in program order: every
+// StageShared/UnstageShared between two parallel regions sits on the
+// critical path behind the team barrier. The lookahead classifies each
+// of those gap operations into one of three phases:
+//
+//	Hoist    stages executed while the *previous* region still
+//	         computes (the prefetch half of the double buffer);
+//	Barrier  operations that must stay on the critical path, after the
+//	         previous region completes and before the next one starts;
+//	Retire   trailing write-backs executed while the *next* region
+//	         already computes (the retire half of the double buffer).
+//
+// A stage is hoistable when a spare slot exists without waiting for the
+// gap's own unstages (the 2-region footprint — the resident set of the
+// running region plus the prefetched lines — must fit the capacity, the
+// pipelined form of WorkingSet.Fits), when its line is not touched by
+// the region it would overlap (the serial schedule would have faulted
+// on a non-resident access; the prefetch must not mask that), and when
+// the gap does not unstage the same line first. An unstage is retirable
+// when it trails every deferred stage of its gap and the next region
+// never touches its line. Everything else stays a barrier op, exactly
+// where the serial executor runs it — so a schedule with no slack
+// degrades to the serial order, never to an incorrect one.
+//
+// The pass also proves the inclusion discipline statically: a shared
+// unstage whose line is still resident in some core's distributed cache
+// is rejected here, because the pipelined backend retires write-backs
+// concurrently with worker regions and cannot re-check residency at
+// runtime without racing the workers.
+
+// PipelinedOp is one shared-level staging operation of a gap between
+// parallel regions, in program order.
+type PipelinedOp struct {
+	Line    Line
+	Unstage bool
+}
+
+// PipelineRegion phases the shared staging gap that precedes one
+// parallel region of the program (regions are counted as the serial
+// executor runs them: Parallel calls in which at least one core emits a
+// Stage, Unstage or Apply).
+type PipelineRegion struct {
+	// Hoist holds the StageShared lines prefetched while the previous
+	// region computes (for the first region there is nothing to overlap,
+	// so its gap is all Barrier).
+	Hoist []Line
+	// Barrier holds the gap operations that stay on the critical path:
+	// they run after the previous region's cores finish and before this
+	// region's cores start, in program order.
+	Barrier []PipelinedOp
+	// Retire holds the UnstageShared lines written back while this
+	// region computes.
+	Retire []Line
+}
+
+// PipelinePlan is the lookahead's result: one phased gap per parallel
+// region plus the trailing shared operations after the last region, and
+// the footprint/overlap accounting the backend reports.
+type PipelinePlan struct {
+	Regions []PipelineRegion
+	// Tail holds the shared operations after the last region, run once
+	// its cores finish (nothing left to overlap them with).
+	Tail []PipelinedOp
+
+	// SerialPeak is the peak shared residency of the in-order schedule —
+	// WorkingSet.SharedPeak, re-derived here.
+	SerialPeak int
+	// Peak is the peak shared residency including prefetched lines: the
+	// 2-region footprint the plan proved to fit the capacity.
+	Peak int
+	// Hoisted, Retired and Barriered count the staging operations (both
+	// directions) moved off the critical path — prefetched ahead of it
+	// or retired behind it — and the ones left on it.
+	Hoisted, Retired, Barriered int
+}
+
+// Overlapped reports the fraction of shared staging operations the plan
+// moved off the critical path.
+func (p *PipelinePlan) Overlapped() float64 {
+	total := p.Hoisted + p.Retired + p.Barriered
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Hoisted+p.Retired) / float64(total)
+}
+
+// PlanPipeline replays p's operation stream and phases every shared
+// staging gap for a double-buffered backend with sharedCap slots. It
+// fails when the program violates the inclusion discipline (a shared
+// unstage of a line still staged in some core) — the serial backend
+// faults on the same schedule at runtime — or when the planned 2-region
+// footprint cannot fit sharedCap, which cannot happen for a program
+// whose serial working set fits (hoisting never exceeds the capacity by
+// construction) and is checked anyway as the pass's own invariant.
+func PlanPipeline(p *Program, sharedCap int) (*PipelinePlan, error) {
+	if sharedCap <= 0 {
+		return nil, fmt.Errorf("schedule: pipeline plan needs a positive shared capacity, got %d", sharedCap)
+	}
+	col := &pipeCollector{cores: p.Cores, coreRes: make([]map[Line]struct{}, p.Cores)}
+	if err := p.Emit(col); err != nil {
+		return nil, err
+	}
+	if col.err != nil {
+		return nil, col.err
+	}
+
+	plan := &PipelinePlan{SerialPeak: col.serialPeak}
+	res := 0 // shared residency with all earlier gaps fully applied
+	for r, gap := range col.gaps {
+		var reg PipelineRegion
+		if r == 0 {
+			// Nothing precedes the first region; its gap runs up front.
+			reg.Barrier = gap
+			plan.Barriered += len(gap)
+		} else {
+			budget := sharedCap - res
+			pending := make(map[Line]struct{})
+			var deferred []PipelinedOp
+			for _, op := range gap {
+				if op.Unstage {
+					pending[op.Line] = struct{}{}
+					deferred = append(deferred, op)
+					continue
+				}
+				_, reuses := pending[op.Line]
+				if budget > 0 && !reuses && !lineIn(col.touch[r-1], op.Line) {
+					reg.Hoist = append(reg.Hoist, op.Line)
+					budget--
+					continue
+				}
+				deferred = append(deferred, op)
+			}
+			if res+len(reg.Hoist) > plan.Peak {
+				plan.Peak = res + len(reg.Hoist)
+			}
+			// Split the deferred ops at the last stage: the trailing
+			// unstages may retire under the next region's compute, unless
+			// that region touches one of their lines (then the whole tail
+			// stays a barrier, preserving the serial fault).
+			last := -1
+			for i, op := range deferred {
+				if !op.Unstage {
+					last = i
+				}
+			}
+			reg.Barrier = deferred[:last+1]
+			retire := deferred[last+1:]
+			safe := true
+			for _, op := range retire {
+				if lineIn(col.touch[r], op.Line) {
+					safe = false
+					break
+				}
+			}
+			if safe {
+				for _, op := range retire {
+					reg.Retire = append(reg.Retire, op.Line)
+				}
+			} else {
+				reg.Barrier = deferred
+			}
+			plan.Hoisted += len(reg.Hoist)
+			plan.Retired += len(reg.Retire)
+			plan.Barriered += len(reg.Barrier)
+		}
+		for _, op := range gap {
+			if op.Unstage {
+				res--
+			} else {
+				res++
+			}
+		}
+		plan.Regions = append(plan.Regions, reg)
+	}
+	plan.Tail = col.cur
+	plan.Barriered += len(plan.Tail)
+	if plan.SerialPeak > plan.Peak {
+		plan.Peak = plan.SerialPeak
+	}
+	if plan.Peak > sharedCap {
+		return nil, fmt.Errorf("schedule: pipelined 2-region footprint of %d blocks exceeds the shared capacity %d",
+			plan.Peak, sharedCap)
+	}
+	return plan, nil
+}
+
+func lineIn(set map[Line]struct{}, l Line) bool {
+	_, hit := set[l]
+	return hit
+}
+
+// pipeCollector is the recording backend behind PlanPipeline: it splits
+// the shared staging stream into gaps at every parallel region that
+// carries work, collects each region's shared-slot touch set (the lines
+// its cores refill from or merge into the shared level), and tracks
+// per-core residency across regions for the static inclusion check.
+type pipeCollector struct {
+	cores int
+
+	gaps  [][]PipelinedOp     // gaps[i] precedes region i
+	cur   []PipelinedOp       // gap being accumulated; the tail after the last region
+	touch []map[Line]struct{} // per-region shared-slot touches
+
+	coreRes []map[Line]struct{} // per-core distributed residency, across regions
+
+	sharedRes  map[Line]struct{}
+	serialPeak int
+	err        error
+}
+
+var _ Backend = (*pipeCollector)(nil)
+
+func (pc *pipeCollector) StageShared(l Line) {
+	pc.cur = append(pc.cur, PipelinedOp{Line: l})
+	if pc.sharedRes == nil {
+		pc.sharedRes = make(map[Line]struct{})
+	}
+	pc.sharedRes[l] = struct{}{}
+	if len(pc.sharedRes) > pc.serialPeak {
+		pc.serialPeak = len(pc.sharedRes)
+	}
+}
+
+func (pc *pipeCollector) UnstageShared(l Line) {
+	for c, res := range pc.coreRes {
+		if _, held := res[l]; held {
+			if pc.err == nil {
+				pc.err = fmt.Errorf("schedule: pipeline plan: shared unstage of %v while core %d still holds it", l, c)
+			}
+			return
+		}
+	}
+	pc.cur = append(pc.cur, PipelinedOp{Line: l, Unstage: true})
+	delete(pc.sharedRes, l)
+}
+
+func (pc *pipeCollector) Parallel(body func(core int, ops CoreSink)) {
+	work := false
+	touch := make(map[Line]struct{})
+	for c := 0; c < pc.cores; c++ {
+		s := &pipeTouchSink{pc: pc, core: c, touch: touch}
+		body(c, s)
+		work = work || s.ops > 0
+	}
+	if !work {
+		// The serial executor skips the team barrier for regions with no
+		// recorded operations, so the surrounding gaps merge.
+		return
+	}
+	pc.gaps = append(pc.gaps, pc.cur)
+	pc.cur = nil
+	pc.touch = append(pc.touch, touch)
+}
+
+// pipeTouchSink records which shared lines one core's region stream
+// touches (Stage refills read the shared slot, Unstage merges write it)
+// and maintains the core's residency for the inclusion check.
+type pipeTouchSink struct {
+	pc    *pipeCollector
+	core  int
+	touch map[Line]struct{}
+	ops   int
+}
+
+var _ CoreSink = (*pipeTouchSink)(nil)
+
+func (s *pipeTouchSink) Stage(l Line) {
+	s.ops++
+	s.touch[l] = struct{}{}
+	res := s.pc.coreRes[s.core]
+	if res == nil {
+		res = make(map[Line]struct{})
+		s.pc.coreRes[s.core] = res
+	}
+	res[l] = struct{}{}
+}
+
+func (s *pipeTouchSink) Unstage(l Line) {
+	s.ops++
+	s.touch[l] = struct{}{}
+	delete(s.pc.coreRes[s.core], l)
+}
+
+func (s *pipeTouchSink) Read(Line)  {}
+func (s *pipeTouchSink) Write(Line) {}
+
+func (s *pipeTouchSink) Apply(k Kernel, dest Line, srcs ...Line) {
+	if len(srcs) != k.Arity() {
+		panic(fmt.Sprintf("schedule: %v applied to %d sources, want %d", k, len(srcs), k.Arity()))
+	}
+	s.ops++
+}
+
+func (s *pipeTouchSink) Compute(i, j, k int) {
+	s.Apply(MulAdd, LineC(i, j), LineA(i, k), LineB(k, j))
+}

@@ -1,0 +1,216 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// pipeProg builds a two-region program: region 0 computes on lines
+// staged up front, a gap unstages them and stages region 1's lines,
+// region 1 computes, and a tail gap unstages everything. With spare
+// capacity the gap's stages hoist over the previous region and its
+// unstages retire under the next one; with a tight capacity everything
+// must stay on the barrier, reproducing the serial order.
+func pipeProg(cores int) *Program {
+	stage := func(b Backend, ls ...Line) {
+		for _, l := range ls {
+			b.StageShared(l)
+		}
+	}
+	unstage := func(b Backend, ls ...Line) {
+		for _, l := range ls {
+			b.UnstageShared(l)
+		}
+	}
+	region := func(b Backend, ls ...Line) {
+		b.Parallel(func(c int, ops CoreSink) {
+			if c != 0 {
+				return
+			}
+			for _, l := range ls {
+				ops.Stage(l)
+			}
+			ops.Apply(FactorTile, ls[0])
+			for i := len(ls) - 1; i >= 0; i-- {
+				ops.Unstage(ls[i])
+			}
+		})
+	}
+	r0 := []Line{LineA(0, 0), LineA(0, 1)}
+	r1 := []Line{LineA(1, 0), LineA(1, 1)}
+	return &Program{
+		Algorithm: "pipe-toy",
+		Cores:     cores,
+		Resources: Resources{SharedBlocks: 4, CoreBlocks: 2},
+		Body: func(b Backend) {
+			stage(b, r0...)
+			region(b, r0...)
+			unstage(b, r0...)
+			stage(b, r1...)
+			region(b, r1...)
+			unstage(b, r1...)
+		},
+	}
+}
+
+func TestPlanPipelineOverlapsWithSpareCapacity(t *testing.T) {
+	plan, err := PlanPipeline(pipeProg(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Regions) != 2 {
+		t.Fatalf("planned %d regions, want 2", len(plan.Regions))
+	}
+	// Region 0's gap runs up front: all barrier.
+	if len(plan.Regions[0].Hoist) != 0 || len(plan.Regions[0].Barrier) != 2 {
+		t.Fatalf("region 0 phases: hoist=%v barrier=%v", plan.Regions[0].Hoist, plan.Regions[0].Barrier)
+	}
+	// The middle gap fully overlaps: region 1's two stages prefetch over
+	// region 0 (2 resident + 2 prefetched = 4 ≤ CS) and region 0's two
+	// unstages retire under region 1.
+	r1 := plan.Regions[1]
+	if len(r1.Hoist) != 2 || len(r1.Retire) != 2 || len(r1.Barrier) != 0 {
+		t.Fatalf("region 1 phases: hoist=%v barrier=%v retire=%v", r1.Hoist, r1.Barrier, r1.Retire)
+	}
+	if len(plan.Tail) != 2 {
+		t.Fatalf("tail has %d ops, want 2", len(plan.Tail))
+	}
+	if plan.Peak != 4 || plan.SerialPeak != 2 {
+		t.Fatalf("peak %d (serial %d), want 4 (2)", plan.Peak, plan.SerialPeak)
+	}
+	if plan.Hoisted != 2 || plan.Retired != 2 {
+		t.Fatalf("hoisted/retired = %d/%d, want 2/2", plan.Hoisted, plan.Retired)
+	}
+	if got := plan.Overlapped(); got <= 0.3 {
+		t.Fatalf("overlap fraction %g unexpectedly low", got)
+	}
+}
+
+// With CS exactly the serial working set there is no spare slot: the
+// plan must degrade to the serial order (everything on the barrier
+// except the trailing unstages, which still retire — they need no spare
+// capacity, only the region hand-off).
+func TestPlanPipelineDegradesWithoutSpareCapacity(t *testing.T) {
+	plan, err := PlanPipeline(pipeProg(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := plan.Regions[1]
+	if len(r1.Hoist) != 0 {
+		t.Fatalf("tight capacity must not hoist, got %v", r1.Hoist)
+	}
+	// Gap order is unstage-unstage-stage-stage: the last stage pins the
+	// whole gap onto the barrier.
+	if len(r1.Barrier) != 4 || len(r1.Retire) != 0 {
+		t.Fatalf("region 1 phases under tight CS: barrier=%v retire=%v", r1.Barrier, r1.Retire)
+	}
+	if plan.Peak > 2 {
+		t.Fatalf("pipelined peak %d exceeds the serial footprint", plan.Peak)
+	}
+}
+
+// A gap that re-stages a line it just unstaged must not hoist that
+// stage ahead of the unstage, however much capacity is spare.
+func TestPlanPipelineRespectsSameLineReuse(t *testing.T) {
+	l := LineA(0, 0)
+	prog := &Program{
+		Algorithm: "reuse",
+		Cores:     1,
+		Resources: Resources{SharedBlocks: 8, CoreBlocks: 1},
+		Body: func(b Backend) {
+			b.StageShared(l)
+			b.Parallel(func(c int, ops CoreSink) {
+				ops.Stage(l)
+				ops.Apply(FactorTile, l)
+				ops.Unstage(l)
+			})
+			b.UnstageShared(l)
+			b.StageShared(l) // same line again: must wait for the unstage
+			b.Parallel(func(c int, ops CoreSink) {
+				ops.Stage(l)
+				ops.Apply(FactorTile, l)
+				ops.Unstage(l)
+			})
+			b.UnstageShared(l)
+		},
+	}
+	plan, err := PlanPipeline(prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := plan.Regions[1]
+	if len(r1.Hoist) != 0 {
+		t.Fatalf("re-stage of an unstaged line was hoisted: %v", r1.Hoist)
+	}
+	if len(r1.Barrier) != 2 {
+		t.Fatalf("re-stage gap must stay serial, got barrier=%v retire=%v", r1.Barrier, r1.Retire)
+	}
+}
+
+// A stage whose line the previous region touches must not hoist over
+// it: serially that region would have faulted on a non-resident line,
+// and the prefetch must not mask the fault.
+func TestPlanPipelineWillNotMaskNonResidentFault(t *testing.T) {
+	early, late := LineA(0, 0), LineA(1, 1)
+	prog := &Program{
+		Algorithm: "mask",
+		Cores:     1,
+		Resources: Resources{SharedBlocks: 8, CoreBlocks: 2},
+		Body: func(b Backend) {
+			b.StageShared(early)
+			b.Parallel(func(c int, ops CoreSink) {
+				ops.Stage(early)
+				ops.Stage(late) // bug: late is staged shared only afterwards
+				ops.Apply(MulSub, early, early, late)
+				ops.Unstage(late)
+				ops.Unstage(early)
+			})
+			b.StageShared(late)
+			b.Parallel(func(c int, ops CoreSink) {
+				ops.Stage(late)
+				ops.Apply(FactorTile, late)
+				ops.Unstage(late)
+			})
+			b.UnstageShared(late)
+			b.UnstageShared(early)
+		},
+	}
+	plan, err := PlanPipeline(prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Regions[1].Hoist) != 0 {
+		t.Fatalf("stage of a line the previous region touches was hoisted: %v", plan.Regions[1].Hoist)
+	}
+}
+
+// The static inclusion check: a shared unstage of a line some core
+// still holds is the schedule bug the serial executor faults on at
+// runtime; the planner must reject it up front.
+func TestPlanPipelineRejectsInclusionViolation(t *testing.T) {
+	l := LineA(0, 0)
+	prog := &Program{
+		Algorithm: "inclusion",
+		Cores:     1,
+		Resources: Resources{SharedBlocks: 4, CoreBlocks: 2},
+		Body: func(b Backend) {
+			b.StageShared(l)
+			b.Parallel(func(c int, ops CoreSink) {
+				ops.Stage(l)
+				ops.Apply(FactorTile, l)
+				// no core Unstage: the core still holds l
+			})
+			b.UnstageShared(l)
+		},
+	}
+	_, err := PlanPipeline(prog, 4)
+	if err == nil || !strings.Contains(err.Error(), "still holds") {
+		t.Fatalf("inclusion violation not rejected: %v", err)
+	}
+}
+
+func TestPlanPipelineRejectsBadCapacity(t *testing.T) {
+	if _, err := PlanPipeline(pipeProg(1), 0); err == nil {
+		t.Fatal("non-positive capacity must be rejected")
+	}
+}

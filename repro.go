@@ -70,16 +70,20 @@ type Triple = matrix.Triple
 // ExecMode selects how the real executor realises staging: ExecPacked
 // copies blocks into per-core packed arenas (the default), ExecView
 // reads strided tile views with staging as probe-only hints (the
-// benchmark baseline), and ExecShared realises the full two-level
+// benchmark baseline), ExecShared realises the full two-level
 // hierarchy — blocks flow memory → shared arena → per-core arenas, and
-// the MS/MD streams are physically distinct and separately counted.
+// the MS/MD streams are physically distinct and separately counted —
+// and ExecSharedPipelined is ExecShared with a stager goroutine
+// overlapping the memory↔shared stream with compute (identical
+// traffic, only the timing overlaps).
 type ExecMode = parallel.Mode
 
 // Executor modes.
 const (
-	ExecPacked = parallel.ModePacked
-	ExecView   = parallel.ModeView
-	ExecShared = parallel.ModeShared
+	ExecPacked          = parallel.ModePacked
+	ExecView            = parallel.ModeView
+	ExecShared          = parallel.ModeShared
+	ExecSharedPipelined = parallel.ModeSharedPipelined
 )
 
 // The four run settings of the paper's evaluation.
