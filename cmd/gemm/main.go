@@ -37,25 +37,34 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/tune"
 )
 
 func main() {
 	var (
-		algoName   = flag.String("algo", "", "algorithm (default: all executable ones)")
-		order      = flag.Int("order", 16, "square matrix order in blocks")
-		q          = flag.Int("q", 32, "block size in coefficients")
-		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
-		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
-		verify     = flag.Bool("verify", true, "check the result against the sequential reference (ignored in benchmark mode)")
-		seed       = flag.Uint64("seed", 1, "input matrix seed")
-		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
-		benchCores = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
-		benchReps  = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
+		algoName    = flag.String("algo", "", "algorithm (default: all executable ones)")
+		order       = flag.Int("order", 16, "square matrix order in blocks")
+		q           = flag.Int("q", 32, "block size in coefficients")
+		cores       = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		modeName    = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
+		verify      = flag.Bool("verify", true, "check the result against the sequential reference (ignored in benchmark mode)")
+		seed        = flag.Uint64("seed", 1, "input matrix seed")
+		benchJSON   = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
+		benchCores  = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
+		benchReps   = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
+		kernelShape = flag.String("kernel-shape", "", "kernel register-blocking shape: 4x4, 8x4 or 8x8 (default: TUNE.json, else 4x4)")
+		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
+		tunePath    = flag.String("tune", "", "load tunables from this TUNE.json when it matches the host; explicit flags win")
 	)
 	flag.Parse()
 
-	var err error
-	if *benchJSON != "" {
+	params, err := resolveTuning(*tunePath, *kernelShape, *lookahead, *q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemm:", err)
+		os.Exit(1)
+	}
+	tun, err := params.Tuning()
+	if err == nil && *benchJSON != "" {
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "p" || f.Name == "verify" || f.Name == "mode" {
 				fmt.Fprintf(os.Stderr, "gemm: -%s is ignored in benchmark mode (use -bench-cores; all modes are measured; correctness is covered by go test)\n", f.Name)
@@ -64,19 +73,49 @@ func main() {
 		var coreList []int
 		coreList, err = report.ParseCores(*benchCores)
 		if err == nil {
-			err = bench(*benchJSON, *algoName, *order, *q, coreList, *benchReps, *seed)
+			err = bench(*benchJSON, *algoName, *order, params.Q, coreList, *benchReps, *seed, tun, params)
 		}
-	} else {
+	} else if err == nil {
 		var mode parallel.Mode
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
-			err = run(*algoName, *order, *q, *cores, *verify, *seed, mode)
+			err = run(*algoName, *order, params.Q, *cores, *verify, *seed, mode, tun)
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gemm:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveTuning composes the configuration in the documented order —
+// explicit flags > a host-matched TUNE.json > defaults. The returned
+// Params always carries a concrete block edge (the file's winner only
+// replaces the default when -q was not given).
+func resolveTuning(tunePath, shapeFlag string, lookaheadFlag, qFlag int) (tune.Params, error) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var params tune.Params
+	if tunePath != "" {
+		tf, err := tune.Load(tunePath)
+		if err != nil {
+			return tune.Params{}, err
+		}
+		if !tf.MatchesHost() {
+			fmt.Fprintf(os.Stderr, "gemm: %s was tuned on a different host; ignoring it\n", tunePath)
+		} else if tf.Gemm != nil {
+			params = tf.Gemm.Params
+		}
+	}
+	params = tune.Override{
+		Shape: shapeFlag, ShapeSet: explicit["kernel-shape"],
+		Lookahead: lookaheadFlag, LookaheadSet: explicit["lookahead"],
+		Q: qFlag, QSet: explicit["q"],
+	}.Apply(params)
+	if params.Q == 0 {
+		params.Q = qFlag
+	}
+	return params, nil
 }
 
 // bigMachine models the benchmark host for p cores and block size q:
@@ -116,7 +155,7 @@ func selectAlgos(algoName string) ([]string, error) {
 	return []string{algoName}, nil
 }
 
-func run(algoName string, order, q, cores int, verify bool, seed uint64, mode parallel.Mode) error {
+func run(algoName string, order, q, cores int, verify bool, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
 	names, err := selectAlgos(algoName)
 	if err != nil {
 		return err
@@ -137,7 +176,7 @@ func run(algoName string, order, q, cores int, verify bool, seed uint64, mode pa
 			return err
 		}
 		start := time.Now()
-		if err := parallel.MultiplyMode(name, tr, mach, mode); err != nil {
+		if err := parallel.MultiplyTuned(name, tr, mach, mode, tun); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		elapsed := time.Since(start)
@@ -190,7 +229,7 @@ func measureSequential(order, q int, seed uint64) (time.Duration, error) {
 // shared machines (the traffic counts are deterministic, identical in
 // every repetition; the overlap split is taken from the same fastest
 // repetition).
-func bench(path, algoName string, order, q int, coreList []int, reps int, seed uint64) error {
+func bench(path, algoName string, order, q int, coreList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -267,6 +306,7 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 					team.Close()
 					return err
 				}
+				ex.SetTuning(tun)
 				var elapsed, stageWait, compute time.Duration
 				for i := 0; i < reps; i++ {
 					tr.C.Dense().Zero()
@@ -282,6 +322,8 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 					}
 				}
 				r := rec.Add(name, mode.String(), p, order, q, elapsed)
+				r.KernelShape = params.Shape
+				r.Lookahead = params.Lookahead
 				tra := ex.Traffic()
 				r.MSStageBytes = tra.MS.StageBytes
 				r.MSWriteBackBytes = tra.MS.WriteBackBytes

@@ -7,27 +7,28 @@ import (
 	"testing"
 
 	"repro/internal/parallel"
+	"repro/internal/tune"
 )
 
 func TestRunSmoke(t *testing.T) {
-	if err := run("", 4, 8, 2, true, 1, parallel.ModePacked); err != nil {
+	if err := run("", 4, 8, 2, true, 1, parallel.ModePacked, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("Tradeoff", 4, 8, 2, false, 1, parallel.ModeView); err != nil {
+	if err := run("Tradeoff", 4, 8, 2, false, 1, parallel.ModeView, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
 	// The shared-physical mode must run the whole registry end to end.
-	if err := run("", 4, 8, 2, true, 1, parallel.ModeShared); err != nil {
+	if err := run("", 4, 8, 2, true, 1, parallel.ModeShared, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("nope", 4, 8, 2, false, 1, parallel.ModePacked); err == nil {
+	if err := run("nope", 4, 8, 2, false, 1, parallel.ModePacked, parallel.DefaultTuning); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
 }
 
 func TestBenchSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
-	if err := bench(path, "Tradeoff", 4, 8, []int{1, 2}, 1, 1); err != nil {
+	if err := bench(path, "Tradeoff", 4, 8, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

@@ -38,24 +38,33 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/tune"
 )
 
 func main() {
 	var (
-		n          = flag.Int("n", 512, "matrix order in coefficients")
-		q          = flag.Int("q", 32, "tile size in coefficients")
-		cores      = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
-		modeName   = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
-		verify     = flag.Bool("verify", true, "check |A - L·U| against the input (ignored in benchmark mode)")
-		seed       = flag.Uint64("seed", 1, "input matrix seed")
-		benchJSON  = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
-		benchCores = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
-		benchReps  = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
+		n           = flag.Int("n", 512, "matrix order in coefficients")
+		q           = flag.Int("q", 32, "tile size in coefficients")
+		cores       = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		modeName    = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
+		verify      = flag.Bool("verify", true, "check |A - L·U| against the input (ignored in benchmark mode)")
+		seed        = flag.Uint64("seed", 1, "input matrix seed")
+		benchJSON   = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
+		benchCores  = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
+		benchReps   = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
+		kernelShape = flag.String("kernel-shape", "", "kernel register-blocking shape: 4x4, 8x4 or 8x8 (default: TUNE.json, else 4x4)")
+		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
+		tunePath    = flag.String("tune", "", "load tunables from this TUNE.json when it matches the host; explicit flags win")
 	)
 	flag.Parse()
 
-	var err error
-	if *benchJSON != "" {
+	params, err := resolveTuning(*tunePath, *kernelShape, *lookahead, *q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lufact:", err)
+		os.Exit(1)
+	}
+	tun, err := params.Tuning()
+	if err == nil && *benchJSON != "" {
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "p" || f.Name == "verify" || f.Name == "mode" {
 				fmt.Fprintf(os.Stderr, "lufact: -%s is ignored in benchmark mode (use -bench-cores; all modes are measured; correctness is covered by go test)\n", f.Name)
@@ -64,13 +73,13 @@ func main() {
 		var coreList []int
 		coreList, err = report.ParseCores(*benchCores)
 		if err == nil {
-			err = bench(*benchJSON, *n, *q, coreList, *benchReps, *seed)
+			err = bench(*benchJSON, *n, params.Q, coreList, *benchReps, *seed, tun, params)
 		}
-	} else {
+	} else if err == nil {
 		var mode parallel.Mode
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
-			err = run(*n, *q, *cores, *verify, *seed, mode)
+			err = run(*n, params.Q, *cores, *verify, *seed, mode, tun)
 		}
 	}
 	if err != nil {
@@ -79,13 +88,43 @@ func main() {
 	}
 }
 
+// resolveTuning composes the configuration in the documented order —
+// explicit flags > a host-matched TUNE.json's LU entry > defaults. The
+// returned Params always carries a concrete tile size (the file's
+// winner only replaces the default when -q was not given).
+func resolveTuning(tunePath, shapeFlag string, lookaheadFlag, qFlag int) (tune.Params, error) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var params tune.Params
+	if tunePath != "" {
+		tf, err := tune.Load(tunePath)
+		if err != nil {
+			return tune.Params{}, err
+		}
+		if !tf.MatchesHost() {
+			fmt.Fprintf(os.Stderr, "lufact: %s was tuned on a different host; ignoring it\n", tunePath)
+		} else if tf.LU != nil {
+			params = tf.LU.Params
+		}
+	}
+	params = tune.Override{
+		Shape: shapeFlag, ShapeSet: explicit["kernel-shape"],
+		Lookahead: lookaheadFlag, LookaheadSet: explicit["lookahead"],
+		Q: qFlag, QSet: explicit["q"],
+	}.Apply(params)
+	if params.Q == 0 {
+		params.Q = qFlag
+	}
+	return params, nil
+}
+
 // luFlops is the classical flop count of an unpivoted n×n LU, 2n³/3.
 func luFlops(n int) float64 {
 	fn := float64(n)
 	return 2 * fn * fn * fn / 3
 }
 
-func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode) error {
+func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
 	if n <= 0 || q <= 0 {
 		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
 	}
@@ -119,10 +158,11 @@ func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode) error {
 	defer team.Close()
 	par := orig.Clone()
 	start = time.Now()
-	tra, err := lu.FactorParallelMode(par, q, team, mode, mach)
+	stats, err := lu.FactorParallelTuned(par, q, team, mode, mach, tun)
 	if err != nil {
 		return err
 	}
+	tra := stats.Traffic
 	parTime := time.Since(start)
 	tbl.AddRow(fmt.Sprintf("schedule %v p=%d", mode, cores), parTime.Round(time.Microsecond).String(),
 		fmt.Sprintf("%.2f", luFlops(n)/parTime.Seconds()/1e9), residual(par),
@@ -141,7 +181,7 @@ func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode) error {
 // Every configuration runs reps times and the fastest repetition is
 // recorded (the traffic counts are deterministic, identical in every
 // repetition).
-func bench(path string, n, q int, coreList []int, reps int, seed uint64) error {
+func bench(path string, n, q int, coreList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params) error {
 	if n <= 0 || q <= 0 {
 		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
 	}
@@ -204,7 +244,7 @@ func bench(path string, n, q int, coreList []int, reps int, seed uint64) error {
 					return err
 				}
 				start := time.Now()
-				s, err := lu.FactorParallelStats(work, q, team, mode, mach)
+				s, err := lu.FactorParallelTuned(work, q, team, mode, mach, tun)
 				if err != nil {
 					team.Close()
 					return fmt.Errorf("LU (%v, p=%d): %w", mode, p, err)
@@ -217,6 +257,8 @@ func bench(path string, n, q int, coreList []int, reps int, seed uint64) error {
 			tra := stats.Traffic
 			r := rec.AddOp("LU", mode.String(), p, orderBlocks, q, luFlops(n), elapsed)
 			r.N = n
+			r.KernelShape = params.Shape
+			r.Lookahead = params.Lookahead
 			r.MSStageBytes = tra.MS.StageBytes
 			r.MSWriteBackBytes = tra.MS.WriteBackBytes
 			r.MDStageBytes = tra.MD.StageBytes

@@ -7,26 +7,27 @@ import (
 	"testing"
 
 	"repro/internal/parallel"
+	"repro/internal/tune"
 )
 
 func TestRunSmoke(t *testing.T) {
 	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeView, parallel.ModeShared, parallel.ModeSharedPipelined} {
-		if err := run(48, 8, 2, true, 1, mode); err != nil {
+		if err := run(48, 8, 2, true, 1, mode, parallel.DefaultTuning); err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
 	}
 	// Ragged n mod q ≠ 0 must run end to end too.
-	if err := run(37, 8, 2, true, 1, parallel.ModePacked); err != nil {
+	if err := run(37, 8, 2, true, 1, parallel.ModePacked, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 8, 2, false, 1, parallel.ModePacked); err == nil {
+	if err := run(0, 8, 2, false, 1, parallel.ModePacked, parallel.DefaultTuning); err == nil {
 		t.Fatal("n=0 must fail")
 	}
 }
 
 func TestBenchSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_lu.json")
-	if err := bench(path, 48, 8, []int{1, 2}, 1, 1); err != nil {
+	if err := bench(path, 48, 8, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

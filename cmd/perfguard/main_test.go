@@ -121,3 +121,62 @@ func TestGuardRejectsDegenerateInput(t *testing.T) {
 	}
 	_ = os.Remove(full)
 }
+
+// tunedPair writes a tuned and an untuned record sharing one
+// (algorithm, mode, cores) run — at different block edges, which the
+// tuned join must ignore — and returns both paths.
+func tunedPair(t *testing.T, tunedSecs, defSecs time.Duration) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	tuned := report.NewBench("gemm")
+	r := tuned.Add("Tradeoff", "shared-pipelined", 2, 4, 16, tunedSecs)
+	r.KernelShape = "8x8"
+	r.Lookahead = 2
+	def := report.NewBench("gemm")
+	def.Add("Tradeoff", "shared-pipelined", 2, 8, 8, defSecs)
+	tp := filepath.Join(dir, "tuned.json")
+	dp := filepath.Join(dir, "default.json")
+	if err := tuned.WriteJSONFile(tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := def.WriteJSONFile(dp); err != nil {
+		t.Fatal(err)
+	}
+	return tp, dp
+}
+
+func TestTunedGuardPassesWhenTuningWins(t *testing.T) {
+	tp, dp := tunedPair(t, 80*time.Millisecond, 100*time.Millisecond)
+	var out strings.Builder
+	if err := guardTuned(&out, tp, dp, 0.1); err != nil {
+		t.Fatalf("winning tuning rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "tuned/default") {
+		t.Fatalf("missing ratio lines:\n%s", out.String())
+	}
+}
+
+func TestTunedGuardFailsWhenTuningRegresses(t *testing.T) {
+	tp, dp := tunedPair(t, 200*time.Millisecond, 100*time.Millisecond)
+	if err := guardTuned(io.Discard, tp, dp, 0.25); err == nil {
+		t.Fatal("a tuning 2x slower than the defaults must fail the ratchet")
+	}
+}
+
+func TestTunedGuardRejectsDisjointRecords(t *testing.T) {
+	dir := t.TempDir()
+	a := report.NewBench("gemm")
+	a.Add("Tradeoff", "packed", 2, 8, 8, 10*time.Millisecond)
+	b := report.NewBench("lu")
+	b.Add("LU", "shared", 4, 8, 8, 10*time.Millisecond)
+	ap, bp := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := a.WriteJSONFile(ap); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSONFile(bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardTuned(io.Discard, ap, bp, 0.1); err == nil {
+		t.Fatal("records with no common run must not pass vacuously")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/tune"
+)
+
+func TestParseSweep(t *testing.T) {
+	cfg, err := parseSweep("8, 16", "4x4,8x8", "1,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.qs) != 2 || cfg.qs[1] != 16 {
+		t.Fatalf("qs = %v", cfg.qs)
+	}
+	if len(cfg.shapes) != 2 || cfg.shapes[1] != matrix.Shape8x8 {
+		t.Fatalf("shapes = %v", cfg.shapes)
+	}
+	if len(cfg.lookaheads) != 2 || cfg.lookaheads[1] != 3 {
+		t.Fatalf("lookaheads = %v", cfg.lookaheads)
+	}
+	for _, bad := range [][3]string{
+		{"0", "4x4", "1"},
+		{"8", "9x9", "1"},
+		{"8", "4x4", "0"},
+	} {
+		if _, err := parseSweep(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("parseSweep(%v) must fail", bad)
+		}
+	}
+}
+
+// The sweep itself, at smoke size: every grid point must execute, and
+// the written file must load back, match this host, and carry a winner
+// plus the default baseline for both workloads.
+func TestSweepSmoke(t *testing.T) {
+	cfg, err := parseSweep("8", "4x4,8x4", "1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.algoName, cfg.order, cfg.n = "Shared Opt.", 2, 16
+	cfg.cores, cfg.reps, cfg.seed = 2, 1, 1
+	out := filepath.Join(t.TempDir(), "TUNE.json")
+	if err := runSweep(cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tune.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.MatchesHost() {
+		t.Fatal("freshly swept file must match the sweeping host")
+	}
+	if f.Candidates != 4 || f.Reps != 1 {
+		t.Fatalf("provenance: candidates %d reps %d", f.Candidates, f.Reps)
+	}
+	for name, e := range map[string]*tune.Entry{"gemm": f.Gemm, "lu": f.LU} {
+		if e == nil {
+			t.Fatalf("%s entry missing", name)
+		}
+		if e.GFlops <= 0 || e.BaselineGFlops <= 0 {
+			t.Fatalf("%s entry lacks measurements: %+v", name, e)
+		}
+		if e.GFlops < e.BaselineGFlops {
+			t.Fatalf("%s winner %.3f slower than the default %.3f it competed against", name, e.GFlops, e.BaselineGFlops)
+		}
+		if _, err := e.Tuning(); err != nil {
+			t.Fatalf("%s entry does not resolve: %v", name, err)
+		}
+	}
+}

@@ -257,6 +257,16 @@ func FactorParallelMode(a *matrix.Dense, q int, team *parallel.Team, mode parall
 // profile — the benchmark pipeline uses it to record the stage-wait
 // versus compute split next to the traffic counts.
 func FactorParallelStats(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine) (Stats, error) {
+	return FactorParallelTuned(a, q, team, mode, mach, parallel.DefaultTuning)
+}
+
+// FactorParallelTuned is FactorParallelStats with an explicit tuning
+// (kernel register-blocking shape, pipeline lookahead depth) applied to
+// the executor. Tuning never changes the factored matrix — every kernel
+// shape is pinned bitwise-identical to its reference, so the parallel
+// result stays bitwise equal to the sequential Factor at any setting —
+// only the measured profile.
+func FactorParallelTuned(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine, tun parallel.Tuning) (Stats, error) {
 	if err := check(a, q); err != nil {
 		return Stats{}, err
 	}
@@ -282,6 +292,7 @@ func FactorParallelStats(a *matrix.Dense, q int, team *parallel.Team, mode paral
 	if err != nil {
 		return Stats{}, err
 	}
+	ex.SetTuning(tun)
 	if err := ex.Run(prog); err != nil {
 		return Stats{}, err
 	}

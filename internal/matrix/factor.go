@@ -94,31 +94,77 @@ func TrsmLowerLeftUnit(diag, b *Dense) error {
 }
 
 // MulSubUnrolled computes C -= A×B — the trailing GEMM update of the
-// factorisation — with the i-k-j order and a 4-way unrolled inner loop
-// (MulAddUnrolled has since moved on to a 4×4 register-blocked form;
-// lifting this kernel the same way is a ROADMAP item). The update's
-// flop count is 2·m·n·k regardless of the data.
+// factorisation — as the 4×4 register-blocked twin of MulAddUnrolled
+// and the 4×4 member of the MulSub shape family (see shapes.go): each
+// 4×4 tile of C lives in sixteen scalar accumulators while the k loop
+// streams four A and four B values, so the inner loop carries no C
+// loads or stores. Every C element still subtracts its k products in
+// ascending order starting from the prior C value, so the result is
+// bitwise identical to the plain i-k-j subtract loop this kernel
+// replaced, and the flop count stays exactly 2·m·n·k regardless of the
+// data.
 func MulSubUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
 	}
-	n := b.cols
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.stride : i*a.stride+a.cols]
-		crow := c.data[i*c.stride : i*c.stride+n]
-		for k, av := range arow {
-			brow := b.data[k*b.stride : k*b.stride+n]
-			j := 0
-			for ; j+4 <= n; j += 4 {
-				crow[j] -= av * brow[j]
-				crow[j+1] -= av * brow[j+1]
-				crow[j+2] -= av * brow[j+2]
-				crow[j+3] -= av * brow[j+3]
+	m, n, kk := a.rows, b.cols, a.cols
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a.data[(i+0)*a.stride : (i+0)*a.stride+kk]
+		a1 := a.data[(i+1)*a.stride : (i+1)*a.stride+kk]
+		a2 := a.data[(i+2)*a.stride : (i+2)*a.stride+kk]
+		a3 := a.data[(i+3)*a.stride : (i+3)*a.stride+kk]
+		c0 := c.data[(i+0)*c.stride : (i+0)*c.stride+n]
+		c1 := c.data[(i+1)*c.stride : (i+1)*c.stride+n]
+		c2 := c.data[(i+2)*c.stride : (i+2)*c.stride+n]
+		c3 := c.data[(i+3)*c.stride : (i+3)*c.stride+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			s20, s21, s22, s23 := c2[j], c2[j+1], c2[j+2], c2[j+3]
+			s30, s31, s32, s33 := c3[j], c3[j+1], c3[j+2], c3[j+3]
+			for k := 0; k < kk; k++ {
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				b0, b1, b2, b3 := brow[0], brow[1], brow[2], brow[3]
+				av := a0[k]
+				s00 -= av * b0
+				s01 -= av * b1
+				s02 -= av * b2
+				s03 -= av * b3
+				av = a1[k]
+				s10 -= av * b0
+				s11 -= av * b1
+				s12 -= av * b2
+				s13 -= av * b3
+				av = a2[k]
+				s20 -= av * b0
+				s21 -= av * b1
+				s22 -= av * b2
+				s23 -= av * b3
+				av = a3[k]
+				s30 -= av * b0
+				s31 -= av * b1
+				s32 -= av * b2
+				s33 -= av * b3
 			}
-			for ; j < n; j++ {
-				crow[j] -= av * brow[j]
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+			c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+			c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3 := c0[j], c1[j], c2[j], c3[j]
+			for k := 0; k < kk; k++ {
+				bv := b.data[k*b.stride+j]
+				s0 -= a0[k] * bv
+				s1 -= a1[k] * bv
+				s2 -= a2[k] * bv
+				s3 -= a3[k] * bv
 			}
+			c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
 		}
 	}
+	mulSubRowsFrom(c, a, b, i)
 	return nil
 }

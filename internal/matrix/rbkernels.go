@@ -1,0 +1,569 @@
+package matrix
+
+// Code shape note: the register-blocked GEMM micro-kernels below are
+// mechanical expansions of one template — an mr×nr tile of C held in
+// mr·nr scalar accumulators while the k loop streams mr values of A and
+// nr values of B per iteration. Each C element receives its k products
+// in ascending order starting from the prior C value, exactly like the
+// reference MulAdd/MulSub loops, so every variant is bitwise identical
+// to its reference kernel; only the register-reuse pattern (and hence
+// the speed) differs between shapes. Rows that do not fill an mr block
+// fall through to the shared scalar row tail, which preserves the same
+// per-element order.
+
+// mulAddRowsFrom finishes rows i..m of C += A×B with the scalar row
+// path (4-wide column unrolling, then scalar columns), preserving the
+// reference per-element accumulation order.
+func mulAddRowsFrom(c, a, b *Dense, i int) {
+	m, n, kk := a.rows, b.cols, a.cols
+	for ; i < m; i++ {
+		arow := a.data[i*a.stride : i*a.stride+kk]
+		crow := c.data[i*c.stride : i*c.stride+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := crow[j], crow[j+1], crow[j+2], crow[j+3]
+			for k := 0; k < kk; k++ {
+				av := arow[k]
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				s0 += av * brow[0]
+				s1 += av * brow[1]
+				s2 += av * brow[2]
+				s3 += av * brow[3]
+			}
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			s := crow[j]
+			for k := 0; k < kk; k++ {
+				s += arow[k] * b.data[k*b.stride+j]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// mulSubRowsFrom finishes rows i..m of C -= A×B, mirroring
+// mulAddRowsFrom.
+func mulSubRowsFrom(c, a, b *Dense, i int) {
+	m, n, kk := a.rows, b.cols, a.cols
+	for ; i < m; i++ {
+		arow := a.data[i*a.stride : i*a.stride+kk]
+		crow := c.data[i*c.stride : i*c.stride+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := crow[j], crow[j+1], crow[j+2], crow[j+3]
+			for k := 0; k < kk; k++ {
+				av := arow[k]
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				s0 -= av * brow[0]
+				s1 -= av * brow[1]
+				s2 -= av * brow[2]
+				s3 -= av * brow[3]
+			}
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			s := crow[j]
+			for k := 0; k < kk; k++ {
+				s -= arow[k] * b.data[k*b.stride+j]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// mulAddRB8x4 is the 8×4 member of the MulAdd shape family: eight rows
+// of C per block, four columns, 32 scalar accumulators. See the shape
+// note at the top of this file for the bitwise-equality argument.
+func mulAddRB8x4(c, a, b *Dense) error {
+	if err := checkMul(c, a, b); err != nil {
+		return err
+	}
+	m, n, kk := a.rows, b.cols, a.cols
+	i := 0
+	for ; i+8 <= m; i += 8 {
+		a0 := a.data[(i+0)*a.stride : (i+0)*a.stride+kk]
+		a1 := a.data[(i+1)*a.stride : (i+1)*a.stride+kk]
+		a2 := a.data[(i+2)*a.stride : (i+2)*a.stride+kk]
+		a3 := a.data[(i+3)*a.stride : (i+3)*a.stride+kk]
+		a4 := a.data[(i+4)*a.stride : (i+4)*a.stride+kk]
+		a5 := a.data[(i+5)*a.stride : (i+5)*a.stride+kk]
+		a6 := a.data[(i+6)*a.stride : (i+6)*a.stride+kk]
+		a7 := a.data[(i+7)*a.stride : (i+7)*a.stride+kk]
+		c0 := c.data[(i+0)*c.stride : (i+0)*c.stride+n]
+		c1 := c.data[(i+1)*c.stride : (i+1)*c.stride+n]
+		c2 := c.data[(i+2)*c.stride : (i+2)*c.stride+n]
+		c3 := c.data[(i+3)*c.stride : (i+3)*c.stride+n]
+		c4 := c.data[(i+4)*c.stride : (i+4)*c.stride+n]
+		c5 := c.data[(i+5)*c.stride : (i+5)*c.stride+n]
+		c6 := c.data[(i+6)*c.stride : (i+6)*c.stride+n]
+		c7 := c.data[(i+7)*c.stride : (i+7)*c.stride+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			s20, s21, s22, s23 := c2[j], c2[j+1], c2[j+2], c2[j+3]
+			s30, s31, s32, s33 := c3[j], c3[j+1], c3[j+2], c3[j+3]
+			s40, s41, s42, s43 := c4[j], c4[j+1], c4[j+2], c4[j+3]
+			s50, s51, s52, s53 := c5[j], c5[j+1], c5[j+2], c5[j+3]
+			s60, s61, s62, s63 := c6[j], c6[j+1], c6[j+2], c6[j+3]
+			s70, s71, s72, s73 := c7[j], c7[j+1], c7[j+2], c7[j+3]
+			for k := 0; k < kk; k++ {
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				b0, b1, b2, b3 := brow[0], brow[1], brow[2], brow[3]
+				av := a0[k]
+				s00 += av * b0
+				s01 += av * b1
+				s02 += av * b2
+				s03 += av * b3
+				av = a1[k]
+				s10 += av * b0
+				s11 += av * b1
+				s12 += av * b2
+				s13 += av * b3
+				av = a2[k]
+				s20 += av * b0
+				s21 += av * b1
+				s22 += av * b2
+				s23 += av * b3
+				av = a3[k]
+				s30 += av * b0
+				s31 += av * b1
+				s32 += av * b2
+				s33 += av * b3
+				av = a4[k]
+				s40 += av * b0
+				s41 += av * b1
+				s42 += av * b2
+				s43 += av * b3
+				av = a5[k]
+				s50 += av * b0
+				s51 += av * b1
+				s52 += av * b2
+				s53 += av * b3
+				av = a6[k]
+				s60 += av * b0
+				s61 += av * b1
+				s62 += av * b2
+				s63 += av * b3
+				av = a7[k]
+				s70 += av * b0
+				s71 += av * b1
+				s72 += av * b2
+				s73 += av * b3
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+			c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+			c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+			c4[j], c4[j+1], c4[j+2], c4[j+3] = s40, s41, s42, s43
+			c5[j], c5[j+1], c5[j+2], c5[j+3] = s50, s51, s52, s53
+			c6[j], c6[j+1], c6[j+2], c6[j+3] = s60, s61, s62, s63
+			c7[j], c7[j+1], c7[j+2], c7[j+3] = s70, s71, s72, s73
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3, s4, s5, s6, s7 := c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j]
+			for k := 0; k < kk; k++ {
+				bv := b.data[k*b.stride+j]
+				s0 += a0[k] * bv
+				s1 += a1[k] * bv
+				s2 += a2[k] * bv
+				s3 += a3[k] * bv
+				s4 += a4[k] * bv
+				s5 += a5[k] * bv
+				s6 += a6[k] * bv
+				s7 += a7[k] * bv
+			}
+			c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j] = s0, s1, s2, s3, s4, s5, s6, s7
+		}
+	}
+	mulAddRowsFrom(c, a, b, i)
+	return nil
+}
+
+// mulSubRB8x4 is the 8×4 member of the MulSub shape family (C -= A×B).
+func mulSubRB8x4(c, a, b *Dense) error {
+	if err := checkMul(c, a, b); err != nil {
+		return err
+	}
+	m, n, kk := a.rows, b.cols, a.cols
+	i := 0
+	for ; i+8 <= m; i += 8 {
+		a0 := a.data[(i+0)*a.stride : (i+0)*a.stride+kk]
+		a1 := a.data[(i+1)*a.stride : (i+1)*a.stride+kk]
+		a2 := a.data[(i+2)*a.stride : (i+2)*a.stride+kk]
+		a3 := a.data[(i+3)*a.stride : (i+3)*a.stride+kk]
+		a4 := a.data[(i+4)*a.stride : (i+4)*a.stride+kk]
+		a5 := a.data[(i+5)*a.stride : (i+5)*a.stride+kk]
+		a6 := a.data[(i+6)*a.stride : (i+6)*a.stride+kk]
+		a7 := a.data[(i+7)*a.stride : (i+7)*a.stride+kk]
+		c0 := c.data[(i+0)*c.stride : (i+0)*c.stride+n]
+		c1 := c.data[(i+1)*c.stride : (i+1)*c.stride+n]
+		c2 := c.data[(i+2)*c.stride : (i+2)*c.stride+n]
+		c3 := c.data[(i+3)*c.stride : (i+3)*c.stride+n]
+		c4 := c.data[(i+4)*c.stride : (i+4)*c.stride+n]
+		c5 := c.data[(i+5)*c.stride : (i+5)*c.stride+n]
+		c6 := c.data[(i+6)*c.stride : (i+6)*c.stride+n]
+		c7 := c.data[(i+7)*c.stride : (i+7)*c.stride+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			s20, s21, s22, s23 := c2[j], c2[j+1], c2[j+2], c2[j+3]
+			s30, s31, s32, s33 := c3[j], c3[j+1], c3[j+2], c3[j+3]
+			s40, s41, s42, s43 := c4[j], c4[j+1], c4[j+2], c4[j+3]
+			s50, s51, s52, s53 := c5[j], c5[j+1], c5[j+2], c5[j+3]
+			s60, s61, s62, s63 := c6[j], c6[j+1], c6[j+2], c6[j+3]
+			s70, s71, s72, s73 := c7[j], c7[j+1], c7[j+2], c7[j+3]
+			for k := 0; k < kk; k++ {
+				brow := b.data[k*b.stride+j : k*b.stride+j+4 : k*b.stride+j+4]
+				b0, b1, b2, b3 := brow[0], brow[1], brow[2], brow[3]
+				av := a0[k]
+				s00 -= av * b0
+				s01 -= av * b1
+				s02 -= av * b2
+				s03 -= av * b3
+				av = a1[k]
+				s10 -= av * b0
+				s11 -= av * b1
+				s12 -= av * b2
+				s13 -= av * b3
+				av = a2[k]
+				s20 -= av * b0
+				s21 -= av * b1
+				s22 -= av * b2
+				s23 -= av * b3
+				av = a3[k]
+				s30 -= av * b0
+				s31 -= av * b1
+				s32 -= av * b2
+				s33 -= av * b3
+				av = a4[k]
+				s40 -= av * b0
+				s41 -= av * b1
+				s42 -= av * b2
+				s43 -= av * b3
+				av = a5[k]
+				s50 -= av * b0
+				s51 -= av * b1
+				s52 -= av * b2
+				s53 -= av * b3
+				av = a6[k]
+				s60 -= av * b0
+				s61 -= av * b1
+				s62 -= av * b2
+				s63 -= av * b3
+				av = a7[k]
+				s70 -= av * b0
+				s71 -= av * b1
+				s72 -= av * b2
+				s73 -= av * b3
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+			c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+			c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+			c4[j], c4[j+1], c4[j+2], c4[j+3] = s40, s41, s42, s43
+			c5[j], c5[j+1], c5[j+2], c5[j+3] = s50, s51, s52, s53
+			c6[j], c6[j+1], c6[j+2], c6[j+3] = s60, s61, s62, s63
+			c7[j], c7[j+1], c7[j+2], c7[j+3] = s70, s71, s72, s73
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3, s4, s5, s6, s7 := c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j]
+			for k := 0; k < kk; k++ {
+				bv := b.data[k*b.stride+j]
+				s0 -= a0[k] * bv
+				s1 -= a1[k] * bv
+				s2 -= a2[k] * bv
+				s3 -= a3[k] * bv
+				s4 -= a4[k] * bv
+				s5 -= a5[k] * bv
+				s6 -= a6[k] * bv
+				s7 -= a7[k] * bv
+			}
+			c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j] = s0, s1, s2, s3, s4, s5, s6, s7
+		}
+	}
+	mulSubRowsFrom(c, a, b, i)
+	return nil
+}
+
+// mulAddRB8x8 is the 8×8 member of the MulAdd shape family: a full
+// 64-accumulator tile. Whether 64 live scalars enregister is exactly
+// the kind of machine question cmd/tune answers empirically.
+func mulAddRB8x8(c, a, b *Dense) error {
+	if err := checkMul(c, a, b); err != nil {
+		return err
+	}
+	m, n, kk := a.rows, b.cols, a.cols
+	i := 0
+	for ; i+8 <= m; i += 8 {
+		a0 := a.data[(i+0)*a.stride : (i+0)*a.stride+kk]
+		a1 := a.data[(i+1)*a.stride : (i+1)*a.stride+kk]
+		a2 := a.data[(i+2)*a.stride : (i+2)*a.stride+kk]
+		a3 := a.data[(i+3)*a.stride : (i+3)*a.stride+kk]
+		a4 := a.data[(i+4)*a.stride : (i+4)*a.stride+kk]
+		a5 := a.data[(i+5)*a.stride : (i+5)*a.stride+kk]
+		a6 := a.data[(i+6)*a.stride : (i+6)*a.stride+kk]
+		a7 := a.data[(i+7)*a.stride : (i+7)*a.stride+kk]
+		c0 := c.data[(i+0)*c.stride : (i+0)*c.stride+n]
+		c1 := c.data[(i+1)*c.stride : (i+1)*c.stride+n]
+		c2 := c.data[(i+2)*c.stride : (i+2)*c.stride+n]
+		c3 := c.data[(i+3)*c.stride : (i+3)*c.stride+n]
+		c4 := c.data[(i+4)*c.stride : (i+4)*c.stride+n]
+		c5 := c.data[(i+5)*c.stride : (i+5)*c.stride+n]
+		c6 := c.data[(i+6)*c.stride : (i+6)*c.stride+n]
+		c7 := c.data[(i+7)*c.stride : (i+7)*c.stride+n]
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			s00, s01, s02, s03, s04, s05, s06, s07 := c0[j], c0[j+1], c0[j+2], c0[j+3], c0[j+4], c0[j+5], c0[j+6], c0[j+7]
+			s10, s11, s12, s13, s14, s15, s16, s17 := c1[j], c1[j+1], c1[j+2], c1[j+3], c1[j+4], c1[j+5], c1[j+6], c1[j+7]
+			s20, s21, s22, s23, s24, s25, s26, s27 := c2[j], c2[j+1], c2[j+2], c2[j+3], c2[j+4], c2[j+5], c2[j+6], c2[j+7]
+			s30, s31, s32, s33, s34, s35, s36, s37 := c3[j], c3[j+1], c3[j+2], c3[j+3], c3[j+4], c3[j+5], c3[j+6], c3[j+7]
+			s40, s41, s42, s43, s44, s45, s46, s47 := c4[j], c4[j+1], c4[j+2], c4[j+3], c4[j+4], c4[j+5], c4[j+6], c4[j+7]
+			s50, s51, s52, s53, s54, s55, s56, s57 := c5[j], c5[j+1], c5[j+2], c5[j+3], c5[j+4], c5[j+5], c5[j+6], c5[j+7]
+			s60, s61, s62, s63, s64, s65, s66, s67 := c6[j], c6[j+1], c6[j+2], c6[j+3], c6[j+4], c6[j+5], c6[j+6], c6[j+7]
+			s70, s71, s72, s73, s74, s75, s76, s77 := c7[j], c7[j+1], c7[j+2], c7[j+3], c7[j+4], c7[j+5], c7[j+6], c7[j+7]
+			for k := 0; k < kk; k++ {
+				brow := b.data[k*b.stride+j : k*b.stride+j+8 : k*b.stride+j+8]
+				b0, b1, b2, b3, b4, b5, b6, b7 := brow[0], brow[1], brow[2], brow[3], brow[4], brow[5], brow[6], brow[7]
+				av := a0[k]
+				s00 += av * b0
+				s01 += av * b1
+				s02 += av * b2
+				s03 += av * b3
+				s04 += av * b4
+				s05 += av * b5
+				s06 += av * b6
+				s07 += av * b7
+				av = a1[k]
+				s10 += av * b0
+				s11 += av * b1
+				s12 += av * b2
+				s13 += av * b3
+				s14 += av * b4
+				s15 += av * b5
+				s16 += av * b6
+				s17 += av * b7
+				av = a2[k]
+				s20 += av * b0
+				s21 += av * b1
+				s22 += av * b2
+				s23 += av * b3
+				s24 += av * b4
+				s25 += av * b5
+				s26 += av * b6
+				s27 += av * b7
+				av = a3[k]
+				s30 += av * b0
+				s31 += av * b1
+				s32 += av * b2
+				s33 += av * b3
+				s34 += av * b4
+				s35 += av * b5
+				s36 += av * b6
+				s37 += av * b7
+				av = a4[k]
+				s40 += av * b0
+				s41 += av * b1
+				s42 += av * b2
+				s43 += av * b3
+				s44 += av * b4
+				s45 += av * b5
+				s46 += av * b6
+				s47 += av * b7
+				av = a5[k]
+				s50 += av * b0
+				s51 += av * b1
+				s52 += av * b2
+				s53 += av * b3
+				s54 += av * b4
+				s55 += av * b5
+				s56 += av * b6
+				s57 += av * b7
+				av = a6[k]
+				s60 += av * b0
+				s61 += av * b1
+				s62 += av * b2
+				s63 += av * b3
+				s64 += av * b4
+				s65 += av * b5
+				s66 += av * b6
+				s67 += av * b7
+				av = a7[k]
+				s70 += av * b0
+				s71 += av * b1
+				s72 += av * b2
+				s73 += av * b3
+				s74 += av * b4
+				s75 += av * b5
+				s76 += av * b6
+				s77 += av * b7
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3], c0[j+4], c0[j+5], c0[j+6], c0[j+7] = s00, s01, s02, s03, s04, s05, s06, s07
+			c1[j], c1[j+1], c1[j+2], c1[j+3], c1[j+4], c1[j+5], c1[j+6], c1[j+7] = s10, s11, s12, s13, s14, s15, s16, s17
+			c2[j], c2[j+1], c2[j+2], c2[j+3], c2[j+4], c2[j+5], c2[j+6], c2[j+7] = s20, s21, s22, s23, s24, s25, s26, s27
+			c3[j], c3[j+1], c3[j+2], c3[j+3], c3[j+4], c3[j+5], c3[j+6], c3[j+7] = s30, s31, s32, s33, s34, s35, s36, s37
+			c4[j], c4[j+1], c4[j+2], c4[j+3], c4[j+4], c4[j+5], c4[j+6], c4[j+7] = s40, s41, s42, s43, s44, s45, s46, s47
+			c5[j], c5[j+1], c5[j+2], c5[j+3], c5[j+4], c5[j+5], c5[j+6], c5[j+7] = s50, s51, s52, s53, s54, s55, s56, s57
+			c6[j], c6[j+1], c6[j+2], c6[j+3], c6[j+4], c6[j+5], c6[j+6], c6[j+7] = s60, s61, s62, s63, s64, s65, s66, s67
+			c7[j], c7[j+1], c7[j+2], c7[j+3], c7[j+4], c7[j+5], c7[j+6], c7[j+7] = s70, s71, s72, s73, s74, s75, s76, s77
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3, s4, s5, s6, s7 := c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j]
+			for k := 0; k < kk; k++ {
+				bv := b.data[k*b.stride+j]
+				s0 += a0[k] * bv
+				s1 += a1[k] * bv
+				s2 += a2[k] * bv
+				s3 += a3[k] * bv
+				s4 += a4[k] * bv
+				s5 += a5[k] * bv
+				s6 += a6[k] * bv
+				s7 += a7[k] * bv
+			}
+			c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j] = s0, s1, s2, s3, s4, s5, s6, s7
+		}
+	}
+	mulAddRowsFrom(c, a, b, i)
+	return nil
+}
+
+// mulSubRB8x8 is the 8×8 member of the MulSub shape family (C -= A×B).
+func mulSubRB8x8(c, a, b *Dense) error {
+	if err := checkMul(c, a, b); err != nil {
+		return err
+	}
+	m, n, kk := a.rows, b.cols, a.cols
+	i := 0
+	for ; i+8 <= m; i += 8 {
+		a0 := a.data[(i+0)*a.stride : (i+0)*a.stride+kk]
+		a1 := a.data[(i+1)*a.stride : (i+1)*a.stride+kk]
+		a2 := a.data[(i+2)*a.stride : (i+2)*a.stride+kk]
+		a3 := a.data[(i+3)*a.stride : (i+3)*a.stride+kk]
+		a4 := a.data[(i+4)*a.stride : (i+4)*a.stride+kk]
+		a5 := a.data[(i+5)*a.stride : (i+5)*a.stride+kk]
+		a6 := a.data[(i+6)*a.stride : (i+6)*a.stride+kk]
+		a7 := a.data[(i+7)*a.stride : (i+7)*a.stride+kk]
+		c0 := c.data[(i+0)*c.stride : (i+0)*c.stride+n]
+		c1 := c.data[(i+1)*c.stride : (i+1)*c.stride+n]
+		c2 := c.data[(i+2)*c.stride : (i+2)*c.stride+n]
+		c3 := c.data[(i+3)*c.stride : (i+3)*c.stride+n]
+		c4 := c.data[(i+4)*c.stride : (i+4)*c.stride+n]
+		c5 := c.data[(i+5)*c.stride : (i+5)*c.stride+n]
+		c6 := c.data[(i+6)*c.stride : (i+6)*c.stride+n]
+		c7 := c.data[(i+7)*c.stride : (i+7)*c.stride+n]
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			s00, s01, s02, s03, s04, s05, s06, s07 := c0[j], c0[j+1], c0[j+2], c0[j+3], c0[j+4], c0[j+5], c0[j+6], c0[j+7]
+			s10, s11, s12, s13, s14, s15, s16, s17 := c1[j], c1[j+1], c1[j+2], c1[j+3], c1[j+4], c1[j+5], c1[j+6], c1[j+7]
+			s20, s21, s22, s23, s24, s25, s26, s27 := c2[j], c2[j+1], c2[j+2], c2[j+3], c2[j+4], c2[j+5], c2[j+6], c2[j+7]
+			s30, s31, s32, s33, s34, s35, s36, s37 := c3[j], c3[j+1], c3[j+2], c3[j+3], c3[j+4], c3[j+5], c3[j+6], c3[j+7]
+			s40, s41, s42, s43, s44, s45, s46, s47 := c4[j], c4[j+1], c4[j+2], c4[j+3], c4[j+4], c4[j+5], c4[j+6], c4[j+7]
+			s50, s51, s52, s53, s54, s55, s56, s57 := c5[j], c5[j+1], c5[j+2], c5[j+3], c5[j+4], c5[j+5], c5[j+6], c5[j+7]
+			s60, s61, s62, s63, s64, s65, s66, s67 := c6[j], c6[j+1], c6[j+2], c6[j+3], c6[j+4], c6[j+5], c6[j+6], c6[j+7]
+			s70, s71, s72, s73, s74, s75, s76, s77 := c7[j], c7[j+1], c7[j+2], c7[j+3], c7[j+4], c7[j+5], c7[j+6], c7[j+7]
+			for k := 0; k < kk; k++ {
+				brow := b.data[k*b.stride+j : k*b.stride+j+8 : k*b.stride+j+8]
+				b0, b1, b2, b3, b4, b5, b6, b7 := brow[0], brow[1], brow[2], brow[3], brow[4], brow[5], brow[6], brow[7]
+				av := a0[k]
+				s00 -= av * b0
+				s01 -= av * b1
+				s02 -= av * b2
+				s03 -= av * b3
+				s04 -= av * b4
+				s05 -= av * b5
+				s06 -= av * b6
+				s07 -= av * b7
+				av = a1[k]
+				s10 -= av * b0
+				s11 -= av * b1
+				s12 -= av * b2
+				s13 -= av * b3
+				s14 -= av * b4
+				s15 -= av * b5
+				s16 -= av * b6
+				s17 -= av * b7
+				av = a2[k]
+				s20 -= av * b0
+				s21 -= av * b1
+				s22 -= av * b2
+				s23 -= av * b3
+				s24 -= av * b4
+				s25 -= av * b5
+				s26 -= av * b6
+				s27 -= av * b7
+				av = a3[k]
+				s30 -= av * b0
+				s31 -= av * b1
+				s32 -= av * b2
+				s33 -= av * b3
+				s34 -= av * b4
+				s35 -= av * b5
+				s36 -= av * b6
+				s37 -= av * b7
+				av = a4[k]
+				s40 -= av * b0
+				s41 -= av * b1
+				s42 -= av * b2
+				s43 -= av * b3
+				s44 -= av * b4
+				s45 -= av * b5
+				s46 -= av * b6
+				s47 -= av * b7
+				av = a5[k]
+				s50 -= av * b0
+				s51 -= av * b1
+				s52 -= av * b2
+				s53 -= av * b3
+				s54 -= av * b4
+				s55 -= av * b5
+				s56 -= av * b6
+				s57 -= av * b7
+				av = a6[k]
+				s60 -= av * b0
+				s61 -= av * b1
+				s62 -= av * b2
+				s63 -= av * b3
+				s64 -= av * b4
+				s65 -= av * b5
+				s66 -= av * b6
+				s67 -= av * b7
+				av = a7[k]
+				s70 -= av * b0
+				s71 -= av * b1
+				s72 -= av * b2
+				s73 -= av * b3
+				s74 -= av * b4
+				s75 -= av * b5
+				s76 -= av * b6
+				s77 -= av * b7
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3], c0[j+4], c0[j+5], c0[j+6], c0[j+7] = s00, s01, s02, s03, s04, s05, s06, s07
+			c1[j], c1[j+1], c1[j+2], c1[j+3], c1[j+4], c1[j+5], c1[j+6], c1[j+7] = s10, s11, s12, s13, s14, s15, s16, s17
+			c2[j], c2[j+1], c2[j+2], c2[j+3], c2[j+4], c2[j+5], c2[j+6], c2[j+7] = s20, s21, s22, s23, s24, s25, s26, s27
+			c3[j], c3[j+1], c3[j+2], c3[j+3], c3[j+4], c3[j+5], c3[j+6], c3[j+7] = s30, s31, s32, s33, s34, s35, s36, s37
+			c4[j], c4[j+1], c4[j+2], c4[j+3], c4[j+4], c4[j+5], c4[j+6], c4[j+7] = s40, s41, s42, s43, s44, s45, s46, s47
+			c5[j], c5[j+1], c5[j+2], c5[j+3], c5[j+4], c5[j+5], c5[j+6], c5[j+7] = s50, s51, s52, s53, s54, s55, s56, s57
+			c6[j], c6[j+1], c6[j+2], c6[j+3], c6[j+4], c6[j+5], c6[j+6], c6[j+7] = s60, s61, s62, s63, s64, s65, s66, s67
+			c7[j], c7[j+1], c7[j+2], c7[j+3], c7[j+4], c7[j+5], c7[j+6], c7[j+7] = s70, s71, s72, s73, s74, s75, s76, s77
+		}
+		for ; j < n; j++ {
+			s0, s1, s2, s3, s4, s5, s6, s7 := c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j]
+			for k := 0; k < kk; k++ {
+				bv := b.data[k*b.stride+j]
+				s0 -= a0[k] * bv
+				s1 -= a1[k] * bv
+				s2 -= a2[k] * bv
+				s3 -= a3[k] * bv
+				s4 -= a4[k] * bv
+				s5 -= a5[k] * bv
+				s6 -= a6[k] * bv
+				s7 -= a7[k] * bv
+			}
+			c0[j], c1[j], c2[j], c3[j], c4[j], c5[j], c6[j], c7[j] = s0, s1, s2, s3, s4, s5, s6, s7
+		}
+	}
+	mulSubRowsFrom(c, a, b, i)
+	return nil
+}

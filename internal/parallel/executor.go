@@ -170,6 +170,13 @@ type Executor struct {
 	validatedStaging bool
 	plan             *schedule.PipelinePlan
 	recorded         [][][]execOp
+
+	// kernels selects the register-blocking shape the kernel dispatch
+	// uses; its zero value is the historical 4×4 family. lookahead is
+	// the pipeline planning depth of ModeSharedPipelined (0 means the
+	// default depth 1). Both are tunables — see SetTuning and cmd/tune.
+	kernels   matrix.KernelConfig
+	lookahead int
 }
 
 // Executor is the real backend of the schedule IR.
@@ -579,15 +586,15 @@ func (ex *Executor) apply(ar *Arena, op execOp) error {
 	}
 	switch op.kernel {
 	case schedule.MulAdd:
-		return matrix.MulAddUnrolled(dest, srcs[0], srcs[1])
+		return ex.kernels.MulAdd(dest, srcs[0], srcs[1])
 	case schedule.MulSub:
-		return matrix.MulSubUnrolled(dest, srcs[0], srcs[1])
+		return ex.kernels.MulSub(dest, srcs[0], srcs[1])
 	case schedule.FactorTile:
-		return matrix.FactorTile(dest)
+		return ex.kernels.FactorTile(dest)
 	case schedule.TrsmLowerLeftUnit:
-		return matrix.TrsmLowerLeftUnit(srcs[0], dest)
+		return ex.kernels.TrsmLowerLeftUnit(srcs[0], dest)
 	case schedule.TrsmUpperRight:
-		return matrix.TrsmUpperRight(srcs[0], dest)
+		return ex.kernels.TrsmUpperRight(srcs[0], dest)
 	default:
 		return fmt.Errorf("parallel: no executor dispatch for kernel %v", op.kernel)
 	}
@@ -655,9 +662,9 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 			ex.recorded = nil
 			if ex.staging && ex.mode == ModeSharedPipelined {
 				// The region lookahead phases every staging gap and proves
-				// the 2-region footprint and the inclusion discipline
+				// the overlapped footprint and the inclusion discipline
 				// before the stager is allowed to reorder anything.
-				plan, err := schedule.PlanPipeline(prog, ex.sharedBlocks)
+				plan, err := schedule.PlanPipelineDepth(prog, ex.sharedBlocks, ex.lookaheadDepth())
 				if err != nil {
 					return fmt.Errorf("parallel: program %q: %w", prog.Algorithm, err)
 				}

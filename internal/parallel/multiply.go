@@ -43,6 +43,25 @@ func Execute(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *sc
 
 // ExecuteMode is Execute with an explicit executor mode.
 func ExecuteMode(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *schedule.Probe, mode Mode) error {
+	return ExecuteTuned(a, t, mach, probe, mode, DefaultTuning)
+}
+
+// MultiplyTuned is MultiplyMode with an explicit tuning: the kernel
+// register-blocking shape and (in ModeSharedPipelined) the pipeline
+// lookahead depth. The zero Tuning reproduces MultiplyMode exactly.
+func MultiplyTuned(name string, t *matrix.Triple, mach machine.Machine, mode Mode, tun Tuning) error {
+	a, err := algo.ByName(name)
+	if err != nil {
+		return err
+	}
+	return ExecuteTuned(a, t, mach, nil, mode, tun)
+}
+
+// ExecuteTuned is ExecuteMode with an explicit tuning, applied to the
+// executor before the program runs. Tuning cannot change a result —
+// every kernel shape is pinned bitwise-identical to its reference and
+// the pipeline plan is re-verified at every lookahead — only timing.
+func ExecuteTuned(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe *schedule.Probe, mode Mode, tun Tuning) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
@@ -63,6 +82,7 @@ func ExecuteMode(a algo.Algorithm, t *matrix.Triple, mach machine.Machine, probe
 	if err != nil {
 		return err
 	}
+	ex.SetTuning(tun)
 	return ex.Run(prog)
 }
 

@@ -19,9 +19,10 @@ import (
 // must stay on the critical path — this is the run's StageWait), hands
 // the region to the workers with Team.Launch, and becomes the stager
 // for the duration of the region: it retires the gap's trailing
-// write-backs (Retire) and prefetches region r+1's stages (Hoist) into
-// spare shared slots while the workers compute, then joins the team.
-// After the last region the plan's Tail drains the shared level.
+// write-backs (Retire) and runs the region's Prefetch list — stages
+// for gaps up to the plan's lookahead Depth ahead — into spare shared
+// slots while the workers compute, then joins the team. After the last
+// region the plan's Tail drains the shared level.
 //
 // The hand-off protocol is the region epoch itself: every reordered
 // operation runs strictly between one Launch and its join, and the plan
@@ -150,8 +151,8 @@ func (ex *Executor) runPipelined(prog *schedule.Program) error {
 				break
 			}
 		}
-		if stageErr == nil && r+1 < len(regions) {
-			for _, l := range plan.Regions[r+1].Hoist {
+		if stageErr == nil {
+			for _, l := range reg.Prefetch {
 				if stageErr = ex.stageShared(l); stageErr != nil {
 					break
 				}

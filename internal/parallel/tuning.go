@@ -1,0 +1,50 @@
+package parallel
+
+import "repro/internal/matrix"
+
+// Tuning bundles the executor's machine-local tunables: the kernel
+// register-blocking shape and the pipeline lookahead depth. The zero
+// value reproduces the untuned executor exactly — 4×4 kernels, depth-1
+// lookahead — so every existing call site keeps its behaviour until it
+// opts in. cmd/tune sweeps these knobs and TUNE.json persists the
+// winner; none of them can change a result, only its timing, because
+// every kernel shape is pinned bitwise-identical to its reference and
+// the pipeline plan is re-verified at every depth.
+type Tuning struct {
+	// Kernels selects the register-blocking shape family.
+	Kernels matrix.KernelConfig
+	// Lookahead is the pipeline planning depth k of ModeSharedPipelined:
+	// a stage may prefetch up to k regions ahead of its gap. 0 means the
+	// default depth 1; other modes ignore it.
+	Lookahead int
+}
+
+// DefaultTuning is the untuned configuration.
+var DefaultTuning = Tuning{}
+
+// SetTuning reconfigures the executor's tunables. It invalidates the
+// validated-program cache (and with it the cached pipeline plan and
+// recording), because a new lookahead needs a new plan; the next Run
+// re-validates.
+func (ex *Executor) SetTuning(t Tuning) {
+	ex.kernels = t.Kernels
+	ex.lookahead = t.Lookahead
+	ex.validated = nil
+	ex.validatedStaging = false
+	ex.plan = nil
+	ex.recorded = nil
+}
+
+// Tuning returns the executor's current tunables.
+func (ex *Executor) Tuning() Tuning {
+	return Tuning{Kernels: ex.kernels, Lookahead: ex.lookahead}
+}
+
+// lookaheadDepth resolves the planning depth: the zero value means the
+// classic depth-1 double buffer.
+func (ex *Executor) lookaheadDepth() int {
+	if ex.lookahead < 1 {
+		return 1
+	}
+	return ex.lookahead
+}

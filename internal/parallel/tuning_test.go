@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/matrix"
+)
+
+// tunedRun executes one algorithm on a fresh deterministic triple with
+// the given tuning and returns the resulting C plus the run's physical
+// traffic.
+func tunedRun(t *testing.T, a algo.Algorithm, dims [3]int, q int, mode Mode, tun Tuning) (*matrix.Dense, Traffic) {
+	t.Helper()
+	mach := testMachine(4)
+	mach.Q = q
+	tr, err := matrix.NewTripleDims(dims[0], dims[1], dims[2], q, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, z := tr.Dims()
+	prog, err := a.Schedule(mach, algo.Workload{M: m, N: n, Z: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	ex, err := NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetTuning(tun)
+	if err := ex.Run(prog); err != nil {
+		t.Fatalf("%s mode %v tuning %+v: %v", a.Name(), mode, tun, err)
+	}
+	return tr.C.Dense().Clone(), ex.Traffic()
+}
+
+// TestKernelDispatchShapesBitwise pins the whole tuning surface to the
+// untuned executor: for every kernel register-blocking shape, every
+// execution mode produces a bitwise-identical C and moves exactly the
+// same physical traffic — the shape can change timing only.
+func TestKernelDispatchShapesBitwise(t *testing.T) {
+	a, err := algo.ByName("Shared Opt.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dims [3]int
+		q    int
+	}{
+		{[3]int{13, 7, 11}, 4}, // ragged blocks exercise every kernel tail
+		{[3]int{16, 16, 16}, 8},
+	}
+	for _, tc := range cases {
+		for _, mode := range []Mode{ModePacked, ModeShared, ModeSharedPipelined} {
+			base, baseTraffic := tunedRun(t, a, tc.dims, tc.q, mode, DefaultTuning)
+			for _, sh := range matrix.Shapes() {
+				tun := Tuning{Kernels: matrix.KernelConfig{Shape: sh}}
+				got, traffic := tunedRun(t, a, tc.dims, tc.q, mode, tun)
+				if d := base.MaxAbsDiff(got); d != 0 {
+					t.Errorf("dims %v q %d mode %v shape %s: result differs from default by %g",
+						tc.dims, tc.q, mode, sh, d)
+				}
+				if traffic != baseTraffic {
+					t.Errorf("dims %v q %d mode %v shape %s: traffic %+v, default moved %+v",
+						tc.dims, tc.q, mode, sh, traffic, baseTraffic)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelDispatchLookaheadEquivalence runs ModeSharedPipelined at
+// lookahead depths 1–3 (crossed with the largest kernel shape) and pins
+// every run bitwise and traffic-equal to the serial ModeShared
+// execution: deeper prefetching reorders staging against compute but
+// must move the same blocks and compute the same numbers.
+func TestKernelDispatchLookaheadEquivalence(t *testing.T) {
+	a, err := algo.ByName("Shared Opt.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := [3]int{13, 7, 11}
+	const q = 4
+	base, baseTraffic := tunedRun(t, a, dims, q, ModeShared, DefaultTuning)
+	for k := 1; k <= 3; k++ {
+		for _, sh := range []matrix.Shape{matrix.Shape4x4, matrix.Shape8x8} {
+			tun := Tuning{Kernels: matrix.KernelConfig{Shape: sh}, Lookahead: k}
+			got, traffic := tunedRun(t, a, dims, q, ModeSharedPipelined, tun)
+			if d := base.MaxAbsDiff(got); d != 0 {
+				t.Errorf("lookahead %d shape %s: pipelined result differs from ModeShared by %g", k, sh, d)
+			}
+			if traffic != baseTraffic {
+				t.Errorf("lookahead %d shape %s: traffic %+v, ModeShared moved %+v", k, sh, traffic, baseTraffic)
+			}
+		}
+	}
+}
+
+// TestKernelDispatchTuningResets verifies SetTuning invalidates the
+// cached plan: one executor re-tuned between runs must keep producing
+// the untuned result (Run re-validates and re-plans at the new depth).
+func TestKernelDispatchTuningResets(t *testing.T) {
+	a, err := algo.ByName("Shared Opt.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := [3]int{13, 7, 11}
+	const q = 4
+	mach := testMachine(4)
+	mach.Q = q
+	want, _ := tunedRun(t, a, dims, q, ModeSharedPipelined, DefaultTuning)
+
+	tr, err := matrix.NewTripleDims(dims[0], dims[1], dims[2], q, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, z := tr.Dims()
+	prog, err := a.Schedule(mach, algo.Workload{M: m, N: n, Z: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	ex, err := NewExecutor(team, tr, nil, ModeSharedPipelined, mach.CD, mach.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tun := range []Tuning{
+		{},
+		{Kernels: matrix.KernelConfig{Shape: matrix.Shape8x4}, Lookahead: 2},
+		{Kernels: matrix.KernelConfig{Shape: matrix.Shape8x8}, Lookahead: 3},
+	} {
+		tr.C.Dense().Zero()
+		ex.SetTuning(tun)
+		if got := ex.Tuning(); got != tun {
+			t.Fatalf("run %d: Tuning() = %+v after SetTuning(%+v)", i, got, tun)
+		}
+		if err := ex.Run(prog); err != nil {
+			t.Fatalf("run %d (%+v): %v", i, tun, err)
+		}
+		if d := want.MaxAbsDiff(tr.C.Dense()); d != 0 {
+			t.Fatalf("run %d (%+v): result drifted from untuned by %g", i, tun, d)
+		}
+	}
+}

@@ -51,6 +51,14 @@ type BenchRun struct {
 	StageWaitSeconds  float64 `json:"stage_wait_seconds,omitempty"`
 	ComputeSeconds    float64 `json:"compute_seconds,omitempty"`
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
+
+	// Tuning of the measured run, when it was taken with an explicit
+	// configuration (cmd/gemm and cmd/lufact record these when a flag or
+	// TUNE.json set them): the kernel register-blocking shape ("4x4",
+	// "8x4", "8x8") and the pipeline lookahead depth. Untuned records
+	// omit both — the defaults are 4x4 and depth 1.
+	KernelShape string `json:"kernel_shape,omitempty"`
+	Lookahead   int    `json:"lookahead,omitempty"`
 }
 
 // SetOverlap fills the overlap fields from an executor's measured
@@ -67,24 +75,28 @@ func (r *BenchRun) SetOverlap(stageWait, compute time.Duration) {
 // pointers so the *BenchRun handles Add returns stay valid however
 // much the record grows.
 type Bench struct {
-	Name      string      `json:"name"`
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	CPUs      int         `json:"cpus"`
-	When      string      `json:"when"` // RFC 3339
-	Runs      []*BenchRun `json:"runs"`
+	Name       string      `json:"name"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	CPUModel   string      `json:"cpu_model,omitempty"`  // host processor, see CPUModel
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"` // scheduler parallelism at record time
+	When       string      `json:"when"`                 // RFC 3339
+	Runs       []*BenchRun `json:"runs"`
 }
 
 // NewBench returns an envelope stamped with the current environment.
 func NewBench(name string) *Bench {
 	return &Bench{
-		Name:      name,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Name:       name,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		CPUModel:   CPUModel(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC().Format(time.RFC3339),
 	}
 }
 

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// CPUModel identifies the host's processor so benchmark records (and
+// the tuning file keyed off them — see cmd/tune) can tell machines
+// apart. On Linux it is the first "model name" line of /proc/cpuinfo;
+// elsewhere, or when the file is unreadable, it falls back to the
+// GOARCH string, which still separates records taken on different
+// architectures. The probe runs once per process.
+func CPUModel() string {
+	cpuModelOnce.Do(func() {
+		cpuModel = readCPUModel()
+	})
+	return cpuModel
+}
+
+var (
+	cpuModelOnce sync.Once
+	cpuModel     string
+)
+
+func readCPUModel() string {
+	if runtime.GOOS == "linux" {
+		if m := cpuModelFromInfo(readSmallFile("/proc/cpuinfo")); m != "" {
+			return m
+		}
+	}
+	return runtime.GOARCH
+}
+
+// readSmallFile returns the file's contents, empty on any error.
+func readSmallFile(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// cpuModelFromInfo extracts the first "model name" value from
+// /proc/cpuinfo-formatted text ("model name\t: Intel(R) ...").
+func cpuModelFromInfo(info string) string {
+	for _, line := range strings.Split(info, "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

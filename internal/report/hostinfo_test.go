@@ -1,0 +1,38 @@
+package report
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCPUModelFromInfo(t *testing.T) {
+	info := "processor\t: 0\nvendor_id\t: GenuineIntel\n" +
+		"model name\t: Intel(R) Xeon(R) CPU @ 2.20GHz\n" +
+		"model name\t: other\n"
+	if got := cpuModelFromInfo(info); got != "Intel(R) Xeon(R) CPU @ 2.20GHz" {
+		t.Fatalf("cpuModelFromInfo = %q", got)
+	}
+	if got := cpuModelFromInfo("no such key\n"); got != "" {
+		t.Fatalf("cpuModelFromInfo on junk = %q, want empty", got)
+	}
+}
+
+func TestCPUModelNonEmptyAndStable(t *testing.T) {
+	m := CPUModel()
+	if m == "" {
+		t.Fatal("CPUModel must never be empty (GOARCH fallback)")
+	}
+	if again := CPUModel(); again != m {
+		t.Fatalf("CPUModel not stable: %q then %q", m, again)
+	}
+}
+
+func TestNewBenchStampsHost(t *testing.T) {
+	b := NewBench("t")
+	if b.CPUModel != CPUModel() {
+		t.Fatalf("envelope CPU model %q, host reports %q", b.CPUModel, CPUModel())
+	}
+	if b.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("envelope GOMAXPROCS %d, runtime reports %d", b.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+}

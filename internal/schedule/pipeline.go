@@ -14,30 +14,56 @@ import "fmt"
 // critical path behind the team barrier. The lookahead classifies each
 // of those gap operations into one of three phases:
 //
-//	Hoist    stages executed while the *previous* region still
-//	         computes (the prefetch half of the double buffer);
+//	Prefetch stages executed while an *earlier* region still computes
+//	         (the prefetch half of the double buffer); with lookahead
+//	         depth k a stage may move up to k regions ahead of its gap;
 //	Barrier  operations that must stay on the critical path, after the
 //	         previous region completes and before the next one starts;
 //	Retire   trailing write-backs executed while the *next* region
 //	         already computes (the retire half of the double buffer).
 //
-// A stage is hoistable when a spare slot exists without waiting for the
-// gap's own unstages (the 2-region footprint — the resident set of the
-// running region plus the prefetched lines — must fit the capacity, the
-// pipelined form of WorkingSet.Fits), when its line is not touched by
-// the region it would overlap (the serial schedule would have faulted
-// on a non-resident access; the prefetch must not mask that), and when
-// the gap does not unstage the same line first. An unstage is retirable
-// when it trails every deferred stage of its gap and the next region
-// never touches its line. Everything else stays a barrier op, exactly
-// where the serial executor runs it — so a schedule with no slack
-// degrades to the serial order, never to an incorrect one.
+// A stage of the gap before region g may prefetch during region
+// h ∈ [g−k, g−1] when four conditions hold, checked latest slot first:
+//
+//   - capacity: the line is physically resident from its prefetch
+//     during region h until its serial position in gap g, so the exact
+//     residency profile over that whole window — serial residency plus
+//     every earlier prefetch's extra — must stay within the capacity
+//     with one more line. This is the generalised footprint rule: at
+//     depth k up to k regions' worth of staging may be in flight, and
+//     the plan proves the combined (k+1)-region footprint fits CS.
+//   - visibility: none of the overlapped regions h..g−1 touches the
+//     line (the serial schedule would have faulted on a non-resident
+//     access; the prefetch must not mask that fault).
+//   - order: no unstage of the same line sits between the prefetch
+//     slot and the stage's serial position — not in the crossed gaps,
+//     not earlier in its own gap.
+//   - hiding: region h has hide quota left. A region can only hide
+//     staging behind compute it actually performs, so each region's
+//     prefetch budget is proportional to its Apply count (one tile
+//     kernel is Θ(q³) flops against a Θ(q²) block copy). The quota is
+//     what makes depth real: slot g−1 saturates and the surplus moves
+//     to g−2, instead of piling every prefetch onto the region just
+//     before the gap and overrunning its compute window.
+//
+// An unstage is retirable when it trails every deferred stage of its
+// gap and the next region never touches its line. Everything else
+// stays a barrier op, exactly where the serial executor runs it — so a
+// schedule with no slack degrades to the serial order, never to an
+// incorrect one.
 //
 // The pass also proves the inclusion discipline statically: a shared
 // unstage whose line is still resident in some core's distributed cache
 // is rejected here, because the pipelined backend retires write-backs
 // concurrently with worker regions and cannot re-check residency at
 // runtime without racing the workers.
+
+// pipelineHidePerApply is the static time-hiding model: one Apply
+// (Θ(q³) flops) is assumed able to hide this many block stages (Θ(q²)
+// copies each). The constant is deliberately generous — the planner
+// must not barrier staging a region could have hidden — and the
+// lookahead depth, not the constant, is the tuned knob.
+const pipelineHidePerApply = 8
 
 // PipelinedOp is one shared-level staging operation of a gap between
 // parallel regions, in program order.
@@ -51,10 +77,12 @@ type PipelinedOp struct {
 // executor runs them: Parallel calls in which at least one core emits a
 // Stage, Unstage or Apply).
 type PipelineRegion struct {
-	// Hoist holds the StageShared lines prefetched while the previous
-	// region computes (for the first region there is nothing to overlap,
-	// so its gap is all Barrier).
-	Hoist []Line
+	// Prefetch holds the StageShared lines the driver stages while THIS
+	// region computes. At depth 1 every entry serves the next gap; at
+	// deeper lookahead the list may mix stages for gaps up to Depth
+	// regions ahead, in gap order (for the first region's gap there is
+	// nothing to overlap, so it is all Barrier).
+	Prefetch []Line
 	// Barrier holds the gap operations that stay on the critical path:
 	// they run after the previous region's cores finish and before this
 	// region's cores start, in program order.
@@ -73,11 +101,15 @@ type PipelinePlan struct {
 	// its cores finish (nothing left to overlap them with).
 	Tail []PipelinedOp
 
+	// Depth is the lookahead the plan was built with: the maximum number
+	// of regions a stage may prefetch ahead of its gap.
+	Depth int
 	// SerialPeak is the peak shared residency of the in-order schedule —
 	// WorkingSet.SharedPeak, re-derived here.
 	SerialPeak int
 	// Peak is the peak shared residency including prefetched lines: the
-	// 2-region footprint the plan proved to fit the capacity.
+	// overlapped footprint (up to k+1 regions' worth at depth k) the
+	// plan proved to fit the capacity.
 	Peak int
 	// Hoisted, Retired and Barriered count the staging operations (both
 	// directions) moved off the critical path — prefetched ahead of it
@@ -95,17 +127,29 @@ func (p *PipelinePlan) Overlapped() float64 {
 	return float64(p.Hoisted+p.Retired) / float64(total)
 }
 
-// PlanPipeline replays p's operation stream and phases every shared
-// staging gap for a double-buffered backend with sharedCap slots. It
-// fails when the program violates the inclusion discipline (a shared
-// unstage of a line still staged in some core) — the serial backend
-// faults on the same schedule at runtime — or when the planned 2-region
-// footprint cannot fit sharedCap, which cannot happen for a program
-// whose serial working set fits (hoisting never exceeds the capacity by
-// construction) and is checked anyway as the pass's own invariant.
+// PlanPipeline is PlanPipelineDepth at depth 1: the classic 2-region
+// double buffer, where a gap's stages may prefetch only over the region
+// immediately before it.
 func PlanPipeline(p *Program, sharedCap int) (*PipelinePlan, error) {
+	return PlanPipelineDepth(p, sharedCap, 1)
+}
+
+// PlanPipelineDepth replays p's operation stream and phases every
+// shared staging gap for a double-buffered backend with sharedCap
+// slots and the given lookahead depth (how many regions ahead of its
+// gap a stage may prefetch). It fails when the program violates the
+// inclusion discipline (a shared unstage of a line still staged in
+// some core) — the serial backend faults on the same schedule at
+// runtime — or when the planned overlapped footprint cannot fit
+// sharedCap, which cannot happen for a program whose serial working
+// set fits (prefetching never exceeds the capacity by construction)
+// and is checked anyway as the pass's own invariant.
+func PlanPipelineDepth(p *Program, sharedCap, depth int) (*PipelinePlan, error) {
 	if sharedCap <= 0 {
 		return nil, fmt.Errorf("schedule: pipeline plan needs a positive shared capacity, got %d", sharedCap)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("schedule: pipeline plan needs a lookahead depth ≥ 1, got %d", depth)
 	}
 	col := &pipeCollector{cores: p.Cores, coreRes: make([]map[Line]struct{}, p.Cores)}
 	if err := p.Emit(col); err != nil {
@@ -115,84 +159,231 @@ func PlanPipeline(p *Program, sharedCap int) (*PipelinePlan, error) {
 		return nil, col.err
 	}
 
-	plan := &PipelinePlan{SerialPeak: col.serialPeak}
-	res := 0 // shared residency with all earlier gaps fully applied
-	for r, gap := range col.gaps {
-		var reg PipelineRegion
-		if r == 0 {
-			// Nothing precedes the first region; its gap runs up front.
-			reg.Barrier = gap
-			plan.Barriered += len(gap)
-		} else {
-			budget := sharedCap - res
-			pending := make(map[Line]struct{})
-			var deferred []PipelinedOp
-			for _, op := range gap {
-				if op.Unstage {
-					pending[op.Line] = struct{}{}
-					deferred = append(deferred, op)
-					continue
-				}
-				_, reuses := pending[op.Line]
-				if budget > 0 && !reuses && !lineIn(col.touch[r-1], op.Line) {
-					reg.Hoist = append(reg.Hoist, op.Line)
-					budget--
-					continue
-				}
-				deferred = append(deferred, op)
-			}
-			if res+len(reg.Hoist) > plan.Peak {
-				plan.Peak = res + len(reg.Hoist)
-			}
-			// Split the deferred ops at the last stage: the trailing
-			// unstages may retire under the next region's compute, unless
-			// that region touches one of their lines (then the whole tail
-			// stays a barrier, preserving the serial fault).
-			last := -1
-			for i, op := range deferred {
-				if !op.Unstage {
-					last = i
-				}
-			}
-			reg.Barrier = deferred[:last+1]
-			retire := deferred[last+1:]
-			safe := true
-			for _, op := range retire {
-				if lineIn(col.touch[r], op.Line) {
-					safe = false
-					break
-				}
-			}
-			if safe {
-				for _, op := range retire {
-					reg.Retire = append(reg.Retire, op.Line)
-				}
-			} else {
-				reg.Barrier = deferred
-			}
-			plan.Hoisted += len(reg.Hoist)
-			plan.Retired += len(reg.Retire)
-			plan.Barriered += len(reg.Barrier)
-		}
-		for _, op := range gap {
-			if op.Unstage {
-				res--
-			} else {
-				res++
-			}
-		}
-		plan.Regions = append(plan.Regions, reg)
+	pl := &pipePlanner{
+		cap:   sharedCap,
+		depth: depth,
+		gaps:  col.gaps,
+		touch: col.touch,
 	}
+	plan := pl.plan(col)
 	plan.Tail = col.cur
 	plan.Barriered += len(plan.Tail)
 	if plan.SerialPeak > plan.Peak {
 		plan.Peak = plan.SerialPeak
 	}
 	if plan.Peak > sharedCap {
-		return nil, fmt.Errorf("schedule: pipelined 2-region footprint of %d blocks exceeds the shared capacity %d",
-			plan.Peak, sharedCap)
+		return nil, fmt.Errorf("schedule: pipelined footprint of %d blocks at lookahead %d exceeds the shared capacity %d",
+			plan.Peak, depth, sharedCap)
 	}
 	return plan, nil
+}
+
+// pipePlanner carries the exact residency bookkeeping of one planning
+// pass. Serial profiles are fixed up front; the extra arrays record, at
+// every point a prefetch decision can probe, how many early-resident
+// lines previous commitments already parked there.
+type pipePlanner struct {
+	cap, depth int
+
+	gaps  [][]PipelinedOp
+	touch []map[Line]struct{}
+
+	resAfter []int   // serial shared residency while region r computes (gap r applied)
+	posRes   [][]int // serial residency before op i of gap g
+
+	regionExtra []int   // early-resident lines during region r
+	gapExtra    [][]int // early-resident lines at gap g position i
+	quota       []int   // remaining hide quota of region r
+
+	slots [][]Line // prefetch list per region, in commit (gap-major) order
+}
+
+func (pl *pipePlanner) plan(col *pipeCollector) *PipelinePlan {
+	R := len(pl.gaps)
+	plan := &PipelinePlan{Depth: pl.depth, SerialPeak: col.serialPeak}
+
+	pl.resAfter = make([]int, R)
+	pl.posRes = make([][]int, R)
+	pl.regionExtra = make([]int, R)
+	pl.gapExtra = make([][]int, R)
+	pl.quota = make([]int, R)
+	pl.slots = make([][]Line, R)
+	res := 0
+	for g, gap := range pl.gaps {
+		pl.posRes[g] = make([]int, len(gap))
+		pl.gapExtra[g] = make([]int, len(gap))
+		for i, op := range gap {
+			pl.posRes[g][i] = res
+			if op.Unstage {
+				res--
+			} else {
+				res++
+			}
+		}
+		pl.resAfter[g] = res
+		pl.quota[g] = pipelineHidePerApply * col.applies[g]
+	}
+
+	regs := make([]PipelineRegion, R)
+	for g, gap := range pl.gaps {
+		reg := &regs[g]
+		if g == 0 {
+			// Nothing precedes the first region; its gap runs up front.
+			reg.Barrier = gap
+			plan.Barriered += len(gap)
+			continue
+		}
+		pending := make(map[Line]struct{})
+		var deferred []PipelinedOp
+		hoisted := 0
+		for i, op := range gap {
+			if op.Unstage {
+				pending[op.Line] = struct{}{}
+				deferred = append(deferred, op)
+				continue
+			}
+			if _, reuses := pending[op.Line]; reuses {
+				deferred = append(deferred, op)
+				continue
+			}
+			if peak, ok := pl.place(g, i, op.Line); ok {
+				hoisted++
+				if peak > plan.Peak {
+					plan.Peak = peak
+				}
+				continue
+			}
+			deferred = append(deferred, op)
+		}
+		// Split the deferred ops at the last stage: the trailing
+		// unstages may retire under the next region's compute, unless
+		// that region touches one of their lines (then the whole tail
+		// stays a barrier, preserving the serial fault).
+		last := -1
+		for i, op := range deferred {
+			if !op.Unstage {
+				last = i
+			}
+		}
+		reg.Barrier = deferred[:last+1]
+		retire := deferred[last+1:]
+		safe := true
+		for _, op := range retire {
+			if lineIn(pl.touch[g], op.Line) {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			for _, op := range retire {
+				reg.Retire = append(reg.Retire, op.Line)
+			}
+		} else {
+			reg.Barrier = deferred
+		}
+		plan.Hoisted += hoisted
+		plan.Retired += len(reg.Retire)
+		plan.Barriered += len(reg.Barrier)
+	}
+	for r := range regs {
+		regs[r].Prefetch = pl.slots[r]
+	}
+	plan.Regions = regs
+	return plan
+}
+
+// place tries to commit the stage at gap g position i to the latest
+// feasible prefetch slot within the lookahead window. It returns the
+// committed footprint peak (residency including the new line over its
+// early window) and whether a slot was found.
+func (pl *pipePlanner) place(g, i int, l Line) (int, bool) {
+	lo := g - pl.depth
+	if lo < 0 {
+		lo = 0
+	}
+	for h := g - 1; h >= lo; h-- {
+		// Visibility: prefetching at slot h overlaps regions h..g−1; the
+		// scan is incremental — once some region touches the line, every
+		// deeper slot overlaps it too.
+		if lineIn(pl.touch[h], l) {
+			return 0, false
+		}
+		// Order: slot h's prefetches run during region h, i.e. after gap
+		// h's barrier but before gaps h+1..g−1 replay. An unstage of the
+		// same line in any of those gaps (or earlier in gap g — handled
+		// by the caller's pending set) must not be crossed.
+		if h+1 < g && gapUnstages(pl.gaps[h+1], l) {
+			return 0, false
+		}
+		if pl.quota[h] == 0 {
+			continue
+		}
+		peak, ok := pl.fits(h, g, i)
+		if !ok {
+			// Capacity windows only grow toward deeper slots: give up.
+			return 0, false
+		}
+		pl.commit(h, g, i, l)
+		return peak, true
+	}
+	return 0, false
+}
+
+// fits checks the exact capacity of prefetching one more line at slot
+// h for a stage at gap g position i: the line is resident from region
+// h's compute until its serial position, so every profile point in
+// that window must admit one more resident line.
+func (pl *pipePlanner) fits(h, g, i int) (int, bool) {
+	m := 0
+	for r := h; r < g; r++ {
+		if v := pl.resAfter[r] + pl.regionExtra[r]; v > m {
+			m = v
+		}
+	}
+	for gp := h + 1; gp < g; gp++ {
+		for j := range pl.gaps[gp] {
+			if v := pl.posRes[gp][j] + pl.gapExtra[gp][j]; v > m {
+				m = v
+			}
+		}
+	}
+	for j := 0; j < i; j++ {
+		if v := pl.posRes[g][j] + pl.gapExtra[g][j]; v > m {
+			m = v
+		}
+	}
+	if m+1 > pl.cap {
+		return 0, false
+	}
+	return m + 1, true
+}
+
+// commit books the prefetch: the line occupies one slot at every
+// profile point between its execution during region h and its serial
+// position at gap g op i.
+func (pl *pipePlanner) commit(h, g, i int, l Line) {
+	pl.slots[h] = append(pl.slots[h], l)
+	pl.quota[h]--
+	for r := h; r < g; r++ {
+		pl.regionExtra[r]++
+	}
+	for gp := h + 1; gp < g; gp++ {
+		for j := range pl.gaps[gp] {
+			pl.gapExtra[gp][j]++
+		}
+	}
+	for j := 0; j <= i && j < len(pl.gapExtra[g]); j++ {
+		pl.gapExtra[g][j]++
+	}
+}
+
+func gapUnstages(gap []PipelinedOp, l Line) bool {
+	for _, op := range gap {
+		if op.Unstage && op.Line == l {
+			return true
+		}
+	}
+	return false
 }
 
 func lineIn(set map[Line]struct{}, l Line) bool {
@@ -200,17 +391,19 @@ func lineIn(set map[Line]struct{}, l Line) bool {
 	return hit
 }
 
-// pipeCollector is the recording backend behind PlanPipeline: it splits
-// the shared staging stream into gaps at every parallel region that
-// carries work, collects each region's shared-slot touch set (the lines
-// its cores refill from or merge into the shared level), and tracks
-// per-core residency across regions for the static inclusion check.
+// pipeCollector is the recording backend behind PlanPipelineDepth: it
+// splits the shared staging stream into gaps at every parallel region
+// that carries work, collects each region's shared-slot touch set (the
+// lines its cores refill from or merge into the shared level) and its
+// per-core Apply count (the hide-quota base), and tracks per-core
+// residency across regions for the static inclusion check.
 type pipeCollector struct {
 	cores int
 
-	gaps  [][]PipelinedOp     // gaps[i] precedes region i
-	cur   []PipelinedOp       // gap being accumulated; the tail after the last region
-	touch []map[Line]struct{} // per-region shared-slot touches
+	gaps    [][]PipelinedOp     // gaps[i] precedes region i
+	cur     []PipelinedOp       // gap being accumulated; the tail after the last region
+	touch   []map[Line]struct{} // per-region shared-slot touches
+	applies []int               // per-region max per-core Apply count
 
 	coreRes []map[Line]struct{} // per-core distributed residency, across regions
 
@@ -248,10 +441,14 @@ func (pc *pipeCollector) UnstageShared(l Line) {
 func (pc *pipeCollector) Parallel(body func(core int, ops CoreSink)) {
 	work := false
 	touch := make(map[Line]struct{})
+	applies := 0
 	for c := 0; c < pc.cores; c++ {
 		s := &pipeTouchSink{pc: pc, core: c, touch: touch}
 		body(c, s)
 		work = work || s.ops > 0
+		if s.applies > applies {
+			applies = s.applies
+		}
 	}
 	if !work {
 		// The serial executor skips the team barrier for regions with no
@@ -261,16 +458,18 @@ func (pc *pipeCollector) Parallel(body func(core int, ops CoreSink)) {
 	pc.gaps = append(pc.gaps, pc.cur)
 	pc.cur = nil
 	pc.touch = append(pc.touch, touch)
+	pc.applies = append(pc.applies, applies)
 }
 
 // pipeTouchSink records which shared lines one core's region stream
 // touches (Stage refills read the shared slot, Unstage merges write it)
 // and maintains the core's residency for the inclusion check.
 type pipeTouchSink struct {
-	pc    *pipeCollector
-	core  int
-	touch map[Line]struct{}
-	ops   int
+	pc      *pipeCollector
+	core    int
+	touch   map[Line]struct{}
+	ops     int
+	applies int
 }
 
 var _ CoreSink = (*pipeTouchSink)(nil)
@@ -300,6 +499,7 @@ func (s *pipeTouchSink) Apply(k Kernel, dest Line, srcs ...Line) {
 		panic(fmt.Sprintf("schedule: %v applied to %d sources, want %d", k, len(srcs), k.Arity()))
 	}
 	s.ops++
+	s.applies++
 }
 
 func (s *pipeTouchSink) Compute(i, j, k int) {

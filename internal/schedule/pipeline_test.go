@@ -8,7 +8,7 @@ import (
 // pipeProg builds a two-region program: region 0 computes on lines
 // staged up front, a gap unstages them and stages region 1's lines,
 // region 1 computes, and a tail gap unstages everything. With spare
-// capacity the gap's stages hoist over the previous region and its
+// capacity the gap's stages prefetch under the previous region and its
 // unstages retire under the next one; with a tight capacity everything
 // must stay on the barrier, reproducing the serial order.
 func pipeProg(cores int) *Program {
@@ -61,16 +61,18 @@ func TestPlanPipelineOverlapsWithSpareCapacity(t *testing.T) {
 	if len(plan.Regions) != 2 {
 		t.Fatalf("planned %d regions, want 2", len(plan.Regions))
 	}
-	// Region 0's gap runs up front: all barrier.
-	if len(plan.Regions[0].Hoist) != 0 || len(plan.Regions[0].Barrier) != 2 {
-		t.Fatalf("region 0 phases: hoist=%v barrier=%v", plan.Regions[0].Hoist, plan.Regions[0].Barrier)
+	// Region 0's own gap runs up front (all barrier), but the middle
+	// gap's two stages prefetch under region 0's compute: 2 resident +
+	// 2 prefetched = 4 ≤ CS.
+	r0 := plan.Regions[0]
+	if len(r0.Prefetch) != 2 || len(r0.Barrier) != 2 {
+		t.Fatalf("region 0 phases: prefetch=%v barrier=%v", r0.Prefetch, r0.Barrier)
 	}
-	// The middle gap fully overlaps: region 1's two stages prefetch over
-	// region 0 (2 resident + 2 prefetched = 4 ≤ CS) and region 0's two
-	// unstages retire under region 1.
+	// The middle gap fully overlaps: nothing left on region 1's barrier,
+	// and region 0's two unstages retire under region 1.
 	r1 := plan.Regions[1]
-	if len(r1.Hoist) != 2 || len(r1.Retire) != 2 || len(r1.Barrier) != 0 {
-		t.Fatalf("region 1 phases: hoist=%v barrier=%v retire=%v", r1.Hoist, r1.Barrier, r1.Retire)
+	if len(r1.Prefetch) != 0 || len(r1.Retire) != 2 || len(r1.Barrier) != 0 {
+		t.Fatalf("region 1 phases: prefetch=%v barrier=%v retire=%v", r1.Prefetch, r1.Barrier, r1.Retire)
 	}
 	if len(plan.Tail) != 2 {
 		t.Fatalf("tail has %d ops, want 2", len(plan.Tail))
@@ -80,6 +82,9 @@ func TestPlanPipelineOverlapsWithSpareCapacity(t *testing.T) {
 	}
 	if plan.Hoisted != 2 || plan.Retired != 2 {
 		t.Fatalf("hoisted/retired = %d/%d, want 2/2", plan.Hoisted, plan.Retired)
+	}
+	if plan.Depth != 1 {
+		t.Fatalf("PlanPipeline must plan at depth 1, got %d", plan.Depth)
 	}
 	if got := plan.Overlapped(); got <= 0.3 {
 		t.Fatalf("overlap fraction %g unexpectedly low", got)
@@ -95,12 +100,12 @@ func TestPlanPipelineDegradesWithoutSpareCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := plan.Regions[1]
-	if len(r1.Hoist) != 0 {
-		t.Fatalf("tight capacity must not hoist, got %v", r1.Hoist)
+	if len(plan.Regions[0].Prefetch) != 0 {
+		t.Fatalf("tight capacity must not prefetch, got %v", plan.Regions[0].Prefetch)
 	}
 	// Gap order is unstage-unstage-stage-stage: the last stage pins the
 	// whole gap onto the barrier.
+	r1 := plan.Regions[1]
 	if len(r1.Barrier) != 4 || len(r1.Retire) != 0 {
 		t.Fatalf("region 1 phases under tight CS: barrier=%v retire=%v", r1.Barrier, r1.Retire)
 	}
@@ -109,8 +114,152 @@ func TestPlanPipelineDegradesWithoutSpareCapacity(t *testing.T) {
 	}
 }
 
+// chainProg builds a four-region chain: regions 0–2 each compute on one
+// small line, then the gap before region 3 stages `wide` lines at once
+// (region 3 computes on them, a tail unstages everything). With one
+// Apply per early region, each prefetch slot's hide quota saturates at
+// pipelineHidePerApply — so deeper lookahead strictly increases how
+// much of the wide gap can leave the critical path.
+func chainProg(wide int) *Program {
+	w := []Line{LineA(9, 0), LineA(9, 1), LineA(9, 2)}
+	var ls []Line
+	for i := 0; i < wide; i++ {
+		ls = append(ls, LineB(0, i))
+	}
+	region := func(b Backend, lines ...Line) {
+		b.Parallel(func(c int, ops CoreSink) {
+			if c != 0 {
+				return
+			}
+			for _, l := range lines {
+				ops.Stage(l)
+			}
+			ops.Apply(FactorTile, lines[0])
+			for i := len(lines) - 1; i >= 0; i-- {
+				ops.Unstage(lines[i])
+			}
+		})
+	}
+	return &Program{
+		Algorithm: "chain-toy",
+		Cores:     1,
+		Resources: Resources{SharedBlocks: 30, CoreBlocks: wide},
+		Body: func(b Backend) {
+			b.StageShared(w[0])
+			region(b, w[0])
+			b.UnstageShared(w[0])
+			b.StageShared(w[1])
+			region(b, w[1])
+			b.UnstageShared(w[1])
+			b.StageShared(w[2])
+			region(b, w[2])
+			b.UnstageShared(w[2])
+			for _, l := range ls {
+				b.StageShared(l)
+			}
+			region(b, ls...)
+			for _, l := range ls {
+				b.UnstageShared(l)
+			}
+		},
+	}
+}
+
+// TestPlanPipelineDepthTable drives the depth-k planner across k ∈
+// {1,2,3,4} on the chain program: each early region hides at most
+// pipelineHidePerApply stages (one Apply each), so the 20-stage gap
+// saturates slot g−1 at depth 1 and spills into earlier regions as the
+// lookahead deepens — depth 3 hoists strictly more stages than depth 2.
+// Depth 4 is clamped at the program's first region and must match
+// depth 3. At every depth the plan's footprint stays within capacity
+// and no staging operation is lost.
+func TestPlanPipelineDepthTable(t *testing.T) {
+	const wide = 20
+	const cap = 30
+	cases := []struct {
+		depth       int
+		wantHoisted int
+		wantSlots   []int // Prefetch list length per region
+	}{
+		{depth: 1, wantHoisted: 10, wantSlots: []int{1, 1, 8, 0}},
+		{depth: 2, wantHoisted: 17, wantSlots: []int{1, 8, 8, 0}},
+		{depth: 3, wantHoisted: 22, wantSlots: []int{6, 8, 8, 0}},
+		{depth: 4, wantHoisted: 22, wantSlots: []int{6, 8, 8, 0}},
+	}
+	total := -1
+	for _, tc := range cases {
+		plan, err := PlanPipelineDepth(chainProg(wide), cap, tc.depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", tc.depth, err)
+		}
+		if plan.Depth != tc.depth {
+			t.Fatalf("depth %d: plan records depth %d", tc.depth, plan.Depth)
+		}
+		if plan.Hoisted != tc.wantHoisted {
+			t.Fatalf("depth %d: hoisted %d, want %d", tc.depth, plan.Hoisted, tc.wantHoisted)
+		}
+		if len(plan.Regions) != len(tc.wantSlots) {
+			t.Fatalf("depth %d: %d regions, want %d", tc.depth, len(plan.Regions), len(tc.wantSlots))
+		}
+		for r, want := range tc.wantSlots {
+			if got := len(plan.Regions[r].Prefetch); got != want {
+				t.Fatalf("depth %d: region %d prefetches %d lines, want %d", tc.depth, r, got, want)
+			}
+		}
+		if plan.Peak > cap {
+			t.Fatalf("depth %d: peak %d exceeds capacity %d", tc.depth, plan.Peak, cap)
+		}
+		if plan.Peak < plan.SerialPeak {
+			t.Fatalf("depth %d: peak %d below serial peak %d", tc.depth, plan.Peak, plan.SerialPeak)
+		}
+		// Conservation: every staging op lands in exactly one phase.
+		if got := plan.Hoisted + plan.Retired + plan.Barriered; total == -1 {
+			total = got
+		} else if got != total {
+			t.Fatalf("depth %d: plan accounts %d staging ops, other depths saw %d", tc.depth, got, total)
+		}
+	}
+	// The satellite case, stated directly: lookahead 3 hoists strictly
+	// more stages than lookahead 2.
+	p2, err := PlanPipelineDepth(chainProg(wide), cap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := PlanPipelineDepth(chainProg(wide), cap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Hoisted <= p2.Hoisted {
+		t.Fatalf("depth 3 hoisted %d, not strictly more than depth 2's %d", p3.Hoisted, p2.Hoisted)
+	}
+}
+
+// Over capacity the depth-k planner must degrade to the serial order at
+// every lookahead: depth buys overlap only out of spare capacity.
+func TestPlanPipelineDepthDegradesToSerial(t *testing.T) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		plan, err := PlanPipelineDepth(pipeProg(1), 2, depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if plan.Hoisted != 0 {
+			t.Fatalf("depth %d: tight capacity hoisted %d stages", depth, plan.Hoisted)
+		}
+		for r, reg := range plan.Regions {
+			if len(reg.Prefetch) != 0 {
+				t.Fatalf("depth %d: region %d has prefetches %v under tight capacity", depth, r, reg.Prefetch)
+			}
+		}
+		if plan.Peak > 2 {
+			t.Fatalf("depth %d: peak %d exceeds the serial footprint", depth, plan.Peak)
+		}
+	}
+}
+
 // A gap that re-stages a line it just unstaged must not hoist that
-// stage ahead of the unstage, however much capacity is spare.
+// stage ahead of the unstage, however much capacity is spare — and at
+// depth > 1 the prefetch must not cross an unstage of the same line in
+// an earlier gap either.
 func TestPlanPipelineRespectsSameLineReuse(t *testing.T) {
 	l := LineA(0, 0)
 	prog := &Program{
@@ -134,22 +283,24 @@ func TestPlanPipelineRespectsSameLineReuse(t *testing.T) {
 			b.UnstageShared(l)
 		},
 	}
-	plan, err := PlanPipeline(prog, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1 := plan.Regions[1]
-	if len(r1.Hoist) != 0 {
-		t.Fatalf("re-stage of an unstaged line was hoisted: %v", r1.Hoist)
-	}
-	if len(r1.Barrier) != 2 {
-		t.Fatalf("re-stage gap must stay serial, got barrier=%v retire=%v", r1.Barrier, r1.Retire)
+	for _, depth := range []int{1, 2, 3} {
+		plan, err := PlanPipelineDepth(prog, 8, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(plan.Regions[0].Prefetch); got != 0 {
+			t.Fatalf("depth %d: re-stage of an unstaged line was prefetched: %v", depth, plan.Regions[0].Prefetch)
+		}
+		if len(plan.Regions[1].Barrier) != 2 {
+			t.Fatalf("depth %d: re-stage gap must stay serial, got barrier=%v retire=%v",
+				depth, plan.Regions[1].Barrier, plan.Regions[1].Retire)
+		}
 	}
 }
 
-// A stage whose line the previous region touches must not hoist over
-// it: serially that region would have faulted on a non-resident line,
-// and the prefetch must not mask the fault.
+// A stage whose line an overlapped region touches must not prefetch
+// over it: serially that region would have faulted on a non-resident
+// line, and the prefetch must not mask the fault — at any depth.
 func TestPlanPipelineWillNotMaskNonResidentFault(t *testing.T) {
 	early, late := LineA(0, 0), LineA(1, 1)
 	prog := &Program{
@@ -175,12 +326,16 @@ func TestPlanPipelineWillNotMaskNonResidentFault(t *testing.T) {
 			b.UnstageShared(early)
 		},
 	}
-	plan, err := PlanPipeline(prog, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(plan.Regions[1].Hoist) != 0 {
-		t.Fatalf("stage of a line the previous region touches was hoisted: %v", plan.Regions[1].Hoist)
+	for _, depth := range []int{1, 2, 3} {
+		plan, err := PlanPipelineDepth(prog, 8, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, reg := range plan.Regions {
+			if len(reg.Prefetch) != 0 {
+				t.Fatalf("depth %d: stage of a line region %d touches was prefetched: %v", depth, r, reg.Prefetch)
+			}
+		}
 	}
 }
 
@@ -212,5 +367,8 @@ func TestPlanPipelineRejectsInclusionViolation(t *testing.T) {
 func TestPlanPipelineRejectsBadCapacity(t *testing.T) {
 	if _, err := PlanPipeline(pipeProg(1), 0); err == nil {
 		t.Fatal("non-positive capacity must be rejected")
+	}
+	if _, err := PlanPipelineDepth(pipeProg(1), 4, 0); err == nil {
+		t.Fatal("non-positive lookahead depth must be rejected")
 	}
 }

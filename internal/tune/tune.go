@@ -1,0 +1,182 @@
+// Package tune defines the machine-local tuning record (TUNE.json):
+// the kernel register-blocking shape, block edge and pipeline lookahead
+// that cmd/tune measured fastest on one concrete host, keyed by that
+// host's identity so the record is never silently applied elsewhere.
+//
+// The tunables are pure timing knobs — every kernel shape is pinned
+// bitwise-identical to its reference and the pipeline plan is
+// re-verified at every lookahead — so loading a stale or foreign file
+// can cost performance but never correctness. Resolution order at the
+// CLIs is: explicit flags > a host-matched TUNE.json > built-in
+// defaults (4×4 kernels, lookahead 1).
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/report"
+)
+
+// Params is one tuned operating point.
+type Params struct {
+	// Shape names the kernel register-blocking family ("4x4", "8x4",
+	// "8x8"); empty means the 4×4 default.
+	Shape string `json:"shape,omitempty"`
+	// Q is the winning block edge in coefficients; 0 leaves the caller's
+	// choice alone.
+	Q int `json:"q,omitempty"`
+	// Lookahead is the pipeline planning depth of ModeSharedPipelined;
+	// 0 means the default depth 1.
+	Lookahead int `json:"lookahead,omitempty"`
+}
+
+// KernelConfig resolves the named shape, rejecting unknown names.
+func (p Params) KernelConfig() (matrix.KernelConfig, error) {
+	if p.Shape == "" {
+		return matrix.DefaultKernelConfig, nil
+	}
+	sh, err := matrix.ParseShape(p.Shape)
+	if err != nil {
+		return matrix.KernelConfig{}, err
+	}
+	return matrix.KernelConfig{Shape: sh}, nil
+}
+
+// Tuning converts the point to the executor's tuning bundle.
+func (p Params) Tuning() (parallel.Tuning, error) {
+	kc, err := p.KernelConfig()
+	if err != nil {
+		return parallel.Tuning{}, err
+	}
+	if p.Lookahead < 0 {
+		return parallel.Tuning{}, fmt.Errorf("tune: negative lookahead %d", p.Lookahead)
+	}
+	return parallel.Tuning{Kernels: kc, Lookahead: p.Lookahead}, nil
+}
+
+// Host identifies the machine a tuning was measured on.
+type Host struct {
+	CPUModel   string `json:"cpu_model"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// CurrentHost probes the running machine.
+func CurrentHost() Host {
+	return Host{
+		CPUModel:   report.CPUModel(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
+// Matches reports whether a tuning taken on h applies to the current
+// host: the CPU model, scheduler parallelism, OS and architecture must
+// all agree. The go version is provenance only — a toolchain bump does
+// not invalidate a hardware-shaped optimum, merely dates it.
+func (h Host) Matches(cur Host) bool {
+	return h.CPUModel == cur.CPUModel &&
+		h.GoMaxProcs == cur.GoMaxProcs &&
+		h.GOOS == cur.GOOS &&
+		h.GOARCH == cur.GOARCH
+}
+
+// Entry is one workload's winning point with the evidence next to it.
+type Entry struct {
+	Params
+	// GFlops is the winner's measured rate in the sweep; BaselineGFlops
+	// the untuned default's rate under identical conditions. The ratio
+	// is what cmd/perfguard's tuned ratchet re-verifies from fresh
+	// benchmark records.
+	GFlops         float64 `json:"gflops,omitempty"`
+	BaselineGFlops float64 `json:"baseline_gflops,omitempty"`
+}
+
+// File is the TUNE.json document.
+type File struct {
+	Host Host `json:"host"`
+	// Sweep provenance: how many candidate points were timed and with
+	// how many repetitions each.
+	Candidates int `json:"candidates,omitempty"`
+	Reps       int `json:"reps,omitempty"`
+
+	Gemm *Entry `json:"gemm,omitempty"`
+	LU   *Entry `json:"lu,omitempty"`
+}
+
+// MatchesHost reports whether the file was measured on this machine.
+func (f *File) MatchesHost() bool {
+	return f.Host.Matches(CurrentHost())
+}
+
+// Load reads and validates a TUNE.json. Both entries' parameters must
+// parse — a file with an unknown shape is rejected whole, so a caller
+// can trust any loaded entry.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("tune: parsing %s: %w", path, err)
+	}
+	for _, e := range []*Entry{f.Gemm, f.LU} {
+		if e == nil {
+			continue
+		}
+		if _, err := e.Tuning(); err != nil {
+			return nil, fmt.Errorf("tune: %s: %w", path, err)
+		}
+		if e.Q < 0 {
+			return nil, fmt.Errorf("tune: %s: negative block edge %d", path, e.Q)
+		}
+	}
+	return &f, nil
+}
+
+// Override carries a command line's explicit tunable flags. Set flags
+// (the *Set booleans, from flag.Visit) win over whatever a TUNE.json
+// proposes; unset ones fall through to the file and then the defaults.
+type Override struct {
+	Shape        string
+	ShapeSet     bool
+	Lookahead    int
+	LookaheadSet bool
+	Q            int
+	QSet         bool
+}
+
+// Apply layers the explicit flags over a base point (typically a
+// host-matched TUNE.json entry, or the zero Params when none applies).
+func (ov Override) Apply(base Params) Params {
+	out := base
+	if ov.ShapeSet {
+		out.Shape = ov.Shape
+	}
+	if ov.LookaheadSet {
+		out.Lookahead = ov.Lookahead
+	}
+	if ov.QSet {
+		out.Q = ov.Q
+	}
+	return out
+}
+
+// WriteFile writes the document as indented JSON.
+func (f *File) WriteFile(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestParamsTuning(t *testing.T) {
+	tun, err := Params{}.Tuning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.Kernels.Shape != matrix.Shape4x4 || tun.Lookahead != 0 {
+		t.Fatalf("zero Params must resolve to the untuned default, got %+v", tun)
+	}
+	tun, err = Params{Shape: "8x8", Lookahead: 3}.Tuning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.Kernels.Shape != matrix.Shape8x8 || tun.Lookahead != 3 {
+		t.Fatalf("Params{8x8,3} resolved to %+v", tun)
+	}
+	if _, err := (Params{Shape: "16x16"}).Tuning(); err == nil {
+		t.Fatal("unknown shape must be rejected")
+	}
+	if _, err := (Params{Lookahead: -1}).Tuning(); err == nil {
+		t.Fatal("negative lookahead must be rejected")
+	}
+}
+
+func TestFileRoundTripAndHostMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TUNE.json")
+	f := &File{
+		Host:       CurrentHost(),
+		Candidates: 18,
+		Reps:       3,
+		Gemm:       &Entry{Params: Params{Shape: "8x4", Q: 32, Lookahead: 2}, GFlops: 4.2, BaselineGFlops: 3.9},
+		LU:         &Entry{Params: Params{Shape: "8x8", Q: 32, Lookahead: 1}},
+	}
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MatchesHost() {
+		t.Fatal("a file stamped with CurrentHost must match the current host")
+	}
+	if got.Gemm == nil || got.Gemm.Params != f.Gemm.Params || got.Gemm.GFlops != f.Gemm.GFlops {
+		t.Fatalf("gemm entry round-tripped to %+v", got.Gemm)
+	}
+	if got.LU == nil || got.LU.Params != f.LU.Params {
+		t.Fatalf("lu entry round-tripped to %+v", got.LU)
+	}
+
+	// A foreign host must not match, whichever key differs.
+	foreign := *got
+	foreign.Host.CPUModel = "some other machine"
+	if foreign.MatchesHost() {
+		t.Fatal("different CPU model must not match")
+	}
+	foreign = *got
+	foreign.Host.GoMaxProcs++
+	if foreign.MatchesHost() {
+		t.Fatal("different GOMAXPROCS must not match")
+	}
+	// The go version is provenance, not a key.
+	versioned := *got
+	versioned.Host.GoVersion = "go0.0"
+	if !versioned.MatchesHost() {
+		t.Fatal("a toolchain bump must not orphan the tuning")
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := &File{Host: CurrentHost(), Gemm: &Entry{Params: Params{Shape: "9x9"}}}
+	path := filepath.Join(dir, "bad.json")
+	if err := bad.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("unknown shape in a stored file must be rejected on load")
+	}
+}
