@@ -46,11 +46,13 @@ func main() {
 		order       = flag.Int("order", 16, "square matrix order in blocks")
 		q           = flag.Int("q", 32, "block size in coefficients")
 		cores       = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		chips       = flag.Int("chips", 1, "chips the cores and the shared cache are split over (must divide -p)")
 		modeName    = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
 		verify      = flag.Bool("verify", true, "check the result against the sequential reference (ignored in benchmark mode)")
 		seed        = flag.Uint64("seed", 1, "input matrix seed")
 		benchJSON   = flag.String("bench-json", "", "benchmark mode: write GFLOP/s records to this JSON file")
 		benchCores  = flag.String("bench-cores", "1,2,4", "core counts measured in benchmark mode")
+		benchChips  = flag.String("bench-chips", "1", "chip counts measured in benchmark mode (shared-level modes; cores not divisible by a chip count are skipped)")
 		benchReps   = flag.Int("bench-reps", 3, "repetitions per benchmark configuration (fastest wins)")
 		kernelShape = flag.String("kernel-shape", "", "kernel register-blocking shape: 4x4, 8x4 or 8x8 (default: TUNE.json, else 4x4)")
 		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
@@ -70,16 +72,19 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gemm: -%s is ignored in benchmark mode (use -bench-cores; all modes are measured; correctness is covered by go test)\n", f.Name)
 			}
 		})
-		var coreList []int
+		var coreList, chipList []int
 		coreList, err = report.ParseCores(*benchCores)
 		if err == nil {
-			err = bench(*benchJSON, *algoName, *order, params.Q, coreList, *benchReps, *seed, tun, params)
+			chipList, err = report.ParseCores(*benchChips)
+		}
+		if err == nil {
+			err = bench(*benchJSON, *algoName, *order, params.Q, coreList, chipList, *benchReps, *seed, tun, params)
 		}
 	} else if err == nil {
 		var mode parallel.Mode
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
-			err = run(*algoName, *order, params.Q, *cores, *verify, *seed, mode, tun)
+			err = run(*algoName, *order, params.Q, *cores, *chips, *verify, *seed, mode, tun)
 		}
 	}
 	if err != nil {
@@ -121,8 +126,11 @@ func resolveTuning(tunePath, shapeFlag string, lookaheadFlag, qFlag int) (tune.P
 // bigMachine models the benchmark host for p cores and block size q:
 // the 8MB-shared/256KB-distributed quad-core of §4.1 generalised to
 // arbitrary p and q, with the capacities clamped to stay a valid
-// hierarchy.
-func bigMachine(p, q int) (machine.Machine, error) {
+// hierarchy. chips > 1 splits the cores over that many chips, each
+// with its own CS-block shared cache (the CS clamp to p·CD already
+// dominates the per-chip floor (p/chips)·CD, so the hierarchy stays
+// valid for every divisor of p).
+func bigMachine(p, q, chips int) (machine.Machine, error) {
 	mach := machine.Machine{
 		P:      p,
 		CS:     machine.BlocksFromBytes(8<<20, q, 1.0),
@@ -130,6 +138,7 @@ func bigMachine(p, q int) (machine.Machine, error) {
 		SigmaS: machine.DefaultSigmaS,
 		SigmaD: machine.DefaultSigmaD,
 		Q:      q,
+		Chips:  chips,
 	}
 	if mach.CD < 3 {
 		mach.CD = 3
@@ -155,13 +164,13 @@ func selectAlgos(algoName string) ([]string, error) {
 	return []string{algoName}, nil
 }
 
-func run(algoName string, order, q, cores int, verify bool, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
+func run(algoName string, order, q, cores, chips int, verify bool, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
 	names, err := selectAlgos(algoName)
 	if err != nil {
 		return err
 	}
 
-	mach, err := bigMachine(cores, q)
+	mach, err := bigMachine(cores, q, chips)
 	if err != nil {
 		return err
 	}
@@ -229,17 +238,20 @@ func measureSequential(order, q int, seed uint64) (time.Duration, error) {
 // shared machines (the traffic counts are deterministic, identical in
 // every repetition; the overlap split is taken from the same fastest
 // repetition).
-func bench(path, algoName string, order, q int, coreList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params) error {
+func bench(path, algoName string, order, q int, coreList, chipList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params) error {
 	if reps < 1 {
 		reps = 1
+	}
+	if len(chipList) == 0 {
+		chipList = []int{1}
 	}
 	names, err := selectAlgos(algoName)
 	if err != nil {
 		return err
 	}
 	rec := report.NewBench("gemm")
-	fmt.Printf("benchmark: n=%d (order %d blocks of %d×%d), cores %v, best of %d\n\n",
-		order*q, order, q, q, coreList, reps)
+	fmt.Printf("benchmark: n=%d (order %d blocks of %d×%d), cores %v, chips %v, best of %d\n\n",
+		order*q, order, q, q, coreList, chipList, reps)
 
 	best := func(f func() (time.Duration, error)) (time.Duration, error) {
 		var min time.Duration
@@ -278,67 +290,92 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 	fmt.Printf("%-20s %-7s p=%d  %8.2f GFLOP/s\n", naive.Algorithm, naive.Mode, naive.Cores, naive.GFlops)
 
 	for _, p := range coreList {
-		mach, err := bigMachine(p, q)
+		team, err := parallel.NewTeam(p)
 		if err != nil {
 			return err
 		}
-		team, err := parallel.NewTeam(mach.P)
-		if err != nil {
-			return err
-		}
-		for _, name := range names {
-			a, err := algo.ByName(name)
+		for _, nchips := range chipList {
+			if nchips > p || p%nchips != 0 {
+				fmt.Printf("(skipping chips=%d at p=%d: cores must split evenly)\n", nchips, p)
+				continue
+			}
+			mach, err := bigMachine(p, q, nchips)
 			if err != nil {
 				team.Close()
 				return err
 			}
-			// Prepare once per configuration: program and executor live
-			// across repetitions, so the timed region is the executed
-			// schedule itself (validation is cached after the first run).
-			prog, err := a.Schedule(mach, algo.Workload{M: order, N: order, Z: order})
-			if err != nil {
-				team.Close()
-				return err
+			// Single-chip configurations measure all four modes; the chip
+			// split only exists at the shared level, so multi-chip ones
+			// measure just the two shared-level modes.
+			modes := []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined}
+			if nchips > 1 {
+				modes = []parallel.Mode{parallel.ModeShared, parallel.ModeSharedPipelined}
 			}
-			for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
-				ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+			for _, name := range names {
+				a, err := algo.ByName(name)
 				if err != nil {
 					team.Close()
 					return err
 				}
-				ex.SetTuning(tun)
-				var elapsed, stageWait, compute time.Duration
-				for i := 0; i < reps; i++ {
-					tr.C.Dense().Zero()
-					start := time.Now()
-					if err := ex.Run(prog); err != nil {
-						team.Close()
-						return fmt.Errorf("%s (%v, p=%d): %w", name, mode, p, err)
-					}
-					if d := time.Since(start); elapsed == 0 || d < elapsed {
-						elapsed = d
-						stageWait = ex.StageWait()
-						compute = ex.ComputeTime()
-					}
+				// Prepare once per configuration: program and executor live
+				// across repetitions, so the timed region is the executed
+				// schedule itself (validation is cached after the first run).
+				prog, err := a.Schedule(mach, algo.Workload{M: order, N: order, Z: order})
+				if err != nil {
+					team.Close()
+					return err
 				}
-				r := rec.Add(name, mode.String(), p, order, q, elapsed)
-				r.KernelShape = params.Shape
-				r.Lookahead = params.Lookahead
-				tra := ex.Traffic()
-				r.MSStageBytes = tra.MS.StageBytes
-				r.MSWriteBackBytes = tra.MS.WriteBackBytes
-				r.MDStageBytes = tra.MD.StageBytes
-				r.MDWriteBackBytes = tra.MD.WriteBackBytes
-				if mode.SharedLevel() {
-					r.SetOverlap(stageWait, compute)
-					fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s  stage-wait=%v overlap=%.2f\n",
-						r.Algorithm, r.Mode, r.Cores, r.GFlops,
-						report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()),
-						stageWait.Round(time.Microsecond), r.OverlapEfficiency)
-				} else {
-					fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
-						r.Algorithm, r.Mode, r.Cores, r.GFlops,
-						report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+				for _, mode := range modes {
+					ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+					if err != nil {
+						team.Close()
+						return err
+					}
+					ex.SetTuning(tun)
+					var elapsed, stageWait, compute time.Duration
+					for i := 0; i < reps; i++ {
+						tr.C.Dense().Zero()
+						start := time.Now()
+						if err := ex.Run(prog); err != nil {
+							team.Close()
+							return fmt.Errorf("%s (%v, p=%d, chips=%d): %w", name, mode, p, nchips, err)
+						}
+						if d := time.Since(start); elapsed == 0 || d < elapsed {
+							elapsed = d
+							stageWait = ex.StageWait()
+							compute = ex.ComputeTime()
+						}
+					}
+					r := rec.Add(name, mode.String(), p, order, q, elapsed)
+					r.KernelShape = params.Shape
+					r.Lookahead = params.Lookahead
+					r.SetTopology(nchips, p)
+					tra := ex.Traffic()
+					r.MSStageBytes = tra.MS.StageBytes
+					r.MSWriteBackBytes = tra.MS.WriteBackBytes
+					r.MDStageBytes = tra.MD.StageBytes
+					r.MDWriteBackBytes = tra.MD.WriteBackBytes
+					r.ICStageBytes = tra.IC.StageBytes
+					r.ICWriteBackBytes = tra.IC.WriteBackBytes
+					label := fmt.Sprintf("p=%d", p)
+					if nchips > 1 {
+						label += fmt.Sprintf(" chips=%d", nchips)
+					}
+					if mode.SharedLevel() {
+						r.SetOverlap(stageWait, compute)
+						extra := ""
+						if nchips > 1 {
+							extra = fmt.Sprintf(" IC=%s", report.FormatBytes(tra.IC.Bytes()))
+						}
+						fmt.Printf("%-20s %-17s %-13s %8.2f GFLOP/s  MS=%s MD=%s%s  stage-wait=%v overlap=%.2f\n",
+							r.Algorithm, r.Mode, label, r.GFlops,
+							report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()), extra,
+							stageWait.Round(time.Microsecond), r.OverlapEfficiency)
+					} else {
+						fmt.Printf("%-20s %-17s %-13s %8.2f GFLOP/s  MS=%s MD=%s\n",
+							r.Algorithm, r.Mode, label, r.GFlops,
+							report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+					}
 				}
 			}
 		}
@@ -351,7 +388,11 @@ func bench(path, algoName string, order, q int, coreList []int, reps int, seed u
 	}
 	fmt.Println("\npipelined over shared:")
 	for _, sp := range rec.Speedup(parallel.ModeSharedPipelined.String(), parallel.ModeShared.String()) {
-		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+		label := fmt.Sprintf("p=%d", sp.Cores)
+		if sp.Chips > 1 {
+			label += fmt.Sprintf(" chips=%d", sp.Chips)
+		}
+		fmt.Printf("%-20s %-13s %5.2fx\n", sp.Algorithm, label, sp.Ratio)
 	}
 	if err := rec.WriteJSONFile(path); err != nil {
 		return err

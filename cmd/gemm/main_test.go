@@ -11,24 +11,31 @@ import (
 )
 
 func TestRunSmoke(t *testing.T) {
-	if err := run("", 4, 8, 2, true, 1, parallel.ModePacked, parallel.DefaultTuning); err != nil {
+	if err := run("", 4, 8, 2, 1, true, 1, parallel.ModePacked, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("Tradeoff", 4, 8, 2, false, 1, parallel.ModeView, parallel.DefaultTuning); err != nil {
+	if err := run("Tradeoff", 4, 8, 2, 1, false, 1, parallel.ModeView, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	// The shared-physical mode must run the whole registry end to end.
-	if err := run("", 4, 8, 2, true, 1, parallel.ModeShared, parallel.DefaultTuning); err != nil {
+	// The shared-physical mode must run the whole registry end to end,
+	// on one chip and with the shared level split over two.
+	if err := run("", 4, 8, 2, 1, true, 1, parallel.ModeShared, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("nope", 4, 8, 2, false, 1, parallel.ModePacked, parallel.DefaultTuning); err == nil {
+	if err := run("", 4, 8, 2, 2, true, 1, parallel.ModeShared, parallel.DefaultTuning); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", 4, 8, 2, 1, false, 1, parallel.ModePacked, parallel.DefaultTuning); err == nil {
 		t.Fatal("unknown algorithm must fail")
+	}
+	if err := run("", 4, 8, 2, 3, true, 1, parallel.ModeShared, parallel.DefaultTuning); err == nil {
+		t.Fatal("chips that do not divide p must fail validation")
 	}
 }
 
 func TestBenchSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
-	if err := bench(path, "Tradeoff", 4, 8, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}); err != nil {
+	if err := bench(path, "Shared Opt.", 4, 8, []int{1, 2}, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -41,23 +48,27 @@ func TestBenchSmoke(t *testing.T) {
 			Algorithm        string  `json:"algorithm"`
 			Mode             string  `json:"mode"`
 			Cores            int     `json:"cores"`
+			Chips            int     `json:"chips"`
+			CoresPerChip     int     `json:"cores_per_chip"`
 			GFlops           float64 `json:"gflops"`
 			MSStageBytes     uint64  `json:"ms_stage_bytes"`
 			MSWriteBackBytes uint64  `json:"ms_writeback_bytes"`
 			MDStageBytes     uint64  `json:"md_stage_bytes"`
 			MDWriteBackBytes uint64  `json:"md_writeback_bytes"`
+			ICStageBytes     uint64  `json:"ic_stage_bytes"`
 			ComputeSeconds   float64 `json:"compute_seconds"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatal(err)
 	}
-	// 1 naive + (view+packed+shared+shared-pipelined) × 2 core counts
-	// for one algorithm.
-	if rec.Name != "gemm" || len(rec.Runs) != 9 {
-		t.Fatalf("record has %d runs, want 9: %+v", len(rec.Runs), rec)
+	// 1 naive + 4 modes × 2 core counts at chips=1 + the 2 shared-level
+	// modes at (p=2, chips=2); chips=2 cannot split p=1 and is skipped.
+	if rec.Name != "gemm" || len(rec.Runs) != 11 {
+		t.Fatalf("record has %d runs, want 11: %+v", len(rec.Runs), rec)
 	}
 	sharedMS := map[string]uint64{}
+	multiChip := 0
 	for _, r := range rec.Runs {
 		if r.GFlops <= 0 {
 			t.Fatalf("non-positive GFLOP/s in %+v", r)
@@ -73,7 +84,22 @@ func TestBenchSmoke(t *testing.T) {
 			if r.ComputeSeconds <= 0 {
 				t.Fatalf("%s run missing overlap split: %+v", r.Mode, r)
 			}
-			sharedMS[r.Mode] += r.MSStageBytes
+			if r.Chips > 1 {
+				multiChip++
+				if r.CoresPerChip != r.Cores/r.Chips {
+					t.Fatalf("chips=%d run has cores_per_chip=%d, want %d: %+v", r.Chips, r.CoresPerChip, r.Cores/r.Chips, r)
+				}
+				// Shared Opt. declares no home policy, so every block
+				// homes on chip 0: each refill by a chip-1 core crosses.
+				if r.ICStageBytes == 0 {
+					t.Fatalf("multi-chip run of an un-homed schedule counts no inter-chip bytes: %+v", r)
+				}
+			} else {
+				sharedMS[r.Mode] += r.MSStageBytes
+				if r.ICStageBytes != 0 {
+					t.Fatalf("single-chip run counts inter-chip bytes: %+v", r)
+				}
+			}
 		case "packed":
 			if r.MSStageBytes != 0 || r.MDStageBytes == 0 {
 				t.Fatalf("packed run traffic malformed: %+v", r)
@@ -83,6 +109,9 @@ func TestBenchSmoke(t *testing.T) {
 				t.Fatalf("%s run must move no counted bytes: %+v", r.Mode, r)
 			}
 		}
+	}
+	if multiChip != 2 {
+		t.Fatalf("record has %d multi-chip runs, want 2 (shared + shared-pipelined at p=2, chips=2)", multiChip)
 	}
 	// Pipelining may only change timing, never traffic.
 	if sharedMS["shared"] != sharedMS["shared-pipelined"] {

@@ -46,6 +46,7 @@ func main() {
 		n           = flag.Int("n", 512, "matrix order in coefficients")
 		q           = flag.Int("q", 32, "tile size in coefficients")
 		cores       = flag.Int("p", runtime.NumCPU(), "worker goroutines (cores); benchmark mode uses -bench-cores instead")
+		chips       = flag.Int("chips", 1, "chips the cores and the shared cache are split over (must divide -p)")
 		modeName    = flag.String("mode", parallel.ModePacked.String(), "executor mode: packed, view, shared or shared-pipelined (benchmark mode measures all four)")
 		verify      = flag.Bool("verify", true, "check |A - L·U| against the input (ignored in benchmark mode)")
 		seed        = flag.Uint64("seed", 1, "input matrix seed")
@@ -79,7 +80,7 @@ func main() {
 		var mode parallel.Mode
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
-			err = run(*n, params.Q, *cores, *verify, *seed, mode, tun)
+			err = run(*n, params.Q, *cores, *chips, *verify, *seed, mode, tun)
 		}
 	}
 	if err != nil {
@@ -124,11 +125,15 @@ func luFlops(n int) float64 {
 	return 2 * fn * fn * fn / 3
 }
 
-func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
+func run(n, q, cores, chips int, verify bool, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
 	if n <= 0 || q <= 0 {
 		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
 	}
 	mach := lu.MachineFor(cores, q)
+	mach.Chips = chips
+	if err := mach.Validate(); err != nil {
+		return err
+	}
 	fmt.Printf("machine: %s\nmode: %v\nworkload: LU of %d×%d, tiles of %d×%d\n\n", mach, mode, n, n, q, q)
 
 	orig := lu.RandomDominant(n, seed)
@@ -168,6 +173,10 @@ func run(n, q, cores int, verify bool, seed uint64, mode parallel.Mode, tun para
 		fmt.Sprintf("%.2f", luFlops(n)/parTime.Seconds()/1e9), residual(par),
 		report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
 	fmt.Print(tbl.String())
+	if mach.ChipCount() > 1 {
+		fmt.Printf("\ninter-chip (chips=%d): %s staged, %s written back\n",
+			mach.ChipCount(), report.FormatBytes(tra.IC.StageBytes), report.FormatBytes(tra.IC.WriteBackBytes))
+	}
 
 	if !par.Equal(seq) {
 		return fmt.Errorf("schedule-driven factors deviate from the sequential ones by %g", par.MaxAbsDiff(seq))

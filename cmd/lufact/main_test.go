@@ -12,16 +12,26 @@ import (
 
 func TestRunSmoke(t *testing.T) {
 	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeView, parallel.ModeShared, parallel.ModeSharedPipelined} {
-		if err := run(48, 8, 2, true, 1, mode, parallel.DefaultTuning); err != nil {
+		if err := run(48, 8, 2, 1, true, 1, mode, parallel.DefaultTuning); err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
 	}
-	// Ragged n mod q ≠ 0 must run end to end too.
-	if err := run(37, 8, 2, true, 1, parallel.ModePacked, parallel.DefaultTuning); err != nil {
+	// Ragged n mod q ≠ 0 must run end to end too, as must the shared
+	// level split over two chips (ragged and square).
+	if err := run(37, 8, 2, 1, true, 1, parallel.ModePacked, parallel.DefaultTuning); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 8, 2, false, 1, parallel.ModePacked, parallel.DefaultTuning); err == nil {
+	if err := run(48, 8, 2, 2, true, 1, parallel.ModeShared, parallel.DefaultTuning); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(37, 8, 2, 2, true, 1, parallel.ModeShared, parallel.DefaultTuning); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 8, 2, 1, false, 1, parallel.ModePacked, parallel.DefaultTuning); err == nil {
 		t.Fatal("n=0 must fail")
+	}
+	if err := run(48, 8, 2, 3, false, 1, parallel.ModeShared, parallel.DefaultTuning); err == nil {
+		t.Fatal("chips that do not divide p must fail validation")
 	}
 }
 

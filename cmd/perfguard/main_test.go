@@ -163,6 +163,55 @@ func TestTunedGuardFailsWhenTuningRegresses(t *testing.T) {
 	}
 }
 
+// Mixed vintages: records written before the multi-chip machine model
+// carry no chips fields, and must keep guarding cleanly next to records
+// that do. Pre-chip runs join as single-chip; multi-chip runs join only
+// with multi-chip runs of the same topology, and when the other record
+// has none the guard warns instead of failing.
+func TestGuardsTolerateMixedChipVintages(t *testing.T) {
+	dir := t.TempDir()
+
+	// New-vintage record: a healthy pair at chips=1 and one at chips=2.
+	fresh := report.NewBench("gemm")
+	fresh.Add("Shared Opt.", "shared", 4, 8, 8, 100*time.Millisecond)
+	fresh.Add("Shared Opt.", "shared-pipelined", 4, 8, 8, 90*time.Millisecond)
+	for _, mode := range []string{"shared", "shared-pipelined"} {
+		r := fresh.Add("Shared Opt.", mode, 4, 8, 8, 95*time.Millisecond)
+		r.SetTopology(2, 4)
+	}
+	freshPath := filepath.Join(dir, "fresh.json")
+	if err := fresh.WriteJSONFile(freshPath); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := guardLenient(&out, []string{freshPath}, "shared-pipelined", "shared", 0.25); err != nil {
+		t.Fatalf("multi-chip record rejected: %v\n%s", err, out.String())
+	}
+	// Both topologies must appear as distinct pairs, the multi-chip one
+	// labelled as such.
+	if !strings.Contains(out.String(), "p=4 chips=2") || !strings.Contains(out.String(), "over 2 pairs") {
+		t.Fatalf("chips=1 and chips=2 pairs must both be guarded:\n%s", out.String())
+	}
+
+	// Old-vintage record of the same workload, no chips fields at all:
+	// the tuned ratchet joins the single-chip runs, warns about the
+	// orphaned multi-chip ones, and passes.
+	old := report.NewBench("gemm")
+	old.Add("Shared Opt.", "shared", 4, 8, 8, 100*time.Millisecond)
+	old.Add("Shared Opt.", "shared-pipelined", 4, 8, 8, 100*time.Millisecond)
+	oldPath := filepath.Join(dir, "old.json")
+	if err := old.WriteJSONFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := guardTuned(&out, freshPath, oldPath, 0.25); err != nil {
+		t.Fatalf("pre-chip record must warn, not fail: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "warning") || !strings.Contains(out.String(), "predates the chip fields") {
+		t.Fatalf("missing mixed-vintage warning:\n%s", out.String())
+	}
+}
+
 func TestTunedGuardRejectsDisjointRecords(t *testing.T) {
 	dir := t.TempDir()
 	a := report.NewBench("gemm")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/matrix"
 	"repro/internal/schedule"
 )
 
@@ -155,8 +156,51 @@ func (a DistributedOpt) Schedule(declared machine.Machine, w Workload) (*schedul
 		Cores:     declared.P,
 		Params:    schedule.Params{Mu: mu, GridRows: gr, GridCols: gc},
 		Resources: resources(declared),
+		Home:      a.homePolicy(declared, mu, gr, gc),
 		Body:      body,
 	}, nil
+}
+
+// homePolicy maps the 2-D cyclic owner assignment onto the chip grid:
+// every staged line is homed on the chip of the core that owns it.
+//
+//   - C(i,j) lives on the chip of its owning core (offI, offJ) — the
+//     core that stages, computes and writes the µ×µ sub-block, so C
+//     staging never crosses the interconnect;
+//   - B(k,j) is read only by the grid column offJ = (j mod gc·µ)/µ, so
+//     it is homed on that column's first core's chip — with the blocked
+//     core partition, whole grid columns land on one chip (consecutive
+//     cores share offJ), keeping B traffic chip-local too;
+//   - A(i,k) is shared across a grid ROW (one reader per column), so
+//     wherever it is homed some columns read it remotely; it goes to
+//     the owning row's column-0 chip. A is the asymptotically small
+//     stream (√p elements in flight vs λ-sized B rows), which is
+//     exactly why DistributedOpt's inter-chip traffic undercuts
+//     SharedOpt's, whose B rows are read by every core on every chip.
+//
+// Lines outside any super-tile cannot occur (tile offsets are taken
+// mod the tile edges).
+func (DistributedOpt) homePolicy(declared machine.Machine, mu, gr, gc int) func(schedule.Line) int {
+	if declared.ChipCount() == 1 {
+		return nil
+	}
+	p, chips := declared.P, declared.ChipCount()
+	tileI, tileJ := gr*mu, gc*mu
+	chipOfCore := func(c int) int { return machine.ChipOfCore(c, p, chips) }
+	return func(l schedule.Line) int {
+		switch l.Matrix {
+		case matrix.MatC:
+			offI := (l.Row % tileI) / mu
+			offJ := (l.Col % tileJ) / mu
+			return chipOfCore(offJ*gr + offI)
+		case matrix.MatB:
+			offJ := (l.Col % tileJ) / mu
+			return chipOfCore(offJ * gr)
+		default: // MatA
+			offI := (l.Row % tileI) / mu
+			return chipOfCore(offI)
+		}
+	}
 }
 
 // coreRegion returns core c's sub-block bounds [rlo,rhi)×[clo,chi) inside

@@ -103,12 +103,20 @@ type Result struct {
 	Declared  machine.Machine // machine communicated to the algorithm
 	Workload  Workload
 
-	MS        uint64   // shared-cache misses
+	MS        uint64   // shared-cache misses (summed over chips)
 	MDPerCore []uint64 // distributed misses per core
 	MD        uint64   // max over cores (the paper's MD)
 	WriteBack uint64   // blocks written back to memory
 	Updates   []uint64 // kernel applications (block writes) per core (load balance)
 	Tdata     float64  // MS/σS + MD/σD with the actual bandwidths
+
+	// Multi-chip breakdown (IDEAL runs; length 1 matrices on a
+	// single-chip machine, with zero inter-chip traffic).
+	MSPerChip    []uint64   // shared misses per chip
+	ICStages     uint64     // distributed fills that crossed the interconnect
+	ICWriteBacks uint64     // dirty merges that crossed the interconnect
+	ICStagePairs [][]uint64 // [home][user] inter-chip fill counts
+	ICWBPairs    [][]uint64 // [home][user] inter-chip write-back counts
 }
 
 // CCRS returns the achieved shared communication-to-computation ratio.
@@ -172,6 +180,7 @@ func RunProgram(prog *schedule.Program, actual, declared machine.Machine, w Work
 	if err != nil {
 		return Result{}, err
 	}
+	e.SetHome(prog)
 	if err := prog.Emit(e); err != nil {
 		return Result{}, err
 	}
@@ -246,6 +255,7 @@ type Exec struct {
 	pos     []int
 	updates []uint64
 	probe   *Probe
+	homeOf  func(Line) int // home chip per shared line; nil ⇒ chip 0
 	err     error
 }
 
@@ -266,9 +276,12 @@ func NewExec(m machine.Machine, s Setting, probe *Probe) (*Exec, error) {
 	var err error
 	switch s {
 	case Ideal:
-		e.ideal, err = cache.NewIdealHierarchy(m.P, m.CS, m.CD)
+		e.ideal, err = cache.NewIdealHierarchyChips(m.P, m.ChipCount(), m.CS, m.CD)
 	case LRU, LRUSeq:
-		e.lru, err = cache.NewLRUHierarchy(m.P, m.CS, m.CD)
+		// The LRU policy has no per-chip extension yet: a multi-chip
+		// machine's shared level is approximated by one cache holding the
+		// union of the chips' capacities.
+		e.lru, err = cache.NewLRUHierarchy(m.P, m.CS*m.ChipCount(), m.CD)
 	default:
 		err = fmt.Errorf("algo: unknown setting %v", s)
 	}
@@ -276,6 +289,20 @@ func NewExec(m machine.Machine, s Setting, probe *Probe) (*Exec, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// SetHome installs prog's home-chip placement policy, so shared staging
+// and distributed fills route to the right chip. Must be called before
+// the program is emitted; without it every line lives on chip 0.
+func (e *Exec) SetHome(prog *schedule.Program) {
+	e.homeOf = prog.HomeOf
+}
+
+func (e *Exec) home(l Line) int {
+	if e.homeOf == nil {
+		return 0
+	}
+	return e.homeOf(l)
 }
 
 // Cores returns the number of simulated cores.
@@ -304,18 +331,18 @@ func (e *Exec) StageShared(l Line) {
 		e.probe.SharedAccess(l)
 	}
 	if e.setting == Ideal {
-		e.fail(e.ideal.LoadShared(l))
+		e.fail(e.ideal.LoadSharedChip(e.home(l), l))
 		return
 	}
 	e.lru.SharedRead(l)
 }
 
-// UnstageShared evicts l from the shared cache (IDEAL only).
+// UnstageShared evicts l from its home chip's shared cache (IDEAL only).
 func (e *Exec) UnstageShared(l Line) {
 	if e.err != nil || e.setting != Ideal {
 		return
 	}
-	e.fail(e.ideal.EvictShared(l))
+	e.fail(e.ideal.EvictSharedChip(e.home(l), l))
 }
 
 // Parallel runs body for every core, then replays the recorded per-core
@@ -369,9 +396,9 @@ func (e *Exec) apply(c int, op coreOp) {
 	case Ideal:
 		switch op.kind {
 		case opStage:
-			e.fail(e.ideal.LoadDistributed(c, op.line))
+			e.fail(e.ideal.LoadDistributedFrom(c, e.home(op.line), op.line))
 		case opUnstage:
-			e.fail(e.ideal.EvictDistributed(c, op.line))
+			e.fail(e.ideal.EvictDistributedTo(c, e.home(op.line), op.line))
 		case opRead:
 			e.fail(e.ideal.Reference(c, op.line))
 		case opWrite:
@@ -433,6 +460,22 @@ func (e *Exec) Finish(name string, actual, declared machine.Machine, w Workload)
 	for c := 0; c < e.p; c++ {
 		res.MDPerCore[c] = m.MD(c)
 	}
+	if e.setting == Ideal {
+		chips := e.ideal.Chips()
+		res.MSPerChip = make([]uint64, chips)
+		res.ICStagePairs = make([][]uint64, chips)
+		res.ICWBPairs = make([][]uint64, chips)
+		for home := 0; home < chips; home++ {
+			res.MSPerChip[home] = e.ideal.MSChip(home)
+			res.ICStagePairs[home] = make([]uint64, chips)
+			res.ICWBPairs[home] = make([]uint64, chips)
+			for user := 0; user < chips; user++ {
+				res.ICStagePairs[home][user] = e.ideal.InterChipStages(home, user)
+				res.ICWBPairs[home][user] = e.ideal.InterChipWriteBacks(home, user)
+			}
+		}
+		res.ICStages, res.ICWriteBacks = e.ideal.InterChipTotals()
+	}
 	res.Tdata = actual.Tdata(res.MS, res.MD)
 	return res, nil
 }
@@ -455,6 +498,7 @@ func resources(declared machine.Machine) schedule.Resources {
 	return schedule.Resources{
 		SharedBlocks: declared.CS,
 		CoreBlocks:   declared.CD,
+		Chips:        declared.ChipCount(),
 		SigmaS:       declared.SigmaS,
 		SigmaD:       declared.SigmaD,
 		BlockEdge:    declared.Q,

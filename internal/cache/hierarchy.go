@@ -191,22 +191,61 @@ func (h *LRUHierarchy) CheckInclusion() error {
 // "I/O operations are not propagated throughout the hierarchy in case of
 // a cache miss: it is the user responsibility to guarantee that a given
 // data is present in every caches below the target cache."
+//
+// On a multi-chip machine the shared level is one explicitly managed
+// cache of sharedCap lines PER CHIP, with the p cores split into equal
+// contiguous groups. Every shared-level operation then names the chip it
+// targets (the line's home chip, assigned by the managing program), and
+// a distributed load whose line is homed on a foreign chip additionally
+// crosses the inter-chip stream — counted per (home, user) chip pair in
+// both directions (stages home→user, dirty write-backs user→home). The
+// single-chip constructor and the chip-less methods keep the paper's
+// original model intact at chip 0.
 type IdealHierarchy struct {
-	shared *Ideal
+	shared []*Ideal // one per chip
+	chips  int
 	dist   []*Ideal
 	memWB  uint64
+
+	icStage [][]uint64 // [home][user] inter-chip fills
+	icWB    [][]uint64 // [home][user] inter-chip dirty merges
 }
 
-// NewIdealHierarchy builds an explicitly managed hierarchy.
+// NewIdealHierarchy builds a single-chip explicitly managed hierarchy.
 func NewIdealHierarchy(p, sharedCap, distCap int) (*IdealHierarchy, error) {
+	return NewIdealHierarchyChips(p, 1, sharedCap, distCap)
+}
+
+// NewIdealHierarchyChips builds an explicitly managed hierarchy with
+// chips shared caches of sharedCap lines each. Inclusion is per chip:
+// each chip's shared cache must hold the distributed footprint of its
+// own cores, CS ≥ (p/chips)·CD.
+func NewIdealHierarchyChips(p, chips, sharedCap, distCap int) (*IdealHierarchy, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("cache: need at least one core, got %d", p)
 	}
-	if sharedCap < p*distCap {
-		return nil, fmt.Errorf("cache: inclusion requires CS ≥ p·CD, got CS=%d < %d·%d",
-			sharedCap, p, distCap)
+	if chips < 1 {
+		chips = 1
 	}
-	h := &IdealHierarchy{shared: NewIdeal(sharedCap), dist: make([]*Ideal, p)}
+	if chips > p || p%chips != 0 {
+		return nil, fmt.Errorf("cache: %d chips must split p=%d cores evenly", chips, p)
+	}
+	if per := p / chips; sharedCap < per*distCap {
+		return nil, fmt.Errorf("cache: inclusion requires CS ≥ (p/chips)·CD, got CS=%d < %d·%d",
+			sharedCap, per, distCap)
+	}
+	h := &IdealHierarchy{
+		shared:  make([]*Ideal, chips),
+		chips:   chips,
+		dist:    make([]*Ideal, p),
+		icStage: make([][]uint64, chips),
+		icWB:    make([][]uint64, chips),
+	}
+	for i := range h.shared {
+		h.shared[i] = NewIdeal(sharedCap)
+		h.icStage[i] = make([]uint64, chips)
+		h.icWB[i] = make([]uint64, chips)
+	}
 	for i := range h.dist {
 		h.dist[i] = NewIdeal(distCap)
 	}
@@ -216,18 +255,42 @@ func NewIdealHierarchy(p, sharedCap, distCap int) (*IdealHierarchy, error) {
 // Cores returns the number of distributed caches.
 func (h *IdealHierarchy) Cores() int { return len(h.dist) }
 
-// LoadShared brings l from memory into the shared cache (one MS miss).
-func (h *IdealHierarchy) LoadShared(l Line) error { return h.shared.Load(l) }
+// Chips returns the number of shared caches.
+func (h *IdealHierarchy) Chips() int { return h.chips }
 
-// EvictShared drops l from the shared cache. Inclusion forbids evicting
-// a line still held by a distributed cache.
-func (h *IdealHierarchy) EvictShared(l Line) error {
+// ChipOf returns the chip owning core (blocked partition).
+func (h *IdealHierarchy) ChipOf(core int) int {
+	per := len(h.dist) / h.chips
+	return core / per
+}
+
+// LoadShared brings l from memory into chip 0's shared cache.
+func (h *IdealHierarchy) LoadShared(l Line) error { return h.LoadSharedChip(0, l) }
+
+// LoadSharedChip brings l from memory into chip's shared cache (one MS
+// miss).
+func (h *IdealHierarchy) LoadSharedChip(chip int, l Line) error {
+	if chip < 0 || chip >= h.chips {
+		return fmt.Errorf("cache: shared load of %v on chip %d of %d", l, chip, h.chips)
+	}
+	return h.shared[chip].Load(l)
+}
+
+// EvictShared drops l from chip 0's shared cache.
+func (h *IdealHierarchy) EvictShared(l Line) error { return h.EvictSharedChip(0, l) }
+
+// EvictSharedChip drops l from chip's shared cache. Inclusion forbids
+// evicting a line still held by any distributed cache.
+func (h *IdealHierarchy) EvictSharedChip(chip int, l Line) error {
+	if chip < 0 || chip >= h.chips {
+		return fmt.Errorf("cache: shared evict of %v on chip %d of %d", l, chip, h.chips)
+	}
 	for c, d := range h.dist {
 		if d.Contains(l) {
 			return fmt.Errorf("cache: evicting %v from shared cache while resident in core %d", l, c)
 		}
 	}
-	dirty, err := h.shared.Evict(l)
+	dirty, err := h.shared[chip].Evict(l)
 	if err != nil {
 		return err
 	}
@@ -237,24 +300,58 @@ func (h *IdealHierarchy) EvictShared(l Line) error {
 	return nil
 }
 
-// LoadDistributed brings l from the shared cache into core's private
-// cache (one MD(core) miss). The line must already be shared-resident.
+// LoadDistributed brings l from chip 0's shared cache into core's
+// private cache.
 func (h *IdealHierarchy) LoadDistributed(core int, l Line) error {
-	if !h.shared.Contains(l) {
-		return fmt.Errorf("cache: core %d loading %v not resident in shared cache", core, l)
+	return h.LoadDistributedFrom(core, 0, l)
+}
+
+// LoadDistributedFrom brings l from its home chip's shared cache into
+// core's private cache (one MD(core) miss). The line must already be
+// resident on the home chip; when the home differs from the core's own
+// chip the fill also crosses the inter-chip stream (one home→user
+// stage on that pair's counter).
+func (h *IdealHierarchy) LoadDistributedFrom(core, home int, l Line) error {
+	if home < 0 || home >= h.chips {
+		return fmt.Errorf("cache: core %d loading %v from chip %d of %d", core, l, home, h.chips)
 	}
-	return h.dist[core].Load(l)
+	if !h.shared[home].Contains(l) {
+		return fmt.Errorf("cache: core %d loading %v not resident in chip %d's shared cache", core, l, home)
+	}
+	if err := h.dist[core].Load(l); err != nil {
+		return err
+	}
+	if user := h.ChipOf(core); user != home {
+		h.icStage[home][user]++
+	}
+	return nil
 }
 
 // EvictDistributed drops l from core's private cache, merging a dirty
-// copy into the shared cache.
+// copy into chip 0's shared cache.
 func (h *IdealHierarchy) EvictDistributed(core int, l Line) error {
+	return h.EvictDistributedTo(core, 0, l)
+}
+
+// EvictDistributedTo drops l from core's private cache, merging a dirty
+// copy into its home chip's shared cache; a dirty merge to a foreign
+// home crosses the inter-chip stream (one user→home write-back on that
+// pair's counter).
+func (h *IdealHierarchy) EvictDistributedTo(core, home int, l Line) error {
+	if home < 0 || home >= h.chips {
+		return fmt.Errorf("cache: core %d evicting %v to chip %d of %d", core, l, home, h.chips)
+	}
 	dirty, err := h.dist[core].Evict(l)
 	if err != nil {
 		return err
 	}
 	if dirty {
-		return h.shared.MarkDirty(l)
+		if err := h.shared[home].MarkDirty(l); err != nil {
+			return err
+		}
+		if user := h.ChipOf(core); user != home {
+			h.icWB[home][user]++
+		}
 	}
 	return nil
 }
@@ -274,8 +371,16 @@ func (h *IdealHierarchy) WriteDistributed(core int, l Line) error {
 
 // WriteShared marks a shared-resident line dirty without involving a
 // distributed cache (used when an algorithm updates a block at the
-// shared level, e.g. "Update block Cc in the shared cache").
-func (h *IdealHierarchy) WriteShared(l Line) error { return h.shared.MarkDirty(l) }
+// shared level, e.g. "Update block Cc in the shared cache"). The line
+// is sought on every chip; its home holds the only copy.
+func (h *IdealHierarchy) WriteShared(l Line) error {
+	for _, s := range h.shared {
+		if s.Contains(l) {
+			return s.MarkDirty(l)
+		}
+	}
+	return h.shared[0].MarkDirty(l)
+}
 
 // Flush drains every cache to memory and returns the write-back count.
 func (h *IdealHierarchy) Flush() uint64 {
@@ -285,22 +390,57 @@ func (h *IdealHierarchy) Flush() uint64 {
 			dirty[ev.Line] = true
 		}
 	}
-	for _, ev := range h.shared.Flush() {
-		dirty[ev.Line] = true
+	for _, s := range h.shared {
+		for _, ev := range s.Flush() {
+			dirty[ev.Line] = true
+		}
 	}
 	n := uint64(len(dirty))
 	h.memWB += n
 	return n
 }
 
-// Shared exposes the shared cache.
-func (h *IdealHierarchy) Shared() *Ideal { return h.shared }
+// Shared exposes chip 0's shared cache.
+func (h *IdealHierarchy) Shared() *Ideal { return h.shared[0] }
+
+// SharedChip exposes chip's shared cache.
+func (h *IdealHierarchy) SharedChip(chip int) *Ideal { return h.shared[chip] }
 
 // Distributed exposes core c's private cache.
 func (h *IdealHierarchy) Distributed(core int) *Ideal { return h.dist[core] }
 
-// MS returns the shared-cache miss (explicit load) count.
-func (h *IdealHierarchy) MS() uint64 { return h.shared.Stats().Misses }
+// MS returns the shared-cache miss (explicit load) count, summed over
+// chips.
+func (h *IdealHierarchy) MS() uint64 {
+	var s uint64
+	for _, sh := range h.shared {
+		s += sh.Stats().Misses
+	}
+	return s
+}
+
+// MSChip returns chip's shared-cache miss count.
+func (h *IdealHierarchy) MSChip(chip int) uint64 { return h.shared[chip].Stats().Misses }
+
+// InterChipStages returns the number of distributed fills that crossed
+// the interconnect from home's shared cache to a core on chip user.
+func (h *IdealHierarchy) InterChipStages(home, user int) uint64 { return h.icStage[home][user] }
+
+// InterChipWriteBacks returns the number of dirty merges that crossed
+// the interconnect from a core on chip user back to home's shared
+// cache.
+func (h *IdealHierarchy) InterChipWriteBacks(home, user int) uint64 { return h.icWB[home][user] }
+
+// InterChipTotals sums the inter-chip stream over all chip pairs.
+func (h *IdealHierarchy) InterChipTotals() (stages, writeBacks uint64) {
+	for home := range h.icStage {
+		for user := range h.icStage[home] {
+			stages += h.icStage[home][user]
+			writeBacks += h.icWB[home][user]
+		}
+	}
+	return stages, writeBacks
+}
 
 // MD returns core c's distributed miss (explicit load) count.
 func (h *IdealHierarchy) MD(core int) uint64 { return h.dist[core].Stats().Misses }

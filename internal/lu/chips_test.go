@@ -1,0 +1,128 @@
+package lu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// luChipMachine splits luTestMachine's cores over chips; CS = 3p holds
+// the per-chip inclusion floor (p/chips)·CD = (p/chips)·3 for every
+// divisor of p.
+func luChipMachine(p, chips, q int) machine.Machine {
+	m := luTestMachine(p, q)
+	m.Chips = chips
+	return m
+}
+
+// TestLUMultiChipMatchesSequential: the factorisation run with the
+// shared level split over two chips — the LU program declares no home
+// policy, so every tile homes on chip 0 and chip 1's cores work
+// entirely over the interconnect — must stay bitwise identical to the
+// sequential Factor, on aligned and ragged n mod q ≠ 0 shapes.
+func TestLUMultiChipMatchesSequential(t *testing.T) {
+	shapes := []struct{ n, q int }{
+		{16, 4}, // aligned
+		{13, 4}, // ragged edge tile
+		{23, 5}, // ragged, trailing strips split
+	}
+	for _, s := range shapes {
+		mach := luChipMachine(4, 2, s.q)
+		orig := RandomDominant(s.n, uint64(s.n*13+s.q))
+		want := orig.Clone()
+		if err := Factor(want, s.q); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []parallel.Mode{parallel.ModeShared, parallel.ModeSharedPipelined} {
+			got := runExecutor(t, orig, s.q, mach, mode, nil)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d q=%d %v: chips=2 LU deviates from sequential Factor by %g",
+					s.n, s.q, mode, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestLUMultiChipTrafficMatchesSimulator extends the traffic criterion
+// to chips ∈ {1, 2}: physical MS, per-core MD and the inter-chip pair
+// matrix must equal the extended IDEAL simulator's, and the MS/MD
+// streams must be invariant across chip counts.
+func TestLUMultiChipTrafficMatchesSimulator(t *testing.T) {
+	for _, s := range []struct{ n, q int }{{16, 4}, {13, 4}} {
+		base := map[parallel.Mode]parallel.Traffic{}
+		for _, chips := range []int{1, 2} {
+			mach := luChipMachine(4, chips, s.q)
+			nb := (s.n + s.q - 1) / s.q
+			prog := program(t, mach, s.n, s.q)
+			res, err := algo.RunProgram(prog, mach, mach, algo.Workload{M: nb, N: nb, Z: nb}, algo.Ideal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []parallel.Mode{parallel.ModeShared, parallel.ModeSharedPipelined} {
+				t.Run(fmt.Sprintf("%dx%d/q%d/chips%d/%v", s.n, s.n, s.q, chips, mode), func(t *testing.T) {
+					orig := RandomDominant(s.n, 7)
+					a := orig.Clone()
+					blocked, err := matrix.NewBlocked(matrix.MatA, a, s.q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					operands, err := matrix.NewOperands(blocked)
+					if err != nil {
+						t.Fatal(err)
+					}
+					team, err := parallel.NewTeam(mach.P)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer team.Close()
+					ex, err := parallel.NewExecutorOperands(team, operands, nil, mode, mach.CD, mach.CS)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ex.Run(prog); err != nil {
+						t.Fatal(err)
+					}
+					tra := ex.Traffic()
+					if tra.MS.StageBlocks != res.MS {
+						t.Fatalf("executor staged %d shared blocks, simulator counts MS=%d", tra.MS.StageBlocks, res.MS)
+					}
+					if tra.MS.WriteBackBlocks != res.WriteBack {
+						t.Fatalf("executor wrote back %d blocks, simulator counts %d", tra.MS.WriteBackBlocks, res.WriteBack)
+					}
+					for c, want := range res.MDPerCore {
+						if got := ex.CoreTraffic(c).StageBlocks; got != want {
+							t.Fatalf("core %d refilled %d blocks, simulator counts MD=%d", c, got, want)
+						}
+					}
+					pairs := ex.InterChipPairs()
+					for home := range pairs {
+						for user := range pairs[home] {
+							if got, want := pairs[home][user].StageBlocks, res.ICStagePairs[home][user]; got != want {
+								t.Fatalf("chip %d→%d: executor staged %d foreign blocks, simulator counts %d", home, user, got, want)
+							}
+							if got, want := pairs[home][user].WriteBackBlocks, res.ICWBPairs[home][user]; got != want {
+								t.Fatalf("chip %d←%d: executor merged %d foreign blocks, simulator counts %d", home, user, got, want)
+							}
+						}
+					}
+					if chips > 1 && res.ICStages == 0 {
+						t.Fatal("chips=2 LU (all tiles homed on chip 0) must cross the interconnect")
+					}
+					if tra.IC.StageBlocks != res.ICStages || tra.IC.WriteBackBlocks != res.ICWriteBacks {
+						t.Fatalf("Traffic.IC %+v, simulator counts %d stages / %d write-backs", tra.IC, res.ICStages, res.ICWriteBacks)
+					}
+					if chips == 1 {
+						base[mode] = tra
+					} else if b, ok := base[mode]; ok && (tra.MS != b.MS || tra.MD != b.MD) {
+						t.Fatalf("chips=%d changed the MS/MD streams:\n  1 chip:  MS=%+v MD=%+v\n  %d chips: MS=%+v MD=%+v",
+							chips, b.MS, b.MD, chips, tra.MS, tra.MD)
+					}
+				})
+			}
+		}
+	}
+}

@@ -192,6 +192,7 @@ func Program(declared machine.Machine, nb int) (*schedule.Program, error) {
 			SigmaS:       declared.SigmaS,
 			SigmaD:       declared.SigmaD,
 			BlockEdge:    declared.Q,
+			Chips:        declared.ChipCount(),
 		},
 		Body: body,
 	}, nil

@@ -12,28 +12,95 @@ import (
 
 // Machine describes one simulated multicore processor. Capacities are in
 // q×q blocks, exactly as the paper communicates them to its algorithms.
+//
+// Chips extends the paper's single-socket model to a multi-chip machine:
+// the p cores are partitioned into Chips equal contiguous groups ("chip 0
+// owns cores 0..p/chips-1" and so on), each chip carrying its OWN shared
+// cache of CS blocks, with an interconnect between the chips. The σS term
+// then splits physically: a core filling from its own chip's shared cache
+// pays only MD, while a block resident on a foreign chip additionally
+// crosses the inter-chip stream. Chips ≤ 1 (including the zero value) is
+// the paper's original single-shared-cache machine.
 type Machine struct {
 	P      int     // number of cores
-	CS     int     // shared cache capacity, in blocks
+	CS     int     // per-chip shared cache capacity, in blocks
 	CD     int     // per-core distributed cache capacity, in blocks
+	Chips  int     // number of chips; 0 or 1 means a single shared cache
 	SigmaS float64 // shared cache bandwidth (blocks per time unit)
 	SigmaD float64 // distributed cache bandwidth (blocks per time unit)
 	Q      int     // block edge, in matrix coefficients (metadata only)
 }
 
+// ChipCount normalises the Chips field: machines predating the chip
+// dimension (zero value) are single-chip.
+func (m Machine) ChipCount() int {
+	if m.Chips < 1 {
+		return 1
+	}
+	return m.Chips
+}
+
+// CoresPerChip returns the number of cores each chip owns. Validate
+// enforces that the chip count divides p, so the partition is exact.
+func (m Machine) CoresPerChip() int { return m.P / m.ChipCount() }
+
+// ChipOf returns the chip owning core c under the blocked partition:
+// chip 0 owns cores [0, p/chips), chip 1 the next block, and so on. The
+// contiguous split keeps a chip's cores adjacent, which is both what
+// DistributedOpt's 2-D cyclic grid maps onto (consecutive cores form
+// grid columns) and what NUMA first-touch placement wants.
+func (m Machine) ChipOf(c int) int { return ChipOfCore(c, m.P, m.ChipCount()) }
+
+// ChipCores returns the half-open core range [lo, hi) owned by chip.
+func (m Machine) ChipCores(chip int) (lo, hi int) {
+	per := m.CoresPerChip()
+	return chip * per, (chip + 1) * per
+}
+
+// ChipOfCore is the blocked core→chip partition as a free function, for
+// packages that carry the topology as plain integers (the cache
+// simulator, the executor): core c of p cores on chips chips lives on
+// chip c/(p/chips).
+func ChipOfCore(c, p, chips int) int {
+	if chips <= 1 {
+		return 0
+	}
+	per := p / chips
+	if per < 1 {
+		per = 1
+	}
+	chip := c / per
+	if chip >= chips {
+		chip = chips - 1
+	}
+	return chip
+}
+
 // Validate checks the structural constraints of the model: positive
 // dimensions, at least the 3-block distributed footprint required by
-// Algorithm 1 (one element of each matrix), and the inclusion constraint
-// CS ≥ p·CD.
+// Algorithm 1 (one element of each matrix), a chip partition that splits
+// the cores evenly, and the per-chip inclusion constraint
+// CS ≥ (p/chips)·CD — each chip's shared cache must be able to hold
+// every line its own cores stage.
 func (m Machine) Validate() error {
 	if m.P <= 0 {
 		return fmt.Errorf("machine: need at least one core, got p=%d", m.P)
 	}
+	if m.Chips < 0 {
+		return fmt.Errorf("machine: chip count must be non-negative, got %d", m.Chips)
+	}
+	chips := m.ChipCount()
+	if chips > m.P {
+		return fmt.Errorf("machine: %d chips need at least as many cores, got p=%d", chips, m.P)
+	}
+	if m.P%chips != 0 {
+		return fmt.Errorf("machine: %d chips must split p=%d cores evenly", chips, m.P)
+	}
 	if m.CD < 3 {
 		return fmt.Errorf("machine: distributed caches need CD ≥ 3 blocks, got %d", m.CD)
 	}
-	if m.CS < m.P*m.CD {
-		return fmt.Errorf("machine: inclusion requires CS ≥ p·CD, got %d < %d·%d", m.CS, m.P, m.CD)
+	if per := m.P / chips; m.CS < per*m.CD {
+		return fmt.Errorf("machine: inclusion requires CS ≥ (p/chips)·CD, got %d < %d·%d", m.CS, per, m.CD)
 	}
 	if m.SigmaS <= 0 || m.SigmaD <= 0 {
 		return fmt.Errorf("machine: bandwidths must be positive, got σS=%g σD=%g", m.SigmaS, m.SigmaD)
@@ -43,6 +110,10 @@ func (m Machine) Validate() error {
 
 // String summarises the configuration.
 func (m Machine) String() string {
+	if m.ChipCount() > 1 {
+		return fmt.Sprintf("p=%d chips=%d CS=%d CD=%d σS=%g σD=%g q=%d",
+			m.P, m.ChipCount(), m.CS, m.CD, m.SigmaS, m.SigmaD, m.Q)
+	}
 	return fmt.Sprintf("p=%d CS=%d CD=%d σS=%g σD=%g q=%d", m.P, m.CS, m.CD, m.SigmaS, m.SigmaD, m.Q)
 }
 
@@ -53,6 +124,14 @@ func (m Machine) String() string {
 // distributed capacity never drops below the 3-block minimum footprint
 // (one element of each matrix) the algorithms need to run at all, so
 // tiny configurations like CD=4 remain usable under LRU-50.
+//
+// The clamps interact: when CD halving is pulled back up to the
+// 3-block minimum, the independently halved CS can land below the
+// per-chip inclusion floor (p/chips)·CD — e.g. CD=4 halves to 2,
+// clamps back to 3, while CS=p·4 halves to p·2 < p·3. Halve therefore
+// re-applies the inclusion floor after the CD clamp, growing CS back
+// up to it but never past the original CS, so a machine that satisfies
+// Validate always halves to one that still does.
 func (m Machine) Halve() Machine {
 	h := m
 	h.CS = m.CS / 2
@@ -60,8 +139,8 @@ func (m Machine) Halve() Machine {
 	if h.CD < 3 {
 		h.CD = min(m.CD, 3)
 	}
-	if h.CS < h.P*h.CD {
-		h.CS = min(m.CS, h.P*h.CD)
+	if floor := h.CoresPerChip() * h.CD; h.CS < floor {
+		h.CS = min(m.CS, floor)
 	}
 	return h
 }

@@ -85,6 +85,116 @@ func TestGrid(t *testing.T) {
 	}
 }
 
+func TestChipPartition(t *testing.T) {
+	m := quad(4)
+	if m.ChipCount() != 1 || m.CoresPerChip() != 4 {
+		t.Fatalf("zero-value chips: count=%d per=%d", m.ChipCount(), m.CoresPerChip())
+	}
+	m.Chips = 2
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CoresPerChip() != 2 {
+		t.Fatalf("CoresPerChip = %d, want 2", m.CoresPerChip())
+	}
+	// Blocked partition: chip 0 owns cores 0,1; chip 1 owns cores 2,3.
+	for c, want := range []int{0, 0, 1, 1} {
+		if got := m.ChipOf(c); got != want {
+			t.Errorf("ChipOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if lo, hi := m.ChipCores(1); lo != 2 || hi != 4 {
+		t.Fatalf("ChipCores(1) = [%d,%d)", lo, hi)
+	}
+	// Every core lands on exactly one chip for all valid topologies.
+	for _, chips := range []int{1, 2, 4} {
+		counts := make([]int, chips)
+		for c := 0; c < 4; c++ {
+			counts[ChipOfCore(c, 4, chips)]++
+		}
+		for chip, n := range counts {
+			if n != 4/chips {
+				t.Errorf("chips=%d: chip %d owns %d cores, want %d", chips, chip, n, 4/chips)
+			}
+		}
+	}
+}
+
+func TestChipValidation(t *testing.T) {
+	bad := []Machine{
+		{P: 4, CS: 100, CD: 3, Chips: -1, SigmaS: 1, SigmaD: 1}, // negative
+		{P: 4, CS: 100, CD: 3, Chips: 8, SigmaS: 1, SigmaD: 1},  // chips > p
+		{P: 4, CS: 100, CD: 3, Chips: 3, SigmaS: 1, SigmaD: 1},  // uneven split
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d (%v): expected validation error", i, m)
+		}
+	}
+	// Per-chip inclusion is weaker than the single-chip one: CS=6 holds
+	// 2 cores × CD=3 per chip, but not all 4 cores at once.
+	m := Machine{P: 4, CS: 6, CD: 3, Chips: 2, SigmaS: 1, SigmaD: 1}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("per-chip inclusion should pass: %v", err)
+	}
+	m.Chips = 1
+	if err := m.Validate(); err == nil {
+		t.Fatal("single-chip inclusion should fail at CS=6, p=4, CD=3")
+	}
+}
+
+// Regression for the tiny-cache corner: halving CD=4 clamps back up to
+// the 3-block minimum, so the independently halved CS must be re-grown
+// to the inclusion floor or the halved machine is invalid.
+func TestHalveTinyCacheInclusion(t *testing.T) {
+	m := Machine{P: 4, CS: 16, CD: 4, SigmaS: 1, SigmaD: 4}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := m.Halve()
+	// Naive halving gives CS=8, CD=3 → 8 < 4·3 violates inclusion.
+	if err := h.Validate(); err != nil {
+		t.Fatalf("halved tiny machine invalid: %v (got %v)", err, h)
+	}
+	if h.CD != 3 {
+		t.Fatalf("halved CD = %d, want 3", h.CD)
+	}
+	if h.CS < h.P*h.CD {
+		t.Fatalf("halved CS = %d below inclusion floor %d", h.CS, h.P*h.CD)
+	}
+	if h.CS > m.CS {
+		t.Fatalf("halved CS = %d grew past original %d", h.CS, m.CS)
+	}
+}
+
+// Property: any machine that validates still validates after Halve,
+// across chip counts and the tiny-cache corner.
+func TestHalvePreservesValidity(t *testing.T) {
+	f := func(pRaw, csRaw, cdRaw, chipsRaw uint8) bool {
+		m := Machine{
+			P:      int(pRaw%8) + 1,
+			CD:     int(cdRaw%12) + 3,
+			Chips:  int(chipsRaw % 5),
+			SigmaS: 1,
+			SigmaD: 4,
+		}
+		if m.Chips > 1 {
+			// Make the partition even; skip impossible combinations.
+			if m.P%m.Chips != 0 {
+				return true
+			}
+		}
+		m.CS = m.CoresPerChip()*m.CD + int(csRaw%64)
+		if m.Validate() != nil {
+			return true // not a valid input; nothing to preserve
+		}
+		return m.Halve().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHalveScale(t *testing.T) {
 	m := quad(4)
 	h := m.Halve()

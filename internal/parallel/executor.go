@@ -115,9 +115,17 @@ func (t *LevelTraffic) add(o LevelTraffic) {
 // MD(c). In ModePacked no shared arena exists: core arenas fill
 // straight from memory, that stream is reported as MD, and MS stays
 // zero. ModeView moves no data at all.
+//
+// IC is the inter-chip stream of a multi-chip run: the subset of MD
+// whose block was homed on a foreign chip's shared arena, so the
+// refill (stage) or dirty merge (write-back) crossed the interconnect.
+// It is always zero on a single-chip topology, and IC blocks are
+// counted in addition to — never instead of — their MD blocks, so MS
+// and MD are invariant across chip counts for the same program.
 type Traffic struct {
 	MS LevelTraffic
 	MD LevelTraffic
+	IC LevelTraffic
 }
 
 // Executor is the real-execution backend of the schedule IR: it maps
@@ -144,14 +152,22 @@ type Executor struct {
 	mode         Mode
 	arenaBlocks  int
 	sharedBlocks int
-	arenas       []*Arena     // allocated by Run for programs that stage
-	shared       *SharedArena // shared-level modes only, allocated with the arenas
-	staging      bool         // current program stages (set per Run)
+	arenas       []*Arena       // allocated by Run for programs that stage
+	shared       []*SharedArena // one per chip; shared-level modes only, allocated with the arenas
+	staging      bool           // current program stages (set per Run)
 	ops          [][]execOp
 	err          error
 
-	ms LevelTraffic   // memory↔shared stream, stager/driving goroutine only
-	md []LevelTraffic // shared↔core (or memory↔core) stream, one per worker
+	// Chip topology of the current Run, derived from the program's
+	// declared Resources and its Home placement (single chip, everything
+	// homed on chip 0, when undeclared).
+	chips  int
+	chipOf []int                   // core → chip (blocked partition)
+	homeOf func(schedule.Line) int // line → home chip; nil ⇒ chip 0
+
+	ms  LevelTraffic     // memory↔shared stream, stager/driving goroutine only
+	md  []LevelTraffic   // shared↔core (or memory↔core) stream, one per worker
+	icw [][]LevelTraffic // [core][home chip] inter-chip share of the MD stream
 
 	// stageWait and computeTime split the driving goroutine's critical
 	// path per Run: time spent moving blocks across the memory↔shared
@@ -270,6 +286,11 @@ func (ex *Executor) Traffic() Traffic {
 	for i := range ex.md {
 		t.MD.add(ex.md[i])
 	}
+	for c := range ex.icw {
+		for h := range ex.icw[c] {
+			t.IC.add(ex.icw[c][h])
+		}
+	}
 	return t
 }
 
@@ -277,6 +298,38 @@ func (ex *Executor) Traffic() Traffic {
 // stream (for load-balance analysis; the simulator's per-core MD(c)
 // counts correspond to StageBlocks).
 func (ex *Executor) CoreTraffic(c int) LevelTraffic { return ex.md[c] }
+
+// Chips returns the chip count of the most recently Run program's
+// topology (1 until a program has run).
+func (ex *Executor) Chips() int {
+	if ex.chips < 1 {
+		return 1
+	}
+	return ex.chips
+}
+
+// InterChipPairs returns the most recent Run's inter-chip traffic as a
+// [home][user] matrix: entry (h, u) counts the blocks that moved
+// between chip h's shared arena and the core arenas of chip u — stages
+// downward (h→u), write-backs upward (u→h). The diagonal is zero by
+// construction.
+func (ex *Executor) InterChipPairs() [][]LevelTraffic {
+	chips := ex.Chips()
+	pairs := make([][]LevelTraffic, chips)
+	for h := range pairs {
+		pairs[h] = make([]LevelTraffic, chips)
+	}
+	for c := range ex.icw {
+		user := 0
+		if c < len(ex.chipOf) {
+			user = ex.chipOf[c]
+		}
+		for h := range ex.icw[c] {
+			pairs[h][user].add(ex.icw[c][h])
+		}
+	}
+	return pairs
+}
 
 // StageWait returns the time the most recent Run's driving goroutine
 // spent on memory↔shared staging that could not be hidden behind
@@ -321,15 +374,24 @@ func (ex *Executor) StageShared(l schedule.Line) {
 	ex.stageWait += time.Since(start)
 }
 
-// stageShared performs the physical memory→shared transfer of l and
-// counts it on the MS stream. It runs on the driving goroutine in
-// ModeShared and on the stager goroutine in ModeSharedPipelined.
+// home resolves the home chip of l under the current Run's placement.
+func (ex *Executor) home(l schedule.Line) int {
+	if ex.homeOf == nil {
+		return 0
+	}
+	return ex.homeOf(l)
+}
+
+// stageShared performs the physical memory→shared transfer of l into
+// its home chip's arena and counts it on the MS stream. It runs on the
+// driving goroutine in ModeShared and on the stager goroutine in
+// ModeSharedPipelined.
 func (ex *Executor) stageShared(l schedule.Line) error {
 	src, err := ex.block(l)
 	if err != nil {
 		return err
 	}
-	values, err := ex.shared.Stage(l, src)
+	values, err := ex.shared[ex.home(l)].Stage(l, src)
 	if err != nil {
 		return err
 	}
@@ -370,7 +432,7 @@ func (ex *Executor) unstageShared(l schedule.Line) error {
 	if err != nil {
 		return err
 	}
-	values, dirty, err := ex.shared.Unstage(l, dst)
+	values, dirty, err := ex.shared[ex.home(l)].Unstage(l, dst)
 	if err != nil {
 		return err
 	}
@@ -490,13 +552,19 @@ func (ex *Executor) replayOps(c int, ops []execOp) error {
 			}
 			if op.kind == xStage {
 				if ex.mode.SharedLevel() {
-					// Intra-chip refill: the core arena fills from the
-					// shared arena, never from the matrices.
-					values, err := ex.shared.Refill(ar, op.line)
+					// The core arena fills from the block's home chip's
+					// shared arena, never from the matrices. A foreign home
+					// makes the same transfer an inter-chip one: counted on
+					// MD as always, plus the interconnect stream.
+					home := ex.home(op.line)
+					values, err := ex.shared[home].Refill(ar, op.line)
 					if err != nil {
 						return err
 					}
 					md.stage(values)
+					if home != ex.chipOf[c] {
+						ex.icw[c][home].stage(values)
+					}
 					continue
 				}
 				src, err := ex.block(op.line)
@@ -517,11 +585,16 @@ func (ex *Executor) replayOps(c int, ops []execOp) error {
 				continue
 			}
 			if ex.mode.SharedLevel() {
-				// Dirty tiles merge upward into the shared copy, as
-				// EvictDistributed merges under IDEAL; the shared level
-				// owns the eventual write-back to memory.
-				if err := ex.shared.Absorb(op.line, rows, cols, data); err != nil {
+				// Dirty tiles merge upward into the home chip's shared
+				// copy, as EvictDistributed merges under IDEAL; the shared
+				// level owns the eventual write-back to memory. A foreign
+				// home sends the merge over the interconnect.
+				home := ex.home(op.line)
+				if err := ex.shared[home].Absorb(op.line, rows, cols, data); err != nil {
 					return err
+				}
+				if home != ex.chipOf[c] {
+					ex.icw[c][home].writeBack(rows * cols)
 				}
 			} else {
 				dst, err := ex.block(op.line)
@@ -630,6 +703,41 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 	for i := range ex.md {
 		ex.md[i] = LevelTraffic{}
 	}
+	// Chip topology follows the program: the shared-level modes split
+	// their arena per declared chip and route every line by its home;
+	// the other modes have no shared level, hence a single flat chip.
+	ex.chips = 1
+	ex.homeOf = nil
+	if len(ex.chipOf) != ex.team.Size() {
+		ex.chipOf = make([]int, ex.team.Size())
+	}
+	if ex.mode.SharedLevel() {
+		ex.chips = prog.Resources.ChipCount()
+		if ex.chips > ex.team.Size() || ex.team.Size()%ex.chips != 0 {
+			return fmt.Errorf("parallel: program %q declares %d chips, which cannot split %d cores evenly",
+				prog.Algorithm, ex.chips, ex.team.Size())
+		}
+		ex.homeOf = prog.HomeOf
+		for c := range ex.chipOf {
+			ex.chipOf[c] = prog.ChipOfCore(c)
+		}
+	} else {
+		for c := range ex.chipOf {
+			ex.chipOf[c] = 0
+		}
+	}
+	if len(ex.icw) != ex.team.Size() || (len(ex.icw) > 0 && len(ex.icw[0]) != ex.chips) {
+		ex.icw = make([][]LevelTraffic, ex.team.Size())
+		for c := range ex.icw {
+			ex.icw[c] = make([]LevelTraffic, ex.chips)
+		}
+	} else {
+		for c := range ex.icw {
+			for h := range ex.icw[c] {
+				ex.icw[c][h] = LevelTraffic{}
+			}
+		}
+	}
 	ex.stageWait = 0
 	ex.computeTime = 0
 	ex.staging = false
@@ -683,12 +791,33 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 				ex.arenas[c] = a
 			}
 		}
-		if ex.staging && ex.mode.SharedLevel() && ex.shared == nil {
-			sa, err := NewSharedArena(ex.sharedBlocks, ex.operands.Q())
-			if err != nil {
+		if ex.staging && ex.mode.SharedLevel() && len(ex.shared) != ex.chips {
+			// One CS-sized arena per chip. A reused executor whose new
+			// program declares a different topology reallocates; the old
+			// arenas were drained empty at the end of their last Run.
+			shared := make([]*SharedArena, ex.chips)
+			for i := range shared {
+				sa, err := NewSharedArena(ex.sharedBlocks, ex.operands.Q())
+				if err != nil {
+					return err
+				}
+				shared[i] = sa
+			}
+			ex.shared = shared
+			// NUMA first-touch: Go zeroes pages lazily, so the first write
+			// decides which node backs them. Have the first worker of each
+			// chip touch its chip's arena before any staging, so on a real
+			// multi-socket host (workers pinned per chip) every arena's
+			// pages land on the socket whose cores refill from it.
+			per := ex.team.Size() / ex.chips
+			if err := ex.team.Run(func(c int) error {
+				if c%per == 0 && c/per < ex.chips {
+					ex.shared[c/per].FirstTouch()
+				}
+				return nil
+			}); err != nil {
 				return err
 			}
-			ex.shared = sa
 		}
 	}
 	if ex.staging && ex.mode == ModeSharedPipelined {
@@ -723,10 +852,14 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 		// would let a stale shared copy overwrite a fresher core result.
 		for c, ar := range ex.arenas {
 			_, err := ar.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
-				if err := ex.shared.Absorb(l, rows, cols, data); err != nil {
+				home := ex.home(l)
+				if err := ex.shared[home].Absorb(l, rows, cols, data); err != nil {
 					return err
 				}
 				ex.md[c].writeBack(rows * cols)
+				if home != ex.chipOf[c] {
+					ex.icw[c][home].writeBack(rows * cols)
+				}
 				return nil
 			})
 			if err != nil {
@@ -734,8 +867,11 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 				break
 			}
 		}
-		if ex.err == nil && ex.shared != nil {
-			_, err := ex.shared.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
+		for _, sa := range ex.shared {
+			if ex.err != nil {
+				break
+			}
+			_, err := sa.Drain(func(l schedule.Line, rows, cols int, data []float64) error {
 				dst, err := ex.block(l)
 				if err != nil {
 					return err

@@ -39,6 +39,18 @@ type BenchRun struct {
 	MDStageBytes     uint64 `json:"md_stage_bytes,omitempty"`     // shared→core (or memory→core) fills
 	MDWriteBackBytes uint64 `json:"md_writeback_bytes,omitempty"` // core→shared (or core→memory) write-backs
 
+	// Chip topology of the measured run and its inter-chip stream: the
+	// declared chip count the shared level was split over, the cores per
+	// chip, and the bytes of the MD stream that crossed chips (foreign
+	// refills downward, dirty foreign merges upward, as counted by
+	// Traffic.IC). Records written before the multi-chip machine model
+	// carry none of these fields; readers treat a missing or zero Chips
+	// as a single-chip run (see NormalizeChips).
+	Chips            int    `json:"chips,omitempty"`
+	CoresPerChip     int    `json:"cores_per_chip,omitempty"`
+	ICStageBytes     uint64 `json:"ic_stage_bytes,omitempty"`     // foreign-chip shared→core fills
+	ICWriteBackBytes uint64 `json:"ic_writeback_bytes,omitempty"` // core→foreign-chip dirty merges
+
 	// Overlap accounting of the shared-level modes ("shared" and
 	// "shared-pipelined"), from the same repetition Seconds was taken
 	// from. StageWaitSeconds is the memory↔shared staging time left on
@@ -61,6 +73,26 @@ type BenchRun struct {
 	Lookahead   int    `json:"lookahead,omitempty"`
 }
 
+// NormalizeChips resolves the run's chip count for comparisons:
+// records predating the multi-chip machine model (and chips=1 runs,
+// which omit the field) read as one chip.
+func (r *BenchRun) NormalizeChips() int {
+	if r.Chips < 1 {
+		return 1
+	}
+	return r.Chips
+}
+
+// SetTopology stamps the run's chip topology. A single-chip run stays
+// field-free so the record is byte-identical to its pre-chip vintage.
+func (r *BenchRun) SetTopology(chips, cores int) {
+	if chips <= 1 || cores <= 0 || cores%chips != 0 {
+		return
+	}
+	r.Chips = chips
+	r.CoresPerChip = cores / chips
+}
+
 // SetOverlap fills the overlap fields from an executor's measured
 // critical-path split.
 func (r *BenchRun) SetOverlap(stageWait, compute time.Duration) {
@@ -75,28 +107,30 @@ func (r *BenchRun) SetOverlap(stageWait, compute time.Duration) {
 // pointers so the *BenchRun handles Add returns stay valid however
 // much the record grows.
 type Bench struct {
-	Name       string      `json:"name"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	CPUs       int         `json:"cpus"`
-	CPUModel   string      `json:"cpu_model,omitempty"`  // host processor, see CPUModel
-	GoMaxProcs int         `json:"gomaxprocs,omitempty"` // scheduler parallelism at record time
-	When       string      `json:"when"`                 // RFC 3339
-	Runs       []*BenchRun `json:"runs"`
+	Name        string      `json:"name"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	CPUs        int         `json:"cpus"`
+	CPUModel    string      `json:"cpu_model,omitempty"`    // host processor, see CPUModel
+	HostSockets int         `json:"host_sockets,omitempty"` // physical packages, see HostSockets
+	GoMaxProcs  int         `json:"gomaxprocs,omitempty"`   // scheduler parallelism at record time
+	When        string      `json:"when"`                   // RFC 3339
+	Runs        []*BenchRun `json:"runs"`
 }
 
 // NewBench returns an envelope stamped with the current environment.
 func NewBench(name string) *Bench {
 	return &Bench{
-		Name:       name,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		CPUs:       runtime.NumCPU(),
-		CPUModel:   CPUModel(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		When:       time.Now().UTC().Format(time.RFC3339),
+		Name:        name,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		CPUModel:    CPUModel(),
+		HostSockets: HostSockets(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		When:        time.Now().UTC().Format(time.RFC3339),
 	}
 }
 
@@ -132,19 +166,23 @@ func (b *Bench) AddOp(algorithm, mode string, cores, orderBlocks, q int, flops f
 }
 
 // Speedup returns GFLOP/s ratios of mode over baseMode per
-// (algorithm, cores) pair present in both modes, sorted by algorithm
-// then cores. Callers pass the same mode names they recorded runs
-// under (cmd/gemm passes parallel.Mode.String() values for both); each
-// result echoes the compared modes so the ratio is self-describing.
+// (algorithm, cores, chips) triple present in both modes, sorted by
+// algorithm, cores, then chips. Records without a chips stamp
+// (pre-chip vintage, or single-chip runs, which omit the field) join
+// as one chip, so mixed-vintage files compare cleanly. Callers pass
+// the same mode names they recorded runs under (cmd/gemm passes
+// parallel.Mode.String() values for both); each result echoes the
+// compared modes so the ratio is self-describing.
 func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
 	type key struct {
 		algo  string
 		cores int
+		chips int
 	}
 	num := map[key]float64{}
 	den := map[key]float64{}
 	for _, r := range b.Runs {
-		k := key{r.Algorithm, r.Cores}
+		k := key{r.Algorithm, r.Cores, r.NormalizeChips()}
 		switch r.Mode {
 		case mode:
 			num[k] = r.GFlops
@@ -155,17 +193,24 @@ func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
 	var out []BenchSpeedup
 	for k, n := range num {
 		if d, ok := den[k]; ok && d > 0 {
-			out = append(out, BenchSpeedup{
+			s := BenchSpeedup{
 				Algorithm: k.algo, Cores: k.cores,
 				Mode: mode, BaseMode: baseMode, Ratio: n / d,
-			})
+			}
+			if k.chips > 1 {
+				s.Chips = k.chips
+			}
+			out = append(out, s)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Algorithm != out[j].Algorithm {
 			return out[i].Algorithm < out[j].Algorithm
 		}
-		return out[i].Cores < out[j].Cores
+		if out[i].Cores != out[j].Cores {
+			return out[i].Cores < out[j].Cores
+		}
+		return out[i].Chips < out[j].Chips
 	})
 	return out
 }
@@ -174,6 +219,7 @@ func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
 type BenchSpeedup struct {
 	Algorithm string  `json:"algorithm"`
 	Cores     int     `json:"cores"`
+	Chips     int     `json:"chips,omitempty"` // 0 ⇒ single chip
 	Mode      string  `json:"mode"`
 	BaseMode  string  `json:"base_mode"`
 	Ratio     float64 `json:"ratio"`

@@ -80,6 +80,69 @@ func TestBenchTrafficFieldsRoundTrip(t *testing.T) {
 	}
 }
 
+// Chip topology: SetTopology stamps multi-chip runs and leaves
+// single-chip ones field-free (byte-identical to pre-chip records),
+// NormalizeChips reads missing fields as one chip, and Speedup joins
+// per topology so a chips=2 run never divides by its chips=1 twin.
+func TestBenchChipFields(t *testing.T) {
+	b := NewBench("gemm")
+	single := b.Add("Shared Opt.", "shared", 4, 32, 32, 2*time.Second)
+	single.SetTopology(1, 4)
+	if single.Chips != 0 || single.CoresPerChip != 0 {
+		t.Fatalf("single-chip run must omit the chip fields: %+v", single)
+	}
+	if single.NormalizeChips() != 1 {
+		t.Fatalf("NormalizeChips = %d on an unstamped run, want 1", single.NormalizeChips())
+	}
+	multi := b.Add("Shared Opt.", "shared", 4, 32, 32, 3*time.Second)
+	multi.SetTopology(2, 4)
+	multi.ICStageBytes = 77
+	multi.ICWriteBackBytes = 33
+	if multi.Chips != 2 || multi.CoresPerChip != 2 || multi.NormalizeChips() != 2 {
+		t.Fatalf("multi-chip stamp wrong: %+v", multi)
+	}
+	invalid := b.Add("Shared Opt.", "shared", 4, 32, 32, time.Second)
+	invalid.SetTopology(3, 4) // 3 chips cannot split 4 cores
+	if invalid.Chips != 0 {
+		t.Fatalf("invalid topology must not be stamped: %+v", invalid)
+	}
+
+	b.Add("Shared Opt.", "shared-pipelined", 4, 32, 32, time.Second)
+	pm := b.Add("Shared Opt.", "shared-pipelined", 4, 32, 32, time.Second)
+	pm.SetTopology(2, 4)
+	sp := b.Speedup("shared-pipelined", "shared")
+	// invalid (unstamped) collides with single in the chips=1 bucket —
+	// last write wins — so we still get exactly one pair per topology.
+	if len(sp) != 2 {
+		t.Fatalf("Speedup has %d entries, want one per topology: %+v", len(sp), sp)
+	}
+	if sp[0].Chips != 0 || sp[1].Chips != 2 {
+		t.Fatalf("speedups not split by topology: %+v", sp)
+	}
+	if diff := sp[1].Ratio - 3; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("chips=2 ratio = %g, want 3 (joined against the wrong baseline?)", sp[1].Ratio)
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Bench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Runs[1]
+	if got.Chips != 2 || got.CoresPerChip != 2 || got.ICStageBytes != 77 || got.ICWriteBackBytes != 33 {
+		t.Fatalf("chip fields lost in round trip: %+v", got)
+	}
+	if s := buf.String(); strings.Count(s, `"chips"`) != 2 {
+		t.Fatalf("chips must appear exactly on the two stamped runs:\n%s", s)
+	}
+	if back.HostSockets < 1 {
+		t.Fatalf("host sockets not stamped: %+v", back)
+	}
+}
+
 func TestBenchZeroElapsedStaysEncodable(t *testing.T) {
 	b := NewBench("gemm")
 	run := b.Add("Tradeoff", "packed", 1, 1, 1, 0)

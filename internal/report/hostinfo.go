@@ -34,6 +34,49 @@ func readCPUModel() string {
 	return runtime.GOARCH
 }
 
+// HostSockets counts the host's physical processor packages — the
+// hardware counterpart of the machine model's chip dimension, so a
+// record of a -chips run can be read against the sockets it actually
+// had. On Linux it is the number of distinct "physical id" values in
+// /proc/cpuinfo; elsewhere, or when the field is absent (VMs often
+// omit it), it reports 1. The probe runs once per process.
+func HostSockets() int {
+	hostSocketsOnce.Do(func() {
+		hostSockets = readHostSockets()
+	})
+	return hostSockets
+}
+
+var (
+	hostSocketsOnce sync.Once
+	hostSockets     int
+)
+
+func readHostSockets() int {
+	if runtime.GOOS == "linux" {
+		if n := socketsFromInfo(readSmallFile("/proc/cpuinfo")); n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// socketsFromInfo counts distinct "physical id" values in
+// /proc/cpuinfo-formatted text; 0 when the field never appears.
+func socketsFromInfo(info string) int {
+	ids := map[string]struct{}{}
+	for _, line := range strings.Split(info, "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(key) == "physical id" {
+			ids[strings.TrimSpace(val)] = struct{}{}
+		}
+	}
+	return len(ids)
+}
+
 // readSmallFile returns the file's contents, empty on any error.
 func readSmallFile(path string) string {
 	b, err := os.ReadFile(path)

@@ -27,6 +27,19 @@ func TestCPUModelNonEmptyAndStable(t *testing.T) {
 	}
 }
 
+func TestSocketsFromInfo(t *testing.T) {
+	two := "processor\t: 0\nphysical id\t: 0\nprocessor\t: 1\nphysical id\t: 0\nprocessor\t: 2\nphysical id\t: 1\nprocessor\t: 3\nphysical id\t: 1\n"
+	if n := socketsFromInfo(two); n != 2 {
+		t.Fatalf("socketsFromInfo(two packages) = %d, want 2", n)
+	}
+	if n := socketsFromInfo("processor\t: 0\nmodel name\t: x\n"); n != 0 {
+		t.Fatalf("socketsFromInfo without physical ids = %d, want 0", n)
+	}
+	if got := HostSockets(); got < 1 {
+		t.Fatalf("HostSockets = %d, want >= 1", got)
+	}
+}
+
 func TestNewBenchStampsHost(t *testing.T) {
 	b := NewBench("t")
 	if b.CPUModel != CPUModel() {

@@ -104,12 +104,15 @@ type PipelinePlan struct {
 	// Depth is the lookahead the plan was built with: the maximum number
 	// of regions a stage may prefetch ahead of its gap.
 	Depth int
-	// SerialPeak is the peak shared residency of the in-order schedule —
-	// WorkingSet.SharedPeak, re-derived here.
+	// SerialPeak is the peak shared residency of the in-order schedule
+	// on the fullest chip — WorkingSet.SharedPeak, re-derived here.
+	// Residency is tracked per home chip throughout: each staged line
+	// occupies a slot only in its home chip's arena, and sharedCap is
+	// the per-chip capacity.
 	SerialPeak int
-	// Peak is the peak shared residency including prefetched lines: the
-	// overlapped footprint (up to k+1 regions' worth at depth k) the
-	// plan proved to fit the capacity.
+	// Peak is the peak shared residency of the fullest chip including
+	// prefetched lines: the overlapped footprint (up to k+1 regions'
+	// worth at depth k) the plan proved to fit the per-chip capacity.
 	Peak int
 	// Hoisted, Retired and Barriered count the staging operations (both
 	// directions) moved off the critical path — prefetched ahead of it
@@ -151,7 +154,14 @@ func PlanPipelineDepth(p *Program, sharedCap, depth int) (*PipelinePlan, error) 
 	if depth < 1 {
 		return nil, fmt.Errorf("schedule: pipeline plan needs a lookahead depth ≥ 1, got %d", depth)
 	}
-	col := &pipeCollector{cores: p.Cores, coreRes: make([]map[Line]struct{}, p.Cores)}
+	chips := p.Resources.ChipCount()
+	col := &pipeCollector{
+		cores:     p.Cores,
+		coreRes:   make([]map[Line]struct{}, p.Cores),
+		home:      p.HomeOf,
+		sharedRes: make([]map[Line]struct{}, chips),
+		chipPeak:  make([]int, chips),
+	}
 	if err := p.Emit(col); err != nil {
 		return nil, err
 	}
@@ -161,6 +171,8 @@ func PlanPipelineDepth(p *Program, sharedCap, depth int) (*PipelinePlan, error) 
 
 	pl := &pipePlanner{
 		cap:   sharedCap,
+		chips: chips,
+		home:  p.HomeOf,
 		depth: depth,
 		gaps:  col.gaps,
 		touch: col.touch,
@@ -181,46 +193,67 @@ func PlanPipelineDepth(p *Program, sharedCap, depth int) (*PipelinePlan, error) 
 // pipePlanner carries the exact residency bookkeeping of one planning
 // pass. Serial profiles are fixed up front; the extra arrays record, at
 // every point a prefetch decision can probe, how many early-resident
-// lines previous commitments already parked there.
+// lines previous commitments already parked there. All residency is
+// per home chip — a staged line fills a slot only in its home chip's
+// arena, so capacity decisions probe that chip's profile alone.
 type pipePlanner struct {
 	cap, depth int
+	chips      int
+	home       func(Line) int
 
 	gaps  [][]PipelinedOp
 	touch []map[Line]struct{}
 
-	resAfter []int   // serial shared residency while region r computes (gap r applied)
-	posRes   [][]int // serial residency before op i of gap g
+	resAfter [][]int   // [chip][r]: serial residency while region r computes (gap r applied)
+	posRes   [][][]int // [chip][g][i]: serial residency before op i of gap g
 
-	regionExtra []int   // early-resident lines during region r
-	gapExtra    [][]int // early-resident lines at gap g position i
-	quota       []int   // remaining hide quota of region r
+	regionExtra [][]int   // [chip][r]: early-resident lines during region r
+	gapExtra    [][][]int // [chip][g][i]: early-resident lines at gap g position i
+	quota       []int     // remaining hide quota of region r
 
 	slots [][]Line // prefetch list per region, in commit (gap-major) order
 }
 
 func (pl *pipePlanner) plan(col *pipeCollector) *PipelinePlan {
 	R := len(pl.gaps)
-	plan := &PipelinePlan{Depth: pl.depth, SerialPeak: col.serialPeak}
+	plan := &PipelinePlan{Depth: pl.depth}
+	for _, peak := range col.chipPeak {
+		if peak > plan.SerialPeak {
+			plan.SerialPeak = peak
+		}
+	}
 
-	pl.resAfter = make([]int, R)
-	pl.posRes = make([][]int, R)
-	pl.regionExtra = make([]int, R)
-	pl.gapExtra = make([][]int, R)
+	pl.resAfter = make([][]int, pl.chips)
+	pl.posRes = make([][][]int, pl.chips)
+	pl.regionExtra = make([][]int, pl.chips)
+	pl.gapExtra = make([][][]int, pl.chips)
+	for ch := 0; ch < pl.chips; ch++ {
+		pl.resAfter[ch] = make([]int, R)
+		pl.posRes[ch] = make([][]int, R)
+		pl.regionExtra[ch] = make([]int, R)
+		pl.gapExtra[ch] = make([][]int, R)
+	}
 	pl.quota = make([]int, R)
 	pl.slots = make([][]Line, R)
-	res := 0
+	res := make([]int, pl.chips)
 	for g, gap := range pl.gaps {
-		pl.posRes[g] = make([]int, len(gap))
-		pl.gapExtra[g] = make([]int, len(gap))
+		for ch := 0; ch < pl.chips; ch++ {
+			pl.posRes[ch][g] = make([]int, len(gap))
+			pl.gapExtra[ch][g] = make([]int, len(gap))
+		}
 		for i, op := range gap {
-			pl.posRes[g][i] = res
+			for ch := 0; ch < pl.chips; ch++ {
+				pl.posRes[ch][g][i] = res[ch]
+			}
 			if op.Unstage {
-				res--
+				res[pl.home(op.Line)]--
 			} else {
-				res++
+				res[pl.home(op.Line)]++
 			}
 		}
-		pl.resAfter[g] = res
+		for ch := 0; ch < pl.chips; ch++ {
+			pl.resAfter[ch][g] = res[ch]
+		}
 		pl.quota[g] = pipelineHidePerApply * col.applies[g]
 	}
 
@@ -318,7 +351,7 @@ func (pl *pipePlanner) place(g, i int, l Line) (int, bool) {
 		if pl.quota[h] == 0 {
 			continue
 		}
-		peak, ok := pl.fits(h, g, i)
+		peak, ok := pl.fits(h, g, i, pl.home(l))
 		if !ok {
 			// Capacity windows only grow toward deeper slots: give up.
 			return 0, false
@@ -330,25 +363,26 @@ func (pl *pipePlanner) place(g, i int, l Line) (int, bool) {
 }
 
 // fits checks the exact capacity of prefetching one more line at slot
-// h for a stage at gap g position i: the line is resident from region
-// h's compute until its serial position, so every profile point in
-// that window must admit one more resident line.
-func (pl *pipePlanner) fits(h, g, i int) (int, bool) {
+// h for a stage at gap g position i whose line lives on chip ch: the
+// line is resident in that chip's arena from region h's compute until
+// its serial position, so every profile point of that chip over the
+// window must admit one more resident line.
+func (pl *pipePlanner) fits(h, g, i, ch int) (int, bool) {
 	m := 0
 	for r := h; r < g; r++ {
-		if v := pl.resAfter[r] + pl.regionExtra[r]; v > m {
+		if v := pl.resAfter[ch][r] + pl.regionExtra[ch][r]; v > m {
 			m = v
 		}
 	}
 	for gp := h + 1; gp < g; gp++ {
 		for j := range pl.gaps[gp] {
-			if v := pl.posRes[gp][j] + pl.gapExtra[gp][j]; v > m {
+			if v := pl.posRes[ch][gp][j] + pl.gapExtra[ch][gp][j]; v > m {
 				m = v
 			}
 		}
 	}
 	for j := 0; j < i; j++ {
-		if v := pl.posRes[g][j] + pl.gapExtra[g][j]; v > m {
+		if v := pl.posRes[ch][g][j] + pl.gapExtra[ch][g][j]; v > m {
 			m = v
 		}
 	}
@@ -358,22 +392,23 @@ func (pl *pipePlanner) fits(h, g, i int) (int, bool) {
 	return m + 1, true
 }
 
-// commit books the prefetch: the line occupies one slot at every
-// profile point between its execution during region h and its serial
-// position at gap g op i.
+// commit books the prefetch: the line occupies one slot of its home
+// chip's arena at every profile point between its execution during
+// region h and its serial position at gap g op i.
 func (pl *pipePlanner) commit(h, g, i int, l Line) {
+	ch := pl.home(l)
 	pl.slots[h] = append(pl.slots[h], l)
 	pl.quota[h]--
 	for r := h; r < g; r++ {
-		pl.regionExtra[r]++
+		pl.regionExtra[ch][r]++
 	}
 	for gp := h + 1; gp < g; gp++ {
 		for j := range pl.gaps[gp] {
-			pl.gapExtra[gp][j]++
+			pl.gapExtra[ch][gp][j]++
 		}
 	}
-	for j := 0; j <= i && j < len(pl.gapExtra[g]); j++ {
-		pl.gapExtra[g][j]++
+	for j := 0; j <= i && j < len(pl.gapExtra[ch][g]); j++ {
+		pl.gapExtra[ch][g][j]++
 	}
 }
 
@@ -399,6 +434,7 @@ func lineIn(set map[Line]struct{}, l Line) bool {
 // residency across regions for the static inclusion check.
 type pipeCollector struct {
 	cores int
+	home  func(Line) int
 
 	gaps    [][]PipelinedOp     // gaps[i] precedes region i
 	cur     []PipelinedOp       // gap being accumulated; the tail after the last region
@@ -407,21 +443,22 @@ type pipeCollector struct {
 
 	coreRes []map[Line]struct{} // per-core distributed residency, across regions
 
-	sharedRes  map[Line]struct{}
-	serialPeak int
-	err        error
+	sharedRes []map[Line]struct{} // per home chip
+	chipPeak  []int               // serial residency peak per chip
+	err       error
 }
 
 var _ Backend = (*pipeCollector)(nil)
 
 func (pc *pipeCollector) StageShared(l Line) {
 	pc.cur = append(pc.cur, PipelinedOp{Line: l})
-	if pc.sharedRes == nil {
-		pc.sharedRes = make(map[Line]struct{})
+	ch := pc.home(l)
+	if pc.sharedRes[ch] == nil {
+		pc.sharedRes[ch] = make(map[Line]struct{})
 	}
-	pc.sharedRes[l] = struct{}{}
-	if len(pc.sharedRes) > pc.serialPeak {
-		pc.serialPeak = len(pc.sharedRes)
+	pc.sharedRes[ch][l] = struct{}{}
+	if len(pc.sharedRes[ch]) > pc.chipPeak[ch] {
+		pc.chipPeak[ch] = len(pc.sharedRes[ch])
 	}
 }
 
@@ -435,7 +472,7 @@ func (pc *pipeCollector) UnstageShared(l Line) {
 		}
 	}
 	pc.cur = append(pc.cur, PipelinedOp{Line: l, Unstage: true})
-	delete(pc.sharedRes, l)
+	delete(pc.sharedRes[pc.home(l)], l)
 }
 
 func (pc *pipeCollector) Parallel(body func(core int, ops CoreSink)) {

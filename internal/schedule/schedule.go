@@ -113,8 +113,13 @@ type Params struct {
 // see Measure and WorkingSet.Fits. A zero value means "not declared"
 // and disables the corresponding check.
 type Resources struct {
-	SharedBlocks int // declared shared-cache capacity CS, in blocks
+	SharedBlocks int // declared PER-CHIP shared-cache capacity CS, in blocks
 	CoreBlocks   int // declared per-core capacity CD, in blocks
+	// Chips is the declared chip count: the program's cores are split
+	// into Chips equal contiguous groups, each owning its own shared
+	// cache of SharedBlocks blocks. Zero or one means the paper's
+	// single-shared-cache machine.
+	Chips int
 	// SigmaS/SigmaD/BlockEdge carry the rest of the declared machine for
 	// backends that model time or size buffers in bytes; today's
 	// executor validates only the block capacities, and a future
@@ -123,6 +128,14 @@ type Resources struct {
 	SigmaS    float64 // shared-cache bandwidth σS, blocks per time unit
 	SigmaD    float64 // distributed-cache bandwidth σD, blocks per time unit
 	BlockEdge int     // block edge q, in coefficients
+}
+
+// ChipCount normalises the Chips field (zero ⇒ single chip).
+func (r Resources) ChipCount() int {
+	if r.Chips < 1 {
+		return 1
+	}
+	return r.Chips
 }
 
 // Program is one algorithm's schedule bound to a machine and workload:
@@ -143,8 +156,54 @@ type Program struct {
 	// Product, Cache Oblivious): they cannot be handed to an omniscient
 	// policy, so simulators always run them under demand-driven LRU.
 	DemandDriven bool
+	// Home assigns each shared-staged line its home chip — the chip
+	// whose shared cache (arena) the block lives in while staged. Cores
+	// on other chips reading the block pull it over the inter-chip
+	// stream. A nil Home places every line on chip 0, which on a
+	// single-chip machine is exactly the paper's model; backends must
+	// resolve homes through HomeOf so nil and out-of-range policies
+	// degrade identically everywhere.
+	Home func(l Line) int
 	// Body drives a backend through the schedule's operation stream.
 	Body func(b Backend)
+}
+
+// HomeOf resolves the home chip of l under this program's placement
+// policy, clamped to the declared chip count. Every backend — the
+// simulator, the measurer, the executor — must use this single
+// resolution so "the executor runs the placement the simulator
+// analysed" stays an invariant rather than a convention.
+func (p *Program) HomeOf(l Line) int {
+	chips := p.Resources.ChipCount()
+	if p.Home == nil || chips == 1 {
+		return 0
+	}
+	h := p.Home(l)
+	if h < 0 {
+		return 0
+	}
+	if h >= chips {
+		return chips - 1
+	}
+	return h
+}
+
+// ChipOfCore returns the chip owning core c under this program's
+// declared topology (blocked partition, mirroring machine.ChipOf).
+func (p *Program) ChipOfCore(c int) int {
+	chips := p.Resources.ChipCount()
+	if chips <= 1 {
+		return 0
+	}
+	per := p.Cores / chips
+	if per < 1 {
+		per = 1
+	}
+	chip := c / per
+	if chip >= chips {
+		chip = chips - 1
+	}
+	return chip
 }
 
 // Emit replays the program on backend b.

@@ -15,9 +15,14 @@ import "fmt"
 // The traffic counters mirror the paper's two miss streams: a
 // well-disciplined program's SharedStages equal the MS the IDEAL
 // simulator counts, and its Stages are the sum over cores of MD — the
-// blocks the σS and σD bandwidths divide in Tdata.
+// blocks the σS and σD bandwidths divide in Tdata. On a multi-chip
+// machine the shared level splits per chip: each staged line occupies a
+// slot only in its home chip's shared cache, so the capacity check is
+// per chip, and Stage operations whose line lives on a foreign chip
+// additionally cross the inter-chip stream (InterChipStages /
+// InterChipUnstages).
 type WorkingSet struct {
-	SharedPeak int    // peak simultaneously staged shared-level blocks
+	SharedPeak int    // peak staged shared blocks on the fullest chip
 	CorePeak   int    // peak simultaneously staged blocks of the busiest core
 	Computes   uint64 // total kernel applications (Apply/Compute) emitted
 
@@ -25,6 +30,16 @@ type WorkingSet struct {
 	SharedUnstages uint64 // total UnstageShared operations (shared-level releases)
 	Stages         uint64 // total per-core Stage operations (shared→core fills)
 	Unstages       uint64 // total per-core Unstage operations (core-level releases)
+
+	// SharedPeakPerChip breaks SharedPeak down by home chip; length is
+	// the program's declared chip count (1 when undeclared).
+	SharedPeakPerChip []int
+	// InterChipStages/InterChipUnstages count the per-core Stage/Unstage
+	// operations whose line's home chip differs from the staging core's
+	// chip — the subset of the MD stream that crosses the interconnect.
+	// Always zero on a single-chip program.
+	InterChipStages   uint64
+	InterChipUnstages uint64
 }
 
 // Fits checks the measured working set against declared resources at
@@ -57,13 +72,25 @@ func (ws WorkingSet) FitsCore(r Resources) error {
 	return nil
 }
 
-// FitsShared checks only the shared level.
+// FitsShared checks only the shared level. SharedBlocks is the
+// per-chip capacity, so each chip's peak is checked independently.
 func (ws WorkingSet) FitsShared(r Resources) error {
 	if ws.SharedPeak > 0 && r.SharedBlocks <= 0 {
 		return fmt.Errorf("schedule: program stages up to %d shared blocks but declares no shared capacity (CS=0)",
 			ws.SharedPeak)
 	}
-	if r.SharedBlocks > 0 && ws.SharedPeak > r.SharedBlocks {
+	if r.SharedBlocks <= 0 {
+		return nil
+	}
+	for chip, peak := range ws.SharedPeakPerChip {
+		if peak > r.SharedBlocks {
+			return fmt.Errorf("schedule: shared working set of %d blocks on chip %d exceeds the declared per-chip CS=%d",
+				peak, chip, r.SharedBlocks)
+		}
+	}
+	// Programs measured before the chip dimension (or hand-built
+	// WorkingSets) may carry only the aggregate peak.
+	if len(ws.SharedPeakPerChip) == 0 && ws.SharedPeak > r.SharedBlocks {
 		return fmt.Errorf("schedule: shared working set of %d blocks exceeds the declared CS=%d",
 			ws.SharedPeak, r.SharedBlocks)
 	}
@@ -75,17 +102,24 @@ func (ws WorkingSet) FitsShared(r Resources) error {
 // instantiates no cache policy, so it is cheap relative to execution
 // and safe to run ahead of it.
 func Measure(p *Program) (WorkingSet, error) {
-	m := &measurer{cores: make([]coreSet, p.Cores), shared: make(map[Line]struct{})}
+	m := newMeasurer(p)
 	if err := p.Emit(m); err != nil {
 		return WorkingSet{}, err
 	}
 	ws := WorkingSet{
-		SharedPeak:     m.sharedPeak,
-		Computes:       m.computes,
-		SharedStages:   m.sharedStages,
-		SharedUnstages: m.sharedUnstages,
-		Stages:         m.stages,
-		Unstages:       m.unstages,
+		Computes:          m.computes,
+		SharedStages:      m.sharedStages,
+		SharedUnstages:    m.sharedUnstages,
+		Stages:            m.stages,
+		Unstages:          m.unstages,
+		SharedPeakPerChip: m.sharedPeak,
+		InterChipStages:   m.icStages,
+		InterChipUnstages: m.icUnstages,
+	}
+	for _, peak := range m.sharedPeak {
+		if peak > ws.SharedPeak {
+			ws.SharedPeak = peak
+		}
 	}
 	for _, c := range m.cores {
 		if c.peak > ws.CorePeak {
@@ -95,16 +129,21 @@ func Measure(p *Program) (WorkingSet, error) {
 	return ws, nil
 }
 
-// measurer is the counting backend behind Measure.
+// measurer is the counting backend behind Measure. Shared residency is
+// tracked per home chip, so the per-chip capacity rule and the
+// inter-chip subset of the MD stream fall out of the same replay.
 type measurer struct {
-	shared         map[Line]struct{}
-	sharedPeak     int
+	prog           *Program
+	shared         []map[Line]struct{} // staged set per home chip
+	sharedPeak     []int
 	cores          []coreSet
 	computes       uint64
 	sharedStages   uint64
 	sharedUnstages uint64
 	stages         uint64
 	unstages       uint64
+	icStages       uint64
+	icUnstages     uint64
 }
 
 type coreSet struct {
@@ -112,18 +151,33 @@ type coreSet struct {
 	peak     int
 }
 
+func newMeasurer(p *Program) *measurer {
+	chips := p.Resources.ChipCount()
+	m := &measurer{
+		prog:       p,
+		shared:     make([]map[Line]struct{}, chips),
+		sharedPeak: make([]int, chips),
+		cores:      make([]coreSet, p.Cores),
+	}
+	for i := range m.shared {
+		m.shared[i] = make(map[Line]struct{})
+	}
+	return m
+}
+
 var _ Backend = (*measurer)(nil)
 
 func (m *measurer) StageShared(l Line) {
-	m.shared[l] = struct{}{}
-	if len(m.shared) > m.sharedPeak {
-		m.sharedPeak = len(m.shared)
+	chip := m.prog.HomeOf(l)
+	m.shared[chip][l] = struct{}{}
+	if len(m.shared[chip]) > m.sharedPeak[chip] {
+		m.sharedPeak[chip] = len(m.shared[chip])
 	}
 	m.sharedStages++
 }
 
 func (m *measurer) UnstageShared(l Line) {
-	delete(m.shared, l)
+	delete(m.shared[m.prog.HomeOf(l)], l)
 	m.sharedUnstages++
 }
 
@@ -149,11 +203,17 @@ func (s measureSink) Stage(l Line) {
 		cs.peak = len(cs.resident)
 	}
 	s.m.stages++
+	if s.m.prog.HomeOf(l) != s.m.prog.ChipOfCore(s.core) {
+		s.m.icStages++
+	}
 }
 
 func (s measureSink) Unstage(l Line) {
 	delete(s.m.cores[s.core].resident, l)
 	s.m.unstages++
+	if s.m.prog.HomeOf(l) != s.m.prog.ChipOfCore(s.core) {
+		s.m.icUnstages++
+	}
 }
 
 func (s measureSink) Read(Line)  {}
