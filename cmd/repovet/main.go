@@ -1,0 +1,55 @@
+// Command repovet runs the repo's custom vet suite — the source-level
+// invariants go vet cannot know about — over the given package
+// patterns (default ./...):
+//
+//	kernelaccesses  every switch over schedule.Kernel covers all kernels
+//	kernelalloc     //repro:kernel functions are allocation-free; the
+//	                matrix kernel name family must carry the directive
+//	trafficowner    LevelTraffic elements are only mutated through the
+//	                owning worker's index
+//
+// Output is vet-style file:line:col diagnostics; the exit status is 1
+// when anything is reported, 2 when analysis itself fails. CI runs
+// `repovet ./...` as a blocking gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repovet [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

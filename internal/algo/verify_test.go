@@ -1,0 +1,36 @@
+package algo_test
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/schedule/verify"
+)
+
+// TestEmittedProgramsVerifyClean is this suite's own static gate:
+// every registered emitter's output passes the schedule verifier. The
+// exhaustive machine × workload grid lives in internal/schedule/verify
+// and cmd/schedlint; this keeps the invariant visible (and failing)
+// next to the emitters themselves.
+func TestEmittedProgramsVerifyClean(t *testing.T) {
+	machines := []machine.Machine{
+		{P: 2, CS: 64, CD: 8, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+		{P: 4, CS: 140, CD: 12, Chips: 2, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+	}
+	workloads := []algo.Workload{algo.Square(4), {M: 3, N: 2, Z: 5}}
+	for _, a := range algo.Extended() {
+		for _, m := range machines {
+			for _, w := range workloads {
+				p, err := a.Schedule(m, w)
+				if err != nil {
+					t.Fatalf("%s: %v", a.Name(), err)
+				}
+				for _, f := range verify.Program(p, p.Resources) {
+					t.Errorf("%s p=%d chips=%d %dx%dx%d: %v",
+						a.Name(), m.P, m.ChipCount(), w.M, w.N, w.Z, f)
+				}
+			}
+		}
+	}
+}

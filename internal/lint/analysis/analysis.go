@@ -1,0 +1,50 @@
+// Package analysis is a deliberately small, dependency-free mirror of
+// the golang.org/x/tools/go/analysis API surface the repo's vet passes
+// need: an Analyzer runs over one type-checked package and reports
+// position-anchored diagnostics. The build environment is hermetic (no
+// module downloads), so rather than depending on x/tools the repo
+// carries this ~hundred-line clone; passes written against it use the
+// same Analyzer/Pass/Diagnostic vocabulary and would port to the real
+// framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one source-invariant check. Name appears in
+// diagnostics and on the command line; Doc is the one-paragraph
+// contract the pass enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package: the parsed
+// files, the package's type information, and a Report sink. Unlike the
+// x/tools Pass there are no Facts or required analyzers — the repo's
+// passes are all single-package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position in the package's file set and a
+// message. The analyzer name is attached by the driver, not the pass.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

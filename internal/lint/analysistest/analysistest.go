@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against `// want "regex"` comments in the
+// sources — the same convention as x/tools/go/analysis/analysistest,
+// built on the repo's own loader. Testdata packages live under
+// internal/lint/testdata/src and are named by full import path: the
+// go tool ignores testdata directories when expanding wildcards, so
+// the deliberate violations in them never leak into ./... builds,
+// while explicit paths still load (and may import real repo packages).
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+type expectation struct {
+	re   *regexp.Regexp
+	met  bool
+	text string
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// Run loads the named packages, applies the analyzer, and reports any
+// diagnostic without a matching want comment on its line — and any
+// want comment no diagnostic matched.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := loader.Load("", patterns...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages matched %v", patterns)
+	}
+
+	wants := make(map[key][]*expectation)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, pat := range parseQuoted(t, pos.String(), m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants[k] = append(wants[k], &expectation{re: re, text: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			for _, exp := range wants[key{pos.Filename, pos.Line}] {
+				if !exp.met && exp.re.MatchString(d.Message) {
+					exp.met = true
+					return
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.met {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, exp.text)
+			}
+		}
+	}
+}
+
+// parseQuoted splits `"re1" "re2"` (double- or back-quoted) into its
+// component patterns.
+func parseQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, s, err)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q: %v", pos, q, err)
+		}
+		pats = append(pats, pat)
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// schedulePkgPath is the package that owns the Kernel enumeration.
+const schedulePkgPath = "repro/internal/schedule"
+
+// KernelAccesses enforces kernel-switch exhaustiveness: every switch
+// whose tag has type repro/internal/schedule.Kernel must name every
+// exported Kernel constant in its cases. The kernel set is the contract
+// between emitters, the simulator, the executor and the verifier — a
+// new kernel added to the enum without extending every dispatch site
+// would compile silently and fail (or panic) at run time. The default
+// clause stays the unknown-kernel error path; it does not excuse a
+// missing known kernel.
+var KernelAccesses = &analysis.Analyzer{
+	Name: "kernelaccesses",
+	Doc: "check that every switch over schedule.Kernel covers all exported kernel constants, " +
+		"so adding a kernel forces every dispatch site to handle it",
+	Run: runKernelAccesses,
+}
+
+// kernelConstants collects the exported constants of the Kernel type
+// from its defining package's scope (complete even when the package was
+// loaded from export data).
+func kernelConstants(named *types.Named) []string {
+	scope := named.Obj().Pkg().Scope()
+	var names []string
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if c.Type() == named || types.Identical(c.Type(), named) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// isKernelType reports whether t is the schedule.Kernel named type.
+func isKernelType(t types.Type) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kernel" || obj.Pkg() == nil || obj.Pkg().Path() != schedulePkgPath {
+		return nil, false
+	}
+	return named, true
+}
+
+func runKernelAccesses(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := isKernelType(tv.Type)
+			if !ok {
+				return true
+			}
+			want := kernelConstants(named)
+			covered := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				clause, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range clause.List {
+					var id *ast.Ident
+					switch e := expr.(type) {
+					case *ast.Ident:
+						id = e
+					case *ast.SelectorExpr:
+						id = e.Sel
+					default:
+						continue
+					}
+					if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok &&
+						c.Pkg() != nil && c.Pkg().Path() == named.Obj().Pkg().Path() {
+						covered[c.Name()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, name := range want {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Switch,
+					"switch over schedule.Kernel misses %s", strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// kernelDirective is the comment that marks a function as a hot-path
+// block kernel. The executor dispatches these per tile inside the
+// timed region, so a single hidden allocation turns into GC pressure
+// proportional to the flop count.
+const kernelDirective = "//repro:kernel"
+
+// KernelAlloc enforces the allocation-free contract on functions
+// carrying the //repro:kernel directive, and — inside the matrix
+// package — that every member of the kernel name family carries the
+// directive in the first place, so a new register-blocked variant
+// cannot be added without opting into the check.
+var KernelAlloc = &analysis.Analyzer{
+	Name: "kernelalloc",
+	Doc: "check that //repro:kernel functions stay allocation-free on the hot path " +
+		"(no make/append/new, no slice or map literals, no map writes, no closures, no go/defer)",
+	Run: runKernelAlloc,
+}
+
+// kernelFamilyPrefixes are the name prefixes that identify a function
+// in the matrix package as a member of the block-kernel family. The
+// exact names Pack and Unpack complete the set; MulNaive, MulBlocked
+// and AXPYBlock are deliberately outside it (reference and
+// benchmark-only code paths that may allocate).
+var kernelFamilyPrefixes = []string{
+	"MulAdd", "mulAdd", "MulSub", "mulSub",
+	"FactorTile", "factorTile", "Trsm", "trsm",
+}
+
+func kernelFamilyName(name string) bool {
+	if name == "Pack" || name == "Unpack" {
+		return true
+	}
+	for _, p := range kernelFamilyPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasKernelDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == kernelDirective || strings.HasPrefix(c.Text, kernelDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runKernelAlloc(pass *analysis.Pass) error {
+	// The name-family self-enforcement is scoped to packages named
+	// matrix: that is where the kernel family lives, and the testdata
+	// mirror uses the same package name to exercise the rule.
+	enforceFamily := pass.Pkg.Name() == "matrix"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			marked := hasKernelDirective(fn.Doc)
+			if enforceFamily && !marked && kernelFamilyName(fn.Name.Name) {
+				pass.Reportf(fn.Name.Pos(),
+					"%s belongs to the kernel name family and must carry the %s directive",
+					fn.Name.Name, kernelDirective)
+			}
+			if marked && fn.Body != nil {
+				checkKernelBody(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// checkKernelBody walks one annotated kernel body and reports every
+// construct that can allocate (or schedule work) on the hot path.
+// Plain function calls are allowed — error paths may build errors —
+// but the allocating builtins, reference-type literals, map writes,
+// closures and go/defer are not.
+func checkKernelBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "kernel %s allocates a closure", name)
+			return false // the closure body is the closure's problem
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "kernel %s starts a goroutine", name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "kernel %s defers a call", name)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "append", "new":
+						pass.Reportf(n.Pos(), "kernel %s calls %s", name, b.Name())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "kernel %s allocates a slice literal", name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "kernel %s allocates a map literal", name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportMapWrite(pass, name, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportMapWrite(pass, name, n.X)
+		}
+		return true
+	})
+}
+
+func reportMapWrite(pass *analysis.Pass, name string, lhs ast.Expr) {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if _, isMap := pass.TypesInfo.Types[ix.X].Type.Underlying().(*types.Map); isMap {
+		pass.Reportf(lhs.Pos(), "kernel %s writes to a map", name)
+	}
+}

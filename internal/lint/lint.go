@@ -1,0 +1,78 @@
+// Package lint is the repo's custom vet suite: source-level invariants
+// that ordinary go vet cannot know about, enforced as analyzers over
+// type-checked packages. Where internal/schedule/verify proves IR-level
+// invariants of emitted programs, this package proves the source-level
+// contracts the runtime relies on — allocation-free kernels,
+// exhaustive kernel dispatch, single-writer traffic counters.
+// cmd/repovet is the command-line driver; CI runs it over ./... as a
+// blocking gate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Analyzers returns the full vet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{KernelAccesses, KernelAlloc, TrafficOwner}
+}
+
+// Diagnostic is one finding from one analyzer, resolved to a file
+// position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. An analyzer error (not a finding —
+// an inability to analyse) aborts the run.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/loader"
+)
+
+func TestKernelAlloc(t *testing.T) {
+	analysistest.Run(t, lint.KernelAlloc,
+		"repro/internal/lint/testdata/src/kernelalloc/kernels",
+		"repro/internal/lint/testdata/src/kernelalloc/matrix")
+}
+
+func TestKernelAccesses(t *testing.T) {
+	analysistest.Run(t, lint.KernelAccesses,
+		"repro/internal/lint/testdata/src/kernelaccesses/switches")
+}
+
+func TestTrafficOwner(t *testing.T) {
+	analysistest.Run(t, lint.TrafficOwner,
+		"repro/internal/lint/testdata/src/trafficowner/traffic")
+}
+
+// TestRepoIsClean is the self-host gate: the whole module (wildcards
+// skip the deliberately broken testdata) must be silent under the full
+// suite — the same check cmd/repovet runs in CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := loader.Load("", "repro/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

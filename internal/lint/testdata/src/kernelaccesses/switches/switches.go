@@ -1,0 +1,45 @@
+// Package switches exercises kernel-switch exhaustiveness against the
+// real schedule.Kernel enumeration.
+package switches
+
+import "repro/internal/schedule"
+
+func exhaustive(k schedule.Kernel) int {
+	switch k {
+	case schedule.MulAdd, schedule.MulSub:
+		return 2
+	case schedule.TrsmLowerLeftUnit, schedule.TrsmUpperRight:
+		return 1
+	case schedule.FactorTile:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func incomplete(k schedule.Kernel) string {
+	switch k { // want `switch over schedule.Kernel misses FactorTile, TrsmUpperRight`
+	case schedule.MulAdd, schedule.MulSub:
+		return "mul"
+	case schedule.TrsmLowerLeftUnit:
+		return "trsm"
+	default:
+		return ""
+	}
+}
+
+// A default clause alone does not excuse missing kernels.
+func defaultOnly(k schedule.Kernel) string {
+	switch k { // want `switch over schedule.Kernel misses FactorTile, MulAdd, MulSub, TrsmLowerLeftUnit, TrsmUpperRight`
+	default:
+		return k.String()
+	}
+}
+
+func unrelated(n int) int {
+	switch n { // non-Kernel switches are not checked
+	case 0:
+		return 1
+	}
+	return 0
+}

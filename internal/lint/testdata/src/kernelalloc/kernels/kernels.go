@@ -1,0 +1,82 @@
+// Package kernels exercises the kernelalloc analyzer: every forbidden
+// construct inside an annotated function, next to clean kernels that
+// must stay silent.
+package kernels
+
+import "fmt"
+
+//repro:kernel
+func cleanKernel(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+type header struct{ rows, cols int }
+
+//repro:kernel
+func structLiteralOK(rows, cols int) header {
+	return header{rows: rows, cols: cols} // value struct literals do not allocate
+}
+
+//repro:kernel
+func errorPathOK(n int) error {
+	if n < 0 {
+		return fmt.Errorf("kernels: negative %d", n) // plain calls are allowed
+	}
+	return nil
+}
+
+//repro:kernel
+func makesSlice(n int) []float64 {
+	return make([]float64, n) // want `kernel makesSlice calls make`
+}
+
+//repro:kernel
+func appends(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `kernel appends calls append`
+}
+
+//repro:kernel
+func news() *header {
+	return new(header) // want `kernel news calls new`
+}
+
+//repro:kernel
+func sliceLiteral() []float64 {
+	return []float64{1, 2} // want `kernel sliceLiteral allocates a slice literal`
+}
+
+//repro:kernel
+func mapLiteral() map[int]int {
+	return map[int]int{1: 1} // want `kernel mapLiteral allocates a map literal`
+}
+
+//repro:kernel
+func mapWrite(m map[int]int, k int) {
+	m[k]++ // want `kernel mapWrite writes to a map`
+}
+
+//repro:kernel
+func mapAssign(m map[int]int, k int) {
+	m[k] = 3 // want `kernel mapAssign writes to a map`
+}
+
+//repro:kernel
+func closes(n int) func() int {
+	return func() int { return n } // want `kernel closes allocates a closure`
+}
+
+//repro:kernel
+func deferred(f func()) {
+	defer f() // want `kernel deferred defers a call`
+}
+
+//repro:kernel
+func spawns(f func()) {
+	go f() // want `kernel spawns starts a goroutine`
+}
+
+func unannotatedMayAllocate(n int) []float64 {
+	return make([]float64, n)
+}

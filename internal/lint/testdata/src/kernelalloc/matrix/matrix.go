@@ -1,0 +1,33 @@
+// Package matrix mirrors the real kernel package's name, so the
+// kernelalloc name-family rule applies here: any function whose name
+// marks it as a member of the kernel family must carry the
+// //repro:kernel directive.
+package matrix
+
+//repro:kernel
+func MulAddTiny(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] += a[i] * b[i]
+	}
+}
+
+func MulSubTiny(dst, a, b []float64) { // want `MulSubTiny belongs to the kernel name family`
+	for i := range dst {
+		dst[i] -= a[i] * b[i]
+	}
+}
+
+func trsmToy(dst []float64, d float64) { // want `trsmToy belongs to the kernel name family`
+	for i := range dst {
+		dst[i] /= d
+	}
+}
+
+func Pack(dst, src []float64) { // want `Pack belongs to the kernel name family`
+	copy(dst, src)
+}
+
+// MulNaiveRef sits outside the family (reference path, may allocate).
+func MulNaiveRef(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,50 @@
+// Package traffic exercises the trafficowner ownership rule on a local
+// mirror of the executor's counter layout.
+package traffic
+
+type LevelTraffic struct {
+	Stage, WriteBack int
+}
+
+func (t *LevelTraffic) add(n int) { t.Stage += n }
+
+type executor struct {
+	md  []LevelTraffic
+	icw [][]LevelTraffic
+}
+
+func (ex *executor) worker(c, home, n int) {
+	ex.md[c].Stage += n    // the parameter index owns the element
+	ex.icw[c][home].add(n) // only the worker (first) index is constrained
+	md := &ex.md[c]
+	md.add(n)
+}
+
+func (ex *executor) reset() {
+	for i := range ex.md {
+		ex.md[i] = LevelTraffic{} // range keys own their elements
+	}
+	for c := range ex.icw {
+		ex.icw[c] = make([]LevelTraffic, 2)
+	}
+}
+
+func (ex *executor) total() int {
+	n := 0
+	for i := range ex.md {
+		n += ex.md[i].Stage
+	}
+	n += ex.md[0].Stage // reads are unrestricted
+	return n
+}
+
+func (ex *executor) broken(c int) {
+	other := c + 1
+	ex.md[other].add(1)     // want `mutated through "other"`
+	ex.md[0].Stage++        // want `computed worker index`
+	ex.icw[c+1][0].add(1)   // want `computed worker index`
+	p := &ex.icw[nextOf(c)] // want `computed worker index`
+	(*p)[0].WriteBack = 1   // want `computed worker index`
+}
+
+func nextOf(c int) int { return c + 1 }

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// TrafficOwner enforces the ownership discipline that keeps the
+// per-worker traffic counters race-free without atomics: an element of
+// a []LevelTraffic (or [][]LevelTraffic, indexed [core][chip]) field
+// may only be mutated — assigned, incremented, address-taken or used as
+// a method receiver — through a worker index that is a parameter or
+// range variable of the enclosing function. A literal or locally
+// computed index is how a worker would scribble on another worker's
+// counters; the executor's memory model (one writer per element,
+// merged after the barrier) only holds if every write site indexes by
+// the identity the caller handed it.
+var TrafficOwner = &analysis.Analyzer{
+	Name: "trafficowner",
+	Doc: "check that LevelTraffic slice elements are only mutated through a worker index " +
+		"that is a parameter or range variable of the enclosing function",
+	Run: runTrafficOwner,
+}
+
+func runTrafficOwner(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &trafficWalker{pass: pass, owned: make(map[types.Object]bool)}
+			if fn.Recv != nil {
+				w.addParams(fn.Recv)
+			}
+			w.addParams(fn.Type.Params)
+			w.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+type trafficWalker struct {
+	pass *analysis.Pass
+	// owned holds every identifier that may index a traffic slice:
+	// parameters of the enclosing function and its closures, and range
+	// keys. Objects are unique per declaration, so accumulating across
+	// nested scopes cannot let a foreign identifier through.
+	owned map[types.Object]bool
+}
+
+func (w *trafficWalker) addParams(fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			if obj := w.pass.TypesInfo.Defs[name]; obj != nil {
+				w.owned[obj] = true
+			}
+		}
+	}
+}
+
+func (w *trafficWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.addParams(n.Type.Params)
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+					w.owned[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				w.checkMutation(n.X)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				w.checkMutation(lhs)
+			}
+		case *ast.IncDecStmt:
+			w.checkMutation(n.X)
+		case *ast.CallExpr:
+			// A method call mutates its receiver when the method has a
+			// pointer receiver; all LevelTraffic accumulators do, so any
+			// call through an element is a write site.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				w.checkMutation(sel.X)
+			}
+		}
+		return true
+	})
+}
+
+// checkMutation inspects one mutated expression; if it reaches into a
+// traffic slice, the first subscript (the worker index) must be an
+// owned identifier.
+func (w *trafficWalker) checkMutation(e ast.Expr) {
+	for {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			e = sel.X
+			continue
+		}
+		break
+	}
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	for {
+		inner, ok := ix.X.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		ix = inner
+	}
+	tv, ok := w.pass.TypesInfo.Types[ix.X]
+	if !ok || !isTrafficSlice(tv.Type) {
+		return
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	if !ok {
+		w.pass.Reportf(ix.Index.Pos(),
+			"LevelTraffic element mutated through a computed worker index; use the owning worker's parameter or range variable")
+		return
+	}
+	if !w.owned[w.pass.TypesInfo.Uses[id]] {
+		w.pass.Reportf(id.Pos(),
+			"LevelTraffic element mutated through %q, which is not a parameter or range variable of the enclosing function",
+			id.Name)
+	}
+}
+
+// isTrafficSlice reports whether t is []LevelTraffic or
+// [][]LevelTraffic (by type name, so the testdata mirror can declare
+// its own LevelTraffic).
+func isTrafficSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := s.Elem()
+	if inner, ok := elem.Underlying().(*types.Slice); ok {
+		elem = inner.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	return ok && named.Obj().Name() == "LevelTraffic"
+}

@@ -1,0 +1,31 @@
+package lu_test
+
+import (
+	"testing"
+
+	"repro/internal/lu"
+	"repro/internal/machine"
+	"repro/internal/schedule/verify"
+)
+
+// TestLUEmitterVerifiesClean keeps the static gate next to the LU
+// emitter: its programs must pass the schedule verifier on single- and
+// dual-chip machines (the full grid runs in internal/schedule/verify
+// and cmd/schedlint).
+func TestLUEmitterVerifiesClean(t *testing.T) {
+	machines := []machine.Machine{
+		{P: 2, CS: 64, CD: 8, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+		{P: 4, CS: 140, CD: 12, Chips: 2, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+	}
+	for _, m := range machines {
+		for _, nb := range []int{1, 4} {
+			p, err := lu.Program(m, nb)
+			if err != nil {
+				t.Fatalf("nb=%d: %v", nb, err)
+			}
+			for _, f := range verify.Program(p, p.Resources) {
+				t.Errorf("p=%d chips=%d nb=%d: %v", m.P, m.ChipCount(), nb, f)
+			}
+		}
+	}
+}

@@ -26,6 +26,8 @@ const pivotFloor = 1e-300
 // square tile d in place (right-looking kij order): afterwards the
 // strictly lower triangle holds the unit-lower-triangular L (implicit
 // ones on the diagonal) and the upper triangle holds U.
+//
+//repro:kernel
 func FactorTile(d *Dense) error {
 	if d.rows != d.cols {
 		return fmt.Errorf("matrix: factor %dx%d tile, need square: %w", d.rows, d.cols, ErrShape)
@@ -52,6 +54,8 @@ func FactorTile(d *Dense) error {
 // TrsmUpperRight solves X·U = B in place (B := B·U⁻¹), where U is the
 // upper triangle of the factored diagonal tile diag. B must have as many
 // columns as diag.
+//
+//repro:kernel
 func TrsmUpperRight(diag, b *Dense) error {
 	if diag.rows != diag.cols || b.cols != diag.rows {
 		return fmt.Errorf("matrix: trsm B(%dx%d)·U⁻¹ with diag %dx%d: %w",
@@ -74,6 +78,8 @@ func TrsmUpperRight(diag, b *Dense) error {
 // TrsmLowerLeftUnit solves L·X = B in place (B := L⁻¹·B), where L is the
 // unit lower triangle of the factored diagonal tile diag. B must have as
 // many rows as diag.
+//
+//repro:kernel
 func TrsmLowerLeftUnit(diag, b *Dense) error {
 	if diag.rows != diag.cols || b.rows != diag.rows {
 		return fmt.Errorf("matrix: trsm L⁻¹·B(%dx%d) with diag %dx%d: %w",
@@ -103,6 +109,8 @@ func TrsmLowerLeftUnit(diag, b *Dense) error {
 // bitwise identical to the plain i-k-j subtract loop this kernel
 // replaced, and the flop count stays exactly 2·m·n·k regardless of the
 // data.
+//
+//repro:kernel
 func MulSubUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err

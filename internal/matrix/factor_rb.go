@@ -21,6 +21,8 @@ import (
 // factorTileRB4 is the 4-row register-blocked FactorTile: four trailing
 // rows per block hold their multipliers in scalars while the update
 // streams the pivot row once, 4-wide in the columns.
+//
+//repro:kernel
 func factorTileRB4(d *Dense) error {
 	if d.rows != d.cols {
 		return fmt.Errorf("matrix: factor %dx%d tile, need square: %w", d.rows, d.cols, ErrShape)
@@ -86,6 +88,8 @@ func factorTileRB4(d *Dense) error {
 // factorTileRB8 is the 8-row register-blocked FactorTile serving the
 // 8×4 and 8×8 shapes: eight trailing rows per block, pivot row streamed
 // once per block, 4-wide column unrolling.
+//
+//repro:kernel
 func factorTileRB8(d *Dense) error {
 	if d.rows != d.cols {
 		return fmt.Errorf("matrix: factor %dx%d tile, need square: %w", d.rows, d.cols, ErrShape)
@@ -180,6 +184,8 @@ func factorTileRB8(d *Dense) error {
 // trsmUpperRightRB4 solves X·U = B in place, four rows of B per block:
 // the rows are independent solves, so blocking them shares each U
 // column load without touching any row's accumulation order.
+//
+//repro:kernel
 func trsmUpperRightRB4(diag, b *Dense) error {
 	if diag.rows != diag.cols || b.cols != diag.rows {
 		return fmt.Errorf("matrix: trsm B(%dx%d)·U⁻¹ with diag %dx%d: %w",
@@ -220,6 +226,8 @@ func trsmUpperRightRB4(diag, b *Dense) error {
 
 // trsmUpperRightRB8 is trsmUpperRightRB4 with eight rows of B per
 // block, serving the 8×4 and 8×8 shapes.
+//
+//repro:kernel
 func trsmUpperRightRB8(diag, b *Dense) error {
 	if diag.rows != diag.cols || b.cols != diag.rows {
 		return fmt.Errorf("matrix: trsm B(%dx%d)·U⁻¹ with diag %dx%d: %w",
@@ -271,6 +279,8 @@ func trsmUpperRightRB8(diag, b *Dense) error {
 // trsmLowerLeftRB4 solves L·X = B in place, four columns of B per
 // block: the columns are independent solves, so blocking them shares
 // each L row load without touching any column's accumulation order.
+//
+//repro:kernel
 func trsmLowerLeftRB4(diag, b *Dense) error {
 	if diag.rows != diag.cols || b.rows != diag.rows {
 		return fmt.Errorf("matrix: trsm L⁻¹·B(%dx%d) with diag %dx%d: %w",
@@ -309,6 +319,8 @@ func trsmLowerLeftRB4(diag, b *Dense) error {
 
 // trsmLowerLeftRB8 is trsmLowerLeftRB4 with eight columns of B per
 // block, serving the 8×8 shape.
+//
+//repro:kernel
 func trsmLowerLeftRB8(diag, b *Dense) error {
 	if diag.rows != diag.cols || b.rows != diag.rows {
 		return fmt.Errorf("matrix: trsm L⁻¹·B(%dx%d) with diag %dx%d: %w",

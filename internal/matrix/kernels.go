@@ -32,6 +32,8 @@ func MulNaive(c, a, b *Dense) error {
 // containing zeros are not skipped, so the kernel's work — and any
 // GFLOP/s number derived from it — depends only on the shapes, never on
 // the data (a sparse variant would belong in a kernel of its own).
+//
+//repro:kernel
 func MulAdd(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
@@ -60,6 +62,8 @@ func MulAdd(c, a, b *Dense) error {
 // in ascending order starting from the prior C value, so the result is
 // bitwise identical to MulAdd's, and the flop count stays exactly
 // 2·m·n·k regardless of the data.
+//
+//repro:kernel
 func MulAddUnrolled(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err

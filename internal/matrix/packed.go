@@ -14,6 +14,8 @@ import "fmt"
 // Pack copies the src tile into dst as a contiguous row-major
 // rows×cols image. dst must hold at least rows·cols values; the number
 // of values written is returned.
+//
+//repro:kernel
 func Pack(dst []float64, src *Dense) (int, error) {
 	need := src.rows * src.cols
 	if len(dst) < need {
@@ -28,6 +30,8 @@ func Pack(dst []float64, src *Dense) (int, error) {
 
 // Unpack copies a contiguous row-major rows×cols image out of src into
 // the dst tile. src must hold at least dst.Rows()·dst.Cols() values.
+//
+//repro:kernel
 func Unpack(dst *Dense, src []float64) error {
 	need := dst.rows * dst.cols
 	if len(src) < need {
@@ -48,6 +52,8 @@ func Unpack(dst *Dense, src []float64) error {
 // headers and runs the very same MulAddUnrolled kernel, so both routes
 // are bitwise identical and the flop count stays exactly 2·m·n·k
 // regardless of the data.
+//
+//repro:kernel
 func MulAddPacked(c, a, b []float64, m, n, k int) error {
 	if m < 0 || n < 0 || k < 0 || len(c) < m*n || len(a) < m*k || len(b) < k*n {
 		return fmt.Errorf("matrix: packed multiply C(%d:%dx%d) += A(%d:%dx%d)*B(%d:%dx%d): %w",

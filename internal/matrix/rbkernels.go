@@ -14,6 +14,8 @@ package matrix
 // mulAddRowsFrom finishes rows i..m of C += A×B with the scalar row
 // path (4-wide column unrolling, then scalar columns), preserving the
 // reference per-element accumulation order.
+//
+//repro:kernel
 func mulAddRowsFrom(c, a, b *Dense, i int) {
 	m, n, kk := a.rows, b.cols, a.cols
 	for ; i < m; i++ {
@@ -44,6 +46,8 @@ func mulAddRowsFrom(c, a, b *Dense, i int) {
 
 // mulSubRowsFrom finishes rows i..m of C -= A×B, mirroring
 // mulAddRowsFrom.
+//
+//repro:kernel
 func mulSubRowsFrom(c, a, b *Dense, i int) {
 	m, n, kk := a.rows, b.cols, a.cols
 	for ; i < m; i++ {
@@ -75,6 +79,8 @@ func mulSubRowsFrom(c, a, b *Dense, i int) {
 // mulAddRB8x4 is the 8×4 member of the MulAdd shape family: eight rows
 // of C per block, four columns, 32 scalar accumulators. See the shape
 // note at the top of this file for the bitwise-equality argument.
+//
+//repro:kernel
 func mulAddRB8x4(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
@@ -182,6 +188,8 @@ func mulAddRB8x4(c, a, b *Dense) error {
 }
 
 // mulSubRB8x4 is the 8×4 member of the MulSub shape family (C -= A×B).
+//
+//repro:kernel
 func mulSubRB8x4(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
@@ -291,6 +299,8 @@ func mulSubRB8x4(c, a, b *Dense) error {
 // mulAddRB8x8 is the 8×8 member of the MulAdd shape family: a full
 // 64-accumulator tile. Whether 64 live scalars enregister is exactly
 // the kind of machine question cmd/tune answers empirically.
+//
+//repro:kernel
 func mulAddRB8x8(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err
@@ -430,6 +440,8 @@ func mulAddRB8x8(c, a, b *Dense) error {
 }
 
 // mulSubRB8x8 is the 8×8 member of the MulSub shape family (C -= A×B).
+//
+//repro:kernel
 func mulSubRB8x8(c, a, b *Dense) error {
 	if err := checkMul(c, a, b); err != nil {
 		return err

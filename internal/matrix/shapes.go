@@ -93,6 +93,8 @@ var DefaultKernelConfig = KernelConfig{Shape: Shape4x4}
 
 // MulAdd computes C += A×B with the configured shape. All shapes are
 // bitwise identical to the reference MulAdd.
+//
+//repro:kernel
 func (kc KernelConfig) MulAdd(c, a, b *Dense) error {
 	switch kc.Shape {
 	case Shape8x4:
@@ -106,6 +108,8 @@ func (kc KernelConfig) MulAdd(c, a, b *Dense) error {
 
 // MulSub computes C -= A×B with the configured shape. All shapes are
 // bitwise identical to the reference i-k-j MulSub loop.
+//
+//repro:kernel
 func (kc KernelConfig) MulSub(c, a, b *Dense) error {
 	switch kc.Shape {
 	case Shape8x4:
@@ -122,6 +126,8 @@ func (kc KernelConfig) MulSub(c, a, b *Dense) error {
 // The 8×4 and 8×8 shapes both block eight rows; the column unrolling
 // follows the shape's nr. Bitwise identical to the reference
 // FactorTile for every shape.
+//
+//repro:kernel
 func (kc KernelConfig) FactorTile(d *Dense) error {
 	switch kc.Shape {
 	case Shape8x4, Shape8x8:
@@ -133,6 +139,8 @@ func (kc KernelConfig) FactorTile(d *Dense) error {
 
 // TrsmUpperRight solves X·U = B in place, blocking mr rows of B so the
 // U column loads are shared. Bitwise identical to the reference solve.
+//
+//repro:kernel
 func (kc KernelConfig) TrsmUpperRight(diag, b *Dense) error {
 	switch kc.Shape {
 	case Shape8x4, Shape8x8:
@@ -145,6 +153,8 @@ func (kc KernelConfig) TrsmUpperRight(diag, b *Dense) error {
 // TrsmLowerLeftUnit solves L·X = B in place, blocking nr columns of B
 // so the L row loads are shared. Bitwise identical to the reference
 // solve.
+//
+//repro:kernel
 func (kc KernelConfig) TrsmLowerLeftUnit(diag, b *Dense) error {
 	switch kc.Shape {
 	case Shape8x8:

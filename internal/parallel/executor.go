@@ -193,6 +193,15 @@ type Executor struct {
 	// default depth 1). Both are tunables — see SetTuning and cmd/tune.
 	kernels   matrix.KernelConfig
 	lookahead int
+
+	// strictVerify runs the static schedule verifier over every program
+	// before its first replay and refuses programs with findings — the
+	// belt-and-suspenders mode behind SetStrictVerify (default off; the
+	// registered emitters are verified statically in CI instead).
+	// verified caches the last program that passed, by pointer, like
+	// validated above.
+	strictVerify bool
+	verified     *schedule.Program
 }
 
 // Executor is the real backend of the schedule IR.
@@ -698,6 +707,9 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 	if prog.Cores != ex.team.Size() {
 		return fmt.Errorf("parallel: program %q wants %d cores, team has %d",
 			prog.Algorithm, prog.Cores, ex.team.Size())
+	}
+	if err := ex.strictVerifyCheck(prog); err != nil {
+		return err
 	}
 	ex.ms = LevelTraffic{}
 	for i := range ex.md {

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// TestStrictVerifyGate exercises the opt-in pre-flight: a clean
+// registered program runs unchanged under strict verification, while a
+// leaky hand-built program is refused before a single op replays.
+func TestStrictVerifyGate(t *testing.T) {
+	mach := machine.Machine{P: 2, CS: 64, CD: 8,
+		SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 4}
+	a, err := algo.ByName("Shared Opt.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Schedule(mach, algo.Square(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := matrix.NewTriple(3, 3, 3, mach.Q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	ex, err := NewExecutor(team, tr, nil, ModeShared, mach.CD, mach.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetStrictVerify(true)
+	if err := ex.Run(prog); err != nil {
+		t.Fatalf("clean program rejected under strict verify: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("result validation: %v", err)
+	}
+
+	leaky := &schedule.Program{
+		Algorithm: "leaky",
+		Cores:     mach.P,
+		Resources: schedule.Resources{SharedBlocks: mach.CS, CoreBlocks: mach.CD},
+		Body: func(b schedule.Backend) {
+			b.StageShared(schedule.LineA(0, 0)) // never unstaged
+		},
+	}
+	err = ex.Run(leaky)
+	if err == nil {
+		t.Fatal("strict verify let a leaky program run")
+	}
+	if !strings.Contains(err.Error(), "strict verify rejected") ||
+		!strings.Contains(err.Error(), "Leak") {
+		t.Fatalf("unexpected rejection error: %v", err)
+	}
+
+	// With the gate off the same leaky program is the executor's own
+	// problem again (it runs; Run's flush covers the leak).
+	ex.SetStrictVerify(false)
+	if err := ex.Run(leaky); err != nil {
+		t.Fatalf("gate off: %v", err)
+	}
+}

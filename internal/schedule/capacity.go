@@ -1,0 +1,71 @@
+package schedule
+
+// This file is the single capacity-accounting implementation of the
+// repo: the one place where a measured staging footprint is compared
+// against declared cache resources. WorkingSet.Fits/FitsCore/FitsShared
+// render its issues as errors for the executor's pre-run validation,
+// and the static verifier (internal/schedule/verify) converts them into
+// findings with op provenance — both callers see the identical rule
+// set, so "the verifier and the executor agree on what fits" holds per
+// construction. (The pass lives here rather than in the verify package
+// because schedule cannot import its own subpackage.)
+
+// CapacityIssue is one violation of the capacity rules: a level staged
+// beyond its declared block capacity, or staged at all while declaring
+// no capacity (Undeclared).
+type CapacityIssue struct {
+	// Shared distinguishes the shared level (per-chip CS) from the
+	// per-core distributed level (CD).
+	Shared bool
+	// Chip is the overflowing chip for per-chip shared issues, -1 for
+	// core-level and aggregate shared issues.
+	Chip int
+	// Peak is the measured peak residency in blocks; Cap the declared
+	// capacity it exceeds (0 when Undeclared).
+	Peak, Cap int
+	// Undeclared marks the "stages but declares nothing" rule: a program
+	// claiming traffic through a cache it says does not exist.
+	Undeclared bool
+}
+
+// CheckCapacity compares a measured working set against declared
+// resources and returns every violation, core level first. The rules:
+//
+//   - a level with a positive staging peak must declare a positive
+//     capacity (Undeclared issues);
+//   - the per-core peak must fit CD;
+//   - every chip's shared peak must fit the per-chip CS;
+//   - the aggregate shared peak (the fullest chip) must fit CS even
+//     when the per-chip breakdown is missing or shorter than the
+//     declared chip count — hand-built or pre-chip WorkingSets carry
+//     only the aggregate, and the old fallback checked it only when the
+//     breakdown was entirely absent, silently accepting an overflow
+//     recorded on a chip the breakdown did not cover.
+//
+// An empty result means the working set fits everywhere it stages.
+func CheckCapacity(ws WorkingSet, r Resources) []CapacityIssue {
+	var issues []CapacityIssue
+	if ws.CorePeak > 0 && r.CoreBlocks <= 0 {
+		issues = append(issues, CapacityIssue{Chip: -1, Peak: ws.CorePeak, Undeclared: true})
+	}
+	if r.CoreBlocks > 0 && ws.CorePeak > r.CoreBlocks {
+		issues = append(issues, CapacityIssue{Chip: -1, Peak: ws.CorePeak, Cap: r.CoreBlocks})
+	}
+	if ws.SharedPeak > 0 && r.SharedBlocks <= 0 {
+		issues = append(issues, CapacityIssue{Shared: true, Chip: -1, Peak: ws.SharedPeak, Undeclared: true})
+	}
+	if r.SharedBlocks <= 0 {
+		return issues
+	}
+	perChip := false
+	for chip, peak := range ws.SharedPeakPerChip {
+		if peak > r.SharedBlocks {
+			issues = append(issues, CapacityIssue{Shared: true, Chip: chip, Peak: peak, Cap: r.SharedBlocks})
+			perChip = true
+		}
+	}
+	if !perChip && ws.SharedPeak > r.SharedBlocks {
+		issues = append(issues, CapacityIssue{Shared: true, Chip: -1, Peak: ws.SharedPeak, Cap: r.SharedBlocks})
+	}
+	return issues
+}

@@ -1,0 +1,145 @@
+package schedule_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// oldFits reimplements the capacity rules exactly as Fits/FitsCore/
+// FitsShared enforced them before they delegated to CheckCapacity, so
+// the regression test below can prove the refactor changed nothing for
+// working sets the old code handled — and pin the one behaviour that
+// deliberately did change (the truncated-breakdown fallback hole).
+func oldFits(ws schedule.WorkingSet, r schedule.Resources) error {
+	if ws.CorePeak > 0 && r.CoreBlocks <= 0 {
+		return fmt.Errorf("schedule: program stages up to %d blocks per core but declares no distributed capacity (CD=0)",
+			ws.CorePeak)
+	}
+	if r.CoreBlocks > 0 && ws.CorePeak > r.CoreBlocks {
+		return fmt.Errorf("schedule: per-core working set of %d blocks exceeds the declared CD=%d",
+			ws.CorePeak, r.CoreBlocks)
+	}
+	if ws.SharedPeak > 0 && r.SharedBlocks <= 0 {
+		return fmt.Errorf("schedule: program stages up to %d shared blocks but declares no shared capacity (CS=0)",
+			ws.SharedPeak)
+	}
+	if r.SharedBlocks <= 0 {
+		return nil
+	}
+	for chip, peak := range ws.SharedPeakPerChip {
+		if peak > r.SharedBlocks {
+			return fmt.Errorf("schedule: shared working set of %d blocks on chip %d exceeds the declared per-chip CS=%d",
+				peak, chip, r.SharedBlocks)
+		}
+	}
+	if len(ws.SharedPeakPerChip) == 0 && ws.SharedPeak > r.SharedBlocks {
+		return fmt.Errorf("schedule: shared working set of %d blocks exceeds the declared CS=%d",
+			ws.SharedPeak, r.SharedBlocks)
+	}
+	return nil
+}
+
+// TestFitsMatchesOldOnRegisteredPrograms is the dedup satellite's
+// regression: for every registered program on a grid of machines —
+// including resources tightened just past the measured peaks — the
+// delegating Fits must return the exact error text (or nil) the
+// pre-refactor implementation produced. Measured working sets always
+// carry a complete per-chip breakdown, so the corrected fallback never
+// diverges on them.
+func TestFitsMatchesOldOnRegisteredPrograms(t *testing.T) {
+	ms := []machine.Machine{
+		{P: 2, CS: 64, CD: 8, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+		{P: 4, CS: 140, CD: 12, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+		{P: 4, CS: 140, CD: 12, Chips: 2, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+	}
+	workloads := []algo.Workload{algo.Square(6), {M: 5, N: 3, Z: 7}}
+	for _, a := range algo.Extended() {
+		for _, m := range ms {
+			for _, w := range workloads {
+				p, err := a.Schedule(m, w)
+				if err != nil {
+					t.Fatalf("%s: schedule: %v", a.Name(), err)
+				}
+				ws, err := schedule.Measure(p)
+				if err != nil {
+					t.Fatalf("%s: measure: %v", a.Name(), err)
+				}
+				for _, res := range []schedule.Resources{
+					p.Resources,
+					{SharedBlocks: ws.SharedPeak, CoreBlocks: ws.CorePeak, Chips: p.Resources.Chips},
+					{SharedBlocks: ws.SharedPeak - 1, CoreBlocks: ws.CorePeak, Chips: p.Resources.Chips},
+					{SharedBlocks: ws.SharedPeak, CoreBlocks: ws.CorePeak - 1, Chips: p.Resources.Chips},
+					{},
+				} {
+					want := oldFits(ws, res)
+					got := ws.Fits(res)
+					if (want == nil) != (got == nil) ||
+						(want != nil && want.Error() != got.Error()) {
+						t.Errorf("%s on %+v: old Fits %v, new Fits %v", a.Name(), res, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFitsSharedTruncatedBreakdown pins the corrected fallback: a
+// working set whose per-chip breakdown is shorter than the chip count
+// (so the overflowing chip is not in the breakdown) used to pass the
+// old check silently; it must now be rejected through the aggregate
+// peak.
+func TestFitsSharedTruncatedBreakdown(t *testing.T) {
+	ws := schedule.WorkingSet{
+		SharedPeak:        10,
+		SharedPeakPerChip: []int{3}, // chip 1's peak of 10 is missing
+	}
+	r := schedule.Resources{SharedBlocks: 5, Chips: 2}
+	if err := oldFits(ws, r); err != nil {
+		t.Fatalf("old fallback unexpectedly caught the truncated breakdown: %v", err)
+	}
+	err := ws.FitsShared(r)
+	if err == nil {
+		t.Fatal("FitsShared accepted a 10-block peak against CS=5 behind a truncated breakdown")
+	}
+	// The aggregate peak is by definition the fullest chip's, so the
+	// error reports it against the per-chip capacity.
+	if got := err.Error(); got != "schedule: shared working set of 10 blocks exceeds the declared CS=5" {
+		t.Fatalf("unexpected error text: %q", got)
+	}
+}
+
+// TestCheckCapacityIssues covers the structured pass directly: one
+// issue per violated rule, with level, chip and undeclared attribution.
+func TestCheckCapacityIssues(t *testing.T) {
+	ws := schedule.WorkingSet{
+		SharedPeak:        9,
+		CorePeak:          4,
+		SharedPeakPerChip: []int{9, 7},
+	}
+	r := schedule.Resources{SharedBlocks: 6, CoreBlocks: 3, Chips: 2}
+	issues := schedule.CheckCapacity(ws, r)
+	if len(issues) != 3 {
+		t.Fatalf("want 3 issues (core, chip 0, chip 1), got %v", issues)
+	}
+	if is := issues[0]; is.Shared || is.Peak != 4 || is.Cap != 3 || is.Undeclared {
+		t.Errorf("want core 4>3 first, got %+v", is)
+	}
+	for i, chip := range []int{0, 1} {
+		if is := issues[1+i]; !is.Shared || is.Chip != chip || is.Cap != 6 {
+			t.Errorf("want chip %d issue, got %+v", chip, is)
+		}
+	}
+
+	undeclared := schedule.CheckCapacity(schedule.WorkingSet{SharedPeak: 2, CorePeak: 1}, schedule.Resources{})
+	if len(undeclared) != 2 || !undeclared[0].Undeclared || !undeclared[1].Undeclared {
+		t.Fatalf("want undeclared issues at both levels, got %v", undeclared)
+	}
+
+	if issues := schedule.CheckCapacity(schedule.WorkingSet{}, schedule.Resources{}); len(issues) != 0 {
+		t.Fatalf("empty working set produced issues: %v", issues)
+	}
+}

@@ -1,0 +1,203 @@
+// Package verify is the static schedule verifier: it walks a
+// schedule.Program's operation stream once — without executing any
+// arithmetic, allocating any arena, or spawning any worker — and proves
+// the invariants every backend depends on, or reports each violation as
+// a Finding with op-level provenance.
+//
+// The paper's IDEAL model is a static claim about an op stream, so a
+// Program is verifiable before anything runs. The checks mirror, rule
+// for rule, the faults the executor raises dynamically (stage of a
+// resident block, unstage of a non-resident one, shared unstage while a
+// core holds the line, arena overflow) and extend them with the hazards
+// no single run can prove absent: same-region races between per-core
+// streams, stale reads of dirty-held lines across regions, chip-home
+// routing inconsistencies, and the hoist/retire safety of a pipelined
+// plan. A program with zero findings fits its declared machine and runs
+// race-free under every executor mode; a future dynamic or multi-tenant
+// scheduler admits untrusted programs through exactly this gate.
+//
+// Capacity accounting is shared with the runtime path: the verifier's
+// exact per-op residency tracking feeds schedule.CheckCapacity, the
+// same single implementation WorkingSet.Fits renders as errors, so the
+// static and dynamic views of "fits" cannot drift apart.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+)
+
+// Kind classifies one invariant violation.
+type Kind uint8
+
+const (
+	// Malformed is a structural defect: a nil body, a non-positive core
+	// count, a chip count that does not divide the cores, or a driver op
+	// emitted from inside a parallel region.
+	Malformed Kind = iota
+	// BadKernel is an Apply of an unknown kernel or with the wrong
+	// number of sources.
+	BadKernel
+	// UseBeforeStage is an Apply whose operand is not resident in the
+	// emitting core's arena in a program that stages (def-before-use).
+	UseBeforeStage
+	// StageNotShared is a core Stage of a line with no shared-resident
+	// copy on its home chip, in a program that uses the shared level —
+	// the executor's Refill would fault on it.
+	StageNotShared
+	// DoubleStage stages a line already resident at that level (the
+	// linear-resource rule: a slot is acquired exactly once).
+	DoubleStage
+	// UnstageNotResident releases a line that is not resident at that
+	// level.
+	UnstageNotResident
+	// UnstageHeld is a shared unstage of a line still resident in some
+	// core's arena — the inclusion discipline.
+	UnstageHeld
+	// Leak is a line still resident at program exit (reported at its
+	// last stage).
+	Leak
+	// OverCapacity is a level whose exact residency exceeded its
+	// declared block capacity.
+	OverCapacity
+	// UndeclaredCapacity is staging at a level declaring zero capacity.
+	UndeclaredCapacity
+	// Race is a same-region conflict: two cores access the same shared
+	// line in one parallel region and at least one access writes.
+	Race
+	// StaleRead is a core staging a line another core still holds
+	// dirty — the refill would race the eventual write-back.
+	StaleRead
+	// HomeMismatch is a shared-level op routed to a chip other than the
+	// one the line is resident on: an inconsistent Home policy.
+	HomeMismatch
+	// HoistUnsafe is a pipelined prefetch that overlaps a region
+	// touching its line, or crosses an unstage of it.
+	HoistUnsafe
+	// RetireUnsafe is a pipelined write-back retiring under a region
+	// that touches its line.
+	RetireUnsafe
+	// PlanFootprint is a pipelined plan whose overlapped residency
+	// exceeds the shared capacity it was built for.
+	PlanFootprint
+	// PlanMismatch is a pipelined plan whose phased ops do not
+	// reproduce the program's serial gap stream (ops lost, invented or
+	// reordered past the allowed phases).
+	PlanMismatch
+)
+
+// String names the kind for findings and tests.
+func (k Kind) String() string {
+	switch k {
+	case Malformed:
+		return "Malformed"
+	case BadKernel:
+		return "BadKernel"
+	case UseBeforeStage:
+		return "UseBeforeStage"
+	case StageNotShared:
+		return "StageNotShared"
+	case DoubleStage:
+		return "DoubleStage"
+	case UnstageNotResident:
+		return "UnstageNotResident"
+	case UnstageHeld:
+		return "UnstageHeld"
+	case Leak:
+		return "Leak"
+	case OverCapacity:
+		return "OverCapacity"
+	case UndeclaredCapacity:
+		return "UndeclaredCapacity"
+	case Race:
+		return "Race"
+	case StaleRead:
+		return "StaleRead"
+	case HomeMismatch:
+		return "HomeMismatch"
+	case HoistUnsafe:
+		return "HoistUnsafe"
+	case RetireUnsafe:
+		return "RetireUnsafe"
+	case PlanFootprint:
+		return "PlanFootprint"
+	case PlanMismatch:
+		return "PlanMismatch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Level names the cache level a finding concerns.
+type Level uint8
+
+const (
+	// LevelProgram marks findings not tied to one cache level.
+	LevelProgram Level = iota
+	// LevelShared is the chip-shared level (CS).
+	LevelShared
+	// LevelCore is the per-core distributed level (CD).
+	LevelCore
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelShared:
+		return "shared"
+	case LevelCore:
+		return "core"
+	default:
+		return "program"
+	}
+}
+
+// Finding is one reported invariant violation, carrying enough
+// provenance to locate the op in the emitter: the global op index (ops
+// are numbered in emission order, with each parallel region's core
+// streams walked core 0 first), the region and core it was emitted
+// from, and the line it concerns.
+type Finding struct {
+	Kind  Kind
+	Level Level
+	// Op is the global op index in emission order, -1 when the finding
+	// is not anchored to a single op (structural defects, plan-level
+	// findings, which carry Region instead).
+	Op int
+	// Region is the parallel-region index (counted over regions that
+	// emit work, matching the executor's barriers), -1 outside regions.
+	Region int
+	// Core is the emitting core, -1 for driver (shared-level) ops.
+	Core int
+	// Chip is the chip involved, -1 when not chip-specific.
+	Chip int
+	// Line is the block the finding concerns; meaningful unless Detail
+	// says otherwise.
+	Line schedule.Line
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// String renders the finding with its provenance:
+//
+//	op 17 region 2 core 1 [core] UseBeforeStage {C 0 0}: apply reads unstaged line
+func (f Finding) String() string {
+	s := ""
+	if f.Op >= 0 {
+		s += fmt.Sprintf("op %d ", f.Op)
+	}
+	if f.Region >= 0 {
+		s += fmt.Sprintf("region %d ", f.Region)
+	}
+	if f.Core >= 0 {
+		s += fmt.Sprintf("core %d ", f.Core)
+	}
+	if f.Chip >= 0 {
+		s += fmt.Sprintf("chip %d ", f.Chip)
+	}
+	s += fmt.Sprintf("[%v] %v %v", f.Level, f.Kind, f.Line)
+	if f.Detail != "" {
+		s += ": " + f.Detail
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package verify
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// FuzzProgram decodes an arbitrary byte string into a Program and
+// Resources: three bytes per instruction (opcode, line, argument), with
+// runs of core ops forming parallel regions and driver ops splitting
+// them. Every byte string decodes to something, so a fuzzer driving
+// Program through this decoder explores the whole op-stream space —
+// double stages, foreign unstages, junk kernels, arity garbage, over-
+// capacity streams — and the verifier must classify all of it as
+// findings without ever panicking. Both FuzzVerifyNeverPanics and
+// cmd/schedlint -fuzz drive this same decoder, so the CLI smoke and the
+// fuzz corpus exercise identical program shapes.
+func FuzzProgram(cores, chips, cs, cd uint8, data []byte) (*schedule.Program, schedule.Resources) {
+	nc := 1 + int(cores)%4
+	nch := 1 + int(chips)%2
+	if nc%nch != 0 {
+		nc = nch // keep the topology valid; Malformed has its own test
+	}
+	res := schedule.Resources{
+		SharedBlocks: int(cs) % 9, // 0 ⇒ undeclared
+		CoreBlocks:   int(cd) % 5,
+		Chips:        nch,
+	}
+
+	type ins struct {
+		op   byte
+		l    schedule.Line
+		core int
+		k    schedule.Kernel
+		n    int
+	}
+	var inss []ins
+	for i := 0; i+2 < len(data); i += 3 {
+		op, lb, arg := data[i]%8, data[i+1], data[i+2]
+		l := schedule.Line{Matrix: matrix.MatrixID(lb % 3), Row: int(lb/3) % 5, Col: int(arg) % 5}
+		inss = append(inss, ins{
+			op:   op,
+			l:    l,
+			core: int(arg) % nc,
+			k:    schedule.Kernel(lb % 7), // includes invalid kernels
+			n:    int(arg) % 4,            // source count, often wrong
+		})
+	}
+
+	body := func(b schedule.Backend) {
+		i := 0
+		for i < len(inss) {
+			switch inss[i].op {
+			case 0:
+				b.StageShared(inss[i].l)
+				i++
+			case 1:
+				b.UnstageShared(inss[i].l)
+				i++
+			default:
+				j := i
+				for j < len(inss) && inss[j].op >= 2 {
+					j++
+				}
+				seg := inss[i:j]
+				b.Parallel(func(c int, ops schedule.CoreSink) {
+					for _, in := range seg {
+						if in.core != c {
+							continue
+						}
+						switch in.op {
+						case 2:
+							ops.Stage(in.l)
+						case 3:
+							ops.Unstage(in.l)
+						case 4:
+							srcs := make([]schedule.Line, in.n)
+							for s := range srcs {
+								srcs[s] = schedule.Line{Matrix: matrix.MatrixID(s % 3), Row: s, Col: in.n}
+							}
+							ops.Apply(in.k, in.l, srcs...)
+						case 5:
+							ops.Read(in.l)
+						case 6:
+							ops.Write(in.l)
+						default:
+							ops.Compute(in.l.Row, in.l.Col, in.n)
+						}
+					}
+				})
+				i = j
+			}
+		}
+	}
+	return &schedule.Program{
+		Algorithm: "fuzz",
+		Cores:     nc,
+		Resources: res,
+		Home:      func(l schedule.Line) int { return (l.Row + l.Col) % nch },
+		Body:      body,
+	}, res
+}

@@ -1,0 +1,531 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schedule"
+)
+
+// Program statically verifies p against the declared resources and
+// returns every invariant violation found, in deterministic order: the
+// walk's findings in emission order, then leaks (sorted by the leaked
+// line's last stage), then capacity findings (core level first, chips
+// ascending). An empty result is the proof: the program stages every
+// line before using it, acquires and releases every slot exactly once,
+// fits the declared capacities at both levels on every chip, routes
+// every shared op to its home chip, and is free of same-region races
+// and cross-region stale reads. The walk never panics, whatever the
+// op stream — malformed input produces findings, not faults.
+//
+// Two replays of the body are performed: a tolerant pre-scan that only
+// discovers which levels the program stages at (the residency rules
+// below are conditional on that, mirroring the executor's modes), then
+// the verification walk proper. Bodies are required to be deterministic
+// emitters, which every backend already assumes.
+func Program(p *schedule.Program, res schedule.Resources) []Finding {
+	if p == nil {
+		return []Finding{{Kind: Malformed, Op: -1, Region: -1, Core: -1, Chip: -1, Detail: "nil program"}}
+	}
+	if p.Body == nil {
+		return []Finding{{Kind: Malformed, Op: -1, Region: -1, Core: -1, Chip: -1,
+			Detail: fmt.Sprintf("program %q has no body", p.Algorithm)}}
+	}
+	var fs []Finding
+	if p.Cores <= 0 {
+		return append(fs, Finding{Kind: Malformed, Op: -1, Region: -1, Core: -1, Chip: -1,
+			Detail: fmt.Sprintf("program declares %d cores", p.Cores)})
+	}
+	chips := res.ChipCount()
+	if chips > 1 && p.Cores%chips != 0 {
+		fs = append(fs, Finding{Kind: Malformed, Op: -1, Region: -1, Core: -1, Chip: -1,
+			Detail: fmt.Sprintf("%d chips do not divide %d cores", chips, p.Cores)})
+	}
+
+	pre := &prescan{}
+	p.Body(pre)
+
+	w := newWalker(p, res, pre)
+	w.findings = fs
+	p.Body(w)
+	w.finish()
+	return w.findings
+}
+
+// arityOf is the verifier's non-panicking mirror of Kernel.Arity: the
+// walk must classify junk kernels as findings, never fault on them.
+// (The repovet kernelaccesses pass proves this switch covers every
+// exported kernel, so the mirror cannot silently fall behind.)
+func arityOf(k schedule.Kernel) (int, bool) {
+	switch k {
+	case schedule.MulAdd, schedule.MulSub:
+		return 2, true
+	case schedule.FactorTile:
+		return 0, true
+	case schedule.TrsmLowerLeftUnit, schedule.TrsmUpperRight:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// prescan is the tolerant first replay: it only records which levels
+// the program stages at, so the walker knows which residency rules
+// apply (a program with no core staging is demand-driven — its Applies
+// run on views and need no arena residency).
+type prescan struct {
+	sharedStages bool
+	coreStages   bool
+}
+
+var _ schedule.Backend = (*prescan)(nil)
+
+func (s *prescan) StageShared(schedule.Line)   { s.sharedStages = true }
+func (s *prescan) UnstageShared(schedule.Line) { s.sharedStages = true }
+func (s *prescan) Parallel(body func(core int, ops schedule.CoreSink)) {
+	body(0, (*prescanSink)(s))
+}
+
+type prescanSink prescan
+
+func (s *prescanSink) Stage(schedule.Line)                                    { s.coreStages = true }
+func (s *prescanSink) Unstage(schedule.Line)                                  { s.coreStages = true }
+func (s *prescanSink) Read(schedule.Line)                                     {}
+func (s *prescanSink) Write(schedule.Line)                                    {}
+func (s *prescanSink) Apply(schedule.Kernel, schedule.Line, ...schedule.Line) {}
+func (s *prescanSink) Compute(int, int, int)                                  {}
+
+// coreState is one core's arena model: the resident set with per-line
+// dirty flags, and the exact residency peak.
+type coreState struct {
+	res  map[schedule.Line]bool // line → dirty
+	peak int
+}
+
+// regAccess is one shared line's access record within the current
+// parallel region, for the happens-before race rule: region streams are
+// unordered across cores, so any write paired with another core's
+// access is a race.
+type regAccess struct {
+	readers  map[int]int // core → op index of its first read
+	writer   int         // core of the first write, -1
+	writerOp int
+	reported bool
+}
+
+// walker is the verification backend: an exact model of both arena
+// levels replayed over the op stream, faulting into findings where the
+// executor would fault into errors — and where no executor can fault at
+// all (races, stale reads, home routing).
+type walker struct {
+	p   *schedule.Program
+	res schedule.Resources
+
+	chips       int
+	sharedProg  bool // program stages at the shared level
+	coreProg    bool // program stages at the core level
+	op          int  // global op counter, emission order
+	region      int  // current region index, -1 outside
+	regionsSeen int
+	inRegion    bool
+	findings    []Finding
+
+	sharedWhere    map[schedule.Line]int // line → chip it is resident on
+	sharedOp       map[schedule.Line]int // line → op of its live StageShared
+	sharedCount    []int
+	sharedPeak     []int
+	sharedOver     []int // first op exceeding CS per chip, -1
+	sharedUndeclOp int
+
+	cores        []coreState
+	coreStage    map[schedule.Line]map[int]int // line → holding cores → stage op
+	dirtyBy      map[schedule.Line]int         // line → core holding it dirty, absent if clean
+	coreOver     int                           // first op exceeding CD, -1
+	coreUndeclOp int
+
+	access map[schedule.Line]*regAccess // current region's access records
+}
+
+func newWalker(p *schedule.Program, res schedule.Resources, pre *prescan) *walker {
+	chips := res.ChipCount()
+	w := &walker{
+		p:              p,
+		res:            res,
+		chips:          chips,
+		sharedProg:     pre.sharedStages,
+		coreProg:       pre.coreStages,
+		region:         -1,
+		sharedWhere:    make(map[schedule.Line]int),
+		sharedOp:       make(map[schedule.Line]int),
+		sharedCount:    make([]int, chips),
+		sharedPeak:     make([]int, chips),
+		sharedOver:     make([]int, chips),
+		sharedUndeclOp: -1,
+		cores:          make([]coreState, p.Cores),
+		coreStage:      make(map[schedule.Line]map[int]int),
+		dirtyBy:        make(map[schedule.Line]int),
+		coreOver:       -1,
+		coreUndeclOp:   -1,
+	}
+	for i := range w.sharedOver {
+		w.sharedOver[i] = -1
+	}
+	return w
+}
+
+var _ schedule.Backend = (*walker)(nil)
+
+func (w *walker) report(f Finding) {
+	w.findings = append(w.findings, f)
+}
+
+func (w *walker) driverMisplaced(what string) bool {
+	if !w.inRegion {
+		return false
+	}
+	w.report(Finding{Kind: Malformed, Op: w.op, Region: w.region, Core: -1, Chip: -1,
+		Detail: what + " emitted from inside a parallel region"})
+	return true
+}
+
+func (w *walker) StageShared(l schedule.Line) {
+	op := w.op
+	w.op++
+	if w.driverMisplaced("StageShared") {
+		return
+	}
+	home := w.p.HomeOf(l)
+	if where, resident := w.sharedWhere[l]; resident {
+		f := Finding{Kind: DoubleStage, Level: LevelShared, Op: op, Region: -1, Core: -1, Chip: where, Line: l,
+			Detail: "line already shared-resident"}
+		if where != home {
+			f.Detail = fmt.Sprintf("line already shared-resident on chip %d, restaged toward chip %d", where, home)
+		}
+		w.report(f)
+		return
+	}
+	w.sharedWhere[l] = home
+	w.sharedOp[l] = op
+	w.sharedCount[home]++
+	if w.sharedCount[home] > w.sharedPeak[home] {
+		w.sharedPeak[home] = w.sharedCount[home]
+	}
+	if w.res.SharedBlocks <= 0 {
+		if w.sharedUndeclOp < 0 {
+			w.sharedUndeclOp = op
+		}
+	} else if w.sharedCount[home] > w.res.SharedBlocks && w.sharedOver[home] < 0 {
+		w.sharedOver[home] = op
+	}
+}
+
+func (w *walker) UnstageShared(l schedule.Line) {
+	op := w.op
+	w.op++
+	if w.driverMisplaced("UnstageShared") {
+		return
+	}
+	home := w.p.HomeOf(l)
+	where, resident := w.sharedWhere[l]
+	if !resident {
+		w.report(Finding{Kind: UnstageNotResident, Level: LevelShared, Op: op, Region: -1, Core: -1, Chip: home, Line: l,
+			Detail: "shared unstage of a non-resident line"})
+		return
+	}
+	if where != home {
+		w.report(Finding{Kind: HomeMismatch, Level: LevelShared, Op: op, Region: -1, Core: -1, Chip: home, Line: l,
+			Detail: fmt.Sprintf("unstage routed to chip %d but line is resident on chip %d", home, where)})
+	}
+	if holders := w.coreStage[l]; len(holders) > 0 {
+		core := -1
+		for c := range holders {
+			if core < 0 || c < core {
+				core = c
+			}
+		}
+		w.report(Finding{Kind: UnstageHeld, Level: LevelShared, Op: op, Region: -1, Core: core, Chip: where, Line: l,
+			Detail: fmt.Sprintf("shared unstage while core %d still holds the line", core)})
+	}
+	delete(w.sharedWhere, l)
+	delete(w.sharedOp, l)
+	w.sharedCount[where]--
+}
+
+func (w *walker) Parallel(body func(core int, ops schedule.CoreSink)) {
+	if w.inRegion {
+		w.report(Finding{Kind: Malformed, Op: w.op, Region: w.region, Core: -1, Chip: -1,
+			Detail: "Parallel emitted from inside a parallel region"})
+		return
+	}
+	w.inRegion = true
+	w.region = w.regionsSeen
+	w.access = make(map[schedule.Line]*regAccess)
+	work := false
+	for c := 0; c < w.p.Cores; c++ {
+		s := &walkSink{w: w, core: c}
+		body(c, s)
+		work = work || s.ops > 0
+	}
+	if work {
+		w.regionsSeen++
+	}
+	w.access = nil
+	w.inRegion = false
+	w.region = -1
+}
+
+// sharedRead records a same-region read of a shared slot by core c.
+func (w *walker) sharedRead(l schedule.Line, c, op int) {
+	a := w.access[l]
+	if a == nil {
+		a = &regAccess{readers: make(map[int]int), writer: -1}
+		w.access[l] = a
+	}
+	if a.writer >= 0 && a.writer != c && !a.reported {
+		a.reported = true
+		w.report(Finding{Kind: Race, Level: LevelShared, Op: op, Region: w.region, Core: c, Chip: w.p.HomeOf(l), Line: l,
+			Detail: fmt.Sprintf("read races core %d's write (op %d) in the same region", a.writer, a.writerOp)})
+	}
+	if _, seen := a.readers[c]; !seen {
+		a.readers[c] = op
+	}
+}
+
+// sharedWrite records a same-region write of a shared slot by core c.
+func (w *walker) sharedWrite(l schedule.Line, c, op int) {
+	a := w.access[l]
+	if a == nil {
+		a = &regAccess{readers: make(map[int]int), writer: -1}
+		w.access[l] = a
+	}
+	if !a.reported {
+		if a.writer >= 0 && a.writer != c {
+			a.reported = true
+			w.report(Finding{Kind: Race, Level: LevelShared, Op: op, Region: w.region, Core: c, Chip: w.p.HomeOf(l), Line: l,
+				Detail: fmt.Sprintf("write races core %d's write (op %d) in the same region", a.writer, a.writerOp)})
+		} else {
+			for rc, rop := range a.readers {
+				if rc != c {
+					a.reported = true
+					w.report(Finding{Kind: Race, Level: LevelShared, Op: op, Region: w.region, Core: c, Chip: w.p.HomeOf(l), Line: l,
+						Detail: fmt.Sprintf("write races core %d's read (op %d) in the same region", rc, rop)})
+					break
+				}
+			}
+		}
+	}
+	if a.writer < 0 {
+		a.writer, a.writerOp = c, op
+	}
+}
+
+// finish emits the end-of-stream findings: leaks at both levels and the
+// capacity verdicts, the latter through schedule.CheckCapacity — the
+// same accounting WorkingSet.Fits renders as errors — with the op that
+// first crossed each limit attached as provenance.
+func (w *walker) finish() {
+	type leak struct {
+		f  Finding
+		op int
+	}
+	var leaks []leak
+	for l, chip := range w.sharedWhere {
+		op := w.sharedOp[l]
+		leaks = append(leaks, leak{op: op, f: Finding{Kind: Leak, Level: LevelShared, Op: op, Region: -1, Core: -1, Chip: chip, Line: l,
+			Detail: "line still shared-resident at program exit"}})
+	}
+	for c := range w.cores {
+		for l := range w.cores[c].res {
+			op := w.coreStage[l][c]
+			leaks = append(leaks, leak{op: op, f: Finding{Kind: Leak, Level: LevelCore, Op: op, Region: -1, Core: c, Chip: -1, Line: l,
+				Detail: fmt.Sprintf("line still resident in core %d at program exit", c)}})
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].op < leaks[j].op })
+	for _, lk := range leaks {
+		w.report(lk.f)
+	}
+
+	ws := schedule.WorkingSet{SharedPeakPerChip: w.sharedPeak}
+	for _, p := range w.sharedPeak {
+		if p > ws.SharedPeak {
+			ws.SharedPeak = p
+		}
+	}
+	for _, c := range w.cores {
+		if c.peak > ws.CorePeak {
+			ws.CorePeak = c.peak
+		}
+	}
+	for _, is := range schedule.CheckCapacity(ws, w.res) {
+		f := Finding{Region: -1, Core: -1, Chip: is.Chip, Op: -1}
+		switch {
+		case !is.Shared && is.Undeclared:
+			f.Kind, f.Level, f.Op = UndeclaredCapacity, LevelCore, w.coreUndeclOp
+			f.Detail = fmt.Sprintf("stages up to %d blocks per core but declares no CD", is.Peak)
+		case !is.Shared:
+			f.Kind, f.Level, f.Op = OverCapacity, LevelCore, w.coreOver
+			f.Detail = fmt.Sprintf("per-core working set of %d blocks exceeds CD=%d", is.Peak, is.Cap)
+		case is.Undeclared:
+			f.Kind, f.Level, f.Op = UndeclaredCapacity, LevelShared, w.sharedUndeclOp
+			f.Detail = fmt.Sprintf("stages up to %d shared blocks but declares no CS", is.Peak)
+		default:
+			f.Kind, f.Level = OverCapacity, LevelShared
+			if is.Chip >= 0 {
+				f.Op = w.sharedOver[is.Chip]
+			}
+			f.Detail = fmt.Sprintf("shared working set of %d blocks exceeds per-chip CS=%d", is.Peak, is.Cap)
+		}
+		w.report(f)
+	}
+}
+
+// walkSink is one core's stream model within a region.
+type walkSink struct {
+	w    *walker
+	core int
+	ops  int
+}
+
+var _ schedule.CoreSink = (*walkSink)(nil)
+
+func (s *walkSink) Stage(l schedule.Line) {
+	w := s.w
+	op := w.op
+	w.op++
+	s.ops++
+	cs := &w.cores[s.core]
+	if _, resident := cs.res[l]; resident {
+		w.report(Finding{Kind: DoubleStage, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: -1, Line: l,
+			Detail: "line already resident in this core"})
+		return
+	}
+	if w.sharedProg {
+		home := w.p.HomeOf(l)
+		if where, resident := w.sharedWhere[l]; !resident {
+			w.report(Finding{Kind: StageNotShared, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: home, Line: l,
+				Detail: "stage refills a line with no shared-resident copy"})
+		} else if where != home {
+			w.report(Finding{Kind: HomeMismatch, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: home, Line: l,
+				Detail: fmt.Sprintf("refill routed to chip %d but line is resident on chip %d", home, where)})
+		}
+	}
+	// The stage reads the line's upstream copy — the shared slot in the
+	// shared-level modes, the memory block in ModePacked — so it
+	// participates in the race and stale-read rules either way.
+	if holder, dirty := w.dirtyBy[l]; dirty && holder != s.core {
+		w.report(Finding{Kind: StaleRead, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: w.p.HomeOf(l), Line: l,
+			Detail: fmt.Sprintf("stage of a line core %d holds dirty", holder)})
+	}
+	w.sharedRead(l, s.core, op)
+	if cs.res == nil {
+		cs.res = make(map[schedule.Line]bool)
+	}
+	cs.res[l] = false
+	if len(cs.res) > cs.peak {
+		cs.peak = len(cs.res)
+	}
+	holders := w.coreStage[l]
+	if holders == nil {
+		holders = make(map[int]int)
+		w.coreStage[l] = holders
+	}
+	holders[s.core] = op
+	if w.res.CoreBlocks <= 0 {
+		if w.coreUndeclOp < 0 {
+			w.coreUndeclOp = op
+		}
+	} else if len(cs.res) > w.res.CoreBlocks && w.coreOver < 0 {
+		w.coreOver = op
+	}
+}
+
+func (s *walkSink) Unstage(l schedule.Line) {
+	w := s.w
+	op := w.op
+	w.op++
+	s.ops++
+	cs := &w.cores[s.core]
+	dirty, resident := cs.res[l]
+	if !resident {
+		w.report(Finding{Kind: UnstageNotResident, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: -1, Line: l,
+			Detail: "unstage of a line not resident in this core"})
+		return
+	}
+	delete(cs.res, l)
+	delete(w.coreStage[l], s.core)
+	if dirty {
+		// A dirty release merges upward — into the shared slot or straight
+		// to memory — so it writes the line's upstream copy: it
+		// participates in the same-region race rule, and it clears the
+		// cross-region dirty-holder hazard.
+		w.sharedWrite(l, s.core, op)
+		if holder, ok := w.dirtyBy[l]; ok && holder == s.core {
+			delete(w.dirtyBy, l)
+		}
+	}
+}
+
+func (s *walkSink) Read(l schedule.Line) {
+	s.w.op++
+	s.ops++
+	if !s.w.coreProg {
+		s.w.sharedRead(l, s.core, s.w.op-1)
+	}
+}
+
+func (s *walkSink) Write(l schedule.Line) {
+	s.w.op++
+	s.ops++
+	if !s.w.coreProg {
+		s.w.sharedWrite(l, s.core, s.w.op-1)
+	}
+}
+
+func (s *walkSink) Apply(k schedule.Kernel, dest schedule.Line, srcs ...schedule.Line) {
+	w := s.w
+	op := w.op
+	w.op++
+	s.ops++
+	arity, known := arityOf(k)
+	if !known {
+		w.report(Finding{Kind: BadKernel, Op: op, Region: w.region, Core: s.core, Chip: -1, Line: dest,
+			Detail: fmt.Sprintf("unknown kernel %v", k)})
+		return
+	}
+	if len(srcs) != arity {
+		w.report(Finding{Kind: BadKernel, Op: op, Region: w.region, Core: s.core, Chip: -1, Line: dest,
+			Detail: fmt.Sprintf("%v applied to %d sources, want %d", k, len(srcs), arity)})
+		return
+	}
+	if w.coreProg {
+		// Staging program: the executor dispatches the kernel on the
+		// core's arena-resident copies, so every operand must be staged
+		// here (def-before-use), and the destination copy turns dirty.
+		cs := &w.cores[s.core]
+		for _, src := range srcs {
+			if _, resident := cs.res[src]; !resident {
+				w.report(Finding{Kind: UseBeforeStage, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: -1, Line: src,
+					Detail: fmt.Sprintf("%v reads a line not staged in this core", k)})
+			}
+		}
+		if _, resident := cs.res[dest]; !resident {
+			w.report(Finding{Kind: UseBeforeStage, Level: LevelCore, Op: op, Region: w.region, Core: s.core, Chip: -1, Line: dest,
+				Detail: fmt.Sprintf("%v writes a line not staged in this core", k)})
+		} else {
+			cs.res[dest] = true
+			w.dirtyBy[dest] = s.core
+		}
+		return
+	}
+	// Demand-driven program: the kernel touches memory directly, so its
+	// declared accesses are the region's shared accesses.
+	for _, src := range srcs {
+		w.sharedRead(src, s.core, op)
+	}
+	w.sharedWrite(dest, s.core, op)
+}
+
+func (s *walkSink) Compute(i, j, k int) {
+	s.Apply(schedule.MulAdd, schedule.LineC(i, j), schedule.LineA(i, k), schedule.LineB(k, j))
+}

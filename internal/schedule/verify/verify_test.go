@@ -1,0 +1,398 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/schedule/verify"
+)
+
+// The negative corpus: one hand-built malformed program per invariant,
+// asserting the verifier reports the right Kind at the right op index.
+// Op indices count every emitted op in emission order (cores walked in
+// order within a region), so each case documents its own numbering.
+
+func prog(cores, chips, cs, cd int, body func(schedule.Backend)) *schedule.Program {
+	return &schedule.Program{
+		Algorithm: "negative",
+		Cores:     cores,
+		Resources: schedule.Resources{SharedBlocks: cs, CoreBlocks: cd, Chips: chips},
+		Body:      body,
+	}
+}
+
+// lines used throughout the corpus.
+var (
+	lA = schedule.LineA(0, 0)
+	lB = schedule.LineB(0, 0)
+	lC = schedule.LineC(0, 0)
+)
+
+// mustFind asserts exactly one finding of kind k exists and returns it.
+func mustFind(t *testing.T, fs []verify.Finding, k verify.Kind) verify.Finding {
+	t.Helper()
+	var hits []verify.Finding
+	for _, f := range fs {
+		if f.Kind == k {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly one %v finding, got %d in %v", k, len(hits), fs)
+	}
+	return hits[0]
+}
+
+func wantOnly(t *testing.T, fs []verify.Finding, kinds ...verify.Kind) {
+	t.Helper()
+	allowed := make(map[verify.Kind]bool)
+	for _, k := range kinds {
+		allowed[k] = true
+	}
+	for _, f := range fs {
+		if !allowed[f.Kind] {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+}
+
+func TestUseBeforeStage(t *testing.T) {
+	p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA) // op 0
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			ops.Stage(lA)                          // op 1
+			ops.Apply(schedule.MulAdd, lC, lA, lB) // op 2: B and C unstaged
+			ops.Unstage(lA)                        // op 3
+		})
+		b.UnstageShared(lA) // op 4
+	})
+	fs := verify.Program(p, p.Resources)
+	wantOnly(t, fs, verify.UseBeforeStage)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 UseBeforeStage findings (src B, dest C), got %v", fs)
+	}
+	for _, f := range fs {
+		if f.Op != 2 || f.Core != 0 || f.Region != 0 {
+			t.Errorf("want op 2 region 0 core 0, got %v", f)
+		}
+	}
+	if fs[0].Line != lB || fs[1].Line != lC {
+		t.Errorf("want findings on B then C, got %v", fs)
+	}
+}
+
+func TestStageNotShared(t *testing.T) {
+	p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA) // op 0
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			ops.Stage(lB)   // op 1: no shared-resident copy
+			ops.Unstage(lB) // op 2
+		})
+		b.UnstageShared(lA) // op 3
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.StageNotShared)
+	if f.Op != 1 || f.Line != lB {
+		t.Errorf("want StageNotShared at op 1 on %v, got %v", lB, f)
+	}
+	wantOnly(t, fs, verify.StageNotShared)
+}
+
+func TestDoubleStage(t *testing.T) {
+	t.Run("shared", func(t *testing.T) {
+		p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+			b.StageShared(lA)   // op 0
+			b.StageShared(lA)   // op 1: double
+			b.UnstageShared(lA) // op 2
+		})
+		fs := verify.Program(p, p.Resources)
+		f := mustFind(t, fs, verify.DoubleStage)
+		if f.Op != 1 || f.Level != verify.LevelShared {
+			t.Errorf("want shared DoubleStage at op 1, got %v", f)
+		}
+		wantOnly(t, fs, verify.DoubleStage)
+	})
+	t.Run("core", func(t *testing.T) {
+		p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+			b.StageShared(lA) // op 0
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(lA)   // op 1
+				ops.Stage(lA)   // op 2: double
+				ops.Unstage(lA) // op 3
+			})
+			b.UnstageShared(lA) // op 4
+		})
+		fs := verify.Program(p, p.Resources)
+		f := mustFind(t, fs, verify.DoubleStage)
+		if f.Op != 2 || f.Level != verify.LevelCore {
+			t.Errorf("want core DoubleStage at op 2, got %v", f)
+		}
+		wantOnly(t, fs, verify.DoubleStage)
+	})
+}
+
+func TestUnstageNotResident(t *testing.T) {
+	p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+		b.UnstageShared(lA) // op 0: never staged
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.UnstageNotResident)
+	if f.Op != 0 || f.Level != verify.LevelShared {
+		t.Errorf("want shared UnstageNotResident at op 0, got %v", f)
+	}
+	wantOnly(t, fs, verify.UnstageNotResident)
+}
+
+func TestUnstageHeld(t *testing.T) {
+	p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA) // op 0
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			ops.Stage(lA) // op 1
+		})
+		b.UnstageShared(lA) // op 2: core 0 still holds the line
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.UnstageHeld)
+	if f.Op != 2 || f.Core != 0 {
+		t.Errorf("want UnstageHeld at op 2 naming core 0, got %v", f)
+	}
+	// The held line also leaks from the core arena at exit.
+	lk := mustFind(t, fs, verify.Leak)
+	if lk.Op != 1 || lk.Level != verify.LevelCore {
+		t.Errorf("want core Leak anchored at stage op 1, got %v", lk)
+	}
+	wantOnly(t, fs, verify.UnstageHeld, verify.Leak)
+}
+
+func TestLeak(t *testing.T) {
+	p := prog(1, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA) // op 0, never released
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.Leak)
+	if f.Op != 0 || f.Level != verify.LevelShared {
+		t.Errorf("want shared Leak anchored at op 0, got %v", f)
+	}
+	wantOnly(t, fs, verify.Leak)
+}
+
+func TestOverCapacity(t *testing.T) {
+	t.Run("shared", func(t *testing.T) {
+		p := prog(1, 1, 1, 3, func(b schedule.Backend) {
+			b.StageShared(lA)   // op 0
+			b.StageShared(lB)   // op 1: second resident block, CS=1
+			b.UnstageShared(lB) // op 2
+			b.UnstageShared(lA) // op 3
+		})
+		fs := verify.Program(p, p.Resources)
+		f := mustFind(t, fs, verify.OverCapacity)
+		if f.Op != 1 || f.Level != verify.LevelShared {
+			t.Errorf("want shared OverCapacity first exceeded at op 1, got %v", f)
+		}
+		wantOnly(t, fs, verify.OverCapacity)
+	})
+	t.Run("core", func(t *testing.T) {
+		p := prog(1, 1, 4, 1, func(b schedule.Backend) {
+			b.StageShared(lA) // op 0
+			b.StageShared(lB) // op 1
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Stage(lA)   // op 2
+				ops.Stage(lB)   // op 3: second resident block, CD=1
+				ops.Unstage(lB) // op 4
+				ops.Unstage(lA) // op 5
+			})
+			b.UnstageShared(lB) // op 6
+			b.UnstageShared(lA) // op 7
+		})
+		fs := verify.Program(p, p.Resources)
+		f := mustFind(t, fs, verify.OverCapacity)
+		if f.Op != 3 || f.Level != verify.LevelCore {
+			t.Errorf("want core OverCapacity first exceeded at op 3, got %v", f)
+		}
+		wantOnly(t, fs, verify.OverCapacity)
+	})
+}
+
+func TestUndeclaredCapacity(t *testing.T) {
+	p := prog(1, 1, 0, 3, func(b schedule.Backend) {
+		b.StageShared(lA)   // op 0: stages with CS undeclared
+		b.UnstageShared(lA) // op 1
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.UndeclaredCapacity)
+	if f.Op != 0 || f.Level != verify.LevelShared {
+		t.Errorf("want shared UndeclaredCapacity at op 0, got %v", f)
+	}
+	wantOnly(t, fs, verify.UndeclaredCapacity)
+}
+
+func TestRace(t *testing.T) {
+	// Core 0 merges a dirty copy back while core 1 refills the same line
+	// in the same region: the write-back races the refill.
+	p := prog(2, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA) // op 0
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			if c == 0 {
+				ops.Stage(lA)                      // op 1
+				ops.Apply(schedule.FactorTile, lA) // op 2: dirties the copy
+				ops.Unstage(lA)                    // op 3: dirty write-back
+			} else {
+				ops.Stage(lA)   // op 4: refill racing op 3
+				ops.Unstage(lA) // op 5
+			}
+		})
+		b.UnstageShared(lA) // op 6
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.Race)
+	if f.Op != 4 || f.Core != 1 || f.Region != 0 {
+		t.Errorf("want Race at op 4 (core 1's refill), got %v", f)
+	}
+	if !strings.Contains(f.Detail, "op 3") {
+		t.Errorf("want the racing write's op 3 named, got %v", f)
+	}
+	wantOnly(t, fs, verify.Race)
+}
+
+func TestStaleRead(t *testing.T) {
+	// Core 0 holds the line dirty across the region barrier; core 1's
+	// refill in the next region reads the stale shared copy.
+	p := prog(2, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA) // op 0
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			if c == 0 {
+				ops.Stage(lA)                      // op 1
+				ops.Apply(schedule.FactorTile, lA) // op 2: dirty, held past the region
+			}
+		})
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			if c == 1 {
+				ops.Stage(lA)   // op 3: stale read
+				ops.Unstage(lA) // op 4
+			}
+		})
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			if c == 0 {
+				ops.Unstage(lA) // op 5
+			}
+		})
+		b.UnstageShared(lA) // op 6
+	})
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.StaleRead)
+	if f.Op != 3 || f.Core != 1 || f.Region != 1 {
+		t.Errorf("want StaleRead at op 3 region 1 core 1, got %v", f)
+	}
+	wantOnly(t, fs, verify.StaleRead)
+}
+
+func TestHomeMismatch(t *testing.T) {
+	// A stateful Home policy re-routes the line between its stage and
+	// its unstage: the unstage lands on a foreign chip's arena.
+	homeChip := 0
+	p := &schedule.Program{
+		Algorithm: "negative",
+		Cores:     2,
+		Resources: schedule.Resources{SharedBlocks: 4, CoreBlocks: 3, Chips: 2},
+		Home:      func(l schedule.Line) int { return homeChip },
+		Body: func(b schedule.Backend) {
+			homeChip = 0
+			b.StageShared(lA) // op 0: resident on chip 0
+			homeChip = 1
+			b.UnstageShared(lA) // op 1: routed to chip 1
+		},
+	}
+	fs := verify.Program(p, p.Resources)
+	f := mustFind(t, fs, verify.HomeMismatch)
+	if f.Op != 1 || f.Chip != 1 {
+		t.Errorf("want HomeMismatch at op 1 toward chip 1, got %v", f)
+	}
+	wantOnly(t, fs, verify.HomeMismatch)
+}
+
+func TestBadKernel(t *testing.T) {
+	t.Run("unknown", func(t *testing.T) {
+		p := prog(1, 1, 0, 0, func(b schedule.Backend) {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Apply(schedule.Kernel(97), lC) // op 0
+			})
+		})
+		fs := verify.Program(p, p.Resources)
+		f := mustFind(t, fs, verify.BadKernel)
+		if f.Op != 0 {
+			t.Errorf("want BadKernel at op 0, got %v", f)
+		}
+		wantOnly(t, fs, verify.BadKernel)
+	})
+	t.Run("arity", func(t *testing.T) {
+		p := prog(1, 1, 0, 0, func(b schedule.Backend) {
+			b.Parallel(func(c int, ops schedule.CoreSink) {
+				ops.Apply(schedule.MulAdd, lC, lA) // op 0: MulAdd wants 2 sources
+			})
+		})
+		fs := verify.Program(p, p.Resources)
+		f := mustFind(t, fs, verify.BadKernel)
+		if f.Op != 0 {
+			t.Errorf("want BadKernel at op 0, got %v", f)
+		}
+		wantOnly(t, fs, verify.BadKernel)
+	})
+}
+
+func TestMalformed(t *testing.T) {
+	t.Run("no body", func(t *testing.T) {
+		p := &schedule.Program{Algorithm: "negative", Cores: 1}
+		fs := verify.Program(p, p.Resources)
+		mustFind(t, fs, verify.Malformed)
+	})
+	t.Run("no cores", func(t *testing.T) {
+		p := prog(0, 1, 4, 3, func(b schedule.Backend) {})
+		fs := verify.Program(p, p.Resources)
+		mustFind(t, fs, verify.Malformed)
+	})
+	t.Run("chips do not divide cores", func(t *testing.T) {
+		p := prog(3, 2, 4, 3, func(b schedule.Backend) {})
+		fs := verify.Program(p, p.Resources)
+		mustFind(t, fs, verify.Malformed)
+	})
+}
+
+// TestCleanProgramHasNoFindings pins the baseline: the corpus helpers
+// themselves, used correctly, verify clean.
+func TestCleanProgramHasNoFindings(t *testing.T) {
+	p := prog(2, 1, 4, 3, func(b schedule.Backend) {
+		b.StageShared(lA)
+		b.StageShared(lB)
+		b.StageShared(lC)
+		b.Parallel(func(c int, ops schedule.CoreSink) {
+			if c != 0 {
+				return
+			}
+			ops.Stage(lA)
+			ops.Stage(lB)
+			ops.Stage(lC)
+			ops.Apply(schedule.MulAdd, lC, lA, lB)
+			ops.Unstage(lC)
+			ops.Unstage(lB)
+			ops.Unstage(lA)
+		})
+		b.UnstageShared(lC)
+		b.UnstageShared(lB)
+		b.UnstageShared(lA)
+	})
+	if fs := verify.Program(p, p.Resources); len(fs) != 0 {
+		t.Fatalf("clean program reported findings: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := verify.Finding{Kind: verify.UseBeforeStage, Level: verify.LevelCore,
+		Op: 17, Region: 2, Core: 1, Chip: -1, Line: lC, Detail: "apply reads unstaged line"}
+	s := f.String()
+	for _, want := range []string{"op 17", "region 2", "core 1", "UseBeforeStage", "apply reads unstaged line"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("finding string %q missing %q", s, want)
+		}
+	}
+}

@@ -50,6 +50,10 @@ type WorkingSet struct {
 // pass validation. Levels the program never stages at (peak 0) may stay
 // undeclared — demand-driven programs declare nothing and stage
 // nothing.
+//
+// Fits, FitsCore and FitsShared all delegate to CheckCapacity — the
+// single accounting implementation shared with the static verifier —
+// and only render its issues as errors.
 func (ws WorkingSet) Fits(r Resources) error {
 	if err := ws.FitsCore(r); err != nil {
 		return err
@@ -57,42 +61,49 @@ func (ws WorkingSet) Fits(r Resources) error {
 	return ws.FitsShared(r)
 }
 
+// capacityError renders one CheckCapacity issue with the error text the
+// executor's pre-run validation has always produced.
+func capacityError(is CapacityIssue) error {
+	switch {
+	case !is.Shared && is.Undeclared:
+		return fmt.Errorf("schedule: program stages up to %d blocks per core but declares no distributed capacity (CD=0)",
+			is.Peak)
+	case !is.Shared:
+		return fmt.Errorf("schedule: per-core working set of %d blocks exceeds the declared CD=%d",
+			is.Peak, is.Cap)
+	case is.Undeclared:
+		return fmt.Errorf("schedule: program stages up to %d shared blocks but declares no shared capacity (CS=0)",
+			is.Peak)
+	case is.Chip >= 0:
+		return fmt.Errorf("schedule: shared working set of %d blocks on chip %d exceeds the declared per-chip CS=%d",
+			is.Peak, is.Chip, is.Cap)
+	default:
+		return fmt.Errorf("schedule: shared working set of %d blocks exceeds the declared CS=%d",
+			is.Peak, is.Cap)
+	}
+}
+
 // FitsCore checks only the distributed (per-core) level. Backends that
 // materialise just that level — the executor's ModePacked, where shared
 // staging stays a probe-only hint — validate with this instead of Fits.
 func (ws WorkingSet) FitsCore(r Resources) error {
-	if ws.CorePeak > 0 && r.CoreBlocks <= 0 {
-		return fmt.Errorf("schedule: program stages up to %d blocks per core but declares no distributed capacity (CD=0)",
-			ws.CorePeak)
-	}
-	if r.CoreBlocks > 0 && ws.CorePeak > r.CoreBlocks {
-		return fmt.Errorf("schedule: per-core working set of %d blocks exceeds the declared CD=%d",
-			ws.CorePeak, r.CoreBlocks)
+	for _, is := range CheckCapacity(ws, r) {
+		if !is.Shared {
+			return capacityError(is)
+		}
 	}
 	return nil
 }
 
-// FitsShared checks only the shared level. SharedBlocks is the
-// per-chip capacity, so each chip's peak is checked independently.
+// FitsShared checks only the shared level. SharedBlocks is the per-chip
+// capacity, so each chip's peak is checked independently; working sets
+// carrying no (or a truncated) per-chip breakdown fall back to the
+// aggregate peak, which by definition is the fullest chip's.
 func (ws WorkingSet) FitsShared(r Resources) error {
-	if ws.SharedPeak > 0 && r.SharedBlocks <= 0 {
-		return fmt.Errorf("schedule: program stages up to %d shared blocks but declares no shared capacity (CS=0)",
-			ws.SharedPeak)
-	}
-	if r.SharedBlocks <= 0 {
-		return nil
-	}
-	for chip, peak := range ws.SharedPeakPerChip {
-		if peak > r.SharedBlocks {
-			return fmt.Errorf("schedule: shared working set of %d blocks on chip %d exceeds the declared per-chip CS=%d",
-				peak, chip, r.SharedBlocks)
+	for _, is := range CheckCapacity(ws, r) {
+		if is.Shared {
+			return capacityError(is)
 		}
-	}
-	// Programs measured before the chip dimension (or hand-built
-	// WorkingSets) may carry only the aggregate peak.
-	if len(ws.SharedPeakPerChip) == 0 && ws.SharedPeak > r.SharedBlocks {
-		return fmt.Errorf("schedule: shared working set of %d blocks exceeds the declared CS=%d",
-			ws.SharedPeak, r.SharedBlocks)
 	}
 	return nil
 }
