@@ -57,6 +57,7 @@ func main() {
 		kernelShape = flag.String("kernel-shape", "", "kernel register-blocking shape: 4x4, 8x4 or 8x8 (default: TUNE.json, else 4x4)")
 		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
 		tunePath    = flag.String("tune", "", "load tunables from this TUNE.json when it matches the host; explicit flags win")
+		optimize    = flag.Bool("optimize", true, "run staged programs through the schedule optimizer (benchmark mode measures baseline/optimized pairs for staged modes)")
 	)
 	flag.Parse()
 
@@ -78,12 +79,13 @@ func main() {
 			chipList, err = report.ParseCores(*benchChips)
 		}
 		if err == nil {
-			err = bench(*benchJSON, *algoName, *order, params.Q, coreList, chipList, *benchReps, *seed, tun, params)
+			err = bench(*benchJSON, *algoName, *order, params.Q, coreList, chipList, *benchReps, *seed, tun, params, *optimize)
 		}
 	} else if err == nil {
 		var mode parallel.Mode
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
+			tun.Optimize = *optimize
 			err = run(*algoName, *order, params.Q, *cores, *chips, *verify, *seed, mode, tun)
 		}
 	}
@@ -150,6 +152,25 @@ func bigMachine(p, q, chips int) (machine.Machine, error) {
 		return machine.Machine{}, err
 	}
 	return mach, nil
+}
+
+// optSettings returns the optimizer settings measured for one mode:
+// staged modes get a baseline/optimized pair when the optimizer is
+// enabled, so every record carries its own control. View staging moves
+// no counted bytes, so it stays baseline-only.
+func optSettings(mode parallel.Mode, optimize bool) []bool {
+	if !optimize || mode == parallel.ModeView {
+		return []bool{false}
+	}
+	return []bool{false, true}
+}
+
+// speedupSuffix marks ratios whose both sides ran the optimizer.
+func speedupSuffix(sp report.BenchSpeedup) string {
+	if sp.Optimized {
+		return "+opt"
+	}
+	return ""
 }
 
 // selectAlgos resolves -algo to the measured name list, failing fast on
@@ -238,7 +259,7 @@ func measureSequential(order, q int, seed uint64) (time.Duration, error) {
 // shared machines (the traffic counts are deterministic, identical in
 // every repetition; the overlap split is taken from the same fastest
 // repetition).
-func bench(path, algoName string, order, q int, coreList, chipList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params) error {
+func bench(path, algoName string, order, q int, coreList, chipList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params, optimize bool) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -326,55 +347,76 @@ func bench(path, algoName string, order, q int, coreList, chipList []int, reps i
 					return err
 				}
 				for _, mode := range modes {
-					ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
-					if err != nil {
-						team.Close()
-						return err
-					}
-					ex.SetTuning(tun)
-					var elapsed, stageWait, compute time.Duration
-					for i := 0; i < reps; i++ {
-						tr.C.Dense().Zero()
-						start := time.Now()
-						if err := ex.Run(prog); err != nil {
+					// Staged modes are measured as a baseline/optimized
+					// pair over the same operands and program, so the
+					// record carries the optimizer's measured MS savings
+					// cell by cell.
+					var baseMSBytes uint64
+					for _, opt := range optSettings(mode, optimize) {
+						ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+						if err != nil {
 							team.Close()
-							return fmt.Errorf("%s (%v, p=%d, chips=%d): %w", name, mode, p, nchips, err)
+							return err
 						}
-						if d := time.Since(start); elapsed == 0 || d < elapsed {
-							elapsed = d
-							stageWait = ex.StageWait()
-							compute = ex.ComputeTime()
+						exTun := tun
+						exTun.Optimize = opt
+						ex.SetTuning(exTun)
+						var elapsed, stageWait, compute time.Duration
+						for i := 0; i < reps; i++ {
+							tr.C.Dense().Zero()
+							start := time.Now()
+							if err := ex.Run(prog); err != nil {
+								team.Close()
+								return fmt.Errorf("%s (%v, p=%d, chips=%d): %w", name, mode, p, nchips, err)
+							}
+							if d := time.Since(start); elapsed == 0 || d < elapsed {
+								elapsed = d
+								stageWait = ex.StageWait()
+								compute = ex.ComputeTime()
+							}
 						}
-					}
-					r := rec.Add(name, mode.String(), p, order, q, elapsed)
-					r.KernelShape = params.Shape
-					r.Lookahead = params.Lookahead
-					r.SetTopology(nchips, p)
-					tra := ex.Traffic()
-					r.MSStageBytes = tra.MS.StageBytes
-					r.MSWriteBackBytes = tra.MS.WriteBackBytes
-					r.MDStageBytes = tra.MD.StageBytes
-					r.MDWriteBackBytes = tra.MD.WriteBackBytes
-					r.ICStageBytes = tra.IC.StageBytes
-					r.ICWriteBackBytes = tra.IC.WriteBackBytes
-					label := fmt.Sprintf("p=%d", p)
-					if nchips > 1 {
-						label += fmt.Sprintf(" chips=%d", nchips)
-					}
-					if mode.SharedLevel() {
-						r.SetOverlap(stageWait, compute)
-						extra := ""
+						r := rec.Add(name, mode.String(), p, order, q, elapsed)
+						r.KernelShape = params.Shape
+						r.Lookahead = params.Lookahead
+						r.SetTopology(nchips, p)
+						tra := ex.Traffic()
+						r.MSStageBytes = tra.MS.StageBytes
+						r.MSWriteBackBytes = tra.MS.WriteBackBytes
+						r.MDStageBytes = tra.MD.StageBytes
+						r.MDWriteBackBytes = tra.MD.WriteBackBytes
+						r.ICStageBytes = tra.IC.StageBytes
+						r.ICWriteBackBytes = tra.IC.WriteBackBytes
+						if opt {
+							r.Optimized = true
+							if ms := tra.MS.Bytes(); baseMSBytes >= ms {
+								r.MSElidedBytes = baseMSBytes - ms
+							}
+						} else {
+							baseMSBytes = tra.MS.Bytes()
+						}
+						label := fmt.Sprintf("p=%d", p)
 						if nchips > 1 {
-							extra = fmt.Sprintf(" IC=%s", report.FormatBytes(tra.IC.Bytes()))
+							label += fmt.Sprintf(" chips=%d", nchips)
 						}
-						fmt.Printf("%-20s %-17s %-13s %8.2f GFLOP/s  MS=%s MD=%s%s  stage-wait=%v overlap=%.2f\n",
-							r.Algorithm, r.Mode, label, r.GFlops,
-							report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()), extra,
-							stageWait.Round(time.Microsecond), r.OverlapEfficiency)
-					} else {
-						fmt.Printf("%-20s %-17s %-13s %8.2f GFLOP/s  MS=%s MD=%s\n",
-							r.Algorithm, r.Mode, label, r.GFlops,
-							report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+						modeLabel := r.Mode
+						if opt {
+							modeLabel += "+opt"
+						}
+						if mode.SharedLevel() {
+							r.SetOverlap(stageWait, compute)
+							extra := ""
+							if nchips > 1 {
+								extra = fmt.Sprintf(" IC=%s", report.FormatBytes(tra.IC.Bytes()))
+							}
+							fmt.Printf("%-20s %-17s %-13s %8.2f GFLOP/s  MS=%s MD=%s%s  stage-wait=%v overlap=%.2f\n",
+								r.Algorithm, modeLabel, label, r.GFlops,
+								report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()), extra,
+								stageWait.Round(time.Microsecond), r.OverlapEfficiency)
+						} else {
+							fmt.Printf("%-20s %-17s %-13s %8.2f GFLOP/s  MS=%s MD=%s\n",
+								r.Algorithm, modeLabel, label, r.GFlops,
+								report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
+						}
 					}
 				}
 			}
@@ -384,11 +426,11 @@ func bench(path, algoName string, order, q int, coreList, chipList []int, reps i
 
 	fmt.Println("\npacked over view:")
 	for _, sp := range rec.Speedup(parallel.ModePacked.String(), parallel.ModeView.String()) {
-		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+		fmt.Printf("%-20s p=%d%s  %5.2fx\n", sp.Algorithm, sp.Cores, speedupSuffix(sp), sp.Ratio)
 	}
 	fmt.Println("\npipelined over shared:")
 	for _, sp := range rec.Speedup(parallel.ModeSharedPipelined.String(), parallel.ModeShared.String()) {
-		label := fmt.Sprintf("p=%d", sp.Cores)
+		label := fmt.Sprintf("p=%d%s", sp.Cores, speedupSuffix(sp))
 		if sp.Chips > 1 {
 			label += fmt.Sprintf(" chips=%d", sp.Chips)
 		}

@@ -35,7 +35,7 @@ func TestRunSmoke(t *testing.T) {
 
 func TestBenchSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
-	if err := bench(path, "Shared Opt.", 4, 8, []int{1, 2}, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}); err != nil {
+	if err := bench(path, "Shared Opt.", 4, 8, []int{1, 2}, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}, true); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -57,21 +57,30 @@ func TestBenchSmoke(t *testing.T) {
 			MDWriteBackBytes uint64  `json:"md_writeback_bytes"`
 			ICStageBytes     uint64  `json:"ic_stage_bytes"`
 			ComputeSeconds   float64 `json:"compute_seconds"`
+			Optimized        bool    `json:"optimized"`
+			MSElidedBytes    uint64  `json:"ms_elided_bytes"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatal(err)
 	}
-	// 1 naive + 4 modes × 2 core counts at chips=1 + the 2 shared-level
-	// modes at (p=2, chips=2); chips=2 cannot split p=1 and is skipped.
-	if rec.Name != "gemm" || len(rec.Runs) != 11 {
-		t.Fatalf("record has %d runs, want 11: %+v", len(rec.Runs), rec)
+	// 1 naive + view × 2 core counts + the 3 staging modes × 2 core
+	// counts × 2 optimize settings at chips=1 + the 2 shared-level modes
+	// × 2 optimize settings at (p=2, chips=2); chips=2 cannot split p=1
+	// and is skipped, and view has no schedule stream to optimize.
+	if rec.Name != "gemm" || len(rec.Runs) != 19 {
+		t.Fatalf("record has %d runs, want 19: %+v", len(rec.Runs), rec)
 	}
 	sharedMS := map[string]uint64{}
-	multiChip := 0
+	multiChip, optimized := 0, 0
 	for _, r := range rec.Runs {
 		if r.GFlops <= 0 {
 			t.Fatalf("non-positive GFLOP/s in %+v", r)
+		}
+		if r.Optimized {
+			optimized++
+		} else if r.MSElidedBytes != 0 {
+			t.Fatalf("baseline run carries elided bytes: %+v", r)
 		}
 		// A staged algorithm must report both physical streams in the
 		// shared-level modes (plus the stage-wait/compute split), only
@@ -110,8 +119,11 @@ func TestBenchSmoke(t *testing.T) {
 			}
 		}
 	}
-	if multiChip != 2 {
-		t.Fatalf("record has %d multi-chip runs, want 2 (shared + shared-pipelined at p=2, chips=2)", multiChip)
+	if multiChip != 4 {
+		t.Fatalf("record has %d multi-chip runs, want 4 (shared + shared-pipelined at p=2, chips=2, baseline and optimized)", multiChip)
+	}
+	if optimized != 8 {
+		t.Fatalf("record has %d optimized runs, want 8 (3 staging modes × 2 cores + 2 shared-level modes at chips=2)", optimized)
 	}
 	// Pipelining may only change timing, never traffic.
 	if sharedMS["shared"] != sharedMS["shared-pipelined"] {

@@ -56,6 +56,7 @@ func main() {
 		kernelShape = flag.String("kernel-shape", "", "kernel register-blocking shape: 4x4, 8x4 or 8x8 (default: TUNE.json, else 4x4)")
 		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
 		tunePath    = flag.String("tune", "", "load tunables from this TUNE.json when it matches the host; explicit flags win")
+		optimize    = flag.Bool("optimize", true, "run the LU program through the schedule optimizer (benchmark mode measures baseline/optimized pairs for staged modes)")
 	)
 	flag.Parse()
 
@@ -74,12 +75,13 @@ func main() {
 		var coreList []int
 		coreList, err = report.ParseCores(*benchCores)
 		if err == nil {
-			err = bench(*benchJSON, *n, params.Q, coreList, *benchReps, *seed, tun, params)
+			err = bench(*benchJSON, *n, params.Q, coreList, *benchReps, *seed, tun, params, *optimize)
 		}
 	} else if err == nil {
 		var mode parallel.Mode
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
+			tun.Optimize = *optimize
 			err = run(*n, params.Q, *cores, *chips, *verify, *seed, mode, tun)
 		}
 	}
@@ -117,6 +119,25 @@ func resolveTuning(tunePath, shapeFlag string, lookaheadFlag, qFlag int) (tune.P
 		params.Q = qFlag
 	}
 	return params, nil
+}
+
+// optSettings returns the optimizer settings measured for one mode:
+// staged modes get a baseline/optimized pair when the optimizer is
+// enabled, so every record carries its own control. View staging moves
+// no counted bytes, so it stays baseline-only.
+func optSettings(mode parallel.Mode, optimize bool) []bool {
+	if !optimize || mode == parallel.ModeView {
+		return []bool{false}
+	}
+	return []bool{false, true}
+}
+
+// optSuffix marks ratios whose both sides ran the optimizer.
+func optSuffix(sp report.BenchSpeedup) string {
+	if sp.Optimized {
+		return "+opt"
+	}
+	return ""
 }
 
 // luFlops is the classical flop count of an unpivoted n×n LU, 2n³/3.
@@ -190,7 +211,7 @@ func run(n, q, cores, chips int, verify bool, seed uint64, mode parallel.Mode, t
 // Every configuration runs reps times and the fastest repetition is
 // recorded (the traffic counts are deterministic, identical in every
 // repetition).
-func bench(path string, n, q int, coreList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params) error {
+func bench(path string, n, q int, coreList []int, reps int, seed uint64, tun parallel.Tuning, params tune.Params, optimize bool) error {
 	if n <= 0 || q <= 0 {
 		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
 	}
@@ -243,43 +264,61 @@ func bench(path string, n, q int, coreList []int, reps int, seed uint64, tun par
 			return err
 		}
 		for _, mode := range []parallel.Mode{parallel.ModeView, parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
-			// The traffic is deterministic across repetitions; the overlap
-			// split is taken from the same fastest repetition as the time.
-			var stats lu.Stats
-			var elapsed time.Duration
-			for i := 0; i < reps; i++ {
-				if err := work.CopyFrom(orig); err != nil {
-					team.Close()
-					return err
+			// Staged modes are measured as a baseline/optimized pair over
+			// the same input, so the record carries the optimizer's
+			// measured MS savings cell by cell.
+			var baseMSBytes uint64
+			for _, opt := range optSettings(mode, optimize) {
+				// The traffic is deterministic across repetitions; the overlap
+				// split is taken from the same fastest repetition as the time.
+				exTun := tun
+				exTun.Optimize = opt
+				var stats lu.Stats
+				var elapsed time.Duration
+				for i := 0; i < reps; i++ {
+					if err := work.CopyFrom(orig); err != nil {
+						team.Close()
+						return err
+					}
+					start := time.Now()
+					s, err := lu.FactorParallelTuned(work, q, team, mode, mach, exTun)
+					if err != nil {
+						team.Close()
+						return fmt.Errorf("LU (%v, p=%d): %w", mode, p, err)
+					}
+					if d := time.Since(start); elapsed == 0 || d < elapsed {
+						elapsed = d
+						stats = s
+					}
 				}
-				start := time.Now()
-				s, err := lu.FactorParallelTuned(work, q, team, mode, mach, tun)
-				if err != nil {
-					team.Close()
-					return fmt.Errorf("LU (%v, p=%d): %w", mode, p, err)
+				tra := stats.Traffic
+				r := rec.AddOp("LU", mode.String(), p, orderBlocks, q, luFlops(n), elapsed)
+				r.N = n
+				r.KernelShape = params.Shape
+				r.Lookahead = params.Lookahead
+				r.MSStageBytes = tra.MS.StageBytes
+				r.MSWriteBackBytes = tra.MS.WriteBackBytes
+				r.MDStageBytes = tra.MD.StageBytes
+				r.MDWriteBackBytes = tra.MD.WriteBackBytes
+				modeLabel := r.Mode
+				if opt {
+					r.Optimized = true
+					if ms := tra.MS.Bytes(); baseMSBytes >= ms {
+						r.MSElidedBytes = baseMSBytes - ms
+					}
+					modeLabel += "+opt"
+				} else {
+					baseMSBytes = tra.MS.Bytes()
 				}
-				if d := time.Since(start); elapsed == 0 || d < elapsed {
-					elapsed = d
-					stats = s
+				if mode.SharedLevel() {
+					r.SetOverlap(stats.StageWait, stats.Compute)
+					fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s  stage-wait=%v overlap=%.2f\n",
+						r.Algorithm, modeLabel, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()),
+						stats.StageWait.Round(time.Microsecond), r.OverlapEfficiency)
+				} else {
+					fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
+						r.Algorithm, modeLabel, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
 				}
-			}
-			tra := stats.Traffic
-			r := rec.AddOp("LU", mode.String(), p, orderBlocks, q, luFlops(n), elapsed)
-			r.N = n
-			r.KernelShape = params.Shape
-			r.Lookahead = params.Lookahead
-			r.MSStageBytes = tra.MS.StageBytes
-			r.MSWriteBackBytes = tra.MS.WriteBackBytes
-			r.MDStageBytes = tra.MD.StageBytes
-			r.MDWriteBackBytes = tra.MD.WriteBackBytes
-			if mode.SharedLevel() {
-				r.SetOverlap(stats.StageWait, stats.Compute)
-				fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s  stage-wait=%v overlap=%.2f\n",
-					r.Algorithm, r.Mode, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()),
-					stats.StageWait.Round(time.Microsecond), r.OverlapEfficiency)
-			} else {
-				fmt.Printf("%-20s %-17s p=%d  %8.2f GFLOP/s  MS=%s MD=%s\n",
-					r.Algorithm, r.Mode, r.Cores, r.GFlops, report.FormatBytes(tra.MS.Bytes()), report.FormatBytes(tra.MD.Bytes()))
 			}
 		}
 		team.Close()
@@ -287,11 +326,11 @@ func bench(path string, n, q int, coreList []int, reps int, seed uint64, tun par
 
 	fmt.Println("\npacked over view:")
 	for _, sp := range rec.Speedup(parallel.ModePacked.String(), parallel.ModeView.String()) {
-		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+		fmt.Printf("%-20s p=%d%s  %5.2fx\n", sp.Algorithm, sp.Cores, optSuffix(sp), sp.Ratio)
 	}
 	fmt.Println("\npipelined over shared:")
 	for _, sp := range rec.Speedup(parallel.ModeSharedPipelined.String(), parallel.ModeShared.String()) {
-		fmt.Printf("%-20s p=%d  %5.2fx\n", sp.Algorithm, sp.Cores, sp.Ratio)
+		fmt.Printf("%-20s p=%d%s  %5.2fx\n", sp.Algorithm, sp.Cores, optSuffix(sp), sp.Ratio)
 	}
 	if err := rec.WriteJSONFile(path); err != nil {
 		return err

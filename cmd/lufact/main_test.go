@@ -37,7 +37,7 @@ func TestRunSmoke(t *testing.T) {
 
 func TestBenchSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_lu.json")
-	if err := bench(path, 48, 8, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}); err != nil {
+	if err := bench(path, 48, 8, []int{1, 2}, 1, 1, parallel.DefaultTuning, tune.Params{}, true); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -54,19 +54,29 @@ func TestBenchSmoke(t *testing.T) {
 			MSStageBytes   uint64  `json:"ms_stage_bytes"`
 			MDStageBytes   uint64  `json:"md_stage_bytes"`
 			ComputeSeconds float64 `json:"compute_seconds"`
+			Optimized      bool    `json:"optimized"`
+			MSElidedBytes  uint64  `json:"ms_elided_bytes"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatal(err)
 	}
-	// 1 naive + (view+packed+shared+shared-pipelined) × 2 core counts.
-	if rec.Name != "lu" || len(rec.Runs) != 9 {
-		t.Fatalf("record has %d runs, want 9: %+v", len(rec.Runs), rec)
+	// 1 naive + view × 2 core counts + the 3 staging modes × 2 core
+	// counts × 2 optimize settings (view has no schedule to optimize).
+	if rec.Name != "lu" || len(rec.Runs) != 15 {
+		t.Fatalf("record has %d runs, want 15: %+v", len(rec.Runs), rec)
 	}
 	sharedMS := map[string]uint64{}
+	optimized, elided := 0, uint64(0)
 	for _, r := range rec.Runs {
 		if r.GFlops <= 0 || r.N != 48 {
 			t.Fatalf("malformed run %+v", r)
+		}
+		if r.Optimized {
+			optimized++
+			elided += r.MSElidedBytes
+		} else if r.MSElidedBytes != 0 {
+			t.Fatalf("baseline run carries elided bytes: %+v", r)
 		}
 		switch r.Mode {
 		case "shared", "shared-pipelined":
@@ -90,5 +100,13 @@ func TestBenchSmoke(t *testing.T) {
 	// Pipelining may only change timing, never traffic.
 	if sharedMS["shared"] != sharedMS["shared-pipelined"] {
 		t.Fatalf("pipelined MS bytes %d differ from serial %d", sharedMS["shared-pipelined"], sharedMS["shared"])
+	}
+	if optimized != 6 {
+		t.Fatalf("record has %d optimized runs, want 6 (3 staging modes × 2 core counts)", optimized)
+	}
+	// The headline: the optimizer keeps the LU panel tiles resident, so
+	// the optimized shared-level runs must measure elided MS bytes.
+	if elided == 0 {
+		t.Fatal("no optimized run measured any elided MS bytes")
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -209,6 +210,160 @@ func TestGuardsTolerateMixedChipVintages(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "warning") || !strings.Contains(out.String(), "predates the chip fields") {
 		t.Fatalf("missing mixed-vintage warning:\n%s", out.String())
+	}
+}
+
+// tRun builds one BenchRun for the traffic-ratchet join tests.
+func tRun(algo, mode string, cores, chips int, optimized bool, msStage, msWB uint64) *report.BenchRun {
+	r := &report.BenchRun{
+		Algorithm: algo, Mode: mode, Cores: cores,
+		GFlops: 1, MSStageBytes: msStage, MSWriteBackBytes: msWB,
+		Optimized: optimized,
+	}
+	if chips > 1 {
+		r.Chips = chips
+	}
+	return r
+}
+
+// trafficRec wraps runs in an envelope and writes it to a temp file.
+func trafficRec(t *testing.T, name string, runs ...*report.BenchRun) string {
+	t.Helper()
+	rec := report.NewBench("lu")
+	rec.Runs = runs
+	path := filepath.Join(t.TempDir(), name)
+	if err := rec.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrafficRatiosJoin(t *testing.T) {
+	rec := &report.Bench{Runs: []*report.BenchRun{
+		// A clean pair: optimized moved half the bytes.
+		tRun("LU", "shared", 4, 1, false, 800, 200),
+		tRun("LU", "shared", 4, 1, true, 400, 100),
+		// Chips distinguish cells: same algo/mode/cores, other topology.
+		tRun("LU", "shared", 4, 2, false, 1000, 0),
+		tRun("LU", "shared", 4, 2, true, 1000, 0),
+		// A packed pair with no MS stream carries no signal: skipped.
+		tRun("LU", "packed", 4, 1, false, 0, 0),
+		tRun("LU", "packed", 4, 1, true, 0, 0),
+		// An optimized run with no baseline partner: an orphan.
+		tRun("LU", "shared", 2, 1, true, 10, 0),
+		// A pre-optimizer vintage run joins only as a baseline.
+		tRun("Tradeoff", "shared", 4, 1, false, 500, 0),
+	}}
+	ratios, optimized, orphans := trafficRatios(rec)
+	if optimized != 4 {
+		t.Fatalf("optimized = %d, want 4", optimized)
+	}
+	if orphans != 1 {
+		t.Fatalf("orphans = %d, want 1", orphans)
+	}
+	if len(ratios) != 2 {
+		t.Fatalf("ratios = %+v, want 2 entries", ratios)
+	}
+	for _, r := range ratios {
+		switch r.Chips {
+		case 1:
+			if math.Abs(r.Ratio-0.5) > 1e-12 {
+				t.Fatalf("single-chip ratio = %g, want 0.5", r.Ratio)
+			}
+		case 2:
+			if math.Abs(r.Ratio-1.0) > 1e-12 {
+				t.Fatalf("dual-chip ratio = %g, want 1.0", r.Ratio)
+			}
+		default:
+			t.Fatalf("unexpected ratio cell: %+v", r)
+		}
+	}
+}
+
+// A zero-byte baseline against a byte-moving optimized run must surface
+// as +Inf, not be skipped — the optimizer invented traffic and the
+// ratchet has to fail on it.
+func TestTrafficRatiosInventedTraffic(t *testing.T) {
+	rec := &report.Bench{Runs: []*report.BenchRun{
+		tRun("LU", "shared", 4, 1, false, 0, 0),
+		tRun("LU", "shared", 4, 1, true, 64, 0),
+	}}
+	ratios, _, _ := trafficRatios(rec)
+	if len(ratios) != 1 || !math.IsInf(ratios[0].Ratio, 1) {
+		t.Fatalf("ratios = %+v, want one +Inf entry", ratios)
+	}
+	path := trafficRec(t, "inf.json", rec.Runs...)
+	if err := guardTraffic(io.Discard, []string{path}); err == nil {
+		t.Fatal("invented traffic passed the ratchet")
+	}
+}
+
+func TestGuardTrafficFreshRecordHolds(t *testing.T) {
+	path := trafficRec(t, "fresh.json",
+		tRun("LU", "shared", 4, 1, false, 1000, 0),
+		tRun("LU", "shared", 4, 1, true, 600, 0))
+	var out strings.Builder
+	if err := guardTraffic(&out, []string{path}); err != nil {
+		t.Fatalf("ratchet failed on an improving record: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0.600x") {
+		t.Fatalf("ratio not reported:\n%s", out.String())
+	}
+}
+
+func TestGuardTrafficFailsOnRegression(t *testing.T) {
+	path := trafficRec(t, "regressed.json",
+		tRun("LU", "shared", 4, 1, false, 1000, 0),
+		tRun("LU", "shared", 4, 1, true, 1200, 0))
+	err := guardTraffic(io.Discard, []string{path})
+	if err == nil || !strings.Contains(err.Error(), "above 1.0") {
+		t.Fatalf("ratchet passed a record whose optimized runs moved more bytes: %v", err)
+	}
+}
+
+// A record with no optimized runs at all predates the field: the
+// ratchet must warn and pass on it alone, keep enforcing the fresh
+// record in a mixed-vintage file list, and still fail when the fresh
+// record regresses behind a vintage one.
+func TestGuardTrafficMixedVintage(t *testing.T) {
+	oldPath := trafficRec(t, "old.json",
+		tRun("Tradeoff", "shared", 4, 1, false, 1000, 0))
+	freshPath := trafficRec(t, "fresh.json",
+		tRun("LU", "shared", 4, 1, false, 1000, 0),
+		tRun("LU", "shared", 4, 1, true, 900, 0))
+
+	var out strings.Builder
+	if err := guardTraffic(&out, []string{oldPath}); err != nil {
+		t.Fatalf("ratchet failed on a pre-optimizer record: %v", err)
+	}
+	if !strings.Contains(out.String(), "predates the optimizer") {
+		t.Fatalf("vintage warning missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := guardTraffic(&out, []string{oldPath, freshPath}); err != nil {
+		t.Fatalf("mixed-vintage list failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "over 1 pairs") {
+		t.Fatalf("fresh record not enforced in mixed list:\n%s", out.String())
+	}
+
+	badPath := trafficRec(t, "bad.json",
+		tRun("LU", "shared", 4, 1, false, 100, 0),
+		tRun("LU", "shared", 4, 1, true, 200, 0))
+	if err := guardTraffic(io.Discard, []string{oldPath, badPath}); err == nil {
+		t.Fatal("regression hidden behind a vintage record passed the ratchet")
+	}
+}
+
+// Optimized runs with no baselines at all mean the record is not a
+// paired measurement — an error, not a warning, because the ratchet
+// would otherwise pass vacuously forever.
+func TestGuardTrafficAllOrphans(t *testing.T) {
+	path := trafficRec(t, "orphans.json",
+		tRun("LU", "shared", 4, 1, true, 600, 0))
+	if err := guardTraffic(io.Discard, []string{path}); err == nil {
+		t.Fatal("unpaired record passed the ratchet")
 	}
 }
 

@@ -3,9 +3,13 @@
 // every algorithm in the registry plus the LU emitter, on single- and
 // dual-chip machines, square and ragged shapes — through the schedule
 // verifier, and re-checks every pipelined plan the planner builds for
-// them through the independent plan checker. Each finding carries its
-// op index and line identity, so a broken emitter points at the exact
-// operation that violates the invariant.
+// them through the independent plan checker. Each staged program is
+// then rewritten by schedule.Optimize and the optimized program linted
+// to the same standard (zero findings, all plan depths, balanced elision
+// ledger), so a miscompiling optimizer pass is caught statically, before
+// any executor replays its stream. Each finding carries its op index and
+// line identity, so a broken emitter points at the exact operation that
+// violates the invariant.
 //
 // With -fuzz N it instead decodes N pseudo-random byte programs
 // through the same generator the fuzz corpus uses and verifies each:
@@ -62,16 +66,7 @@ var gridWorkloads = []algo.Workload{
 
 func grid() int {
 	programs, findings := 0, 0
-	check := func(label string, p *schedule.Program, cs int) {
-		programs++
-		fs := verify.Program(p, p.Resources)
-		for _, f := range fs {
-			fmt.Printf("%s: %v\n", label, f)
-		}
-		findings += len(fs)
-		if p.DemandDriven || len(fs) > 0 {
-			return // nothing to phase, or not worth planning over a broken program
-		}
+	plans := func(label string, p *schedule.Program, cs int) {
 		for d := 1; d <= *maxDepth; d++ {
 			plan, err := schedule.PlanPipelineDepth(p, cs, d)
 			if err != nil {
@@ -83,6 +78,54 @@ func grid() int {
 				fmt.Printf("%s: depth %d: %v\n", label, d, f)
 				findings++
 			}
+		}
+	}
+	check := func(label string, p *schedule.Program, cs int) {
+		programs++
+		fs := verify.Program(p, p.Resources)
+		for _, f := range fs {
+			fmt.Printf("%s: %v\n", label, f)
+		}
+		findings += len(fs)
+		if p.DemandDriven || len(fs) > 0 {
+			return // nothing to phase, or not worth planning over a broken program
+		}
+		plans(label, p, cs)
+
+		// The optimized grid is linted as strictly as the emitted one:
+		// schedule.Optimize must rewrite every staged program into one the
+		// verifier and the plan checker still find nothing wrong with, and
+		// its ledger must account for every baseline stage exactly.
+		q, rep, err := schedule.Optimize(p, schedule.OptimizeOptions{})
+		if err != nil {
+			fmt.Printf("%s: optimize: %v\n", label, err)
+			findings++
+			return
+		}
+		if rep.SkipReason != "" {
+			fmt.Printf("%s: optimize skipped a staged program: %s\n", label, rep.SkipReason)
+			findings++
+			return
+		}
+		for _, lv := range []struct {
+			name string
+			c    schedule.OptimizeCounts
+		}{{"shared", rep.Shared}, {"core", rep.Core}} {
+			if lv.c.KeptStages+lv.c.ElidedStages != lv.c.BaselineStages ||
+				lv.c.KeptWriteBacks+lv.c.ElidedWriteBacks != lv.c.BaselineWriteBacks {
+				fmt.Printf("%s: optimize: %s ledger does not balance: %+v\n", label, lv.name, lv.c)
+				findings++
+			}
+		}
+		programs++
+		optLabel := label + " +opt"
+		ofs := verify.Program(q, q.Resources)
+		for _, f := range ofs {
+			fmt.Printf("%s: %v\n", optLabel, f)
+		}
+		findings += len(ofs)
+		if len(ofs) == 0 {
+			plans(optLabel, q, cs)
 		}
 	}
 

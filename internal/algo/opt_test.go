@@ -1,0 +1,135 @@
+package algo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/schedule/verify"
+)
+
+// TestOptimizeReportAccounting audits the optimizer's ledger over the
+// registered emitters: for every algorithm × machine (chips ∈ {1, 2})
+// × workload (aligned and ragged), elided + kept == baseline stages and
+// writebacks, per level and per chip, the per-chip rows sum to the
+// totals, the optimized program verifies clean, and the re-measured
+// working set matches the kept counts exactly. Demand-driven emitters
+// must come back untouched with a skip reason.
+func TestOptimizeReportAccounting(t *testing.T) {
+	machines := []machine.Machine{
+		{P: 2, CS: 64, CD: 8, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+		{P: 4, CS: 140, CD: 12, Chips: 2, SigmaS: machine.DefaultSigmaS, SigmaD: machine.DefaultSigmaD, Q: 8},
+	}
+	workloads := []algo.Workload{
+		algo.Square(4),
+		{M: 3, N: 2, Z: 5}, // ragged in every dimension
+		{M: 7, N: 5, Z: 6}, // larger ragged grid, more restage pairs
+	}
+	changed := 0
+	for _, a := range algo.Extended() {
+		for _, m := range machines {
+			for _, w := range workloads {
+				name := fmt.Sprintf("%s p=%d chips=%d %dx%dx%d", a.Name(), m.P, m.ChipCount(), w.M, w.N, w.Z)
+				p, err := a.Schedule(m, w)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				q, rep, err := schedule.Optimize(p, schedule.OptimizeOptions{})
+				if err != nil {
+					t.Fatalf("%s: optimize: %v", name, err)
+				}
+				if p.DemandDriven {
+					if q != p || rep.Changed || rep.SkipReason == "" {
+						t.Fatalf("%s: demand-driven program not skipped cleanly: %+v", name, rep)
+					}
+					continue
+				}
+				if rep.SkipReason != "" {
+					t.Fatalf("%s: staged emitter skipped: %s", name, rep.SkipReason)
+				}
+				if rep.Changed {
+					changed++
+				} else if q != p {
+					t.Fatalf("%s: unchanged program was rebuilt", name)
+				}
+
+				checkLedger := func(level string, c schedule.OptimizeCounts) {
+					if c.ElidedStages+c.KeptStages != c.BaselineStages {
+						t.Fatalf("%s: %s stage ledger does not balance: %+v", name, level, c)
+					}
+					if c.ElidedWriteBacks+c.KeptWriteBacks != c.BaselineWriteBacks {
+						t.Fatalf("%s: %s writeback ledger does not balance: %+v", name, level, c)
+					}
+				}
+				checkLedger("shared", rep.Shared)
+				checkLedger("core", rep.Core)
+				var sharedSum, coreSum schedule.OptimizeCounts
+				for ch, c := range rep.SharedPerChip {
+					checkLedger(fmt.Sprintf("shared chip %d", ch), c)
+					sharedSum.BaselineStages += c.BaselineStages
+					sharedSum.ElidedStages += c.ElidedStages
+					sharedSum.KeptStages += c.KeptStages
+					sharedSum.BaselineWriteBacks += c.BaselineWriteBacks
+					sharedSum.ElidedWriteBacks += c.ElidedWriteBacks
+					sharedSum.KeptWriteBacks += c.KeptWriteBacks
+				}
+				for ch, c := range rep.CorePerChip {
+					checkLedger(fmt.Sprintf("core chip %d", ch), c)
+					coreSum.BaselineStages += c.BaselineStages
+					coreSum.ElidedStages += c.ElidedStages
+					coreSum.KeptStages += c.KeptStages
+					coreSum.BaselineWriteBacks += c.BaselineWriteBacks
+					coreSum.ElidedWriteBacks += c.ElidedWriteBacks
+					coreSum.KeptWriteBacks += c.KeptWriteBacks
+				}
+				if sharedSum != rep.Shared {
+					t.Fatalf("%s: per-chip shared rows %+v do not sum to %+v", name, sharedSum, rep.Shared)
+				}
+				if coreSum != rep.Core {
+					t.Fatalf("%s: per-chip core rows %+v do not sum to %+v", name, coreSum, rep.Core)
+				}
+				if len(rep.SharedPerChip) != p.Resources.ChipCount() || len(rep.CorePerChip) != p.Resources.ChipCount() {
+					t.Fatalf("%s: ledger has %d/%d chip rows, machine has %d chips",
+						name, len(rep.SharedPerChip), len(rep.CorePerChip), p.Resources.ChipCount())
+				}
+
+				// The optimized program must verify clean and measure
+				// exactly what the ledger says was kept.
+				if fs := verify.Program(q, q.Resources); len(fs) != 0 {
+					t.Fatalf("%s: optimized program has %d findings, first: %v", name, len(fs), fs[0])
+				}
+				baseWS, err := schedule.Measure(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				optWS, err := schedule.Measure(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if optWS.SharedStages != rep.Shared.KeptStages {
+					t.Fatalf("%s: optimized program stages %d shared lines, ledger kept %d",
+						name, optWS.SharedStages, rep.Shared.KeptStages)
+				}
+				if optWS.Stages != rep.Core.KeptStages {
+					t.Fatalf("%s: optimized program stages %d core lines, ledger kept %d",
+						name, optWS.Stages, rep.Core.KeptStages)
+				}
+				if optWS.SharedStages > baseWS.SharedStages || optWS.Stages > baseWS.Stages {
+					t.Fatalf("%s: optimized stages exceed baseline: %+v vs %+v", name, optWS, baseWS)
+				}
+				if optWS.Computes != baseWS.Computes {
+					t.Fatalf("%s: optimizer changed the compute count: %d vs %d",
+						name, optWS.Computes, baseWS.Computes)
+				}
+				if len(schedule.CheckCapacity(optWS, q.Resources)) != 0 {
+					t.Fatalf("%s: optimized program exceeds declared capacities", name)
+				}
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("optimizer changed nothing on the whole grid — accounting untested")
+	}
+}

@@ -1,0 +1,195 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/schedule"
+	"repro/internal/schedule/verify"
+)
+
+// The optimizer on the LU schedule: the ROADMAP's "LU panel reuse" item
+// is exactly the keep-resident pattern schedule.Optimize targets — the
+// trailing update unstages and restages the step's L tiles once per
+// U-strip, and whenever CS has headroom those pairs are provably dead.
+// These tests pin (1) bitwise equality with the sequential Factor under
+// the optimizer, (2) traffic monotonicity per counter, (3) that the
+// elision actually fires on the LU stream, and (4) that the simulator
+// and executor agree on the optimized stream.
+
+func bitsEqual(a, b *matrix.Dense) bool {
+	x, y := a.Data(), b.Data()
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func levelLEQ(opt, base parallel.LevelTraffic) bool {
+	return opt.StageBlocks <= base.StageBlocks &&
+		opt.StageBytes <= base.StageBytes &&
+		opt.WriteBackBlocks <= base.WriteBackBlocks &&
+		opt.WriteBackBytes <= base.WriteBackBytes
+}
+
+// factorTuned factors a copy of orig through the executor and returns
+// the result with the measured traffic.
+func factorTuned(t *testing.T, orig *matrix.Dense, q int, mach machine.Machine, mode parallel.Mode, tun parallel.Tuning) (*matrix.Dense, parallel.Traffic) {
+	t.Helper()
+	a := orig.Clone()
+	team, err := parallel.NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	stats, err := FactorParallelTuned(a, q, team, mode, mach, tun)
+	if err != nil {
+		t.Fatalf("n=%d q=%d %v optimize=%v: %v", orig.Rows(), q, mode, tun.Optimize, err)
+	}
+	return a, stats.Traffic
+}
+
+// TestLUOptimizedMatchesSequential: with the optimizer on, the parallel
+// factorisation stays bitwise identical to the sequential Factor and
+// every traffic counter is ≤ the unoptimized run — across modes, chips
+// ∈ {1, 2} and ragged shapes, on both the tight test machine and the
+// modelled host.
+func TestLUOptimizedMatchesSequential(t *testing.T) {
+	shapes := []struct{ n, q int }{
+		{16, 4}, // aligned
+		{13, 4}, // ragged edge tile
+		{23, 5}, // ragged, trailing strips split
+	}
+	modes := []parallel.Mode{parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined}
+	for _, s := range shapes {
+		want := RandomDominant(s.n, uint64(s.n*17+s.q))
+		orig := want.Clone()
+		if err := Factor(want, s.q); err != nil {
+			t.Fatal(err)
+		}
+		for _, chips := range []int{1, 2} {
+			for _, mach := range []machine.Machine{luChipMachine(4, chips, s.q), MachineFor(4, s.q)} {
+				mach.Chips = chips
+				for _, mode := range modes {
+					name := fmt.Sprintf("n=%d q=%d chips=%d CS=%d %v", s.n, s.q, chips, mach.CS, mode)
+					base, baseTra := factorTuned(t, orig, s.q, mach, mode, parallel.Tuning{})
+					opt, optTra := factorTuned(t, orig, s.q, mach, mode, parallel.Tuning{Optimize: true})
+					if !bitsEqual(base, want) {
+						t.Fatalf("%s: baseline deviates from sequential Factor", name)
+					}
+					if !bitsEqual(opt, want) {
+						t.Fatalf("%s: optimized run deviates from sequential Factor", name)
+					}
+					if !levelLEQ(optTra.MS, baseTra.MS) || !levelLEQ(optTra.MD, baseTra.MD) || !levelLEQ(optTra.IC, baseTra.IC) {
+						t.Fatalf("%s: optimized traffic %+v exceeds baseline %+v", name, optTra, baseTra)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLUOptimizedElidesTrailingRestage is the headline claim: on the
+// modelled host (spare CS slots) the optimizer removes trailing-update
+// L-tile restages from the LU stream — the shared ledger shows elided
+// pairs, the optimized program verifies clean against the same
+// resources, and the real executor's MS stage stream shrinks by exactly
+// the ledger amount.
+func TestLUOptimizedElidesTrailingRestage(t *testing.T) {
+	const n, q = 32, 4
+	mach := MachineFor(4, q)
+	nb := (n + q - 1) / q
+	prog, err := Program(mach, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, rep, err := schedule.Optimize(prog, schedule.OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Changed {
+		t.Fatalf("optimizer left the LU stream untouched (skip reason %q)", rep.SkipReason)
+	}
+	if rep.Shared.ElidedStages == 0 {
+		t.Fatalf("no shared restage elided on the LU stream: %+v", rep.Shared)
+	}
+	if rep.Shared.ElidedStages+rep.Shared.KeptStages != rep.Shared.BaselineStages {
+		t.Fatalf("shared ledger does not balance: %+v", rep.Shared)
+	}
+	if fs := verify.Program(opt, opt.Resources); len(fs) != 0 {
+		t.Fatalf("optimized LU program has %d verifier findings, first: %v", len(fs), fs[0])
+	}
+
+	orig := RandomDominant(n, 23)
+	_, baseTra := factorTuned(t, orig, q, mach, parallel.ModeShared, parallel.Tuning{})
+	_, optTra := factorTuned(t, orig, q, mach, parallel.ModeShared, parallel.Tuning{Optimize: true})
+	if optTra.MS.StageBlocks >= baseTra.MS.StageBlocks {
+		t.Fatalf("optimized MS stage stream did not shrink: %d vs baseline %d",
+			optTra.MS.StageBlocks, baseTra.MS.StageBlocks)
+	}
+	if d := baseTra.MS.StageBlocks - optTra.MS.StageBlocks; d != rep.Shared.ElidedStages {
+		t.Fatalf("executor MS stage delta %d ≠ shared ledger %d", d, rep.Shared.ElidedStages)
+	}
+	if optTra.MS.StageBytes >= baseTra.MS.StageBytes {
+		t.Fatalf("optimized ms_stage_bytes did not drop: %d vs %d",
+			optTra.MS.StageBytes, baseTra.MS.StageBytes)
+	}
+}
+
+// TestLUOptimizedTrafficMatchesSimulator replays the optimized LU
+// program through the IDEAL simulator and pins the optimizing
+// executor's streams to it, chips ∈ {1, 2}.
+func TestLUOptimizedTrafficMatchesSimulator(t *testing.T) {
+	for _, s := range []struct{ n, q int }{{16, 4}, {13, 4}} {
+		for _, chips := range []int{1, 2} {
+			mach := luChipMachine(4, chips, s.q)
+			nb := (s.n + s.q - 1) / s.q
+			prog, err := Program(mach, nb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, _, err := schedule.Optimize(prog, schedule.OptimizeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := algo.RunProgram(opt, mach, mach, algo.Workload{M: nb, N: nb, Z: nb}, algo.Ideal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := RandomDominant(s.n, 7)
+			a := orig.Clone()
+			team, err := parallel.NewTeam(mach.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := FactorParallelTuned(a, s.q, team, parallel.ModeShared, mach, parallel.Tuning{Optimize: true})
+			team.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("n=%d q=%d chips=%d", s.n, s.q, chips)
+			if stats.Traffic.MS.StageBlocks != res.MS {
+				t.Fatalf("%s: executor staged %d shared blocks, simulator counts MS=%d",
+					name, stats.Traffic.MS.StageBlocks, res.MS)
+			}
+			if stats.Traffic.MS.WriteBackBlocks != res.WriteBack {
+				t.Fatalf("%s: executor wrote back %d blocks, simulator counts %d",
+					name, stats.Traffic.MS.WriteBackBlocks, res.WriteBack)
+			}
+			if stats.Traffic.IC.StageBlocks != res.ICStages {
+				t.Fatalf("%s: executor IC stages %d, simulator counts %d",
+					name, stats.Traffic.IC.StageBlocks, res.ICStages)
+			}
+		}
+	}
+}

@@ -202,6 +202,15 @@ type Executor struct {
 	// validated above.
 	strictVerify bool
 	verified     *schedule.Program
+
+	// optimize (a tunable, see Tuning.Optimize) rewrites every staged
+	// program through schedule.Optimize before validation and replay.
+	// The rewritten program and its ledger are cached by source pointer
+	// so benchmark loops pay the pass once; SetTuning invalidates.
+	optimize bool
+	optSrc   *schedule.Program
+	optProg  *schedule.Program
+	optRep   schedule.OptimizeReport
 }
 
 // Executor is the real backend of the schedule IR.
@@ -358,6 +367,32 @@ func (ex *Executor) ComputeTime() time.Duration { return ex.computeTime }
 // program, or nil outside ModeSharedPipelined — the overlap the region
 // lookahead found, for reporting.
 func (ex *Executor) Plan() *schedule.PipelinePlan { return ex.plan }
+
+// OptimizeReport returns the optimizer's ledger for the last program
+// Run rewrote (zero when the optimizer tunable is off, the mode is
+// ModeView, or no staged program has run yet). The report's counts are
+// in blocks; the executed byte difference shows up directly in
+// Traffic().MS / MD.
+func (ex *Executor) OptimizeReport() schedule.OptimizeReport { return ex.optRep }
+
+// optimizedFor runs p through schedule.Optimize, caching the rewrite by
+// source pointer so the benchmark loop's repeated Runs pay the pass
+// once. A program the pass skips (demand-driven reached here cannot
+// happen, but malformed or capacity-tight streams can) comes back as
+// itself — the optimizer's contract — and is cached the same way.
+func (ex *Executor) optimizedFor(p *schedule.Program) (*schedule.Program, error) {
+	if ex.optSrc == p && ex.optProg != nil {
+		return ex.optProg, nil
+	}
+	opt, rep, err := schedule.Optimize(p, schedule.OptimizeOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("parallel: program %q: optimizer: %w", p.Algorithm, err)
+	}
+	ex.optSrc = p
+	ex.optProg = opt
+	ex.optRep = rep
+	return opt, nil
+}
 
 // StageShared loads l into the shared level. The probe observes it in
 // every mode; the shared-level modes additionally pack the block into
@@ -707,6 +742,17 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 	if prog.Cores != ex.team.Size() {
 		return fmt.Errorf("parallel: program %q wants %d cores, team has %d",
 			prog.Algorithm, prog.Cores, ex.team.Size())
+	}
+	// The optimizer rewrite happens before everything else — validation,
+	// strict verification, pipeline planning and replay all see the
+	// optimized stream, so the plan phases the program that actually
+	// runs and the verifier gate covers the rewrite, not just its input.
+	if ex.optimize && ex.mode != ModeView && !prog.DemandDriven {
+		opt, err := ex.optimizedFor(prog)
+		if err != nil {
+			return err
+		}
+		prog = opt
 	}
 	if err := ex.strictVerifyCheck(prog); err != nil {
 		return err

@@ -1,6 +1,9 @@
 package parallel
 
-import "repro/internal/matrix"
+import (
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
 
 // Tuning bundles the executor's machine-local tunables: the kernel
 // register-blocking shape and the pipeline lookahead depth. The zero
@@ -17,6 +20,14 @@ type Tuning struct {
 	// a stage may prefetch up to k regions ahead of its gap. 0 means the
 	// default depth 1; other modes ignore it.
 	Lookahead int
+	// Optimize runs every staged program through the residency-aware
+	// schedule optimizer (schedule.Optimize) before validation and
+	// replay: provably dead unstage/restage pairs are elided at both
+	// cache levels, so the executed MS/MD streams shrink while results
+	// stay bitwise identical. ModeView and demand-driven programs are
+	// unaffected. Like the other tunables it cannot change a result,
+	// only its traffic and timing.
+	Optimize bool
 }
 
 // DefaultTuning is the untuned configuration.
@@ -29,15 +40,19 @@ var DefaultTuning = Tuning{}
 func (ex *Executor) SetTuning(t Tuning) {
 	ex.kernels = t.Kernels
 	ex.lookahead = t.Lookahead
+	ex.optimize = t.Optimize
 	ex.validated = nil
 	ex.validatedStaging = false
 	ex.plan = nil
 	ex.recorded = nil
+	ex.optSrc = nil
+	ex.optProg = nil
+	ex.optRep = schedule.OptimizeReport{}
 }
 
 // Tuning returns the executor's current tunables.
 func (ex *Executor) Tuning() Tuning {
-	return Tuning{Kernels: ex.kernels, Lookahead: ex.lookahead}
+	return Tuning{Kernels: ex.kernels, Lookahead: ex.lookahead, Optimize: ex.optimize}
 }
 
 // lookaheadDepth resolves the planning depth: the zero value means the

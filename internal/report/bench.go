@@ -71,6 +71,15 @@ type BenchRun struct {
 	// omit both — the defaults are 4x4 and depth 1.
 	KernelShape string `json:"kernel_shape,omitempty"`
 	Lookahead   int    `json:"lookahead,omitempty"`
+
+	// Optimizer provenance. Optimized marks a run whose program went
+	// through schedule.Optimize before replay; MSElidedBytes is the MS
+	// bytes the optimizer saved versus the paired baseline run of the
+	// same cell (stage + write-back), as measured, not predicted.
+	// Records predating the optimizer carry neither field and read as
+	// unoptimized baselines.
+	Optimized     bool   `json:"optimized,omitempty"`
+	MSElidedBytes uint64 `json:"ms_elided_bytes,omitempty"`
 }
 
 // NormalizeChips resolves the run's chip count for comparisons:
@@ -166,11 +175,14 @@ func (b *Bench) AddOp(algorithm, mode string, cores, orderBlocks, q int, flops f
 }
 
 // Speedup returns GFLOP/s ratios of mode over baseMode per
-// (algorithm, cores, chips) triple present in both modes, sorted by
-// algorithm, cores, then chips. Records without a chips stamp
-// (pre-chip vintage, or single-chip runs, which omit the field) join
-// as one chip, so mixed-vintage files compare cleanly. Callers pass
-// the same mode names they recorded runs under (cmd/gemm passes
+// (algorithm, cores, chips, optimized) tuple present in both modes,
+// sorted by algorithm, cores, chips, then optimized. Records without a
+// chips stamp (pre-chip vintage, or single-chip runs, which omit the
+// field) join as one chip, and records without an optimized stamp
+// (pre-optimizer vintage) join as baselines, so mixed-vintage files
+// compare cleanly — and a file carrying on/off pairs never divides an
+// optimized numerator by a baseline denominator. Callers pass the same
+// mode names they recorded runs under (cmd/gemm passes
 // parallel.Mode.String() values for both); each result echoes the
 // compared modes so the ratio is self-describing.
 func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
@@ -178,11 +190,12 @@ func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
 		algo  string
 		cores int
 		chips int
+		opt   bool
 	}
 	num := map[key]float64{}
 	den := map[key]float64{}
 	for _, r := range b.Runs {
-		k := key{r.Algorithm, r.Cores, r.NormalizeChips()}
+		k := key{r.Algorithm, r.Cores, r.NormalizeChips(), r.Optimized}
 		switch r.Mode {
 		case mode:
 			num[k] = r.GFlops
@@ -196,6 +209,7 @@ func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
 			s := BenchSpeedup{
 				Algorithm: k.algo, Cores: k.cores,
 				Mode: mode, BaseMode: baseMode, Ratio: n / d,
+				Optimized: k.opt,
 			}
 			if k.chips > 1 {
 				s.Chips = k.chips
@@ -210,7 +224,10 @@ func (b *Bench) Speedup(mode, baseMode string) []BenchSpeedup {
 		if out[i].Cores != out[j].Cores {
 			return out[i].Cores < out[j].Cores
 		}
-		return out[i].Chips < out[j].Chips
+		if out[i].Chips != out[j].Chips {
+			return out[i].Chips < out[j].Chips
+		}
+		return !out[i].Optimized && out[j].Optimized
 	})
 	return out
 }
@@ -223,6 +240,7 @@ type BenchSpeedup struct {
 	Mode      string  `json:"mode"`
 	BaseMode  string  `json:"base_mode"`
 	Ratio     float64 `json:"ratio"`
+	Optimized bool    `json:"optimized,omitempty"` // both sides ran the optimizer
 }
 
 // WriteJSON emits the envelope as indented JSON.

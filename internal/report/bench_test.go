@@ -178,3 +178,55 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBenchOptimizedFields pins the optimizer provenance fields: they
+// round-trip through JSON, records predating them decode as unoptimized
+// baselines, and the speedup join never pairs an optimized numerator
+// with a baseline denominator (or vice versa).
+func TestBenchOptimizedFields(t *testing.T) {
+	// Pre-optimizer vintage: no "optimized" key anywhere.
+	old := []byte(`{"name":"gemm","go_version":"go1","goos":"linux","goarch":"amd64",
+		"cpus":4,"when":"2026-01-01T00:00:00Z",
+		"runs":[{"algorithm":"Tradeoff","mode":"shared","cores":4,
+			"order_blocks":32,"q":32,"n":1024,"seconds":1,"gflops":2}]}`)
+	var back Bench
+	if err := json.Unmarshal(old, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Runs[0].Optimized || back.Runs[0].MSElidedBytes != 0 {
+		t.Fatalf("pre-optimizer record must read as baseline: %+v", back.Runs[0])
+	}
+
+	b := NewBench("gemm")
+	base := b.Add("Tradeoff", "shared", 4, 32, 32, 2*time.Second)
+	opt := b.Add("Tradeoff", "shared", 4, 32, 32, time.Second)
+	opt.Optimized = true
+	opt.MSElidedBytes = 4096
+	baseView := b.Add("Tradeoff", "view", 4, 32, 32, 4*time.Second)
+	optView := b.Add("Tradeoff", "view", 4, 32, 32, 4*time.Second)
+	optView.Optimized = true
+	_ = base
+	_ = baseView
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ms_elided_bytes": 4096`) {
+		t.Fatalf("ms_elided_bytes not encoded:\n%s", buf.String())
+	}
+
+	sp := b.Speedup("shared", "view")
+	if len(sp) != 2 {
+		t.Fatalf("Speedup has %d entries, want one per optimized setting: %+v", len(sp), sp)
+	}
+	if sp[0].Optimized || !sp[1].Optimized {
+		t.Fatalf("speedups not sorted baseline-first: %+v", sp)
+	}
+	if r := sp[0].Ratio; r < 1.99 || r > 2.01 {
+		t.Fatalf("baseline joined against wrong partner: ratio %g, want 2", r)
+	}
+	if r := sp[1].Ratio; r < 3.99 || r > 4.01 {
+		t.Fatalf("optimized joined against wrong partner: ratio %g, want 4", r)
+	}
+}

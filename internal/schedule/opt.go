@@ -1,0 +1,938 @@
+package schedule
+
+// This file is the residency-aware schedule optimizer: a liveness pass
+// over the recorded op stream that elides restaging the machine never
+// needed. The paper's cost model charges every block crossing the MS
+// (memory↔shared) and MD (shared↔core) streams; emitters, written as
+// per-region loop nests, routinely unstage a line only to restage the
+// same line a few regions later. With exact per-chip capacity
+// accounting (CheckCapacity) the pass can prove, point by point along
+// the program, that keeping such a line resident never exceeds the
+// declared cache — so the elision is free capacity-wise and strictly
+// cheaper traffic-wise.
+//
+// Three rewrites, all elisions (the pass never adds or reorders ops):
+//
+//  a. shared keep-resident: an UnstageShared(l) whose next event on l
+//     is a StageShared(l), with no reference to l in between, is
+//     dropped together with that restage when the line's home chip has
+//     a free slot across the whole gap;
+//  b. core refill elision: a core's Unstage(l) followed by its own
+//     re-Stage(l) is dropped when the upstream copy provably cannot
+//     have changed in between (no surviving driver op on l, no other
+//     core writing — or, for a dirty hold, touching — the line);
+//  c. dirty writebacks sink to the final unstage for free: eliding an
+//     intermediate unstage leaves the arena slot resident and dirty,
+//     so the one writeback happens at the surviving last unstage.
+//
+// The pass is conservative by construction — any stream it cannot
+// prove well-formed (the verifier's linear-staging, def-before-use and
+// residency rules, re-derived here) is returned unchanged — and it is
+// not trusted: Optimize re-measures the rewritten program and fails
+// loudly if the footprint violates CheckCapacity or the op accounting
+// does not balance. The test suites additionally pin every optimized
+// program to its baseline bitwise through the simulator and the real
+// executor.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OptimizeOptions selects which elision passes run. The zero value
+// enables everything.
+type OptimizeOptions struct {
+	// NoSharedResidency disables the shared keep-resident pass (and
+	// with it the writeback sinking it implies).
+	NoSharedResidency bool
+	// NoCoreReuse disables the per-core refill-elision pass.
+	NoCoreReuse bool
+}
+
+// OptimizeCounts is the stage/writeback ledger of one cache level (or
+// one chip's slice of it): every baseline operation is either elided
+// or kept, so BaselineStages == ElidedStages + KeptStages and likewise
+// for writebacks — an identity Optimize itself enforces.
+type OptimizeCounts struct {
+	BaselineStages     uint64 // fills the unoptimized program performs
+	ElidedStages       uint64 // fills the pass removed
+	KeptStages         uint64 // fills the optimized program performs
+	BaselineWriteBacks uint64 // dirty writebacks of the unoptimized program
+	ElidedWriteBacks   uint64 // writebacks removed (sunk into a later one)
+	KeptWriteBacks     uint64 // writebacks the optimized program performs
+}
+
+func (c *OptimizeCounts) add(d OptimizeCounts) {
+	c.BaselineStages += d.BaselineStages
+	c.ElidedStages += d.ElidedStages
+	c.KeptStages += d.KeptStages
+	c.BaselineWriteBacks += d.BaselineWriteBacks
+	c.ElidedWriteBacks += d.ElidedWriteBacks
+	c.KeptWriteBacks += d.KeptWriteBacks
+}
+
+// OptimizeReport accounts for what the pass did. When SkipReason is
+// non-empty the program was returned unchanged without analysis
+// (demand-driven, malformed, or failing the pass's well-formedness
+// scan) and every count is zero; when it is empty the counts are the
+// full ledger whether or not anything was elided.
+type OptimizeReport struct {
+	Shared OptimizeCounts // memory↔shared (MS) level, all chips
+	Core   OptimizeCounts // shared↔core (MD) level, all chips
+
+	// SharedPerChip slices the MS ledger by the line's home chip,
+	// CorePerChip slices the MD ledger by the staging core's chip; both
+	// have the program's declared chip count (1 when undeclared).
+	SharedPerChip []OptimizeCounts
+	CorePerChip   []OptimizeCounts
+
+	// Changed reports whether Optimize returned a rewritten program;
+	// false means the original pointer came back (nothing elidable, or
+	// SkipReason explains why analysis never ran).
+	Changed bool
+	// SkipReason is why the program was left untouched without
+	// analysis; empty when the pass ran to completion.
+	SkipReason string
+}
+
+// TotalElided is the number of staging operations removed at both
+// levels — a quick "did it do anything" signal for logs and lints.
+func (r OptimizeReport) TotalElided() uint64 {
+	return r.Shared.ElidedStages + r.Core.ElidedStages
+}
+
+// recorded op stream -------------------------------------------------
+
+type optOpKind uint8
+
+const (
+	optStage optOpKind = iota
+	optUnstage
+	optRead
+	optWrite
+	optApply
+	optCompute
+)
+
+// optCoreOp is one recorded core op. line is the destination for
+// optApply/optCompute; Compute keeps its original (i,j,k) so replay
+// re-emits the exact historical shorthand the backends expect.
+type optCoreOp struct {
+	kind       optOpKind
+	line       Line
+	kernel     Kernel
+	srcs       []Line
+	ci, cj, ck int
+	drop       bool
+}
+
+type optDriverOp struct {
+	stage bool
+	line  Line
+	drop  bool
+}
+
+// optItem is one program-order step: exactly one driver op, or one
+// parallel region holding every core's recorded stream.
+type optItem struct {
+	driver *optDriverOp
+	region [][]optCoreOp
+}
+
+// optArity mirrors Kernel.Arity without its panic: the recorder must
+// survive arbitrary (fuzzed) streams and turn malformed kernels into a
+// skip, not a fault.
+func optArity(k Kernel) (int, bool) {
+	switch k {
+	case MulAdd, MulSub:
+		return 2, true
+	case FactorTile:
+		return 0, true
+	case TrsmLowerLeftUnit, TrsmUpperRight:
+		return 1, true
+	}
+	return 0, false
+}
+
+// optRecorder captures a program's op stream into optItems. Any
+// malformation that would make replay unfaithful (driver ops inside a
+// region, nested regions, unknown kernels) poisons the recording and
+// Optimize returns the program unchanged.
+type optRecorder struct {
+	cores    int
+	items    []optItem
+	inRegion bool
+	bad      string
+}
+
+var _ Backend = (*optRecorder)(nil)
+
+func (r *optRecorder) fail(reason string) {
+	if r.bad == "" {
+		r.bad = reason
+	}
+}
+
+func (r *optRecorder) driver(stage bool, l Line) {
+	if r.inRegion {
+		r.fail("driver op inside a parallel region")
+		return
+	}
+	r.items = append(r.items, optItem{driver: &optDriverOp{stage: stage, line: l}})
+}
+
+func (r *optRecorder) StageShared(l Line)   { r.driver(true, l) }
+func (r *optRecorder) UnstageShared(l Line) { r.driver(false, l) }
+
+func (r *optRecorder) Parallel(body func(core int, ops CoreSink)) {
+	if r.inRegion {
+		r.fail("nested parallel region")
+		return
+	}
+	r.inRegion = true
+	region := make([][]optCoreOp, r.cores)
+	for c := 0; c < r.cores; c++ {
+		body(c, &optRecordSink{rec: r, ops: &region[c]})
+	}
+	r.inRegion = false
+	r.items = append(r.items, optItem{region: region})
+}
+
+type optRecordSink struct {
+	rec *optRecorder
+	ops *[]optCoreOp
+}
+
+var _ CoreSink = (*optRecordSink)(nil)
+
+func (s *optRecordSink) Stage(l Line) { *s.ops = append(*s.ops, optCoreOp{kind: optStage, line: l}) }
+func (s *optRecordSink) Unstage(l Line) {
+	*s.ops = append(*s.ops, optCoreOp{kind: optUnstage, line: l})
+}
+func (s *optRecordSink) Read(l Line)  { *s.ops = append(*s.ops, optCoreOp{kind: optRead, line: l}) }
+func (s *optRecordSink) Write(l Line) { *s.ops = append(*s.ops, optCoreOp{kind: optWrite, line: l}) }
+
+func (s *optRecordSink) Apply(k Kernel, dest Line, srcs ...Line) {
+	ar, ok := optArity(k)
+	if !ok {
+		s.rec.fail(fmt.Sprintf("unknown kernel %v", k))
+		return
+	}
+	if len(srcs) != ar {
+		s.rec.fail(fmt.Sprintf("%v applied to %d sources, want %d", k, len(srcs), ar))
+		return
+	}
+	*s.ops = append(*s.ops, optCoreOp{kind: optApply, kernel: k, line: dest, srcs: append([]Line(nil), srcs...)})
+}
+
+func (s *optRecordSink) Compute(i, j, k int) {
+	*s.ops = append(*s.ops, optCoreOp{
+		kind: optCompute, kernel: MulAdd,
+		line: LineC(i, j), srcs: []Line{LineA(i, k), LineB(k, j)},
+		ci: i, cj: j, ck: k,
+	})
+}
+
+// analysis ------------------------------------------------------------
+
+const (
+	optUseRead uint8 = 1 << iota
+	optUseWrite
+)
+
+// optUse is one region-level reference to a line: which item, which
+// core, read or write. Uses are the blocker index of both passes — a
+// shared gap may not contain any, and a core-reuse window may not
+// contain a conflicting one from another core.
+type optUse struct {
+	item  int
+	core  int
+	flags uint8
+}
+
+type optCoreLineKey struct {
+	core int
+	line Line
+}
+
+// optCoreEvent is one Stage/Unstage of a line by one core: its position
+// in that core's flattened op stream (for the capacity profile), the
+// item and op index (for drop marking), and — for unstages — whether
+// the hold being closed was dirty.
+type optCoreEvent struct {
+	pos   int
+	item  int
+	opIdx int
+	stage bool
+	dirty bool
+}
+
+type optAnalysis struct {
+	chips      int
+	sharedProg bool
+	coreProg   bool
+
+	// resBefore[chip][item] is the baseline shared residency of that
+	// chip immediately before item executes; coreResBefore[core][pos]
+	// likewise for one core's flattened stream. The passes prove
+	// capacity pointwise against these profiles plus their own
+	// committed extras.
+	resBefore     [][]int
+	coreResBefore [][]int
+
+	sharedPeak []int
+	corePeak   int
+	computes   uint64
+
+	sharedEvents map[Line][]int // driver item indices per line, alternating stage/unstage
+	lineUses     map[Line][]optUse
+	coreEvents   map[optCoreLineKey][]optCoreEvent
+
+	sharedStages   []uint64 // per home chip
+	sharedUnstages []uint64
+	coreStages     []uint64 // per staging core's chip
+	coreUnstages   []uint64
+}
+
+// optAnalyze scans the recorded stream once, building the blocker and
+// capacity indexes while re-deriving the verifier's well-formedness
+// rules. Any violation returns a reason and the pass gives up: only
+// streams proven linear (alternating stage/unstage per line and level,
+// no leaks, no use of an unstaged line, no unstage of a held line, no
+// stage of a line another core holds dirty) are ever rewritten.
+func optAnalyze(p *Program, items []optItem) (*optAnalysis, string) {
+	chips := p.Resources.ChipCount()
+	a := &optAnalysis{
+		chips:          chips,
+		resBefore:      make([][]int, chips),
+		coreResBefore:  make([][]int, p.Cores),
+		sharedPeak:     make([]int, chips),
+		sharedEvents:   make(map[Line][]int),
+		lineUses:       make(map[Line][]optUse),
+		coreEvents:     make(map[optCoreLineKey][]optCoreEvent),
+		sharedStages:   make([]uint64, chips),
+		sharedUnstages: make([]uint64, chips),
+		coreStages:     make([]uint64, chips),
+		coreUnstages:   make([]uint64, chips),
+	}
+	for ch := range a.resBefore {
+		a.resBefore[ch] = make([]int, len(items))
+	}
+	for _, it := range items {
+		if it.driver != nil {
+			a.sharedProg = true
+			continue
+		}
+		for _, ops := range it.region {
+			for _, op := range ops {
+				if op.kind == optStage || op.kind == optUnstage {
+					a.coreProg = true
+				}
+			}
+		}
+	}
+
+	addUse := func(item, core int, l Line, flags uint8) {
+		us := a.lineUses[l]
+		if n := len(us); n > 0 && us[n-1].item == item && us[n-1].core == core {
+			us[n-1].flags |= flags
+			return
+		}
+		a.lineUses[l] = append(us, optUse{item: item, core: core, flags: flags})
+	}
+
+	sharedRes := make(map[Line]struct{})
+	res := make([]int, chips)
+	holders := make(map[Line]map[int]struct{})
+	dirtyBy := make(map[Line]int)
+	type coreState struct{ resident map[Line]bool } // value: dirty
+	cores := make([]coreState, p.Cores)
+	for c := range cores {
+		cores[c].resident = make(map[Line]bool)
+	}
+
+	for t, it := range items {
+		for ch := 0; ch < chips; ch++ {
+			a.resBefore[ch][t] = res[ch]
+		}
+		if d := it.driver; d != nil {
+			ch := p.HomeOf(d.line)
+			if d.stage {
+				if _, ok := sharedRes[d.line]; ok {
+					return nil, fmt.Sprintf("shared double stage of %v", d.line)
+				}
+				sharedRes[d.line] = struct{}{}
+				res[ch]++
+				if res[ch] > a.sharedPeak[ch] {
+					a.sharedPeak[ch] = res[ch]
+				}
+				a.sharedStages[ch]++
+			} else {
+				if _, ok := sharedRes[d.line]; !ok {
+					return nil, fmt.Sprintf("shared unstage of non-resident %v", d.line)
+				}
+				if len(holders[d.line]) > 0 {
+					return nil, fmt.Sprintf("shared unstage of %v while a core holds it", d.line)
+				}
+				delete(sharedRes, d.line)
+				res[ch]--
+				a.sharedUnstages[ch]++
+			}
+			a.sharedEvents[d.line] = append(a.sharedEvents[d.line], t)
+			continue
+		}
+		for c := range it.region {
+			st := &cores[c]
+			chip := p.ChipOfCore(c)
+			for oi := range it.region[c] {
+				op := &it.region[c][oi]
+				pos := len(a.coreResBefore[c])
+				a.coreResBefore[c] = append(a.coreResBefore[c], len(st.resident))
+				switch op.kind {
+				case optStage:
+					if _, ok := st.resident[op.line]; ok {
+						return nil, fmt.Sprintf("core %d double stage of %v", c, op.line)
+					}
+					if a.sharedProg {
+						if _, ok := sharedRes[op.line]; !ok {
+							return nil, fmt.Sprintf("core %d stage of %v while not shared-resident", c, op.line)
+						}
+					}
+					if d, ok := dirtyBy[op.line]; ok && d != c {
+						return nil, fmt.Sprintf("core %d stage of %v held dirty by core %d", c, op.line, d)
+					}
+					st.resident[op.line] = false
+					if len(st.resident) > a.corePeak {
+						a.corePeak = len(st.resident)
+					}
+					if holders[op.line] == nil {
+						holders[op.line] = make(map[int]struct{})
+					}
+					holders[op.line][c] = struct{}{}
+					a.coreStages[chip]++
+					a.coreEvents[optCoreLineKey{c, op.line}] = append(a.coreEvents[optCoreLineKey{c, op.line}],
+						optCoreEvent{pos: pos, item: t, opIdx: oi, stage: true})
+					addUse(t, c, op.line, optUseRead)
+				case optUnstage:
+					dirty, ok := st.resident[op.line]
+					if !ok {
+						return nil, fmt.Sprintf("core %d unstage of non-resident %v", c, op.line)
+					}
+					delete(st.resident, op.line)
+					delete(holders[op.line], c)
+					if d, held := dirtyBy[op.line]; held && d == c && dirty {
+						delete(dirtyBy, op.line)
+					}
+					a.coreUnstages[chip]++
+					a.coreEvents[optCoreLineKey{c, op.line}] = append(a.coreEvents[optCoreLineKey{c, op.line}],
+						optCoreEvent{pos: pos, item: t, opIdx: oi, stage: false, dirty: dirty})
+					if dirty {
+						addUse(t, c, op.line, optUseWrite)
+					} else {
+						addUse(t, c, op.line, optUseRead)
+					}
+				case optRead:
+					addUse(t, c, op.line, optUseRead)
+				case optWrite:
+					addUse(t, c, op.line, optUseWrite)
+				case optApply, optCompute:
+					if a.coreProg {
+						if _, ok := st.resident[op.line]; !ok {
+							return nil, fmt.Sprintf("core %d applies %v to unstaged %v", c, op.kernel, op.line)
+						}
+						for _, src := range op.srcs {
+							if _, ok := st.resident[src]; !ok {
+								return nil, fmt.Sprintf("core %d applies %v reading unstaged %v", c, op.kernel, src)
+							}
+						}
+						st.resident[op.line] = true
+						dirtyBy[op.line] = c
+					} else if a.sharedProg {
+						if _, ok := sharedRes[op.line]; !ok {
+							return nil, fmt.Sprintf("core %d applies %v to non-shared-resident %v", c, op.kernel, op.line)
+						}
+						for _, src := range op.srcs {
+							if _, ok := sharedRes[src]; !ok {
+								return nil, fmt.Sprintf("core %d applies %v reading non-shared-resident %v", c, op.kernel, src)
+							}
+						}
+					}
+					a.computes++
+					for _, src := range op.srcs {
+						addUse(t, c, src, optUseRead)
+					}
+					addUse(t, c, op.line, optUseWrite)
+				}
+			}
+		}
+	}
+	if len(sharedRes) > 0 {
+		return nil, fmt.Sprintf("%d shared lines leaked at exit", len(sharedRes))
+	}
+	for c := range cores {
+		if len(cores[c].resident) > 0 {
+			return nil, fmt.Sprintf("core %d leaks %d staged lines at exit", c, len(cores[c].resident))
+		}
+	}
+	return a, ""
+}
+
+// workingSet assembles the baseline footprint the scan measured, in the
+// shape CheckCapacity expects.
+func (a *optAnalysis) workingSet() WorkingSet {
+	ws := WorkingSet{
+		CorePeak:          a.corePeak,
+		Computes:          a.computes,
+		SharedPeakPerChip: a.sharedPeak,
+	}
+	for ch := 0; ch < a.chips; ch++ {
+		if a.sharedPeak[ch] > ws.SharedPeak {
+			ws.SharedPeak = a.sharedPeak[ch]
+		}
+		ws.SharedStages += a.sharedStages[ch]
+		ws.SharedUnstages += a.sharedUnstages[ch]
+		ws.Stages += a.coreStages[ch]
+		ws.Unstages += a.coreUnstages[ch]
+	}
+	return ws
+}
+
+// passes --------------------------------------------------------------
+
+// optSharedPass commits pass (a): for every UnstageShared(l) whose next
+// event on l is a StageShared(l) with no region reference to l in the
+// gap, drop the pair when l's home chip has a free slot at every point
+// of the gap. Candidates commit greedily in program order; each commit
+// raises the chip's residency profile over its span so later candidates
+// are checked against what has already been kept resident. Returns the
+// elided pair count per home chip.
+func optSharedPass(p *Program, items []optItem, a *optAnalysis) []uint64 {
+	elided := make([]uint64, a.chips)
+	cs := p.Resources.SharedBlocks
+	if cs <= 0 {
+		return elided
+	}
+	type cand struct {
+		line Line
+		u, s int
+	}
+	var cands []cand
+	for l, evts := range a.sharedEvents {
+		// Events alternate stage/unstage starting with a stage, so
+		// odd indices are unstages; pair each with the stage after it.
+		for i := 1; i+1 < len(evts); i += 2 {
+			cands = append(cands, cand{line: l, u: evts[i], s: evts[i+1]})
+		}
+	}
+	// Item indices are unique across candidates, so ordering by the
+	// unstage's index is total: commit order is deterministic.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].u < cands[j].u })
+	extra := make([][]int, a.chips)
+	for ch := range extra {
+		extra[ch] = make([]int, len(items))
+	}
+	for _, c := range cands {
+		us := a.lineUses[c.line]
+		i := sort.Search(len(us), func(i int) bool { return us[i].item > c.u })
+		if i < len(us) && us[i].item < c.s {
+			continue // the gap references l: the unstage is live
+		}
+		ch := p.HomeOf(c.line)
+		ok := true
+		for t := c.u + 1; t <= c.s; t++ {
+			if a.resBefore[ch][t]+extra[ch][t]+1 > cs {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		items[c.u].driver.drop = true
+		items[c.s].driver.drop = true
+		for t := c.u + 1; t <= c.s; t++ {
+			extra[ch][t]++
+		}
+		elided[ch]++
+	}
+	return elided
+}
+
+// optCorePass commits pass (b): a core's Unstage(l)→Stage(l) pair is
+// dropped when the upstream copy provably cannot differ from the copy
+// the core kept. For a clean hold that means no other core writes l
+// from the moment this hold was opened through the restage (the kept
+// copy must match what the baseline restage would have read). For a
+// dirty hold the elision defers the merge to the chain's last
+// surviving unstage, so no other core may touch l at all until the
+// chain ends — and dirtiness carries forward across elided pairs,
+// since the physical arena slot stays dirty. A surviving driver op on
+// l inside the gap always blocks (the extended hold would overlap the
+// shared-level unstage). Capacity is proven against the core's own
+// residency profile, like the shared pass. Returns elided pairs per
+// staging core's chip.
+func optCorePass(p *Program, items []optItem, a *optAnalysis) []uint64 {
+	elided := make([]uint64, a.chips)
+	cd := p.Resources.CoreBlocks
+	if cd <= 0 {
+		return elided
+	}
+	surv := make(map[Line][]int, len(a.sharedEvents))
+	for l, evts := range a.sharedEvents {
+		for _, t := range evts {
+			if !items[t].driver.drop {
+				surv[l] = append(surv[l], t)
+			}
+		}
+	}
+	keys := make([]optCoreLineKey, 0, len(a.coreEvents))
+	for k := range a.coreEvents {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.core != b.core {
+			return a.core < b.core
+		}
+		if a.line.Matrix != b.line.Matrix {
+			return a.line.Matrix < b.line.Matrix
+		}
+		if a.line.Row != b.line.Row {
+			return a.line.Row < b.line.Row
+		}
+		return a.line.Col < b.line.Col
+	})
+	coreExtra := make([][]int, p.Cores)
+	for _, k := range keys {
+		evts := a.coreEvents[k]
+		last := evts[len(evts)-1].item // the chain's final unstage, never dropped
+		carry := false                 // an elided merge is still pending
+		for i := 1; i+1 < len(evts); i += 2 {
+			open, u, s := evts[i-1], evts[i], evts[i+1]
+			effDirty := u.dirty || carry
+			blocked := false
+			ds := surv[k.line]
+			di := sort.Search(len(ds), func(i int) bool { return ds[i] > u.item })
+			if di < len(ds) && ds[di] < s.item {
+				blocked = true
+			}
+			if !blocked {
+				lo, hi, any := u.item, last, true
+				if !effDirty {
+					lo, hi, any = open.item, s.item, false
+				}
+				us := a.lineUses[k.line]
+				ui := sort.Search(len(us), func(i int) bool { return us[i].item >= lo })
+				for ; ui < len(us) && us[ui].item <= hi; ui++ {
+					if us[ui].core == k.core {
+						continue
+					}
+					if any || us[ui].flags&optUseWrite != 0 {
+						blocked = true
+						break
+					}
+				}
+			}
+			if !blocked {
+				if coreExtra[k.core] == nil {
+					coreExtra[k.core] = make([]int, len(a.coreResBefore[k.core]))
+				}
+				ex := coreExtra[k.core]
+				for pos := u.pos + 1; pos <= s.pos; pos++ {
+					if a.coreResBefore[k.core][pos]+ex[pos]+1 > cd {
+						blocked = true
+						break
+					}
+				}
+			}
+			if blocked {
+				// The unstage survives; a pending merge lands here
+				// (the arena slot is still physically dirty).
+				carry = false
+				continue
+			}
+			items[u.item].region[k.core][u.opIdx].drop = true
+			items[s.item].region[k.core][s.opIdx].drop = true
+			for pos := u.pos + 1; pos <= s.pos; pos++ {
+				coreExtra[k.core][pos]++
+			}
+			elided[p.ChipOfCore(k.core)]++
+			carry = effDirty
+		}
+	}
+	return elided
+}
+
+// traffic model -------------------------------------------------------
+
+type optModelCounts struct {
+	msStage, msWB []uint64 // per home chip
+	mdStage, mdWB []uint64 // per staging core's chip
+}
+
+// optModel replays the recorded stream through a dirty-tracking
+// residency model and counts fills and dirty writebacks at both
+// levels, optionally honouring the passes' drop marks. Running it
+// twice — baseline and optimized — yields the report's writeback
+// ledger and an independent check on the stage ledger.
+func optModel(p *Program, items []optItem, a *optAnalysis, honorDrops bool) optModelCounts {
+	m := optModelCounts{
+		msStage: make([]uint64, a.chips),
+		msWB:    make([]uint64, a.chips),
+		mdStage: make([]uint64, a.chips),
+		mdWB:    make([]uint64, a.chips),
+	}
+	sharedRes := make(map[Line]bool) // resident → dirty
+	coreRes := make([]map[Line]bool, p.Cores)
+	for t := range items {
+		if d := items[t].driver; d != nil {
+			if honorDrops && d.drop {
+				continue
+			}
+			ch := p.HomeOf(d.line)
+			if d.stage {
+				m.msStage[ch]++
+				sharedRes[d.line] = false
+			} else {
+				if sharedRes[d.line] {
+					m.msWB[ch]++
+				}
+				delete(sharedRes, d.line)
+			}
+			continue
+		}
+		for c := range items[t].region {
+			chip := p.ChipOfCore(c)
+			for oi := range items[t].region[c] {
+				op := &items[t].region[c][oi]
+				if honorDrops && op.drop {
+					continue
+				}
+				switch op.kind {
+				case optStage:
+					if coreRes[c] == nil {
+						coreRes[c] = make(map[Line]bool)
+					}
+					m.mdStage[chip]++
+					coreRes[c][op.line] = false
+				case optUnstage:
+					if coreRes[c][op.line] {
+						m.mdWB[chip]++
+						if _, ok := sharedRes[op.line]; ok {
+							sharedRes[op.line] = true
+						}
+					}
+					delete(coreRes[c], op.line)
+				case optWrite:
+					if !a.coreProg {
+						if _, ok := sharedRes[op.line]; ok {
+							sharedRes[op.line] = true
+						}
+					}
+				case optApply, optCompute:
+					if a.coreProg {
+						if _, ok := coreRes[c][op.line]; ok {
+							coreRes[c][op.line] = true
+						}
+					} else if _, ok := sharedRes[op.line]; ok {
+						sharedRes[op.line] = true
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// rebuild -------------------------------------------------------------
+
+// optRebuild returns a copy of p whose Body replays the recorded
+// stream, skipping dropped ops and regions left entirely empty (an
+// empty region is a pure barrier — removing it shrinks the pipelined
+// critical path and changes no core's stream).
+func optRebuild(p *Program, items []optItem) *Program {
+	q := *p
+	q.Body = func(b Backend) {
+		for i := range items {
+			it := &items[i]
+			if d := it.driver; d != nil {
+				if d.drop {
+					continue
+				}
+				if d.stage {
+					b.StageShared(d.line)
+				} else {
+					b.UnstageShared(d.line)
+				}
+				continue
+			}
+			live := false
+			for _, ops := range it.region {
+				for oi := range ops {
+					if !ops[oi].drop {
+						live = true
+						break
+					}
+				}
+				if live {
+					break
+				}
+			}
+			if !live {
+				continue
+			}
+			b.Parallel(func(core int, ops CoreSink) {
+				if core < 0 || core >= len(it.region) {
+					return
+				}
+				for oi := range it.region[core] {
+					op := &it.region[core][oi]
+					if op.drop {
+						continue
+					}
+					switch op.kind {
+					case optStage:
+						ops.Stage(op.line)
+					case optUnstage:
+						ops.Unstage(op.line)
+					case optRead:
+						ops.Read(op.line)
+					case optWrite:
+						ops.Write(op.line)
+					case optApply:
+						ops.Apply(op.kernel, op.line, op.srcs...)
+					case optCompute:
+						ops.Compute(op.ci, op.cj, op.ck)
+					}
+				}
+			})
+		}
+	}
+	return &q
+}
+
+// Optimize ------------------------------------------------------------
+
+// Optimize records p's op stream, proves it well-formed, and elides
+// restaging the declared machine never needed: shared lines kept
+// resident across region gaps when their home chip has the headroom,
+// core refills of provably unchanged upstream copies, and — as a
+// consequence — intermediate dirty writebacks, which sink to each
+// line's final unstage. The returned program replays the identical
+// computation with MS/MD traffic less than or equal to the baseline's,
+// operation by operation.
+//
+// Programs the pass cannot analyse (demand-driven, no body, malformed
+// or verifier-violating streams, capacity already exceeded) come back
+// unchanged — the original pointer — with the report's SkipReason set
+// and no error: Optimize is safe to call on anything. An error is
+// returned only when the pass's own output fails its re-measurement
+// (a bug in the pass, never a property of the input), in which case
+// the returned program is nil.
+func Optimize(p *Program, opts OptimizeOptions) (*Program, OptimizeReport, error) {
+	var rep OptimizeReport
+	if p == nil {
+		return nil, rep, fmt.Errorf("schedule: Optimize of nil program")
+	}
+	skip := func(reason string) (*Program, OptimizeReport, error) {
+		rep.SkipReason = reason
+		return p, rep, nil
+	}
+	if p.Body == nil {
+		return skip("program has no body")
+	}
+	if p.DemandDriven {
+		return skip("demand-driven program: no staging discipline to optimize")
+	}
+	if p.Cores < 1 {
+		return skip("program declares no cores")
+	}
+	chips := p.Resources.ChipCount()
+	if chips > 1 && p.Cores%chips != 0 {
+		return skip(fmt.Sprintf("%d cores not divisible over %d chips", p.Cores, chips))
+	}
+
+	rec := &optRecorder{cores: p.Cores}
+	p.Body(rec)
+	if rec.bad != "" {
+		return skip(rec.bad)
+	}
+	a, reason := optAnalyze(p, rec.items)
+	if reason != "" {
+		return skip(reason)
+	}
+	if issues := CheckCapacity(a.workingSet(), p.Resources); len(issues) > 0 {
+		return skip("baseline exceeds its declared capacities")
+	}
+
+	elidedShared := make([]uint64, chips)
+	elidedCore := make([]uint64, chips)
+	if !opts.NoSharedResidency {
+		elidedShared = optSharedPass(p, rec.items, a)
+	}
+	if !opts.NoCoreReuse {
+		elidedCore = optCorePass(p, rec.items, a)
+	}
+
+	base := optModel(p, rec.items, a, false)
+	after := optModel(p, rec.items, a, true)
+	rep.SharedPerChip = make([]OptimizeCounts, chips)
+	rep.CorePerChip = make([]OptimizeCounts, chips)
+	var totalElided uint64
+	for ch := 0; ch < chips; ch++ {
+		sc := &rep.SharedPerChip[ch]
+		sc.BaselineStages = a.sharedStages[ch]
+		sc.ElidedStages = elidedShared[ch]
+		sc.KeptStages = after.msStage[ch]
+		sc.BaselineWriteBacks = base.msWB[ch]
+		sc.KeptWriteBacks = after.msWB[ch]
+		if base.msStage[ch] != sc.BaselineStages ||
+			sc.KeptStages+sc.ElidedStages != sc.BaselineStages ||
+			sc.KeptWriteBacks > sc.BaselineWriteBacks {
+			return nil, rep, fmt.Errorf("schedule: Optimize shared ledger does not balance on chip %d: baseline %d stages (model %d), elided %d, kept %d; writebacks %d→%d",
+				ch, sc.BaselineStages, base.msStage[ch], sc.ElidedStages, sc.KeptStages, sc.BaselineWriteBacks, sc.KeptWriteBacks)
+		}
+		sc.ElidedWriteBacks = sc.BaselineWriteBacks - sc.KeptWriteBacks
+		rep.Shared.add(*sc)
+
+		cc := &rep.CorePerChip[ch]
+		cc.BaselineStages = a.coreStages[ch]
+		cc.ElidedStages = elidedCore[ch]
+		cc.KeptStages = after.mdStage[ch]
+		cc.BaselineWriteBacks = base.mdWB[ch]
+		cc.KeptWriteBacks = after.mdWB[ch]
+		if base.mdStage[ch] != cc.BaselineStages ||
+			cc.KeptStages+cc.ElidedStages != cc.BaselineStages ||
+			cc.KeptWriteBacks > cc.BaselineWriteBacks {
+			return nil, rep, fmt.Errorf("schedule: Optimize core ledger does not balance on chip %d: baseline %d stages (model %d), elided %d, kept %d; writebacks %d→%d",
+				ch, cc.BaselineStages, base.mdStage[ch], cc.ElidedStages, cc.KeptStages, cc.BaselineWriteBacks, cc.KeptWriteBacks)
+		}
+		cc.ElidedWriteBacks = cc.BaselineWriteBacks - cc.KeptWriteBacks
+		rep.Core.add(*cc)
+
+		totalElided += elidedShared[ch] + elidedCore[ch]
+	}
+	if totalElided == 0 {
+		return p, rep, nil
+	}
+
+	q := optRebuild(p, rec.items)
+	ws, err := Measure(q)
+	if err != nil {
+		return nil, rep, fmt.Errorf("schedule: optimized program does not measure: %w", err)
+	}
+	if ws.SharedStages != rep.Shared.KeptStages ||
+		ws.Stages != rep.Core.KeptStages ||
+		ws.SharedUnstages != rep.Shared.BaselineStages-rep.Shared.ElidedStages ||
+		ws.Unstages != rep.Core.BaselineStages-rep.Core.ElidedStages ||
+		ws.Computes != a.computes {
+		return nil, rep, fmt.Errorf("schedule: optimized program replays a different stream: measured %d/%d stages, %d/%d unstages, %d computes; ledger kept %d/%d, computes %d",
+			ws.SharedStages, ws.Stages, ws.SharedUnstages, ws.Unstages, ws.Computes,
+			rep.Shared.KeptStages, rep.Core.KeptStages, a.computes)
+	}
+	if issues := CheckCapacity(ws, p.Resources); len(issues) > 0 {
+		return nil, rep, fmt.Errorf("schedule: optimized program violates capacity it was proven against: %+v", issues[0])
+	}
+	rep.Changed = true
+	return q, rep, nil
+}

@@ -124,6 +124,73 @@ func TestRegisteredPlansVerifyClean(t *testing.T) {
 	}
 }
 
+// TestOptimizedProgramsVerifyClean extends the acceptance grid through
+// the optimizer: every registered program and the LU emitter, rewritten
+// by schedule.Optimize, must still verify clean against its declared
+// resources, and every pipelined plan built for the optimized stream
+// must pass the plan checker. The optimizer is only trusted because of
+// this gate — a rewrite the verifier rejects is a bug, not a tuning
+// choice.
+func TestOptimizedProgramsVerifyClean(t *testing.T) {
+	changed := 0
+	check := func(t *testing.T, p *schedule.Program, cs int) {
+		t.Helper()
+		q, rep, err := schedule.Optimize(p, schedule.OptimizeOptions{})
+		if err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+		if rep.SkipReason != "" {
+			t.Fatalf("staged program skipped: %s", rep.SkipReason)
+		}
+		if rep.Changed {
+			changed++
+		}
+		if fs := verify.Program(q, q.Resources); len(fs) != 0 {
+			for _, f := range fs {
+				t.Errorf("finding: %v", f)
+			}
+		}
+		for depth := 1; depth <= 3; depth++ {
+			plan, err := schedule.PlanPipelineDepth(q, cs, depth)
+			if err != nil {
+				t.Fatalf("depth %d: plan optimized stream: %v", depth, err)
+			}
+			if fs := verify.Plan(q, plan, cs); len(fs) != 0 {
+				for _, f := range fs {
+					t.Errorf("depth %d finding: %v", depth, f)
+				}
+			}
+		}
+	}
+	for _, a := range algo.Extended() {
+		for _, m := range gridMachines(t) {
+			for _, w := range gridWorkloads {
+				p, err := a.Schedule(m, w)
+				if err != nil {
+					t.Fatalf("%s: schedule: %v", a.Name(), err)
+				}
+				if p.DemandDriven {
+					continue // the optimizer skips demand-driven streams
+				}
+				name := fmt.Sprintf("%s/p%d_chips%d/%dx%dx%d", a.Name(), m.P, m.ChipCount(), w.M, w.N, w.Z)
+				t.Run(name, func(t *testing.T) { check(t, p, m.CS) })
+			}
+		}
+	}
+	for _, m := range gridMachines(t) {
+		for _, nb := range []int{1, 2, 5, 6} {
+			p, err := lu.Program(m, nb)
+			if err != nil {
+				t.Fatalf("lu program: %v", err)
+			}
+			t.Run(fmt.Sprintf("LU/p%d_chips%d/nb%d", m.P, m.ChipCount(), nb), func(t *testing.T) { check(t, p, m.CS) })
+		}
+	}
+	if changed == 0 {
+		t.Fatal("optimizer changed nothing on the acceptance grid")
+	}
+}
+
 // TestVerifierCapacityMatchesFits pins the dedup satellite from the
 // verifier's side: for every registered program, the walker's exact
 // accounting and WorkingSet.Fits (both now delegating to
