@@ -26,6 +26,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -58,6 +61,7 @@ func main() {
 		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
 		tunePath    = flag.String("tune", "", "load tunables from this TUNE.json when it matches the host; explicit flags win")
 		optimize    = flag.Bool("optimize", true, "run staged programs through the schedule optimizer (benchmark mode measures baseline/optimized pairs for staged modes)")
+		faults      = flag.String("faults", "", "chaos mode: inject faults from this spec (e.g. 'panic@1:7', 'stagerr~0.01;seed=42'; see internal/faultinject); the faulted run must fail with provenance, Reset, and re-run clean")
 	)
 	flag.Parse()
 
@@ -86,13 +90,110 @@ func main() {
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
 			tun.Optimize = *optimize
-			err = run(*algoName, *order, params.Q, *cores, *chips, *verify, *seed, mode, tun)
+			if *faults != "" {
+				err = chaos(*algoName, *faults, *order, params.Q, *cores, *chips, *seed, mode, tun)
+			} else {
+				err = run(*algoName, *order, params.Q, *cores, *chips, *verify, *seed, mode, tun)
+			}
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gemm:", err)
 		os.Exit(1)
 	}
+}
+
+// chaos is the -faults path: run one algorithm under an injected fault
+// plan with the integrity tripwire armed, and prove the failure model
+// end to end. The faulted run must either complete clean (the plan
+// never fired — possible for probabilistic rules) or fail with a
+// structured *parallel.RunError carrying op provenance; anything else —
+// a bare error, a crash, a deadlock — is a harness failure and exits
+// non-zero. After the fault the executor is Reset, the inputs restored,
+// and the very same executor re-runs the program clean, verified
+// against the sequential reference: run-after-fault, demonstrated on
+// every invocation.
+func chaos(algoName, spec string, order, q, cores, chips int, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
+	plan, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	names, err := selectAlgos(algoName)
+	if err != nil {
+		return err
+	}
+	a, err := algo.ByName(names[0])
+	if err != nil {
+		return err
+	}
+	mach, err := bigMachine(cores, q, chips)
+	if err != nil {
+		return err
+	}
+	tr, err := matrix.NewTriple(order, order, order, q, seed)
+	if err != nil {
+		return err
+	}
+	m, n, z := tr.Dims()
+	prog, err := a.Schedule(mach, algo.Workload{M: m, N: n, Z: z})
+	if err != nil {
+		return err
+	}
+	team, err := parallel.NewTeam(mach.P)
+	if err != nil {
+		return err
+	}
+	defer team.Close()
+	ex, err := parallel.NewExecutor(team, tr, nil, mode, mach.CD, mach.CS)
+	if err != nil {
+		return err
+	}
+	ex.SetTuning(tun)
+	ex.SetFaultInjector(plan)
+	ex.SetIntegrityChecks(true)
+
+	fmt.Printf("chaos: %q under plan %q (mode %v, p=%d)\n", names[0], plan, mode, cores)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := ex.RunContext(ctx, prog); err != nil {
+		var re *parallel.RunError
+		if !errors.As(err, &re) {
+			return fmt.Errorf("chaos: fault surfaced without RunError provenance: %w", err)
+		}
+		fmt.Printf("chaos: faulted as expected: %v\n", re)
+		ex.Reset()
+	} else {
+		fmt.Println("chaos: no injected fault fired; run completed clean")
+	}
+
+	// Recovery: restore the inputs, drop the injector, and prove the same
+	// executor replays the program clean after the failure.
+	ex.SetFaultInjector(nil)
+	fresh, err := matrix.NewTriple(order, order, order, q, seed)
+	if err != nil {
+		return err
+	}
+	for _, mats := range [][2]*matrix.Dense{
+		{tr.A.Dense(), fresh.A.Dense()},
+		{tr.B.Dense(), fresh.B.Dense()},
+		{tr.C.Dense(), fresh.C.Dense()},
+	} {
+		if err := mats[0].CopyFrom(mats[1]); err != nil {
+			return err
+		}
+	}
+	if err := ex.Run(prog); err != nil {
+		return fmt.Errorf("chaos: clean re-run after Reset failed: %w", err)
+	}
+	diff, err := parallel.Verify(tr)
+	if err != nil {
+		return err
+	}
+	if diff > 1e-9 {
+		return fmt.Errorf("chaos: clean re-run deviates from the sequential reference by %g", diff)
+	}
+	fmt.Printf("chaos: recovered; clean re-run verified against the sequential reference (max |err| %.2e)\n", diff)
+	return nil
 }
 
 // resolveTuning composes the configuration in the documented order —

@@ -28,12 +28,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/lu"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -57,6 +60,8 @@ func main() {
 		lookahead   = flag.Int("lookahead", 0, "pipeline lookahead depth of shared-pipelined mode (default: TUNE.json, else 1)")
 		tunePath    = flag.String("tune", "", "load tunables from this TUNE.json when it matches the host; explicit flags win")
 		optimize    = flag.Bool("optimize", true, "run the LU program through the schedule optimizer (benchmark mode measures baseline/optimized pairs for staged modes)")
+		faults      = flag.String("faults", "", "chaos mode: inject faults from this spec (e.g. 'panic@1:7', 'corrupt@*:5'; see internal/faultinject); the faulted run must fail with provenance, Reset, and re-run clean")
+		singularAt  = flag.Int("singular-at", -1, "factor a deliberately singular input whose pivot tile vanishes at this block step (demonstrates the singular failure path; exits non-zero)")
 	)
 	flag.Parse()
 
@@ -82,13 +87,124 @@ func main() {
 		mode, err = parallel.ParseMode(*modeName)
 		if err == nil {
 			tun.Optimize = *optimize
-			err = run(*n, params.Q, *cores, *chips, *verify, *seed, mode, tun)
+			switch {
+			case *faults != "":
+				err = chaos(*faults, *n, params.Q, *cores, *chips, *seed, mode, tun)
+			case *singularAt >= 0:
+				err = singularRun(*n, params.Q, *cores, *chips, *seed, mode, tun, *singularAt)
+			default:
+				err = run(*n, params.Q, *cores, *chips, *verify, *seed, mode, tun)
+			}
 		}
 	}
 	if err != nil {
+		// A vanishing pivot is a property of the input, not a harness
+		// failure: name the exact block step from the RunError provenance
+		// so the user knows where the factorisation died.
+		if step, ok := lu.SingularStep(err); ok {
+			fmt.Fprintf(os.Stderr, "lufact: matrix is singular at step %d\n", step)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "lufact:", err)
 		os.Exit(1)
 	}
+}
+
+// chaos is the -faults path: factor under an injected fault plan with
+// the integrity tripwire armed, expecting a structured failure, then
+// Reset, restore the input, and prove the same executor re-runs clean —
+// bitwise identical to the sequential factorisation. See cmd/gemm's
+// chaos mode; this is its LU counterpart, built on lu.NewRun.
+func chaos(spec string, n, q, cores, chips int, seed uint64, mode parallel.Mode, tun parallel.Tuning) error {
+	plan, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || q <= 0 {
+		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
+	}
+	mach := lu.MachineFor(cores, q)
+	mach.Chips = chips
+	if err := mach.Validate(); err != nil {
+		return err
+	}
+	team, err := parallel.NewTeam(cores)
+	if err != nil {
+		return err
+	}
+	defer team.Close()
+	orig := lu.RandomDominant(n, seed)
+	work := orig.Clone()
+	fr, err := lu.NewRun(work, q, team, mode, mach, tun)
+	if err != nil {
+		return err
+	}
+	fr.Ex.SetFaultInjector(plan)
+	fr.Ex.SetIntegrityChecks(true)
+
+	fmt.Printf("chaos: LU of %d×%d under plan %q (mode %v, p=%d)\n", n, n, plan, mode, cores)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := fr.Ex.RunContext(ctx, fr.Prog); err != nil {
+		var re *parallel.RunError
+		if !errors.As(err, &re) {
+			return fmt.Errorf("chaos: fault surfaced without RunError provenance: %w", err)
+		}
+		fmt.Printf("chaos: faulted as expected: %v\n", re)
+		fr.Ex.Reset()
+	} else {
+		fmt.Println("chaos: no injected fault fired; run completed clean")
+	}
+
+	// Recovery: restore the input, drop the injector, and prove the same
+	// executor factors clean after the failure.
+	fr.Ex.SetFaultInjector(nil)
+	if err := work.CopyFrom(orig); err != nil {
+		return err
+	}
+	if err := fr.Ex.Run(fr.Prog); err != nil {
+		return fmt.Errorf("chaos: clean re-run after Reset failed: %w", err)
+	}
+	seq := orig.Clone()
+	if err := lu.Factor(seq, q); err != nil {
+		return err
+	}
+	if !work.Equal(seq) {
+		return fmt.Errorf("chaos: re-run factors deviate from the sequential ones by %g", work.MaxAbsDiff(seq))
+	}
+	fmt.Println("chaos: recovered; clean re-run bitwise identical to the sequential factorisation")
+	return nil
+}
+
+// singularRun is the -singular-at path: factor lu.SingularInput — a
+// matrix whose pivot tile vanishes at the given block step — through
+// the executor and let the error propagate. main recognises the
+// ErrSingular-wrapping RunError and exits non-zero naming the step from
+// its provenance, which is exactly what this path demonstrates.
+func singularRun(n, q, cores, chips int, seed uint64, mode parallel.Mode, tun parallel.Tuning, step int) error {
+	if n <= 0 || q <= 0 {
+		return fmt.Errorf("need positive -n and -q, got n=%d q=%d", n, q)
+	}
+	if steps := (n + q - 1) / q; step >= steps {
+		return fmt.Errorf("-singular-at %d is outside the %d-step factorisation", step, steps)
+	}
+	mach := lu.MachineFor(cores, q)
+	mach.Chips = chips
+	if err := mach.Validate(); err != nil {
+		return err
+	}
+	team, err := parallel.NewTeam(cores)
+	if err != nil {
+		return err
+	}
+	defer team.Close()
+	a := lu.SingularInput(n, q, step, seed)
+	fmt.Printf("factoring a deliberately singular %d×%d input (vanishing pivot tile at block step %d, mode %v, p=%d)\n",
+		n, n, step, mode, cores)
+	if _, err := lu.FactorParallelTuned(a, q, team, mode, mach, tun); err != nil {
+		return err
+	}
+	return fmt.Errorf("singular input factored without error; the failure path is broken")
 }
 
 // resolveTuning composes the configuration in the documented order —

@@ -1,0 +1,407 @@
+// Package faultinject is the deterministic fault-injection harness of
+// the real executor: a seeded Plan of Rules that fire kernel panics,
+// kernel errors, staging errors, per-op delays and single-bit data
+// corruption at (core, op-index) granularity. The executor consults the
+// plan at every replayed operation (workers) and every memory↔shared
+// staging transfer (the driving goroutine), so a plan exercises exactly
+// the failure paths a production fault would take — and because rules
+// are matched on the deterministic operation coordinates of the
+// schedule replay (and probabilistic rules draw from a seeded hash of
+// those coordinates, not from a global RNG), the same plan over the
+// same program fires at the same operations on every run, under any
+// interleaving of the worker goroutines.
+//
+// Plans come from two places: tests build them directly (typically
+// after a dry scan with a collecting Injector to sample a real
+// operation coordinate), and the CLIs parse them from a -faults spec
+// string — see ParseSpec for the grammar.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+// OpKind classifies the injection point: which kind of executor
+// operation is about to run.
+type OpKind uint8
+
+const (
+	// Apply is a typed kernel application on a worker.
+	Apply OpKind = iota
+	// Stage is a core-level staging transfer (memory→core in packed
+	// mode, shared→core refill in the shared-level modes).
+	Stage
+	// Unstage is a core-level release/write-back.
+	Unstage
+	// StageShared is a memory→shared transfer on the driving goroutine.
+	StageShared
+	// UnstageShared is a shared→memory release on the driving goroutine.
+	UnstageShared
+
+	numOpKinds
+)
+
+// String names the op kind as RunError sites and specs render it.
+func (k OpKind) String() string {
+	switch k {
+	case Apply:
+		return "apply"
+	case Stage:
+		return "stage"
+	case Unstage:
+		return "unstage"
+	case StageShared:
+		return "stage-shared"
+	case UnstageShared:
+		return "unstage-shared"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// OpMask selects a set of op kinds for a rule. The zero mask matches
+// every kind.
+type OpMask uint8
+
+// Mask returns the mask selecting exactly the given kinds.
+func Mask(kinds ...OpKind) OpMask {
+	var m OpMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Matches reports whether the mask selects k (a zero mask matches all).
+func (m OpMask) Matches(k OpKind) bool {
+	return m == 0 || m&(1<<k) != 0
+}
+
+// Convenient masks for the rule constructors and ParseSpec.
+var (
+	// AnyOp matches every injection point.
+	AnyOp = OpMask(0)
+	// AnyStage matches every downward transfer, at either level — the
+	// ops whose staged copy a corruption rule can flip.
+	AnyStage = Mask(Stage, StageShared)
+	// ApplyOnly matches kernel applications.
+	ApplyOnly = Mask(Apply)
+)
+
+// Point is one injection point: the operation the executor is about to
+// run, in the provenance vocabulary of schedule.OpRef. Op.Core is
+// schedule.DriverCore (-1) for the driving goroutine's shared staging;
+// Op.Index counts that goroutine's staging ops cumulatively, exactly as
+// it counts each worker's replayed ops. Kernel is meaningful only when
+// Kind == Apply.
+type Point struct {
+	Op     schedule.OpRef
+	Kind   OpKind
+	Kernel schedule.Kernel
+	Line   schedule.Line
+}
+
+// ActionKind is what an injection does at its point.
+type ActionKind uint8
+
+const (
+	// ActNone lets the operation run untouched.
+	ActNone ActionKind = iota
+	// ActPanic panics on the executing goroutine before the operation —
+	// the hard failure the Team must isolate.
+	ActPanic
+	// ActError fails the operation with ErrInjected, as a kernel error
+	// (Apply points) or a staging error (transfer points).
+	ActError
+	// ActDelay sleeps for Action.Delay before the operation runs — the
+	// straggler fault; it never changes the result.
+	ActDelay
+	// ActCorrupt flips bit Action.Bit of the first value of the staged
+	// copy right after a Stage/StageShared transfer — silent data
+	// corruption, caught only by the executor's integrity tripwire.
+	// Non-staging points ignore it.
+	ActCorrupt
+)
+
+// String names the action for specs and error messages.
+func (k ActionKind) String() string {
+	switch k {
+	case ActNone:
+		return "none"
+	case ActPanic:
+		return "panic"
+	case ActError:
+		return "error"
+	case ActDelay:
+		return "delay"
+	case ActCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", uint8(k))
+	}
+}
+
+// Action is the resolved injection at a point. The zero value is "do
+// nothing".
+type Action struct {
+	Kind  ActionKind
+	Delay time.Duration // ActDelay: how long to sleep
+	Bit   uint          // ActCorrupt: which bit of the first staged value to flip (0..63)
+}
+
+// ErrInjected is the sentinel wrapped by every error the harness
+// injects, so tests and chaos drivers can tell an injected failure from
+// an organic one with errors.Is.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// Injector decides, for every operation the executor is about to run,
+// whether a fault fires there. Implementations must be safe for
+// concurrent calls from all worker goroutines plus the driver; At must
+// be deterministic in the point alone, or replays lose reproducibility.
+type Injector interface {
+	At(p Point) Action
+}
+
+// Rule arms one fault. A rule matches a point when every set filter
+// does: Core (-1 matches any core, including the driver), OpIndex (-1
+// matches any index), Ops (zero mask matches any kind), and — for rules
+// with 0 < Prob < 1 — a deterministic coin drawn from the plan seed and
+// the point coordinates.
+type Rule struct {
+	Core    int
+	OpIndex int
+	Ops     OpMask
+	// Prob arms the rule probabilistically: at each matching point the
+	// rule fires with this probability, decided by a hash of the plan
+	// seed and the point's (core, index, kind) — deterministic per
+	// coordinate, independent across coordinates. 0 (or ≥ 1) means the
+	// rule always fires where its filters match.
+	Prob   float64
+	Action Action
+}
+
+// matches reports whether the rule fires at p under seed.
+func (r Rule) matches(seed uint64, p Point) bool {
+	if r.Core != -1 && r.Core != p.Op.Core {
+		return false
+	}
+	if r.OpIndex != -1 && r.OpIndex != p.Op.Index {
+		return false
+	}
+	if !r.Ops.Matches(p.Kind) {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		return coin(seed, p) < r.Prob
+	}
+	return true
+}
+
+// coin maps (seed, point) to a uniform [0, 1) draw via splitmix64 —
+// stateless, so concurrent workers need no lock and replays agree.
+func coin(seed uint64, p Point) float64 {
+	x := seed
+	x ^= uint64(p.Op.Core+2) * 0x9e3779b97f4a7c15
+	x ^= uint64(p.Op.Index+1) << 20
+	x ^= uint64(p.Kind) << 56
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Plan is a deterministic, seeded fault plan: the first matching rule
+// decides each point. A nil *Plan injects nothing, so executors can
+// carry one unconditionally.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+var _ Injector = (*Plan)(nil)
+
+// At resolves the plan at p: the first matching rule's action, or the
+// zero Action. Safe for concurrent use; a Plan is immutable once built.
+func (pl *Plan) At(p Point) Action {
+	if pl == nil {
+		return Action{}
+	}
+	for _, r := range pl.Rules {
+		if r.matches(pl.Seed, p) {
+			return r.Action
+		}
+	}
+	return Action{}
+}
+
+// Empty reports whether the plan can never fire.
+func (pl *Plan) Empty() bool { return pl == nil || len(pl.Rules) == 0 }
+
+// String renders the plan in (parseable) spec form.
+func (pl *Plan) String() string {
+	if pl == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(pl.Rules)+1)
+	if pl.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", pl.Seed))
+	}
+	for _, r := range pl.Rules {
+		s := r.Action.Kind.String()
+		if r.Action.Kind == ActError && r.Ops == AnyStage {
+			s = "stagerr"
+		}
+		switch r.Action.Kind {
+		case ActDelay:
+			s += "=" + r.Action.Delay.String()
+		case ActCorrupt:
+			if r.Action.Bit != 1 {
+				s += "=" + strconv.FormatUint(uint64(r.Action.Bit), 10)
+			}
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			s += "~" + strconv.FormatFloat(r.Prob, 'g', -1, 64)
+		}
+		s += "@" + coord(r.Core) + ":" + coord(r.OpIndex)
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ";")
+}
+
+func coord(v int) string {
+	if v == -1 {
+		return "*"
+	}
+	return strconv.Itoa(v)
+}
+
+// ParseSpec compiles a -faults specification into a Plan. The grammar,
+// entries separated by ';':
+//
+//	spec  := entry (';' entry)*
+//	entry := "seed=" N | rule
+//	rule  := kind [ '=' arg ] [ '~' prob ] [ '@' core ':' op ]
+//	kind  := "panic" | "error" | "stagerr" | "delay" | "corrupt"
+//	core  := int | '*'        (matching schedule.OpRef.Core; -1/'*' any,
+//	op    := int | '*'         and the driver's staging ops are core -1)
+//
+// The kind fixes the op filter and action: panic and error fire at
+// kernel applications; stagerr is an error at any staging transfer
+// (either level); delay (arg: a Go duration, default 1ms) fires at any
+// op; corrupt (arg: the bit to flip, default 1) flips one bit of a
+// freshly staged copy. '~prob' makes the rule probabilistic per
+// matching op, decided by the plan seed. Omitting '@core:op' means
+// '@*:*'. Examples:
+//
+//	panic@1:7                  worker 1 panics at its 8th operation
+//	error@*:3                  whichever core reaches op 3 gets a kernel error
+//	stagerr~0.01;seed=42       1% of staging transfers fail, seed 42
+//	delay=200us@0:*            every op of core 0 runs 200µs late
+//	corrupt@*:5                flip bit 1 of the copy staged by any op 5
+func ParseSpec(spec string) (*Plan, error) {
+	pl := &Plan{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(entry, "seed="); ok {
+			seed, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q: %v", rest, err)
+			}
+			pl.Seed = seed
+			continue
+		}
+		rule, err := parseRule(entry)
+		if err != nil {
+			return nil, err
+		}
+		pl.Rules = append(pl.Rules, rule)
+	}
+	if pl.Empty() {
+		return nil, fmt.Errorf("faultinject: spec %q contains no rules", spec)
+	}
+	return pl, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	rule := Rule{Core: -1, OpIndex: -1}
+	body, loc, hasLoc := strings.Cut(s, "@")
+	if hasLoc {
+		coreS, opS, ok := strings.Cut(loc, ":")
+		if !ok {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: location %q must be core:op", s, loc)
+		}
+		var err error
+		if rule.Core, err = parseCoord(coreS); err != nil {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: %v", s, err)
+		}
+		if rule.OpIndex, err = parseCoord(opS); err != nil {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: %v", s, err)
+		}
+	}
+	body, probS, hasProb := strings.Cut(body, "~")
+	if hasProb {
+		p, err := strconv.ParseFloat(probS, 64)
+		if err != nil || math.IsNaN(p) || p <= 0 || p > 1 {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: probability %q must be in (0, 1]", s, probS)
+		}
+		rule.Prob = p
+	}
+	kind, arg, hasArg := strings.Cut(body, "=")
+	switch kind {
+	case "panic":
+		rule.Ops, rule.Action = ApplyOnly, Action{Kind: ActPanic}
+	case "error":
+		rule.Ops, rule.Action = ApplyOnly, Action{Kind: ActError}
+	case "stagerr":
+		rule.Ops, rule.Action = AnyStage, Action{Kind: ActError}
+	case "delay":
+		rule.Ops, rule.Action = AnyOp, Action{Kind: ActDelay, Delay: time.Millisecond}
+		if hasArg {
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return Rule{}, fmt.Errorf("faultinject: rule %q: bad delay %q", s, arg)
+			}
+			rule.Action.Delay = d
+		}
+		hasArg = false
+	case "corrupt":
+		rule.Ops, rule.Action = AnyStage, Action{Kind: ActCorrupt, Bit: 1}
+		if hasArg {
+			bit, err := strconv.ParseUint(arg, 10, 8)
+			if err != nil || bit > 63 {
+				return Rule{}, fmt.Errorf("faultinject: rule %q: bit %q must be 0..63", s, arg)
+			}
+			rule.Action.Bit = uint(bit)
+		}
+		hasArg = false
+	default:
+		return Rule{}, fmt.Errorf("faultinject: rule %q: unknown fault kind %q (want panic, error, stagerr, delay or corrupt)", s, kind)
+	}
+	if hasArg {
+		return Rule{}, fmt.Errorf("faultinject: rule %q: kind %q takes no argument", s, kind)
+	}
+	return rule, nil
+}
+
+func parseCoord(s string) (int, error) {
+	if s == "*" {
+		return -1, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < -1 {
+		return 0, fmt.Errorf("bad coordinate %q (want an index, -1 or '*')", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+func pt(core, idx int, kind OpKind) Point {
+	return Point{Op: schedule.OpRef{Region: 0, Core: core, Index: idx}, Kind: kind}
+}
+
+func TestRuleCoordinateMatching(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Core: 1, OpIndex: 7, Ops: ApplyOnly, Action: Action{Kind: ActPanic}}}}
+	if got := plan.At(pt(1, 7, Apply)); got.Kind != ActPanic {
+		t.Fatalf("exact coordinate: got %v, want panic", got.Kind)
+	}
+	for _, miss := range []Point{
+		pt(0, 7, Apply),  // wrong core
+		pt(1, 6, Apply),  // wrong index
+		pt(1, 7, Stage),  // wrong op kind
+		pt(-1, 7, Apply), // driver, not core 1
+	} {
+		if got := plan.At(miss); got.Kind != ActNone {
+			t.Fatalf("point %+v: fired %v, want none", miss, got.Kind)
+		}
+	}
+}
+
+func TestWildcardsAndFirstMatchWins(t *testing.T) {
+	plan := &Plan{Rules: []Rule{
+		{Core: -1, OpIndex: 3, Ops: ApplyOnly, Action: Action{Kind: ActError}},
+		{Core: -1, OpIndex: -1, Ops: AnyOp, Action: Action{Kind: ActDelay, Delay: time.Microsecond}},
+	}}
+	if got := plan.At(pt(2, 3, Apply)); got.Kind != ActError {
+		t.Fatalf("first matching rule must win, got %v", got.Kind)
+	}
+	if got := plan.At(pt(2, 4, Apply)); got.Kind != ActDelay {
+		t.Fatalf("fallthrough to wildcard delay, got %v", got.Kind)
+	}
+	if got := plan.At(pt(-1, 0, StageShared)); got.Kind != ActDelay {
+		t.Fatalf("driver point must match wildcard core, got %v", got.Kind)
+	}
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var plan *Plan
+	if got := plan.At(pt(0, 0, Apply)); got.Kind != ActNone {
+		t.Fatalf("nil plan fired %v", got.Kind)
+	}
+	if !plan.Empty() {
+		t.Fatal("nil plan must be empty")
+	}
+}
+
+// Probabilistic rules must be a pure function of (seed, coordinates):
+// the same plan sees the same draws on every replay, and different
+// seeds see different draws.
+func TestProbabilisticRulesAreDeterministic(t *testing.T) {
+	mk := func(seed uint64) *Plan {
+		return &Plan{Seed: seed, Rules: []Rule{{Core: -1, OpIndex: -1, Prob: 0.3, Action: Action{Kind: ActError}}}}
+	}
+	a, b := mk(1), mk(1)
+	var fired, diff int
+	other := mk(2)
+	for i := 0; i < 2000; i++ {
+		p := pt(i%5-1, i, OpKind(i%int(numOpKinds)))
+		ka, kb := a.At(p).Kind, b.At(p).Kind
+		if ka != kb {
+			t.Fatalf("draw at %+v not deterministic: %v vs %v", p, ka, kb)
+		}
+		if ka == ActError {
+			fired++
+		}
+		if ka != other.At(p).Kind {
+			diff++
+		}
+	}
+	if fired < 400 || fired > 800 {
+		t.Fatalf("p=0.3 rule fired %d/2000 times, want roughly 600", fired)
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 drew identically on every point")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("seed=42;panic@1:7;stagerr~0.01;delay=200us@0:*;corrupt@*:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 || len(plan.Rules) != 4 {
+		t.Fatalf("got seed=%d rules=%d", plan.Seed, len(plan.Rules))
+	}
+	if r := plan.Rules[0]; r.Core != 1 || r.OpIndex != 7 || r.Action.Kind != ActPanic || !r.Ops.Matches(Apply) || r.Ops.Matches(Stage) {
+		t.Fatalf("panic rule parsed as %+v", r)
+	}
+	if r := plan.Rules[1]; r.Prob != 0.01 || r.Action.Kind != ActError || !r.Ops.Matches(StageShared) || r.Ops.Matches(Apply) {
+		t.Fatalf("stagerr rule parsed as %+v", r)
+	}
+	if r := plan.Rules[2]; r.Action.Delay != 200*time.Microsecond || r.Core != 0 || r.OpIndex != -1 {
+		t.Fatalf("delay rule parsed as %+v", r)
+	}
+	if r := plan.Rules[3]; r.Action.Kind != ActCorrupt || r.Action.Bit != 1 || r.OpIndex != 5 {
+		t.Fatalf("corrupt rule parsed as %+v", r)
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	plan, err := ParseSpec("delay;corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := plan.Rules[0].Action.Delay; d != time.Millisecond {
+		t.Fatalf("default delay %v, want 1ms", d)
+	}
+	if b := plan.Rules[1].Action.Bit; b != 1 {
+		t.Fatalf("default corrupt bit %d, want 1", b)
+	}
+	for _, r := range plan.Rules {
+		if r.Core != -1 || r.OpIndex != -1 {
+			t.Fatalf("omitted location must mean wildcards, got %+v", r)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"",                // no rules
+		"seed=42",         // seed alone is not a plan
+		"explode@1:2",     // unknown kind
+		"panic@1",         // location missing op
+		"panic@x:y",       // non-numeric coordinates
+		"delay=backwards", // bad duration
+		"corrupt=64",      // bit out of range
+		"error~1.5@*:*",   // probability out of range
+		"error~0@*:*",     // zero probability
+		"panic=boom@1:2",  // kind takes no argument
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q: want error, got plan", spec)
+		}
+	}
+}
+
+// The String round-trip keeps chaos-smoke logs honest: what a CLI
+// prints as the active plan re-parses to the same plan.
+func TestPlanStringRoundTrips(t *testing.T) {
+	spec := "seed=7;panic@1:7;delay=2ms@0:*;corrupt@*:5;stagerr~0.25"
+	plan, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSpec(plan.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", plan.String(), err)
+	}
+	if plan.Seed != again.Seed || len(plan.Rules) != len(again.Rules) {
+		t.Fatalf("round trip changed the plan: %q vs %q", spec, again.String())
+	}
+	for i := range plan.Rules {
+		if plan.Rules[i] != again.Rules[i] {
+			t.Fatalf("rule %d changed: %+v vs %+v", i, plan.Rules[i], again.Rules[i])
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if s := k.String(); strings.Contains(s, "OpKind(") {
+			t.Errorf("op kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/parallel"
+	"repro/internal/schedule"
+)
+
+// TestLUSingularMidRunNamesStep: a factorisation that dies on a
+// vanishing pivot in the middle of the parallel run must surface
+// ErrSingular wrapped in a RunError whose provenance names the exact
+// diagonal tile — SingularStep turns that into the block step k the
+// CLI reports — and the executor must come back: after Reset, the same
+// Run over a healthy matrix is bitwise equal to the sequential Factor.
+func TestLUSingularMidRunNamesStep(t *testing.T) {
+	const n, q, step = 12, 4, 1
+	mach := luTestMachine(2, q)
+	team, err := parallel.NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeShared, parallel.ModeSharedPipelined} {
+		a := SingularInput(n, q, step, 3)
+		run, err := NewRun(a, q, team, mode, mach, parallel.DefaultTuning)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = run.Ex.Run(run.Prog)
+		if !errors.Is(err, ErrSingular) {
+			t.Fatalf("%v: want ErrSingular mid-run, got %v", mode, err)
+		}
+		var re *parallel.RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("%v: singular pivot surfaced without RunError provenance: %v", mode, err)
+		}
+		if !re.HasOp || re.Kernel != schedule.FactorTile {
+			t.Fatalf("%v: failing kernel is %v (HasOp=%v), want FactorTile", mode, re.Kernel, re.HasOp)
+		}
+		if re.Line != schedule.LineA(step, step) {
+			t.Fatalf("%v: failing line %v, want %v", mode, re.Line, schedule.LineA(step, step))
+		}
+		if k, ok := SingularStep(err); !ok || k != step {
+			t.Fatalf("%v: SingularStep = (%d, %v), want (%d, true)", mode, k, ok, step)
+		}
+
+		// Recovery: Reset the quarantined executor, rebind healthy data in
+		// place (the program views a's storage) and re-run.
+		run.Ex.Reset()
+		healthy := RandomDominant(n, 5)
+		if err := a.CopyFrom(healthy); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Ex.Run(run.Prog); err != nil {
+			t.Fatalf("%v: clean run after singular failure: %v", mode, err)
+		}
+		seq := healthy.Clone()
+		if err := Factor(seq, q); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(seq) {
+			t.Fatalf("%v: recovered factorisation is not bitwise equal to the sequential Factor", mode)
+		}
+	}
+}
+
+// TestLUFaultedRunRecovers: the gemm fault grid's recovery pin, applied
+// to the factorisation — an injected worker panic mid-factorisation
+// quarantines the executor, and after Reset with restored input the
+// re-run is bitwise identical to the sequential Factor.
+func TestLUFaultedRunRecovers(t *testing.T) {
+	const n, q = 16, 4
+	mach := luTestMachine(2, q)
+	team, err := parallel.NewTeam(mach.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Close()
+	orig := RandomDominant(n, 17)
+	for _, mode := range []parallel.Mode{parallel.ModePacked, parallel.ModeSharedPipelined} {
+		a := orig.Clone()
+		run, err := NewRun(a, q, team, mode, mach, parallel.DefaultTuning)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Ex.SetFaultInjector(&faultinject.Plan{Rules: []faultinject.Rule{{
+			Core: -1, OpIndex: -1, Ops: faultinject.ApplyOnly,
+			Action: faultinject.Action{Kind: faultinject.ActPanic},
+		}}})
+		err = run.Ex.Run(run.Prog)
+		var re *parallel.RunError
+		if !errors.As(err, &re) || !re.Panicked {
+			t.Fatalf("%v: injected panic surfaced as %v", mode, err)
+		}
+		if run.Ex.Err() == nil {
+			t.Fatalf("%v: faulted executor is not quarantined", mode)
+		}
+		run.Ex.Reset()
+		run.Ex.SetFaultInjector(nil)
+		if err := a.CopyFrom(orig); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Ex.Run(run.Prog); err != nil {
+			t.Fatalf("%v: clean run after Reset: %v", mode, err)
+		}
+		seq := orig.Clone()
+		if err := Factor(seq, q); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(seq) {
+			t.Fatalf("%v: recovered factorisation is not bitwise equal to the sequential Factor", mode)
+		}
+	}
+}

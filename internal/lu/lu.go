@@ -96,6 +96,30 @@ func RandomDominant(n int, seed uint64) *matrix.Dense {
 	return a
 }
 
+// SingularInput returns a deterministic n×n matrix whose unpivoted
+// factorisation fails at exactly block step `step` (tile size q): every
+// diagonal q×q tile is diagonally dominant except tile (step, step),
+// which stays zero, and the off-diagonal blocks are zero — so the
+// eliminations before step never repair the hole and the first
+// vanishing pivot FactorTile meets is that tile's. It exists to
+// demonstrate and test the singular failure path (cmd/lufact's
+// -singular-at, the mid-run provenance tests); it is not a workload.
+func SingularInput(n, q, step int, seed uint64) *matrix.Dense {
+	a := matrix.New(n, n)
+	d := RandomDominant(q, seed)
+	for b := 0; b*q < n; b++ {
+		if b == step {
+			continue
+		}
+		for i := 0; i < q && b*q+i < n; i++ {
+			for j := 0; j < q && b*q+j < n; j++ {
+				a.Set(b*q+i, b*q+j, d.At(i, j))
+			}
+		}
+	}
+	return a
+}
+
 // Reconstruct multiplies the L and U factors packed in lu back into a
 // dense matrix (for verification).
 func Reconstruct(lu *matrix.Dense) *matrix.Dense {

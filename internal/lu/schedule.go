@@ -268,34 +268,79 @@ func FactorParallelStats(a *matrix.Dense, q int, team *parallel.Team, mode paral
 // result stays bitwise equal to the sequential Factor at any setting —
 // only the measured profile.
 func FactorParallelTuned(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine, tun parallel.Tuning) (Stats, error) {
-	if err := check(a, q); err != nil {
+	run, err := NewRun(a, q, team, mode, mach, tun)
+	if err != nil {
 		return Stats{}, err
 	}
+	if err := run.Ex.Run(run.Prog); err != nil {
+		return Stats{}, err
+	}
+	return run.Stats(), nil
+}
+
+// Run bundles a compiled blocked-LU program with the executor that will
+// replay it — the exploded form of FactorParallelTuned for callers that
+// need the executor's failure-path control surface before and after the
+// replay: installing a fault injector or the integrity tripwire,
+// running under a context (Ex.RunContext), inspecting a *parallel.
+// RunError's provenance, and Resetting the executor after a failure.
+// cmd/lufact's chaos path is the canonical consumer.
+type Run struct {
+	Prog *schedule.Program
+	Ex   *parallel.Executor
+}
+
+// NewRun compiles the blocked-LU program for a and binds an executor to
+// it, performing all of FactorParallelTuned's validation but stopping
+// short of the replay. The caller owns the run: typically configure
+// Ex, then Ex.Run(Prog) (or Ex.RunContext), and read Stats.
+func NewRun(a *matrix.Dense, q int, team *parallel.Team, mode parallel.Mode, mach machine.Machine, tun parallel.Tuning) (*Run, error) {
+	if err := check(a, q); err != nil {
+		return nil, err
+	}
 	if team == nil {
-		return Stats{}, errors.New("lu: nil team")
+		return nil, errors.New("lu: nil team")
 	}
 	if mach.P != team.Size() {
-		return Stats{}, fmt.Errorf("lu: machine declares %d cores, team has %d", mach.P, team.Size())
+		return nil, fmt.Errorf("lu: machine declares %d cores, team has %d", mach.P, team.Size())
 	}
 	blocked, err := matrix.NewBlocked(matrix.MatA, a, q)
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	operands, err := matrix.NewOperands(blocked)
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	prog, err := Program(mach, blocked.BlockRows())
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	ex, err := parallel.NewExecutorOperands(team, operands, nil, mode, mach.CD, mach.CS)
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	ex.SetTuning(tun)
-	if err := ex.Run(prog); err != nil {
-		return Stats{}, err
+	return &Run{Prog: prog, Ex: ex}, nil
+}
+
+// Stats reads the executor's measured profile of the most recent replay.
+func (r *Run) Stats() Stats {
+	return Stats{Traffic: r.Ex.Traffic(), StageWait: r.Ex.StageWait(), Compute: r.Ex.ComputeTime()}
+}
+
+// SingularStep inspects a FactorParallel* error: if the factorisation
+// died on a vanishing pivot, it returns the block step k (the diagonal
+// tile A[k,k] whose FactorTile failed) and true. The step comes from the
+// RunError's provenance — the failing kernel's line — so it names the
+// exact pivot tile, not just "somewhere mid-run".
+func SingularStep(err error) (step int, ok bool) {
+	if !errors.Is(err, ErrSingular) {
+		return 0, false
 	}
-	return Stats{Traffic: ex.Traffic(), StageWait: ex.StageWait(), Compute: ex.ComputeTime()}, nil
+	var re *parallel.RunError
+	if errors.As(err, &re) && re.HasOp && re.Kernel == schedule.FactorTile {
+		return re.Line.Row, true
+	}
+	return 0, false
 }

@@ -28,12 +28,21 @@ type Arena struct {
 	slots    []arenaSlot
 	index    map[schedule.Line]int
 	free     []int
+
+	// verify arms the integrity tripwire (Executor.SetIntegrityChecks):
+	// staging records a checksum of the packed copy, release re-verifies
+	// it. Clean slots only by default — kernels legitimately mutate dirty
+	// tiles — unless verifyDirty is also set, which the shared arena does
+	// because Absorb recomputes the sum on every legitimate write.
+	verify      bool
+	verifyDirty bool
 }
 
 type arenaSlot struct {
 	line       schedule.Line
 	rows, cols int
 	dirty      bool
+	sum        uint64        // checksum of data at last stage/absorb (verify mode)
 	data       []float64     // slice of buf, len rows·cols while resident
 	hdr        *matrix.Dense // compact header over data, refreshed on alloc
 }
@@ -109,8 +118,13 @@ func (a *Arena) Stage(l schedule.Line, src *matrix.Dense) error {
 	if err != nil {
 		return err
 	}
-	_, err = matrix.Pack(slot.data, src)
-	return err
+	if _, err := matrix.Pack(slot.data, src); err != nil {
+		return err
+	}
+	if a.verify {
+		slot.sum = checksum(slot.data)
+	}
+	return nil
 }
 
 // stagePacked stages an already-packed rows×cols image under line l —
@@ -122,6 +136,9 @@ func (a *Arena) stagePacked(l schedule.Line, rows, cols int, src []float64) erro
 		return err
 	}
 	copy(slot.data, src[:rows*cols])
+	if a.verify {
+		slot.sum = checksum(slot.data)
+	}
 	return nil
 }
 
@@ -136,9 +153,26 @@ func (a *Arena) release(l schedule.Line) (rows, cols int, data []float64, dirty 
 		return 0, 0, nil, false, fmt.Errorf("parallel: %s unstage of non-resident block %v", a.level, l)
 	}
 	slot := &a.slots[i]
+	if err := a.check(slot, l); err != nil {
+		return 0, 0, nil, false, err
+	}
 	delete(a.index, l)
 	a.free = append(a.free, i)
 	return slot.rows, slot.cols, slot.data, slot.dirty, nil
+}
+
+// check re-verifies a resident slot's checksum under the verify policy
+// (see the Arena verify fields). A mismatch means the packed copy was
+// modified outside any legitimate write — injected corruption, a stray
+// store — and fails with ErrIntegrity.
+func (a *Arena) check(slot *arenaSlot, l schedule.Line) error {
+	if !a.verify || (slot.dirty && !a.verifyDirty) {
+		return nil
+	}
+	if checksum(slot.data) != slot.sum {
+		return fmt.Errorf("%w: %s copy of %v changed while resident", ErrIntegrity, a.level, l)
+	}
+	return nil
 }
 
 // Unstage frees the slot holding l, writing the packed tile back into
@@ -184,4 +218,20 @@ func (a *Arena) Drain(merge func(l schedule.Line, rows, cols int, data []float64
 		a.free = append(a.free, i)
 	}
 	return merged, nil
+}
+
+// Discard drops every resident tile without merging and zeroes the
+// backing buffer — the failure-path counterpart of Drain, used by
+// Executor.Reset. After a failed or cancelled run the arena's contents
+// are suspect (a worker may have died mid-kernel, injected corruption
+// may sit in a slot), so nothing is written back and nothing survives
+// into the next run.
+func (a *Arena) Discard() {
+	for l, i := range a.index {
+		delete(a.index, l)
+		a.free = append(a.free, i)
+	}
+	for i := range a.buf {
+		a.buf[i] = 0
+	}
 }

@@ -1,9 +1,12 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/matrix"
 	"repro/internal/schedule"
 )
@@ -158,6 +161,23 @@ type Executor struct {
 	ops          [][]execOp
 	err          error
 
+	// Replay provenance: ctx is the active RunContext's context (nil
+	// outside a run); algorithm the running program's name; region counts
+	// the executed parallel regions of the current run (-1 before the
+	// first); opIdx[c] is core c's cumulative op index across the run and
+	// drvIdx the driver's, the coordinates RunError and fault plans speak.
+	ctx       context.Context
+	algorithm string
+	region    int
+	opIdx     []int
+	drvIdx    int
+
+	// inject is the optional fault hook consulted at every replayed
+	// operation (SetFaultInjector); integrity arms the per-line checksum
+	// tripwire (SetIntegrityChecks).
+	inject    faultinject.Injector
+	integrity bool
+
 	// Chip topology of the current Run, derived from the program's
 	// declared Resources and its Home placement (single chip, everything
 	// homed on chip 0, when undeclared).
@@ -285,8 +305,24 @@ func NewExecutorOperands(team *Team, operands *matrix.Operands, probe *schedule.
 	return ex, nil
 }
 
-// Err returns the first execution error, if any. Errors are sticky:
-// after the first failure every operation becomes a no-op.
+// Err returns the first execution error, if any.
+//
+// The executor's error state machine has three states:
+//
+//	clean ──(replay failure)──▶ quarantined ──(Reset)──▶ clean
+//
+// Errors are sticky: the first failure inside a replay — a kernel
+// error, a staging-discipline violation, a worker panic, an injected
+// fault, a cancelled context — quarantines the executor. While
+// quarantined, every remaining operation of the failing run is a no-op
+// (the workers unwind without deadlock), Err returns the failure (a
+// *RunError with full provenance), and any further Run or RunContext
+// fails fast without executing anything. Reset returns the executor to
+// clean (and with it Err to nil); a successful Run after Reset leaves
+// no trace of the previous failure. Pre-flight rejections — a
+// core-count mismatch, a working set that overflows the declared
+// resources — are returned without entering quarantine: nothing
+// executed, so the executor stays clean.
 func (ex *Executor) Err() error { return ex.err }
 
 func (ex *Executor) fail(err error) {
@@ -429,15 +465,40 @@ func (ex *Executor) home(l schedule.Line) int {
 // stageShared performs the physical memory→shared transfer of l into
 // its home chip's arena and counts it on the MS stream. It runs on the
 // driving goroutine in ModeShared and on the stager goroutine in
-// ModeSharedPipelined.
-func (ex *Executor) stageShared(l schedule.Line) error {
-	src, err := ex.block(l)
-	if err != nil {
+// ModeSharedPipelined. It is a cancellation point (the context is
+// polled before the transfer, so staging loops unwind promptly) and an
+// injection point; failures — organic, injected, or a panic recovered
+// right here — carry the driver op's provenance.
+func (ex *Executor) stageShared(l schedule.Line) (err error) {
+	if err := ex.ctxErr(); err != nil {
 		return err
 	}
-	values, err := ex.shared[ex.home(l)].Stage(l, src)
+	ref := schedule.OpRef{Region: ex.region, Core: schedule.DriverCore, Index: ex.drvIdx}
+	ex.drvIdx++
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RunError{
+				Algorithm: ex.algorithm, Op: ref,
+				Site: faultinject.StageShared, Line: l, HasOp: true,
+				Panicked: true, PanicValue: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	act, err := ex.injectAt(faultinject.Point{Op: ref, Kind: faultinject.StageShared, Line: l})
 	if err != nil {
-		return err
+		return ex.driverError(ref, faultinject.StageShared, l, err)
+	}
+	src, err := ex.block(l)
+	if err != nil {
+		return ex.driverError(ref, faultinject.StageShared, l, err)
+	}
+	home := ex.home(l)
+	values, err := ex.shared[home].Stage(l, src)
+	if err != nil {
+		return ex.driverError(ref, faultinject.StageShared, l, err)
+	}
+	if act.Kind == faultinject.ActCorrupt {
+		ex.shared[home].corrupt(l, act.Bit)
 	}
 	ex.ms.stage(values)
 	return nil
@@ -455,7 +516,9 @@ func (ex *Executor) UnstageShared(l schedule.Line) {
 	start := time.Now()
 	for c, ar := range ex.arenas {
 		if ar.tile(l) != nil {
-			ex.fail(fmt.Errorf("parallel: unstaging %v from the shared arena while core %d still holds it", l, c))
+			ref := schedule.OpRef{Region: ex.region, Core: schedule.DriverCore, Index: ex.drvIdx}
+			ex.fail(ex.driverError(ref, faultinject.UnstageShared, l,
+				fmt.Errorf("parallel: unstaging %v from the shared arena while core %d still holds it", l, c)))
 			return
 		}
 	}
@@ -470,15 +533,34 @@ func (ex *Executor) UnstageShared(l schedule.Line) {
 // UnstageShared it does not re-check core-arena residency: the serial
 // path checks at runtime between regions, while the pipelined stager —
 // which may run this concurrently with worker regions — relies on
-// schedule.PlanPipeline having proven inclusion statically.
-func (ex *Executor) unstageShared(l schedule.Line) error {
+// schedule.PlanPipeline having proven inclusion statically. Like
+// stageShared it is a cancellation and injection point with full
+// driver-op provenance.
+func (ex *Executor) unstageShared(l schedule.Line) (err error) {
+	if err := ex.ctxErr(); err != nil {
+		return err
+	}
+	ref := schedule.OpRef{Region: ex.region, Core: schedule.DriverCore, Index: ex.drvIdx}
+	ex.drvIdx++
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RunError{
+				Algorithm: ex.algorithm, Op: ref,
+				Site: faultinject.UnstageShared, Line: l, HasOp: true,
+				Panicked: true, PanicValue: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if _, err := ex.injectAt(faultinject.Point{Op: ref, Kind: faultinject.UnstageShared, Line: l}); err != nil {
+		return ex.driverError(ref, faultinject.UnstageShared, l, err)
+	}
 	dst, err := ex.block(l)
 	if err != nil {
-		return err
+		return ex.driverError(ref, faultinject.UnstageShared, l, err)
 	}
 	values, dirty, err := ex.shared[ex.home(l)].Unstage(l, dst)
 	if err != nil {
-		return err
+		return ex.driverError(ref, faultinject.UnstageShared, l, err)
 	}
 	if dirty {
 		ex.ms.writeBack(values)
@@ -571,46 +653,110 @@ func (ex *Executor) Parallel(body func(core int, ops schedule.CoreSink)) {
 	if !work {
 		return
 	}
+	// Region barriers are the serial path's cancellation points: the
+	// context is polled once per region, never inside worker replay.
+	if err := ex.ctxErr(); err != nil {
+		ex.fail(err)
+		return
+	}
+	ex.region++
+	region := ex.region
 	start := time.Now()
-	ex.fail(ex.team.Run(func(c int) error { return ex.replayOps(c, ex.ops[c]) }))
+	ex.fail(ex.team.Run(func(c int) error { return ex.replayOps(c, region, ex.ops[c]) }))
 	ex.computeTime += time.Since(start)
+}
+
+// siteOf maps a recorded op to its injection-point kind.
+func siteOf(op execOp) faultinject.OpKind {
+	switch op.kind {
+	case xStage:
+		return faultinject.Stage
+	case xUnstage:
+		return faultinject.Unstage
+	default:
+		return faultinject.Apply
+	}
 }
 
 // replayOps executes core c's recorded stream of one region. The
 // arena applies only when the *current* program stages: a reused
 // Executor may hold arenas from an earlier staged Run while replaying a
 // demand-driven program, whose computes must take the strided path.
-func (ex *Executor) replayOps(c int, ops []execOp) error {
+//
+// Every op is an injection point and carries provenance: failures come
+// back as *RunError with the (region, core, index) coordinate, the op
+// site, kernel and line; a panic — a kernel's or an injected one — is
+// recovered here with the in-flight op's identity, so the Team's
+// recover is only ever a backstop for panics outside op replay.
+func (ex *Executor) replayOps(c, region int, ops []execOp) (err error) {
 	var ar *Arena
 	if ex.staging {
 		ar = ex.arenas[c]
 	}
 	md := &ex.md[c]
-	for _, op := range ops {
-		switch op.kind {
-		case xStage, xUnstage:
-			if ar == nil {
-				// Staging ops reach replay only through Run, which
-				// allocates arenas for every program that stages.
-				return fmt.Errorf("parallel: staging op %v outside a validated Run", op.line)
+	idx := ex.opIdx[c]
+	var cur execOp
+	var site faultinject.OpKind
+	active := false
+	defer func() {
+		ex.opIdx[c] = idx
+		if r := recover(); r != nil {
+			re := &RunError{
+				Algorithm:  ex.algorithm,
+				Op:         schedule.OpRef{Region: region, Core: c, Index: idx},
+				Panicked:   true,
+				PanicValue: r,
+				Stack:      debug.Stack(),
 			}
-			if op.kind == xStage {
-				if ex.mode.SharedLevel() {
-					// The core arena fills from the block's home chip's
-					// shared arena, never from the matrices. A foreign home
-					// makes the same transfer an inter-chip one: counted on
-					// MD as always, plus the interconnect stream.
-					home := ex.home(op.line)
-					values, err := ex.shared[home].Refill(ar, op.line)
-					if err != nil {
-						return err
-					}
-					md.stage(values)
-					if home != ex.chipOf[c] {
-						ex.icw[c][home].stage(values)
-					}
-					continue
+			if active {
+				re.Site, re.Kernel, re.Line, re.HasOp = site, cur.kernel, cur.line, true
+			}
+			err = re
+		}
+	}()
+	for _, op := range ops {
+		cur, site, active = op, siteOf(op), true
+		ref := schedule.OpRef{Region: region, Core: c, Index: idx}
+		act, ierr := ex.injectAt(faultinject.Point{Op: ref, Kind: site, Kernel: op.kernel, Line: op.line})
+		if ierr != nil {
+			return ex.opError(ref, site, op, ierr)
+		}
+		if oerr := ex.replayOne(c, ar, md, op, act); oerr != nil {
+			return ex.opError(ref, site, op, oerr)
+		}
+		idx++
+	}
+	return nil
+}
+
+// replayOne executes a single recorded op on core c. act carries the
+// already-resolved injection at this point; the only action left to
+// apply here is ActCorrupt, which flips a bit of the freshly staged (or
+// freshly written) arena copy after the op completed.
+func (ex *Executor) replayOne(c int, ar *Arena, md *LevelTraffic, op execOp, act faultinject.Action) error {
+	switch op.kind {
+	case xStage, xUnstage:
+		if ar == nil {
+			// Staging ops reach replay only through Run, which
+			// allocates arenas for every program that stages.
+			return fmt.Errorf("parallel: staging op %v outside a validated Run", op.line)
+		}
+		if op.kind == xStage {
+			if ex.mode.SharedLevel() {
+				// The core arena fills from the block's home chip's
+				// shared arena, never from the matrices. A foreign home
+				// makes the same transfer an inter-chip one: counted on
+				// MD as always, plus the interconnect stream.
+				home := ex.home(op.line)
+				values, err := ex.shared[home].Refill(ar, op.line)
+				if err != nil {
+					return err
 				}
+				md.stage(values)
+				if home != ex.chipOf[c] {
+					ex.icw[c][home].stage(values)
+				}
+			} else {
 				src, err := ex.block(op.line)
 				if err != nil {
 					return err
@@ -619,42 +765,54 @@ func (ex *Executor) replayOps(c int, ops []execOp) error {
 					return err
 				}
 				md.stage(src.Rows() * src.Cols())
-				continue
 			}
-			rows, cols, data, dirty, err := ar.release(op.line)
+			if act.Kind == faultinject.ActCorrupt {
+				if slot := ar.tile(op.line); slot != nil {
+					corruptData(slot.data, act.Bit)
+				}
+			}
+			return nil
+		}
+		rows, cols, data, dirty, err := ar.release(op.line)
+		if err != nil {
+			return err
+		}
+		if !dirty {
+			return nil
+		}
+		if ex.mode.SharedLevel() {
+			// Dirty tiles merge upward into the home chip's shared
+			// copy, as EvictDistributed merges under IDEAL; the shared
+			// level owns the eventual write-back to memory. A foreign
+			// home sends the merge over the interconnect.
+			home := ex.home(op.line)
+			if err := ex.shared[home].Absorb(op.line, rows, cols, data); err != nil {
+				return err
+			}
+			if home != ex.chipOf[c] {
+				ex.icw[c][home].writeBack(rows * cols)
+			}
+		} else {
+			dst, err := ex.block(op.line)
 			if err != nil {
 				return err
 			}
-			if !dirty {
-				continue
-			}
-			if ex.mode.SharedLevel() {
-				// Dirty tiles merge upward into the home chip's shared
-				// copy, as EvictDistributed merges under IDEAL; the shared
-				// level owns the eventual write-back to memory. A foreign
-				// home sends the merge over the interconnect.
-				home := ex.home(op.line)
-				if err := ex.shared[home].Absorb(op.line, rows, cols, data); err != nil {
-					return err
-				}
-				if home != ex.chipOf[c] {
-					ex.icw[c][home].writeBack(rows * cols)
-				}
-			} else {
-				dst, err := ex.block(op.line)
-				if err != nil {
-					return err
-				}
-				if err := matrix.Unpack(dst, data); err != nil {
-					return err
-				}
-			}
-			md.writeBack(rows * cols)
-		case xApply:
-			if err := ex.apply(ar, op); err != nil {
+			if err := matrix.Unpack(dst, data); err != nil {
 				return err
 			}
 		}
+		md.writeBack(rows * cols)
+		return nil
+	case xApply:
+		if err := ex.apply(ar, op); err != nil {
+			return err
+		}
+		if act.Kind == faultinject.ActCorrupt && ar != nil {
+			if slot := ar.tile(op.line); slot != nil {
+				corruptData(slot.data, act.Bit)
+			}
+		}
+		return nil
 	}
 	return nil
 }
@@ -738,7 +896,66 @@ func (ex *Executor) apply(ar *Arena, op execOp) error {
 // be rejected up front. The validation replay costs one extra pass over
 // the operation stream — measured at ~0.4% of the packed run time for
 // n=1024, far below run-to-run noise.
+//
+// Run is RunContext with a background context; see RunContext for the
+// cancellation and failure contract.
 func (ex *Executor) Run(prog *schedule.Program) error {
+	return ex.RunContext(context.Background(), prog)
+}
+
+// RunContext replays a complete program under ctx. Cancellation and
+// deadlines are honoured at the run's natural barriers — before each
+// parallel region, and before every memory↔shared staging transfer of
+// the driving goroutine (serial and pipelined alike) — never inside a
+// worker's kernel, so a cancelled run always leaves whole regions
+// either fully executed or not started. A cancelled run fails with a
+// *RunError unwrapping to ctx.Err() and quarantines the executor like
+// any other replay failure; Reset returns it to service.
+//
+// A quarantined executor (Err() != nil) fails fast here without
+// executing anything. Every failure that occurs inside the replay —
+// kernel errors, staging-discipline violations, injected faults,
+// integrity-check trips, worker or driver panics — is returned as a
+// *RunError carrying the failing operation's provenance. Panics
+// anywhere in the replay (including the program's own Body emitter) are
+// recovered; RunContext never lets one escape.
+func (ex *Executor) RunContext(ctx context.Context, prog *schedule.Program) (err error) {
+	if ex.err != nil {
+		return fmt.Errorf("parallel: executor quarantined by an earlier failure (%v); Reset it before running again", ex.err)
+	}
+	ex.ctx = ctx
+	ex.algorithm = prog.Algorithm
+	ex.region = -1
+	if len(ex.opIdx) != ex.team.Size() {
+		ex.opIdx = make([]int, ex.team.Size())
+	}
+	for i := range ex.opIdx {
+		ex.opIdx[i] = 0
+	}
+	ex.drvIdx = 0
+	defer func() {
+		ex.ctx = nil
+		if r := recover(); r != nil {
+			// Backstop for panics outside op replay (the emitter's Body,
+			// validation plumbing): the op-level recovers in replayOps and
+			// the staging helpers carry precise provenance and never
+			// re-panic, so all that is known here is the region.
+			ex.fail(&RunError{
+				Algorithm:  ex.algorithm,
+				Op:         schedule.OpRef{Region: ex.region, Core: schedule.DriverCore, Index: -1},
+				Panicked:   true,
+				PanicValue: r,
+				Stack:      debug.Stack(),
+			})
+			err = ex.err
+		}
+	}()
+	return ex.execute(prog)
+}
+
+// execute is the body of RunContext: validation, arena setup, replay
+// and the end-of-run drains.
+func (ex *Executor) execute(prog *schedule.Program) error {
 	if prog.Cores != ex.team.Size() {
 		return fmt.Errorf("parallel: program %q wants %d cores, team has %d",
 			prog.Algorithm, prog.Cores, ex.team.Size())
@@ -877,6 +1094,15 @@ func (ex *Executor) Run(prog *schedule.Program) error {
 				return err
 			}
 		}
+	}
+	// Arm (or disarm) the checksum tripwire on every arena the run will
+	// touch; arenas persist across Runs, so the flag is re-applied here
+	// rather than only at allocation.
+	for _, ar := range ex.arenas {
+		ar.verify = ex.integrity
+	}
+	for _, sa := range ex.shared {
+		sa.setVerify(ex.integrity)
 	}
 	if ex.staging && ex.mode == ModeSharedPipelined {
 		if err := ex.runPipelined(prog); err != nil {

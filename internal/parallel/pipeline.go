@@ -121,6 +121,14 @@ func (ex *Executor) runPipelined(prog *schedule.Program) error {
 	}
 	for r := range regions {
 		reg := &plan.Regions[r]
+		// The region boundary is a cancellation point, exactly as the
+		// serial path's Parallel barrier is; the stager's individual
+		// transfers poll the context again inside stageShared.
+		ex.region = r
+		if err := ex.ctxErr(); err != nil {
+			ex.fail(err)
+			return ex.err
+		}
 		start := time.Now()
 		for _, op := range reg.Barrier {
 			if err := doOp(op); err != nil {
@@ -137,7 +145,7 @@ func (ex *Executor) runPipelined(prog *schedule.Program) error {
 		// replay never ran (sticky error) reads as "finished at launch".
 		finished := make([]time.Time, len(regions[r]))
 		wait := ex.team.Launch(func(c int) error {
-			err := ex.replayOps(c, regions[r][c])
+			err := ex.replayOps(c, r, regions[r][c])
 			finished[c] = time.Now()
 			return err
 		})
@@ -184,6 +192,8 @@ func (ex *Executor) runPipelined(prog *schedule.Program) error {
 			return ex.err
 		}
 	}
+	// Tail ops belong to no region; they report as region len(regions).
+	ex.region = len(regions)
 	start := time.Now()
 	for _, op := range plan.Tail {
 		if err := doOp(op); err != nil {

@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+	"repro/internal/schedule"
+)
+
+// RunError is the structured failure of one Run: every error or panic
+// that surfaces while a program replays — a kernel error such as
+// matrix.ErrSingular, a staging-discipline violation, an integrity
+// tripwire, an injected fault, or a worker panic — is wrapped into one,
+// carrying enough provenance to attribute the failure to a single
+// operation of the schedule: the executing core (schedule.DriverCore
+// for the driving goroutine's shared staging), the parallel region, the
+// per-core op index, the operation site, the kernel (for apply sites)
+// and the line it touched.
+//
+// A panic anywhere inside the replay — a worker's kernel, the driver's
+// staging, an injected ActPanic — is isolated into a RunError with
+// Panicked set and the panic value and stack preserved; the process
+// never crashes, the remaining workers unwind through the normal team
+// join, and the executor is left quarantined (see Executor.Reset) but
+// structurally intact.
+//
+// Unwrap exposes the underlying cause, so errors.Is sees through to
+// sentinels like matrix.ErrSingular, ErrIntegrity, faultinject's
+// ErrInjected, or a cancelled context's error. Panics have no
+// underlying error; Unwrap returns nil for them.
+type RunError struct {
+	// Algorithm is the failing program's display name ("" when the
+	// failure happened outside a program replay, e.g. a panic in a bare
+	// Team.Run body).
+	Algorithm string
+	// Op locates the operation: region, core, per-core op index.
+	// Fields are -1 where unknown (a panic caught by the Team backstop
+	// outside op replay carries only the core).
+	Op schedule.OpRef
+	// Site is the kind of operation that failed; meaningful when the
+	// failure is attributed to one (see Op).
+	Site faultinject.OpKind
+	// Kernel is the block kernel of an apply-site failure; meaningless
+	// at staging sites.
+	Kernel schedule.Kernel
+	// Line is the block the failing operation addressed (the kernel's
+	// destination, or the staged line).
+	Line schedule.Line
+	// HasOp records whether Site/Kernel/Line describe a real operation;
+	// false for failures not anchored to one.
+	HasOp bool
+	// Panicked marks failures that surfaced as a panic; PanicValue and
+	// Stack carry the recovered value and the goroutine stack.
+	Panicked   bool
+	PanicValue any
+	Stack      []byte
+	// Err is the underlying error of a non-panic failure.
+	Err error
+}
+
+// Error renders the failure with its provenance:
+//
+//	parallel: "LU" core 1 panicked at region 3 op 17 (apply FactorTile {A 2 2}): runtime error: ...
+//	parallel: "SharedOpt" driver failed at region 0 op 4 (stage-shared {A 0 1}): injected fault
+func (e *RunError) Error() string {
+	s := "parallel: "
+	if e.Algorithm != "" {
+		s += fmt.Sprintf("%q ", e.Algorithm)
+	}
+	who := "core ?"
+	switch {
+	case e.Op.Core == schedule.DriverCore:
+		who = "driver"
+	case e.Op.Core >= 0:
+		who = fmt.Sprintf("core %d", e.Op.Core)
+	}
+	verb := "failed"
+	if e.Panicked {
+		verb = "panicked"
+	}
+	s += who + " " + verb
+	if e.Op.Region >= 0 {
+		s += fmt.Sprintf(" at region %d", e.Op.Region)
+	}
+	if e.Op.Index >= 0 {
+		s += fmt.Sprintf(" op %d", e.Op.Index)
+	}
+	if e.HasOp {
+		if e.Site == faultinject.Apply {
+			s += fmt.Sprintf(" (%v %v %v)", e.Site, e.Kernel, e.Line)
+		} else {
+			s += fmt.Sprintf(" (%v %v)", e.Site, e.Line)
+		}
+	}
+	switch {
+	case e.Panicked:
+		s += fmt.Sprintf(": panic: %v", e.PanicValue)
+	case e.Err != nil:
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying error so errors.Is/As reach sentinels
+// like matrix.ErrSingular or context.Canceled. Panics unwrap to nil.
+func (e *RunError) Unwrap() error { return e.Err }

@@ -53,6 +53,36 @@ func NewSharedArena(capBlocks, q int) (*SharedArena, error) {
 // Capacity returns the number of tile slots (CS).
 func (sa *SharedArena) Capacity() int { return sa.arena.Capacity() }
 
+// setVerify arms or disarms the integrity tripwire. Shared slots verify
+// even when dirty: Absorb recomputes the checksum on every legitimate
+// write, so any other modification is corruption.
+func (sa *SharedArena) setVerify(on bool) {
+	sa.mu.Lock()
+	sa.arena.verify = on
+	sa.arena.verifyDirty = on
+	sa.mu.Unlock()
+}
+
+// corrupt flips bit of the first value of l's resident copy — the
+// physical effect of an injected ActCorrupt at a StageShared point. A
+// non-resident l is a no-op (the stage that was to be corrupted failed).
+func (sa *SharedArena) corrupt(l schedule.Line, bit uint) {
+	sa.mu.RLock()
+	slot := sa.arena.tile(l)
+	sa.mu.RUnlock()
+	if slot != nil {
+		corruptData(slot.data, bit)
+	}
+}
+
+// Discard drops every resident tile without any write-back and zeroes
+// the buffer (see Arena.Discard) — Executor.Reset's failure-path drain.
+func (sa *SharedArena) Discard() {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.arena.Discard()
+}
+
 // FirstTouch writes one value per page of the arena's backing buffer.
 // Go zeroes heap pages lazily, so the first write decides which NUMA
 // node backs them; the executor has a worker of the owning chip call
@@ -95,6 +125,9 @@ func (sa *SharedArena) Stage(l schedule.Line, src *matrix.Dense) (values int, er
 	if _, err := matrix.Pack(slot.data, src); err != nil {
 		return 0, err
 	}
+	if sa.arena.verify {
+		slot.sum = checksum(slot.data)
+	}
 	return src.Rows() * src.Cols(), nil
 }
 
@@ -130,6 +163,9 @@ func (sa *SharedArena) Refill(dst *Arena, l schedule.Line) (values int, err erro
 	if slot == nil {
 		return 0, fmt.Errorf("parallel: core refill of block %v not resident in the shared arena", l)
 	}
+	if err := sa.arena.check(slot, l); err != nil {
+		return 0, err
+	}
 	if err := dst.stagePacked(l, slot.rows, slot.cols, slot.data); err != nil {
 		return 0, err
 	}
@@ -153,6 +189,9 @@ func (sa *SharedArena) Absorb(l schedule.Line, rows, cols int, data []float64) e
 	}
 	copy(slot.data, data[:rows*cols])
 	slot.dirty = true
+	if sa.arena.verify {
+		slot.sum = checksum(slot.data)
+	}
 	return nil
 }
 

@@ -15,18 +15,31 @@ package parallel
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+
+	"repro/internal/schedule"
 )
 
 // Team is a fixed pool of p worker goroutines, one per simulated core.
 // Run dispatches a closure to every worker and blocks until all have
 // finished — the "foreach core c = 1..p in parallel" construct of the
 // paper's pseudocode. A Team must be released with Close.
+//
+// Failure model: a body that panics does not crash the process or kill
+// its worker — the panic is recovered on the worker, converted into a
+// *RunError (Panicked set, value and stack preserved), and returned
+// from the join like any other error, while the remaining workers run
+// their bodies to completion and the join never deadlocks. A closed
+// Team refuses new work with an error instead of panicking on its
+// closed channels, so a defer-ordering mistake in a caller degrades to
+// a clean failure.
 type Team struct {
-	p     int
-	jobs  []chan func()
-	done  chan error
-	close sync.Once
+	p      int
+	jobs   []chan func()
+	mu     sync.Mutex
+	closed bool
+	close  sync.Once
 }
 
 // NewTeam starts p workers.
@@ -37,7 +50,6 @@ func NewTeam(p int) (*Team, error) {
 	t := &Team{
 		p:    p,
 		jobs: make([]chan func(), p),
-		done: make(chan error, p),
 	}
 	for c := 0; c < p; c++ {
 		t.jobs[c] = make(chan func())
@@ -56,7 +68,8 @@ func (t *Team) Size() int { return t.p }
 // Run executes body(core) on every worker concurrently and waits for all
 // of them. The first non-nil error is returned; bodies for distinct
 // cores must touch disjoint output data (the algorithms guarantee this
-// by construction).
+// by construction). A panicking body surfaces as a *RunError, never as
+// a process crash (see the Team failure model).
 func (t *Team) Run(body func(core int) error) error {
 	return t.Launch(body)()
 }
@@ -66,7 +79,19 @@ func (t *Team) Run(body func(core int) error) error {
 // finish and yields the first error. Between Launch and the join the
 // caller runs concurrently with the workers — the pipelined executor
 // uses that window to stage shared blocks while the team computes.
+//
+// Worker panics are recovered into *RunError values and reported
+// through the join; every worker's wg.Done runs unconditionally, so a
+// panicking body can never leave the join waiting. Launching on a
+// closed Team returns a join that fails immediately.
 func (t *Team) Launch(body func(core int) error) (wait func() error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return func() error {
+			return fmt.Errorf("parallel: Launch on a closed Team of %d workers", t.p)
+		}
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, t.p)
 	wg.Add(t.p)
@@ -74,9 +99,10 @@ func (t *Team) Launch(body func(core int) error) (wait func() error) {
 		c := c
 		t.jobs[c] <- func() {
 			defer wg.Done()
-			errs[c] = body(c)
+			errs[c] = isolated(c, body)
 		}
 	}
+	t.mu.Unlock()
 	return func() error {
 		wg.Wait()
 		for _, err := range errs {
@@ -88,9 +114,35 @@ func (t *Team) Launch(body func(core int) error) (wait func() error) {
 	}
 }
 
-// Close terminates the workers. The Team is unusable afterwards.
+// isolated runs body(core) with panic isolation: a panic becomes a
+// *RunError carrying the core, the recovered value and the stack. The
+// executor's replay attributes panics to a specific op with full
+// provenance before they reach this backstop; this layer guarantees
+// that *no* body — replay or not — can crash the process or strand the
+// team's join.
+func isolated(core int, body func(core int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RunError{
+				Op:         schedule.OpRef{Region: -1, Core: core, Index: -1},
+				Panicked:   true,
+				PanicValue: r,
+				Stack:      debug.Stack(),
+			}
+		}
+	}()
+	return body(core)
+}
+
+// Close terminates the workers. The Team is unusable afterwards: Run
+// and Launch return errors rather than panicking. Close must not be
+// called concurrently with Launch (callers own the Team's lifecycle);
+// calling it twice is safe.
 func (t *Team) Close() {
 	t.close.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
 		for _, ch := range t.jobs {
 			close(ch)
 		}
